@@ -1,0 +1,44 @@
+//! Microbenchmarks of the arithmetic substrate every protocol stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shs_bench::rng;
+use shs_bigint::{mont::MontCtx, prime, rng as brng};
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut r = rng("bench-bigint");
+    let mut g = c.benchmark_group("bigint");
+    for bits in [256u32, 512, 1024, 2048] {
+        let m = brng::random_odd_bits(&mut r, bits);
+        let base = brng::below(&mut r, &m);
+        let exp = brng::random_bits(&mut r, bits);
+        let ctx = MontCtx::new(m.clone());
+        g.bench_with_input(BenchmarkId::new("modpow", bits), &bits, |b, _| {
+            b.iter(|| ctx.modpow(&base, &exp))
+        });
+        let x = brng::below(&mut r, &m);
+        let y = brng::below(&mut r, &m);
+        g.bench_with_input(BenchmarkId::new("mulm", bits), &bits, |b, _| {
+            b.iter(|| x.mulm(&y, &m))
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("gen-prime-256", |b| {
+        b.iter(|| prime::gen_prime(256, &mut r))
+    });
+    g.bench_function("miller-rabin-512", |b| {
+        let p = prime::gen_prime(512, &mut r);
+        b.iter(|| prime::is_prime(&p, &mut r))
+    });
+    let a = brng::random_bits(&mut r, 2048);
+    let bb = brng::random_bits(&mut r, 2048);
+    g.bench_function("mul-2048", |b| b.iter(|| a.mul(&bb)));
+    let d = brng::random_bits(&mut r, 1024);
+    g.bench_function("divrem-2048-by-1024", |b| b.iter(|| a.divrem(&d).unwrap()));
+    let m = brng::random_odd_bits(&mut r, 1024);
+    let x = brng::below(&mut r, &m);
+    g.bench_function("modinv-1024", |b| b.iter(|| x.modinv(&m).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_bigint);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for E4: one LEAVE rekey at group size n per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shs_bench::rng;
+use shs_cgkd::{lkh::LkhController, sd::SdController, star::StarController, Controller};
+
+fn bench_cgkd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cgkd-leave-rekey");
+    g.sample_size(20);
+    for n in [64u32, 256, 1024] {
+        let mut r = rng("bench-cgkd");
+        // LKH
+        let mut lkh = LkhController::new(n, &mut r);
+        for _ in 0..n {
+            lkh.admit(&mut r).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("lkh", n), &n, |b, _| {
+            b.iter(|| {
+                let id = lkh.members()[0];
+                let bc = lkh.evict(id, &mut r).unwrap();
+                lkh.admit(&mut r).unwrap();
+                bc
+            })
+        });
+        // Star
+        let mut star = StarController::new(n, &mut r);
+        for _ in 0..n {
+            star.admit(&mut r).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("star", n), &n, |b, _| {
+            b.iter(|| {
+                let id = star.members()[0];
+                let bc = star.evict(id, &mut r).unwrap();
+                star.admit(&mut r).unwrap();
+                bc
+            })
+        });
+        // SD: capacity must absorb one leaf per iteration (stateless IDs
+        // are never reused), so give it headroom and only evict.
+        let mut sd = SdController::new(4 * n, &mut r);
+        let mut ids = Vec::new();
+        for _ in 0..(2 * n) {
+            let (id, _, _) = sd.admit(&mut r).unwrap();
+            ids.push(id);
+        }
+        let mut next = 0usize;
+        g.bench_with_input(BenchmarkId::new("sd", n), &n, |b, _| {
+            b.iter(|| {
+                let id = ids[next % ids.len()];
+                next += 1;
+                sd.evict(id, &mut r).ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cgkd);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for E3: BD vs GDH.2 complete runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shs_bench::rng;
+use shs_dgka::{ake, bd, gdh};
+use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+
+fn bench_dgka(c: &mut Criterion) {
+    let group = SchnorrGroup::system_wide(SchnorrPreset::Test);
+    let mut g = c.benchmark_group("dgka");
+    g.sample_size(20);
+    for m in [2usize, 4, 8, 16] {
+        let mut r = rng("bench-dgka-bd");
+        g.bench_with_input(BenchmarkId::new("burmester-desmedt", m), &m, |b, &m| {
+            b.iter(|| bd::run(group, m, &mut r).unwrap())
+        });
+        let mut r = rng("bench-dgka-gdh");
+        g.bench_with_input(BenchmarkId::new("gdh2", m), &m, |b, &m| {
+            b.iter(|| gdh::run(group, m, &mut r).unwrap())
+        });
+        let mut r = rng("bench-dgka-ake");
+        g.bench_with_input(BenchmarkId::new("katz-yung-bd", m), &m, |b, &m| {
+            b.iter(|| ake::run(group, m, &mut r).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dgka);
+criterion_main!(benches);

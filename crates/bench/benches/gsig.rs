@@ -1,0 +1,29 @@
+//! Criterion bench for E5: group-signature sign / verify / open.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shs_bench::rng;
+use shs_gsig::fixtures;
+use shs_gsig::ky::{self, SignBasis};
+
+fn bench_gsig(c: &mut Criterion) {
+    let (gm, keys) = fixtures::group_with_members(1);
+    let pk = gm.public_key();
+    let mut r = rng("bench-gsig");
+    let mut g = c.benchmark_group("gsig-ky");
+    g.sample_size(30);
+    g.bench_function("sign", |b| {
+        b.iter(|| ky::sign(pk, &keys[0], b"bench", SignBasis::Random, &mut r))
+    });
+    let sig = ky::sign(pk, &keys[0], b"bench", SignBasis::Random, &mut r);
+    g.bench_function("verify", |b| {
+        b.iter(|| ky::verify(pk, b"bench", &sig, None).unwrap())
+    });
+    g.bench_function("open", |b| b.iter(|| gm.open(b"bench", &sig).unwrap()));
+    g.bench_function("sign-selfdistinct", |b| {
+        b.iter(|| ky::sign(pk, &keys[0], b"bench", SignBasis::Common(b"basis"), &mut r))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gsig);
+criterion_main!(benches);

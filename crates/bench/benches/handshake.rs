@@ -1,0 +1,64 @@
+//! Criterion bench for E1/E2: full m-party handshake wall time under both
+//! instantiations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shs_bench::{group, rng};
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake");
+    g.sample_size(10);
+    for (scheme, label) in [
+        (SchemeKind::Scheme1, "scheme1"),
+        (SchemeKind::Scheme2SelfDistinct, "scheme2-selfdist"),
+        (SchemeKind::Scheme1Classic, "scheme1-classic"),
+    ] {
+        let mut r = rng("bench-handshake");
+        let (_, members) = group(scheme, 8, &mut r);
+        for m in [2usize, 4, 8] {
+            let actors: Vec<Actor<'_>> = members[..m].iter().map(Actor::Member).collect();
+            g.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| {
+                    let result =
+                        run_handshake(&actors, &HandshakeOptions::default(), &mut r).unwrap();
+                    assert!(result.outcomes[0].accepted);
+                    result
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// E3 ablation inside the full handshake: BD vs GDH.2 Phase I.
+fn bench_dgka_choice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake-dgka-choice");
+    g.sample_size(10);
+    let mut r = rng("bench-handshake-dgka");
+    let (_, members) = group(SchemeKind::Scheme1, 8, &mut r);
+    for (choice, label) in [
+        (DgkaChoice::BurmesterDesmedt, "bd"),
+        (DgkaChoice::Gdh2, "gdh2"),
+    ] {
+        for m in [4usize, 8] {
+            let actors: Vec<Actor<'_>> = members[..m].iter().map(Actor::Member).collect();
+            let opts = HandshakeOptions {
+                dgka: choice,
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| {
+                    let result = run_handshake(&actors, &opts, &mut r).unwrap();
+                    assert!(result.outcomes[0].accepted);
+                    result
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_handshake, bench_dgka_choice);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E9: VLR token checks vs accumulator updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shs_bench::rng;
+use shs_bigint::Ubig;
+use shs_gsig::accumulator::Accumulator;
+use shs_gsig::fixtures;
+use shs_gsig::ky::{self, MemberId, RevocationToken, SignBasis};
+use shs_gsig::params::{GsigParams, GsigPreset};
+
+fn bench_revocation(c: &mut Criterion) {
+    let (gm, keys) = fixtures::group_with_members(1);
+    let pk = gm.public_key();
+    let params = GsigParams::preset(GsigPreset::Test);
+    let mut r = rng("bench-revocation");
+    let sig = ky::sign(pk, &keys[0], b"m", SignBasis::Random, &mut r);
+
+    let mut g = c.benchmark_group("revocation");
+    g.sample_size(20);
+    for crl in [0usize, 16, 64] {
+        let tokens: Vec<RevocationToken> = (0..crl)
+            .map(|i| RevocationToken {
+                id: MemberId(1000 + i as u64),
+                x: params.sample_lambda(&mut r),
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("vlr-verify", crl), &crl, |b, _| {
+            b.iter(|| ky::verify_with_tokens(pk, b"m", &sig, None, &tokens).unwrap())
+        });
+    }
+
+    let (group, secret) = fixtures::test_rsa_setting();
+    let mut acc = Accumulator::new(group, &mut r);
+    let (mut w, _) = acc.add(group, &Ubig::from_u64(65537)).unwrap();
+    let (_, ev_add) = acc.add(group, &Ubig::from_u64(65539)).unwrap();
+    g.bench_function("accumulator-witness-add-update", |b| {
+        b.iter(|| {
+            let mut wc = w.clone();
+            wc.apply(group, &ev_add).unwrap();
+            wc
+        })
+    });
+    w.apply(group, &ev_add).unwrap();
+    let ev_rm = acc.remove(group, secret, &Ubig::from_u64(65539)).unwrap();
+    g.bench_function("accumulator-witness-remove-update", |b| {
+        b.iter(|| {
+            let mut wc = w.clone();
+            wc.apply(group, &ev_rm).unwrap();
+            wc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_revocation);
+criterion_main!(benches);

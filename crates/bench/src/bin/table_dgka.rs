@@ -1,0 +1,93 @@
+//! **E3 (Table 3)** — DGKA building-block comparison (§6 / Appendix D):
+//! Burmester–Desmedt needs two broadcast rounds and a constant number of
+//! *full-size* exponentiations per party, while GDH.2 chains `m-1` unicast
+//! messages with work growing along the chain. The paper singles out BD
+//! (and its Katz–Yung variant) as "particularly efficient".
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin table_dgka
+//! ```
+
+use shs_bench::{header, mean, rng, row, timed};
+use shs_bigint::counters;
+use shs_dgka::{bd, gdh};
+use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+
+fn main() {
+    let group = SchnorrGroup::system_wide(SchnorrPreset::Test);
+    let sweep = [2usize, 3, 4, 6, 8, 12, 16, 24, 32];
+    let mut r = rng("table-e3");
+
+    println!("=== Burmester-Desmedt vs GDH.2 (Steiner-Tsudik-Waidner) ===\n");
+    header(&[
+        "m",
+        "bd exp/pty",
+        "bd rounds",
+        "bd wall s",
+        "gdh exp/pty",
+        "gdh max/pty",
+        "gdh rounds",
+        "gdh wall s",
+    ]);
+    for &m in &sweep {
+        // BD: measure total exps across all parties, divide by m.
+        counters::reset();
+        let (bd_secs, outputs) = timed(|| bd::run(group, m, &mut r).unwrap());
+        let bd_exps = counters::snapshot().modexp;
+        assert!(outputs.iter().all(|o| o.key == outputs[0].key));
+
+        // GDH: per-party costs differ; report mean and max.
+        let (gdh_secs, gdh_costs) = timed(|| gdh_per_party_costs(group, m, &mut r));
+        row(&[
+            format!("{m}"),
+            format!("{:.1}", bd_exps as f64 / m as f64),
+            "2".to_string(),
+            format!("{bd_secs:.3}"),
+            format!("{:.1}", mean(&gdh_costs)),
+            format!("{}", gdh_costs.iter().max().unwrap()),
+            format!("{m}"),
+            format!("{gdh_secs:.3}"),
+        ]);
+    }
+    println!(
+        "\nReading the table: BD's exp/party stays ~constant in protocol work\n\
+         (the residual growth is the m membership checks on received elements);\n\
+         GDH's *maximum* per-party cost grows linearly with position, and it\n\
+         needs m rounds of latency vs BD's 2 — the trade-off behind the paper's\n\
+         choice of BD-style DGKA for the instantiations."
+    );
+}
+
+fn gdh_per_party_costs(
+    group: &'static shs_groups::schnorr::SchnorrGroup,
+    m: usize,
+    r: &mut impl rand::RngCore,
+) -> Vec<u64> {
+    let mut costs = vec![0u64; m];
+    let parties: Vec<gdh::Party<'_>> = (0..m)
+        .map(|i| gdh::Party::new(group, m, i, r).unwrap())
+        .collect();
+    let (c, mut upflow) = counters::measure(|| parties[0].initiate().unwrap());
+    costs[0] += c.modexp;
+    let mut broadcast = None;
+    for (i, p) in parties.iter().enumerate().skip(1) {
+        let (c, step) = counters::measure(|| p.advance(&upflow).unwrap());
+        costs[i] += c.modexp;
+        match step {
+            gdh::Step::Upflow(next) => upflow = next,
+            gdh::Step::Broadcast(b) => {
+                broadcast = Some(b);
+                break;
+            }
+        }
+    }
+    let broadcast = broadcast.expect("last party broadcasts");
+    let mut keys = Vec::new();
+    for (i, p) in parties.iter().enumerate() {
+        let (c, out) = counters::measure(|| p.finish(&broadcast).unwrap());
+        costs[i] += c.modexp;
+        keys.push(out.key);
+    }
+    assert!(keys.iter().all(|k| *k == keys[0]));
+    costs
+}

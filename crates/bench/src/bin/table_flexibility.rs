@@ -1,0 +1,143 @@
+//! **E11 / E12 (ablation)** — the "flexible framework" claims of §1.1:
+//! the DGKA and CGKD slots of the compiler are swappable without changing
+//! handshake semantics.
+//!
+//! * E11: full handshakes with Burmester–Desmedt vs GDH.2 Phase I — same
+//!   outcomes, different round/exponentiation profile.
+//! * E12: a group authority on the LKH backend vs the stateless
+//!   Subset-Difference backend — same lifecycle semantics, different
+//!   update discipline (SD members may skip epochs).
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin table_flexibility
+//! ```
+
+use shs_bench::{group, header, mean, rng, row, timed};
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, GroupAuthority, GroupConfig, HandshakeOptions, Member, SchemeKind};
+
+fn main() {
+    dgka_ablation();
+    cgkd_ablation();
+}
+
+fn dgka_ablation() {
+    println!("=== E11: handshake with swapped DGKA slot ===\n");
+    header(&[
+        "dgka",
+        "m",
+        "accepted",
+        "exp/party",
+        "dgka rounds",
+        "bytes/party",
+        "wall s",
+    ]);
+    let mut r = rng("table-e11");
+    let (_, members) = group(SchemeKind::Scheme1, 8, &mut r);
+    for (choice, label) in [
+        (DgkaChoice::BurmesterDesmedt, "bd"),
+        (DgkaChoice::Gdh2, "gdh2"),
+    ] {
+        for m in [2usize, 4, 8] {
+            let actors: Vec<Actor<'_>> = members[..m].iter().map(Actor::Member).collect();
+            let opts = HandshakeOptions {
+                dgka: choice,
+                ..Default::default()
+            };
+            let (secs, result) = timed(|| run_handshake(&actors, &opts, &mut r).unwrap());
+            let ok = result.outcomes.iter().all(|o| o.accepted);
+            let exps: Vec<u64> = result.costs.iter().map(|c| c.modexp).collect();
+            let bytes: Vec<u64> = result.costs.iter().map(|c| c.bytes_sent).collect();
+            let rounds = result
+                .traffic
+                .records()
+                .iter()
+                .filter(|rec| rec.round.starts_with("dgka"))
+                .map(|rec| rec.round.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            row(&[
+                label.to_string(),
+                format!("{m}"),
+                format!("{ok}"),
+                format!("{:.1}", mean(&exps)),
+                format!("{rounds}"),
+                format!("{:.0}", mean(&bytes)),
+                format!("{secs:.3}"),
+            ]);
+        }
+    }
+    println!(
+        "\nReading the table: identical outcomes under both protocols; GDH trades\n\
+         BD's 2 rounds for m rounds (plus cover traffic) — the compiler claim of §6.\n"
+    );
+}
+
+fn build_sd_group(n: usize, r: &mut impl rand::RngCore) -> (GroupAuthority, Vec<Member>) {
+    let (rsa, secret) = shs_gsig::fixtures::test_rsa_setting().clone();
+    let mut ga =
+        GroupAuthority::create_with_rsa(GroupConfig::test_sd(SchemeKind::Scheme1), rsa, secret, r);
+    let mut members: Vec<Member> = Vec::new();
+    for _ in 0..n {
+        let (joiner, update) = ga.admit(r).unwrap();
+        for m in members.iter_mut() {
+            m.apply_update(&update).unwrap();
+        }
+        members.push(joiner);
+    }
+    (ga, members)
+}
+
+fn cgkd_ablation() {
+    println!("=== E12: group authority with swapped CGKD backend ===\n");
+    header(&[
+        "backend",
+        "members",
+        "admit s",
+        "remove s",
+        "hs ok",
+        "stateless?",
+    ]);
+    let mut r = rng("table-e12");
+    for backend in ["lkh", "sd"] {
+        let n = 8usize;
+        let ((mut ga, mut members), admit_s) = if backend == "lkh" {
+            let (t, g) = timed(|| group(SchemeKind::Scheme1, n, &mut r));
+            (g, t)
+        } else {
+            let (t, g) = timed(|| build_sd_group(n, &mut r));
+            (g, t)
+        };
+        // Remove one member.
+        let victim = members.pop().unwrap();
+        let (remove_s, update) = timed(|| ga.remove(victim.id(), &mut r).unwrap());
+        for m in members.iter_mut() {
+            m.apply_update(&update).unwrap();
+        }
+        // Handshake still works.
+        let actors: Vec<Actor<'_>> = members[..4].iter().map(Actor::Member).collect();
+        let result = run_handshake(&actors, &HandshakeOptions::default(), &mut r).unwrap();
+        let ok = result.outcomes.iter().all(|o| o.accepted);
+        // Statelessness probe: admit twice, deliver only the second update
+        // to a sleeper.
+        let sleeper_ok = {
+            let (_x, _u1) = ga.admit(&mut r).unwrap();
+            let (_y, u2) = ga.admit(&mut r).unwrap();
+            members[0].apply_update(&u2).is_ok()
+        };
+        row(&[
+            backend.to_string(),
+            format!("{n}"),
+            format!("{admit_s:.3}"),
+            format!("{remove_s:.4}"),
+            format!("{ok}"),
+            format!("{sleeper_ok}"),
+        ]);
+    }
+    println!(
+        "\nReading the table: both backends drive the same framework; only SD\n\
+         lets a member skip updates (stateless receivers), while LKH requires\n\
+         in-order processing — the [33] vs [26] trade-off of §5."
+    );
+}

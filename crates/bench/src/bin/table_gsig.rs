@@ -1,0 +1,130 @@
+//! **E5 (Table 5)** — GSIG building-block costs (§4): sign / verify /
+//! open wall time and exponentiation counts for the three instantiation
+//! choices, across parameter presets. Group-signature work dominates a
+//! handshake's Phase III, so this table explains the handshake-scaling
+//! results of E1/E2.
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin table_gsig [--paper]
+//! ```
+//!
+//! `--paper` additionally exercises the 2048-bit `Paper` preset (slow:
+//! fresh safe-prime generation).
+
+use shs_bench::{header, rng, row, timed};
+use shs_bigint::counters;
+use shs_gsig::params::{GsigParams, GsigPreset};
+use shs_gsig::{acjt, fixtures, ky};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    println!("=== Group-signature costs (per operation) ===\n");
+    header(&[
+        "scheme",
+        "preset",
+        "sign s",
+        "sign exp",
+        "verify s",
+        "verify exp",
+        "open s",
+        "sig bytes",
+    ]);
+
+    bench_ky("KY", GsigPreset::Test, ky::SignBasis::Random);
+    bench_ky(
+        "KY+selfdist",
+        GsigPreset::Test,
+        ky::SignBasis::Common(b"session"),
+    );
+    bench_acjt("ACJT", GsigPreset::Test);
+    if paper {
+        bench_ky("KY", GsigPreset::Paper, ky::SignBasis::Random);
+        bench_acjt("ACJT", GsigPreset::Paper);
+    } else {
+        bench_ky("KY", GsigPreset::Small, ky::SignBasis::Random);
+    }
+    println!(
+        "\nReading the table: one KY signature costs ~12 exponentiations to\n\
+         produce and ~13 to verify; ACJT saves the four tag exponentiations\n\
+         (no T4..T7). Phase III of an m-party handshake verifies m-1\n\
+         signatures, which is where the O(m) of E1/E2 comes from."
+    );
+}
+
+fn setting(preset: GsigPreset) -> (shs_groups::rsa::RsaGroup, shs_groups::rsa::RsaSecret) {
+    match preset {
+        GsigPreset::Test => fixtures::test_rsa_setting().clone(),
+        _ => {
+            let params = GsigParams::preset(preset);
+            shs_groups::rsa::RsaGroup::generate_deterministic(
+                params.modulus_bits,
+                format!("bench-rsa-{preset:?}").as_bytes(),
+            )
+        }
+    }
+}
+
+fn bench_ky(label: &str, preset: GsigPreset, basis: ky::SignBasis<'_>) {
+    let mut r = rng("table-e5-ky");
+    let (rsa, secret) = setting(preset);
+    let params = GsigParams::preset(preset);
+    let mut gm = ky::GroupManager::setup_with_rsa(params, rsa, secret, &mut r);
+    let (js, req) = ky::start_join(gm.public_key(), &mut r);
+    let resp = gm.admit(&req, &mut r).unwrap();
+    let key = ky::finish_join(gm.public_key(), js, &resp).unwrap();
+    let pk = gm.public_key();
+
+    counters::reset();
+    let (sign_s, sig) = timed(|| ky::sign(pk, &key, b"bench message", basis, &mut r));
+    let sign_exp = counters::snapshot().modexp;
+    let expected = match basis {
+        ky::SignBasis::Common(b) => Some(pk.common_t7(b)),
+        ky::SignBasis::Random => None,
+    };
+    counters::reset();
+    let (verify_s, _) =
+        timed(|| ky::verify(pk, b"bench message", &sig, expected.as_ref()).unwrap());
+    let verify_exp = counters::snapshot().modexp;
+    let (open_s, _) = timed(|| gm.open(b"bench message", &sig).unwrap());
+    let sig_bytes = 7 * (params.modulus_bits as usize / 8) + 32; // tags + challenge (responses extra)
+    row(&[
+        label.to_string(),
+        format!("{preset:?}"),
+        format!("{sign_s:.4}"),
+        format!("{sign_exp}"),
+        format!("{verify_s:.4}"),
+        format!("{verify_exp}"),
+        format!("{open_s:.4}"),
+        format!("~{sig_bytes}+resp"),
+    ]);
+}
+
+fn bench_acjt(label: &str, preset: GsigPreset) {
+    let mut r = rng("table-e5-acjt");
+    let (rsa, secret) = setting(preset);
+    let params = GsigParams::preset(preset);
+    let mut gm = acjt::GroupManager::setup_with_rsa(params, rsa, secret, &mut r);
+    let (js, req) = acjt::start_join(gm.public_key(), &mut r);
+    let resp = gm.admit(&req, &mut r).unwrap();
+    let key = acjt::finish_join(gm.public_key(), js, &resp).unwrap();
+    let pk = gm.public_key();
+
+    counters::reset();
+    let (sign_s, sig) = timed(|| acjt::sign(pk, &key, b"bench message", &mut r));
+    let sign_exp = counters::snapshot().modexp;
+    counters::reset();
+    let (verify_s, _) = timed(|| acjt::verify(pk, b"bench message", &sig).unwrap());
+    let verify_exp = counters::snapshot().modexp;
+    let (open_s, _) = timed(|| gm.open(b"bench message", &sig).unwrap());
+    let sig_bytes = 3 * (params.modulus_bits as usize / 8) + 32;
+    row(&[
+        label.to_string(),
+        format!("{preset:?}"),
+        format!("{sign_s:.4}"),
+        format!("{sign_exp}"),
+        format!("{verify_s:.4}"),
+        format!("{verify_exp}"),
+        format!("{open_s:.4}"),
+        format!("~{sig_bytes}+resp"),
+    ]);
+}

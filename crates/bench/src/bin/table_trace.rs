@@ -1,0 +1,38 @@
+//! **E8 (Figure C)** — traceability cost: `GCD.TraceUser` decrypts every
+//! `δ_i` with the tracing secret key, opens every `θ_i`, and runs
+//! `GSIG.Open`. The table reports trace latency and correctness vs the
+//! number of handshake participants.
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin table_trace
+//! ```
+
+use shs_bench::{group, header, rng, row, timed};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+fn main() {
+    println!("=== GCD.TraceUser latency vs participants ===\n");
+    header(&["m", "traced ok", "trace s", "s/slot"]);
+    let mut r = rng("table-e8");
+    let (ga, members) = group(SchemeKind::Scheme1, 12, &mut r);
+    for m in [2usize, 4, 8, 12] {
+        let actors: Vec<Actor<'_>> = members[..m].iter().map(Actor::Member).collect();
+        let result = run_handshake(&actors, &HandshakeOptions::default(), &mut r).unwrap();
+        assert!(result.outcomes.iter().all(|o| o.accepted));
+        let (secs, traced) = timed(|| ga.trace(&result.transcript));
+        let ok = traced.iter().filter(|t| t.result.is_ok()).count();
+        assert_eq!(ok, m);
+        row(&[
+            format!("{m}"),
+            format!("{ok}/{m}"),
+            format!("{secs:.4}"),
+            format!("{:.4}", secs / m as f64),
+        ]);
+    }
+    println!(
+        "\nReading the table: tracing is linear in m (one CCA decryption, one\n\
+         AEAD open and one GSIG.Open per slot) and recovers every participant\n\
+         of a successful handshake — Fig. 2 'traceability'."
+    );
+}

@@ -1,0 +1,60 @@
+//! Shared helpers for the benchmark harness: deterministic fixtures and a
+//! small fixed-width table printer used by the `table_*` / `fig_*`
+//! binaries that regenerate the paper's quantitative claims (see
+//! `EXPERIMENTS.md` at the repository root for the experiment index).
+
+use rand::RngCore;
+use shs_core::{GroupAuthority, Member, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+/// Deterministic RNG for an experiment.
+pub fn rng(label: &str) -> HmacDrbg {
+    HmacDrbg::from_seed(label.as_bytes())
+}
+
+/// A test-preset group with `n` fully-updated members.
+pub fn group(
+    scheme: SchemeKind,
+    n: usize,
+    rng: &mut impl RngCore,
+) -> (GroupAuthority, Vec<Member>) {
+    shs_core::fixtures::group_with_members(scheme, n, rng).expect("bench fixture")
+}
+
+/// Prints a row of fixed-width cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row followed by a rule.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(cells.len() * 14));
+}
+
+/// Arithmetic mean of a u64 slice.
+pub fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<u64>() as f64 / xs.len() as f64
+}
+
+/// Wall-clock helper returning (elapsed-seconds, result).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2, 4]), 3.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Instrumentation counters for modular-arithmetic operations.
+//!
+//! The paper states its efficiency claims in *numbers of modular
+//! exponentiations per participant* (§8.1/§8.2: `O(m)` for an `m`-party
+//! handshake). These thread-local counters let the benchmark harness measure
+//! exactly that, without timing noise.
+//!
+//! ```rust
+//! use shs_bigint::{counters, Ubig};
+//!
+//! let (counts, _) = counters::measure(|| {
+//!     Ubig::from_u64(2).modpow(&Ubig::from_u64(100), &Ubig::from_u64(101))
+//! });
+//! assert_eq!(counts.modexp, 1);
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    static MODEXP: Cell<u64> = const { Cell::new(0) };
+    static MODMUL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Number of modular exponentiations.
+    pub modexp: u64,
+    /// Number of modular multiplications requested at the API level
+    /// (not the internal multiplications of an exponentiation).
+    pub modmul: u64,
+}
+
+impl OpCounts {
+    /// Component-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            modexp: self.modexp - earlier.modexp,
+            modmul: self.modmul - earlier.modmul,
+        }
+    }
+}
+
+/// Records one modular exponentiation on the current thread.
+#[inline]
+pub fn record_modexp() {
+    MODEXP.with(|c| c.set(c.get() + 1));
+}
+
+/// Records one modular multiplication on the current thread.
+#[inline]
+pub fn record_modmul() {
+    MODMUL.with(|c| c.set(c.get() + 1));
+}
+
+/// Current counter values for this thread.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        modexp: MODEXP.with(Cell::get),
+        modmul: MODMUL.with(Cell::get),
+    }
+}
+
+/// Resets this thread's counters to zero.
+pub fn reset() {
+    MODEXP.with(|c| c.set(0));
+    MODMUL.with(|c| c.set(0));
+}
+
+/// Runs `f` and returns the operation counts it incurred together with its
+/// result.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (OpCounts, T) {
+    let before = snapshot();
+    let out = f();
+    (snapshot().since(&before), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ubig;
+
+    #[test]
+    fn measures_modexp() {
+        let m = Ubig::from_u64(10007);
+        let (counts, _) = measure(|| {
+            for i in 2..7u64 {
+                let _ = Ubig::from_u64(i).modpow(&Ubig::from_u64(100), &m);
+            }
+        });
+        assert_eq!(counts.modexp, 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = OpCounts {
+            modexp: 10,
+            modmul: 20,
+        };
+        let b = OpCounts {
+            modexp: 4,
+            modmul: 5,
+        };
+        assert_eq!(
+            a.since(&b),
+            OpCounts {
+                modexp: 6,
+                modmul: 15
+            }
+        );
+    }
+}

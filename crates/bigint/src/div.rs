@@ -1,0 +1,199 @@
+//! Division: Knuth Algorithm D (TAOCP vol. 2, 4.3.1) with a single-limb
+//! fast path.
+
+use crate::{BigintError, Ubig};
+
+impl Ubig {
+    /// Simultaneous quotient and remainder: `(self / d, self % d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::DivisionByZero`] when `d` is zero.
+    pub fn divrem(&self, d: &Ubig) -> Result<(Ubig, Ubig), BigintError> {
+        if d.is_zero() {
+            return Err(BigintError::DivisionByZero);
+        }
+        if self.cmp_mag(d) == std::cmp::Ordering::Less {
+            return Ok((Ubig::zero(), self.clone()));
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(d.limbs[0]);
+            return Ok((q, Ubig::from_u64(r)));
+        }
+        Ok(knuth_d(self, d))
+    }
+
+    /// Quotient and remainder by a single limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn divrem_u64(&self, d: u64) -> (Ubig, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Ubig::from_limbs(out), rem as u64)
+    }
+}
+
+/// Knuth Algorithm D for multi-limb divisors.
+///
+/// Preconditions (checked by the caller): `d` has at least 2 limbs and
+/// `u >= d`.
+fn knuth_d(u: &Ubig, d: &Ubig) -> (Ubig, Ubig) {
+    const B: u128 = 1u128 << 64;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = d.limbs.last().unwrap().leading_zeros();
+    let vn = d.shl(shift);
+    let mut un = u.shl(shift).limbs;
+    let n = vn.limbs.len();
+    let m = un.len() - n;
+    un.push(0); // room for the virtual high limb u[m+n]
+
+    let v = &vn.limbs;
+    let v_hi = v[n - 1];
+    let v_lo = v[n - 2];
+
+    let mut q = vec![0u64; m + 1];
+
+    // D2/D7: loop over quotient digits from most significant down.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / v_hi as u128;
+        let mut rhat = top % v_hi as u128;
+        while qhat >= B || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += v_hi as u128;
+            if rhat >= B {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract un[j..j+n+1] -= qhat * v.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (p as u64) as i128;
+            let t = un[j + i] as i128 - sub - borrow;
+            if t < 0 {
+                un[j + i] = (t + B as i128) as u64;
+                borrow = 1;
+            } else {
+                un[j + i] = t as u64;
+                borrow = 0;
+            }
+        }
+        let t = un[j + n] as i128 - carry as i128 - borrow;
+        if t < 0 {
+            // D6: qhat was one too large; add the divisor back.
+            un[j + n] = (t + B as i128) as u64;
+            qhat -= 1;
+            let mut carry2 = 0u64;
+            for i in 0..n {
+                let (s, c1) = un[j + i].overflowing_add(v[i]);
+                let (s, c2) = s.overflowing_add(carry2);
+                carry2 = (c1 as u64) + (c2 as u64);
+                un[j + i] = s;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry2);
+        } else {
+            un[j + n] = t as u64;
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = Ubig::from_limbs(un[..n].to_vec()).shr(shift);
+    (Ubig::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Ubig, b: &Ubig) {
+        let (q, r) = a.divrem(b).unwrap();
+        assert!(
+            r.cmp_mag(b) == std::cmp::Ordering::Less,
+            "remainder too big"
+        );
+        assert_eq!(&q.mul(b).add(&r), a, "reconstruction failed");
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert_eq!(
+            Ubig::one().divrem(&Ubig::zero()),
+            Err(BigintError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn small_divisions() {
+        let (q, r) = Ubig::from_u64(100).divrem(&Ubig::from_u64(7)).unwrap();
+        assert_eq!(q, Ubig::from_u64(14));
+        assert_eq!(r, Ubig::from_u64(2));
+        // Dividend smaller than divisor.
+        let (q, r) = Ubig::from_u64(3).divrem(&Ubig::from_u64(7)).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, Ubig::from_u64(3));
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let a = Ubig::from_limbs(vec![u64::MAX, u64::MAX, 12345]);
+        check(&a, &Ubig::from_u64(97));
+        check(&a, &Ubig::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn multi_limb_divisions() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (na, nb) in [(3usize, 2usize), (8, 3), (16, 8), (40, 17), (5, 5)] {
+            let a = Ubig::from_limbs((0..na).map(|_| next()).collect());
+            let b = Ubig::from_limbs((0..nb).map(|_| next()).collect());
+            if b.is_zero() {
+                continue;
+            }
+            check(&a, &b);
+        }
+    }
+
+    #[test]
+    fn knuth_addback_branch() {
+        // Classic adversarial case exercising step D6: divisor with top limb
+        // 0x8000.. and dividend crafted so the first qhat estimate
+        // overshoots.
+        let b = Ubig::from_limbs(vec![0, 0x8000_0000_0000_0000]);
+        let a = Ubig::from_limbs(vec![u64::MAX, u64::MAX - 1, 0x7fff_ffff_ffff_ffff]);
+        check(&a, &b);
+        let b2 = Ubig::from_limbs(vec![u64::MAX, 0x8000_0000_0000_0000]);
+        let a2 = Ubig::from_limbs(vec![0, 0, 1, 0x8000_0000_0000_0000]);
+        check(&a2, &b2);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = Ubig::from_limbs(vec![0xdead_beef, 0xfeed_face, 0x1234]);
+        let q_expect = Ubig::from_limbs(vec![42, 0, 99, 7]);
+        let a = b.mul(&q_expect);
+        let (q, r) = a.divrem(&b).unwrap();
+        assert_eq!(q, q_expect);
+        assert!(r.is_zero());
+    }
+}

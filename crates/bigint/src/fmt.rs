@@ -1,0 +1,186 @@
+//! Display / parsing for [`Ubig`] (hex, decimal) and [`crate::Int`].
+
+use crate::{BigintError, Ubig};
+use std::fmt;
+use std::str::FromStr;
+
+impl Ubig {
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::ParseError`] on empty input or non-hex digits.
+    pub fn from_hex(s: &str) -> Result<Ubig, BigintError> {
+        if s.is_empty() {
+            return Err(BigintError::ParseError);
+        }
+        let mut out = Ubig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(BigintError::ParseError)?;
+            out = out.shl(4).add_u64(d as u64);
+        }
+        Ok(out)
+    }
+
+    /// Lowercase hexadecimal encoding (no prefix; `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for &l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::ParseError`] on empty input or non-decimal
+    /// digits.
+    pub fn from_dec(s: &str) -> Result<Ubig, BigintError> {
+        if s.is_empty() {
+            return Err(BigintError::ParseError);
+        }
+        let mut out = Ubig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(BigintError::ParseError)?;
+            out = out.mul_u64(10).add_u64(d as u64);
+        }
+        Ok(out)
+    }
+
+    /// Decimal encoding.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel off 19 decimal digits at a time (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.divrem_u64(CHUNK);
+            parts.push(r);
+            n = q;
+        }
+        let mut s = parts.last().unwrap().to_string();
+        for p in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec())
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keep debug output short for big numbers.
+        let hex = self.to_hex();
+        if hex.len() <= 32 {
+            write!(f, "Ubig(0x{hex})")
+        } else {
+            write!(
+                f,
+                "Ubig(0x{}..{} [{} bits])",
+                &hex[..8],
+                &hex[hex.len() - 8..],
+                self.bits()
+            )
+        }
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex().to_uppercase())
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = BigintError;
+
+    /// Parses decimal by default, hexadecimal with an `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Ubig::from_hex(hex)
+        } else {
+            Ubig::from_dec(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
+            let n = Ubig::from_hex(s).unwrap();
+            assert_eq!(n.to_hex(), s);
+        }
+        // Leading zeros parse but do not round-trip verbatim.
+        assert_eq!(Ubig::from_hex("000ff").unwrap().to_hex(), "ff");
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in [
+            "0",
+            "7",
+            "18446744073709551615",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
+            let n = Ubig::from_dec(s).unwrap();
+            assert_eq!(n.to_dec(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Ubig::from_dec("").is_err());
+        assert!(Ubig::from_dec("12a").is_err());
+        assert!(Ubig::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn from_str_prefixes() {
+        assert_eq!("0xff".parse::<Ubig>().unwrap(), Ubig::from_u64(255));
+        assert_eq!("255".parse::<Ubig>().unwrap(), Ubig::from_u64(255));
+    }
+
+    #[test]
+    fn hex_dec_consistency() {
+        let n = Ubig::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let d = n.to_dec();
+        assert_eq!(Ubig::from_dec(&d).unwrap(), n);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Ubig::zero()).is_empty());
+        let big = Ubig::one().shl(500);
+        assert!(format!("{big:?}").contains("bits"));
+    }
+}

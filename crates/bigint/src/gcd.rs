@@ -1,0 +1,210 @@
+//! Greatest common divisors, extended Euclid, modular inverses, LCM and CRT.
+
+use crate::{BigintError, Int, Ubig};
+
+/// Binary GCD of two naturals.
+pub fn gcd(a: &Ubig, b: &Ubig) -> Ubig {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let az = a.trailing_zeros().unwrap();
+    let bz = b.trailing_zeros().unwrap();
+    let shift = az.min(bz);
+    let mut u = a.shr(az);
+    let mut v = b.shr(bz);
+    loop {
+        if u > v {
+            std::mem::swap(&mut u, &mut v);
+        }
+        v = v.sub(&u);
+        if v.is_zero() {
+            return u.shl(shift);
+        }
+        v = v.shr(v.trailing_zeros().unwrap());
+    }
+}
+
+/// Least common multiple.
+pub fn lcm(a: &Ubig, b: &Ubig) -> Ubig {
+    if a.is_zero() || b.is_zero() {
+        return Ubig::zero();
+    }
+    a.div(&gcd(a, b)).mul(b)
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn ext_gcd(a: &Ubig, b: &Ubig) -> (Ubig, Int, Int) {
+    let mut r0 = Int::from_ubig(a.clone());
+    let mut r1 = Int::from_ubig(b.clone());
+    let mut s0 = Int::one();
+    let mut s1 = Int::zero();
+    let mut t0 = Int::zero();
+    let mut t1 = Int::one();
+    while !r1.is_zero() {
+        let (q, r) = r0.divrem(&r1);
+        let s = s0.sub(&q.mul(&s1));
+        let t = t0.sub(&q.mul(&t1));
+        r0 = r1;
+        r1 = r;
+        s0 = s1;
+        s1 = s;
+        t0 = t1;
+        t1 = t;
+    }
+    (r0.into_magnitude(), s0, t0)
+}
+
+/// Modular inverse: `a^{-1} mod m`.
+///
+/// # Errors
+///
+/// [`BigintError::DivisionByZero`] when `m` is zero,
+/// [`BigintError::NotInvertible`] when `gcd(a, m) != 1`.
+pub fn modinv(a: &Ubig, m: &Ubig) -> Result<Ubig, BigintError> {
+    if m.is_zero() {
+        return Err(BigintError::DivisionByZero);
+    }
+    if m.is_one() {
+        return Ok(Ubig::zero());
+    }
+    let a = a.rem(m);
+    let (g, x, _) = ext_gcd(&a, m);
+    if !g.is_one() {
+        return Err(BigintError::NotInvertible);
+    }
+    Ok(x.mod_ubig(m))
+}
+
+/// Chinese Remainder Theorem for two congruences: finds the unique
+/// `x mod (m1*m2)` with `x ≡ r1 (mod m1)` and `x ≡ r2 (mod m2)`.
+///
+/// # Errors
+///
+/// [`BigintError::NotCoprime`] when `gcd(m1, m2) != 1`.
+pub fn crt_pair(r1: &Ubig, m1: &Ubig, r2: &Ubig, m2: &Ubig) -> Result<Ubig, BigintError> {
+    let m1_inv = modinv(m1, m2).map_err(|_| BigintError::NotCoprime)?;
+    // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+    let r1m = Int::from_ubig(r1.rem(m1));
+    let diff = Int::from_ubig(r2.clone()).sub(&r1m.clone());
+    let t = diff.mod_ubig(m2).mulm(&m1_inv, m2);
+    Ok(r1m.into_magnitude().add(&m1.mul(&t)))
+}
+
+/// General CRT over a list of (residue, modulus) pairs with pairwise-coprime
+/// moduli.
+///
+/// # Errors
+///
+/// [`BigintError::NotCoprime`] when moduli share a factor; the empty list is
+/// an error too (there is no canonical modulus).
+pub fn crt(pairs: &[(Ubig, Ubig)]) -> Result<Ubig, BigintError> {
+    let mut iter = pairs.iter();
+    let (mut r, mut m) = iter.next().cloned().ok_or(BigintError::NotCoprime)?;
+    for (ri, mi) in iter {
+        r = crt_pair(&r, &m, ri, mi)?;
+        m = m.mul(mi);
+    }
+    Ok(r.rem(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            gcd(&Ubig::from_u64(12), &Ubig::from_u64(18)),
+            Ubig::from_u64(6)
+        );
+        assert_eq!(gcd(&Ubig::zero(), &Ubig::from_u64(5)), Ubig::from_u64(5));
+        assert_eq!(gcd(&Ubig::from_u64(5), &Ubig::zero()), Ubig::from_u64(5));
+        assert_eq!(gcd(&Ubig::from_u64(17), &Ubig::from_u64(13)), Ubig::one());
+        assert_eq!(
+            gcd(&Ubig::from_u64(1 << 20), &Ubig::from_u64(1 << 12)),
+            Ubig::from_u64(1 << 12)
+        );
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(
+            lcm(&Ubig::from_u64(4), &Ubig::from_u64(6)),
+            Ubig::from_u64(12)
+        );
+        assert_eq!(lcm(&Ubig::zero(), &Ubig::from_u64(6)), Ubig::zero());
+    }
+
+    #[test]
+    fn ext_gcd_bezout() {
+        let a = Ubig::from_u64(240);
+        let b = Ubig::from_u64(46);
+        let (g, x, y) = ext_gcd(&a, &b);
+        assert_eq!(g, Ubig::from_u64(2));
+        let lhs = Int::from_ubig(a).mul(&x).add(&Int::from_ubig(b).mul(&y));
+        assert_eq!(lhs, Int::from_ubig(g));
+    }
+
+    #[test]
+    fn modinv_works() {
+        let m = Ubig::from_u64(97);
+        for a in [1u64, 2, 50, 96] {
+            let inv = modinv(&Ubig::from_u64(a), &m).unwrap();
+            assert_eq!(Ubig::from_u64(a).mulm(&inv, &m), Ubig::one());
+        }
+        assert_eq!(
+            modinv(&Ubig::from_u64(6), &Ubig::from_u64(9)),
+            Err(BigintError::NotInvertible)
+        );
+        assert_eq!(
+            modinv(&Ubig::one(), &Ubig::zero()),
+            Err(BigintError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn modinv_large() {
+        // Inverse modulo a 128-bit prime.
+        let p = Ubig::from_u128(0xffffffffffffffffffffffffffffff61); // 2^128 - 159 is prime
+        let a = Ubig::from_u128(0x123456789abcdef0fedcba9876543210);
+        let inv = modinv(&a, &p).unwrap();
+        assert_eq!(a.mulm(&inv, &p), Ubig::one());
+    }
+
+    #[test]
+    fn crt_two() {
+        // x = 2 mod 3, x = 3 mod 5 -> x = 8 mod 15
+        let x = crt_pair(
+            &Ubig::from_u64(2),
+            &Ubig::from_u64(3),
+            &Ubig::from_u64(3),
+            &Ubig::from_u64(5),
+        )
+        .unwrap();
+        assert_eq!(x.rem(&Ubig::from_u64(15)), Ubig::from_u64(8));
+    }
+
+    #[test]
+    fn crt_many() {
+        // x = 1 mod 2, 2 mod 3, 3 mod 5, 4 mod 7 -> check all congruences
+        let pairs = vec![
+            (Ubig::from_u64(1), Ubig::from_u64(2)),
+            (Ubig::from_u64(2), Ubig::from_u64(3)),
+            (Ubig::from_u64(3), Ubig::from_u64(5)),
+            (Ubig::from_u64(4), Ubig::from_u64(7)),
+        ];
+        let x = crt(&pairs).unwrap();
+        for (r, m) in &pairs {
+            assert_eq!(&x.rem(m), r);
+        }
+        assert!(crt(&[]).is_err());
+        assert!(crt(&[
+            (Ubig::one(), Ubig::from_u64(4)),
+            (Ubig::one(), Ubig::from_u64(6))
+        ])
+        .is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! The Jacobi symbol, used for quadratic-residue tests in `QR(n)` and
+//! Schnorr-group membership checks.
+
+use crate::Ubig;
+
+/// Computes the Jacobi symbol `(a/n)` for odd `n > 0`.
+///
+/// Returns `1`, `-1`, or `0` (when `gcd(a, n) != 1`).
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn jacobi(a: &Ubig, n: &Ubig) -> i32 {
+    assert!(
+        n.is_odd() && !n.is_zero(),
+        "Jacobi symbol requires odd positive n"
+    );
+    let mut a = a.rem(n);
+    let mut n = n.clone();
+    let mut result = 1i32;
+    while !a.is_zero() {
+        // Pull out factors of two: (2/n) = (-1)^((n^2-1)/8).
+        let tz = a.trailing_zeros().unwrap();
+        if tz % 2 == 1 {
+            let n_mod8 = n.low_u64() & 7;
+            if n_mod8 == 3 || n_mod8 == 5 {
+                result = -result;
+            }
+        }
+        a = a.shr(tz);
+        // Quadratic reciprocity: flip sign iff a ≡ n ≡ 3 (mod 4).
+        if (a.low_u64() & 3) == 3 && (n.low_u64() & 3) == 3 {
+            result = -result;
+        }
+        std::mem::swap(&mut a, &mut n);
+        a = a.rem(&n);
+    }
+    if n.is_one() {
+        result
+    } else {
+        0
+    }
+}
+
+/// Is `a` a quadratic residue modulo the odd prime `p`?
+///
+/// Decided by Euler's criterion: `a^((p-1)/2) ≡ 1 (mod p)`.
+pub fn is_qr_mod_prime(a: &Ubig, p: &Ubig) -> bool {
+    let a = a.rem(p);
+    if a.is_zero() {
+        return false;
+    }
+    a.modpow(&p.sub_u64(1).shr(1), p).is_one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_known_values() {
+        // Table values for (a/7): 1,1,2->1? squares mod 7: 1,2,4.
+        let seven = Ubig::from_u64(7);
+        assert_eq!(jacobi(&Ubig::from_u64(1), &seven), 1);
+        assert_eq!(jacobi(&Ubig::from_u64(2), &seven), 1);
+        assert_eq!(jacobi(&Ubig::from_u64(3), &seven), -1);
+        assert_eq!(jacobi(&Ubig::from_u64(4), &seven), 1);
+        assert_eq!(jacobi(&Ubig::from_u64(5), &seven), -1);
+        assert_eq!(jacobi(&Ubig::from_u64(6), &seven), -1);
+        assert_eq!(jacobi(&Ubig::from_u64(7), &seven), 0);
+        // (a/9) = 0 iff 3 | a, else 1 (9 is a square).
+        let nine = Ubig::from_u64(9);
+        assert_eq!(jacobi(&Ubig::from_u64(2), &nine), 1);
+        assert_eq!(jacobi(&Ubig::from_u64(3), &nine), 0);
+    }
+
+    #[test]
+    fn jacobi_matches_euler_for_primes() {
+        let p = Ubig::from_u64(1009);
+        for a in 1..60u64 {
+            let a = Ubig::from_u64(a);
+            let expected = if is_qr_mod_prime(&a, &p) { 1 } else { -1 };
+            assert_eq!(jacobi(&a, &p), expected, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn jacobi_multiplicative() {
+        let n = Ubig::from_u64(9907); // odd prime
+        for (a, b) in [(3u64, 5u64), (10, 21), (100, 33)] {
+            let ja = jacobi(&Ubig::from_u64(a), &n);
+            let jb = jacobi(&Ubig::from_u64(b), &n);
+            let jab = jacobi(&Ubig::from_u64(a * b), &n);
+            assert_eq!(jab, ja * jb);
+        }
+    }
+
+    #[test]
+    fn qr_detects_squares() {
+        let p = Ubig::from_u64(10007);
+        for x in 2..40u64 {
+            let sq = Ubig::from_u64(x * x).rem(&p);
+            assert!(is_qr_mod_prime(&sq, &p));
+        }
+        assert!(!is_qr_mod_prime(&Ubig::zero(), &p));
+    }
+}

@@ -1,0 +1,283 @@
+//! Montgomery modular arithmetic (CIOS reduction, Koç et al.) and
+//! fixed-window exponentiation.
+
+use crate::Ubig;
+
+/// Window width (bits) for fixed-window exponentiation.
+const WINDOW: u32 = 4;
+
+/// A reusable Montgomery context for an odd modulus.
+///
+/// Construction costs one division; every subsequent multiplication is
+/// division-free. Used by [`Ubig::modpow`] and by `shs-groups` for repeated
+/// exponentiation under the same modulus.
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    n: Ubig,
+    n_limbs: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^{64k}`.
+    rr: Vec<u64>,
+    /// `R mod n` (the Montgomery form of one).
+    r1: Vec<u64>,
+    k: usize,
+}
+
+impl MontCtx {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or < 3.
+    pub fn new(n: Ubig) -> MontCtx {
+        assert!(n.is_odd(), "Montgomery modulus must be odd");
+        assert!(n > Ubig::one(), "Montgomery modulus must be >= 3");
+        let k = n.limbs().len();
+        let mut n_limbs = n.limbs().to_vec();
+        n_limbs.resize(k, 0);
+
+        // Newton iteration for n0^{-1} mod 2^64 (converges in 6 steps).
+        let n0 = n_limbs[0];
+        let mut inv: u64 = n0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+
+        let r = Ubig::one().shl(64 * k as u32).rem(&n);
+        let rr_big = r.mul(&r).rem(&n);
+        let rr = pad(rr_big.limbs(), k);
+        let r1 = pad(r.limbs(), k);
+
+        MontCtx {
+            n,
+            n_limbs,
+            n0inv,
+            rr,
+            r1,
+            k,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication of two k-limb Montgomery-form values.
+    #[allow(clippy::needless_range_loop)] // textbook CIOS index arithmetic
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let n = &self.n_limbs;
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let bi = b[i];
+            // t += a * b[i]
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // Reduce one limb: t = (t + m*n) / 2^64.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let s = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+        }
+        // Conditional final subtraction.
+        let overflow = t[k] != 0;
+        let mut out = t[..k].to_vec();
+        if overflow || ge(&out, n) {
+            sub_in_place(&mut out, n);
+        }
+        out
+    }
+
+    fn to_mont(&self, x: &Ubig) -> Vec<u64> {
+        let reduced = x.rem(&self.n);
+        self.mont_mul(&pad(reduced.limbs(), self.k), &self.rr)
+    }
+
+    #[allow(clippy::wrong_self_convention)] // Montgomery-form terminology
+    fn from_mont(&self, x: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        Ubig::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// Modular multiplication `a*b mod n` via Montgomery form.
+    pub fn modmul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        crate::counters::record_modmul();
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a fixed 4-bit window.
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0..base^{2^WINDOW - 1} in Montgomery form.
+        let table_len = 1usize << WINDOW;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(self.r1.clone());
+        table.push(base_m.clone());
+        for i in 2..table_len {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bits();
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut chunk = 0usize;
+            for b in (0..WINDOW).rev() {
+                let bit_idx = w * WINDOW + b;
+                chunk <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    chunk |= 1;
+                }
+            }
+            if chunk != 0 {
+                acc = self.mont_mul(&acc, &table[chunk]);
+                started = true;
+            } else if started {
+                // squarings already applied; nothing to multiply
+            } else {
+                // still leading zeros; acc stays at one
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn pad(limbs: &[u64], k: usize) -> Vec<u64> {
+    let mut v = limbs.to_vec();
+    v.resize(k, 0);
+    v
+}
+
+/// `a >= b` on equal-length limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (t, b1) = a[i].overflowing_sub(b[i]);
+        let (t, b2) = t.overflowing_sub(borrow);
+        borrow = (b1 as u64) + (b2 as u64);
+        a[i] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slow reference modpow by square-and-multiply with full divisions.
+    fn slow_modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+        let mut acc = Ubig::one().rem(m);
+        let mut b = base.rem(m);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                acc = acc.mul(&b).rem(m);
+            }
+            b = b.mul(&b).rem(m);
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_slow_modpow_small() {
+        let m = Ubig::from_u64(1_000_000_007);
+        let ctx = MontCtx::new(m.clone());
+        for (b, e) in [(2u64, 10u64), (31337, 65537), (999999999, 123456789)] {
+            let b = Ubig::from_u64(b);
+            let e = Ubig::from_u64(e);
+            assert_eq!(ctx.modpow(&b, &e), slow_modpow(&b, &e, &m));
+        }
+    }
+
+    #[test]
+    fn matches_slow_modpow_multilimb() {
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for limbs in [2usize, 4, 7] {
+            let mut mv: Vec<u64> = (0..limbs).map(|_| next()).collect();
+            mv[0] |= 1; // odd
+            let m = Ubig::from_limbs(mv);
+            let ctx = MontCtx::new(m.clone());
+            let b = Ubig::from_limbs((0..limbs + 1).map(|_| next()).collect());
+            let e = Ubig::from_limbs((0..2).map(|_| next()).collect());
+            assert_eq!(ctx.modpow(&b, &e), slow_modpow(&b, &e, &m), "limbs {limbs}");
+        }
+    }
+
+    #[test]
+    fn modmul_matches_naive() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = MontCtx::new(m.clone());
+        let a = Ubig::from_hex("123456789abcdef").unwrap();
+        let b = Ubig::from_hex("fedcba9876543210fedcba").unwrap();
+        assert_eq!(ctx.modmul(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn exponent_edge_cases() {
+        let m = Ubig::from_u64(101);
+        let ctx = MontCtx::new(m.clone());
+        assert_eq!(ctx.modpow(&Ubig::from_u64(7), &Ubig::zero()), Ubig::one());
+        assert_eq!(
+            ctx.modpow(&Ubig::from_u64(7), &Ubig::one()),
+            Ubig::from_u64(7)
+        );
+        assert_eq!(ctx.modpow(&Ubig::zero(), &Ubig::from_u64(5)), Ubig::zero());
+        // Base larger than the modulus gets reduced.
+        assert_eq!(
+            ctx.modpow(&Ubig::from_u64(108), &Ubig::from_u64(2)),
+            Ubig::from_u64(49)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = MontCtx::new(Ubig::from_u64(100));
+    }
+}

@@ -1,0 +1,211 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! threshold.
+
+use crate::Ubig;
+
+/// Operand size (in limbs) above which Karatsuba is used.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+impl Ubig {
+    /// Multiplication: `self * other`.
+    pub fn mul(&self, other: &Ubig) -> Ubig {
+        if self.is_zero() || other.is_zero() {
+            return Ubig::zero();
+        }
+        let out = mul_slices(&self.limbs, &other.limbs);
+        Ubig::from_limbs(out)
+    }
+
+    /// Multiplication by a `u64`.
+    pub fn mul_u64(&self, v: u64) -> Ubig {
+        if v == 0 || self.is_zero() {
+            return Ubig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let t = (l as u128) * (v as u128) + carry as u128;
+            out.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Squaring (currently delegates to `mul`).
+    pub fn square(&self) -> Ubig {
+        self.mul(self)
+    }
+}
+
+fn mul_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        schoolbook(a, b)
+    } else {
+        karatsuba(a, b)
+    }
+}
+
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = (ai as u128) * (bj as u128) + out[i + j] as u128 + carry as u128;
+            out[i + j] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Karatsuba multiplication on normalized limb slices.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let split = a.len().max(b.len()) / 2;
+    if a.len() <= split || b.len() <= split {
+        // One operand fits entirely in the low half; schoolbook handles the
+        // imbalance efficiently enough.
+        return schoolbook(a, b);
+    }
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+    let a0 = trim(a0);
+    let b0 = trim(b0);
+
+    let z0 = mul_slices(a0, b0); // low * low
+    let z2 = mul_slices(a1, b1); // high * high
+
+    // (a0 + a1)(b0 + b1)
+    let asum = add_slices(a0, a1);
+    let bsum = add_slices(b0, b1);
+    let mut z1 = mul_slices(&asum, &bsum);
+    // z1 -= z0 + z2
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    // result = z0 + z1 << (64*split) + z2 << (2*64*split)
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, split);
+    add_at(&mut out, &z2, 2 * split);
+    out
+}
+
+fn trim(s: &[u64]) -> &[u64] {
+    let mut len = s.len();
+    while len > 0 && s[len - 1] == 0 {
+        len -= 1;
+    }
+    &s[..len]
+}
+
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(big.len() + 1);
+    let mut carry = 0u64;
+    #[allow(clippy::needless_range_loop)] // parallel indexing of two slices
+    for i in 0..big.len() {
+        let s = small.get(i).copied().unwrap_or(0);
+        let (t, c1) = big[i].overflowing_add(s);
+        let (t, c2) = t.overflowing_add(carry);
+        carry = (c1 as u64) + (c2 as u64);
+        out.push(t);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a -= b`, asserting no final borrow (caller guarantees `a >= b`).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    #[allow(clippy::needless_range_loop)] // parallel indexing of two slices
+    for i in 0..a.len() {
+        let bv = b.get(i).copied().unwrap_or(0);
+        let (t, b1) = a[i].overflowing_sub(bv);
+        let (t, b2) = t.overflowing_sub(borrow);
+        borrow = (b1 as u64) + (b2 as u64);
+        a[i] = t;
+    }
+    debug_assert_eq!(borrow, 0, "karatsuba interior subtraction underflow");
+}
+
+/// `out[offset..] += v` with carry propagation; `out` must be long enough.
+fn add_at(out: &mut [u64], v: &[u64], offset: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < v.len() || carry != 0 {
+        let idx = offset + i;
+        if idx >= out.len() {
+            debug_assert_eq!(carry, 0);
+            debug_assert!(v[i..].iter().all(|&x| x == 0));
+            break;
+        }
+        let add = v.get(i).copied().unwrap_or(0);
+        let (t, c1) = out[idx].overflowing_add(add);
+        let (t, c2) = t.overflowing_add(carry);
+        carry = (c1 as u64) + (c2 as u64);
+        out[idx] = t;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(
+            Ubig::from_u64(7).mul(&Ubig::from_u64(6)),
+            Ubig::from_u64(42)
+        );
+        assert_eq!(Ubig::from_u64(7).mul(&Ubig::zero()), Ubig::zero());
+        let max = Ubig::from_u64(u64::MAX);
+        assert_eq!(
+            max.mul(&max),
+            Ubig::from_u128((u64::MAX as u128) * (u64::MAX as u128))
+        );
+    }
+
+    #[test]
+    fn mul_u64_matches_mul() {
+        let a = Ubig::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        assert_eq!(a.mul_u64(99991), a.mul(&Ubig::from_u64(99991)));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Deterministic pseudo-random limbs big enough to trigger Karatsuba.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for size in [30usize, 49, 64, 100] {
+            let a: Vec<u64> = (0..size).map(|_| next()).collect();
+            let b: Vec<u64> = (0..size + 7).map(|_| next()).collect();
+            let kara = karatsuba(&a, &b);
+            let school = schoolbook(&a, &b);
+            assert_eq!(trim(&kara), trim(&school), "size {size}");
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = Ubig::from_u128(u128::MAX - 5);
+        let b = Ubig::from_u128(u128::MAX / 3);
+        let c = Ubig::from_u64(0xdead_beef);
+        // a*(b+c) == a*b + a*c
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Uniform random [`Ubig`] generation from any [`rand::RngCore`].
+
+use crate::Ubig;
+use rand::RngCore;
+
+/// A uniformly random number with exactly `bits` significant bits
+/// (the top bit is always set); `bits == 0` yields zero.
+pub fn random_bits(rng: &mut (impl RngCore + ?Sized), bits: u32) -> Ubig {
+    if bits == 0 {
+        return Ubig::zero();
+    }
+    let limbs = bits.div_ceil(64) as usize;
+    let mut v = vec![0u64; limbs];
+    for l in v.iter_mut() {
+        *l = rng.next_u64();
+    }
+    let top_bits = ((bits - 1) % 64) + 1;
+    let last = &mut v[limbs - 1];
+    if top_bits < 64 {
+        *last &= (1u64 << top_bits) - 1;
+    }
+    *last |= 1u64 << (top_bits - 1);
+    Ubig::from_limbs(v)
+}
+
+/// A uniformly random number in `[0, bound)` via rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn below(rng: &mut (impl RngCore + ?Sized), bound: &Ubig) -> Ubig {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    let limbs = bits.div_ceil(64) as usize;
+    let top_bits = ((bits - 1) % 64) + 1;
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
+    loop {
+        let mut v = vec![0u64; limbs];
+        for l in v.iter_mut() {
+            *l = rng.next_u64();
+        }
+        v[limbs - 1] &= mask;
+        let candidate = Ubig::from_limbs(v);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// A uniformly random number in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn range(rng: &mut (impl RngCore + ?Sized), lo: &Ubig, hi: &Ubig) -> Ubig {
+    assert!(lo < hi, "empty range");
+    let width = hi.sub(lo);
+    lo.add(&below(rng, &width))
+}
+
+/// A uniformly random odd number with exactly `bits` bits (`bits >= 2`).
+pub fn random_odd_bits(rng: &mut (impl RngCore + ?Sized), bits: u32) -> Ubig {
+    assert!(
+        bits >= 2,
+        "need at least 2 bits for an odd number with top bit set"
+    );
+    let mut n = random_bits(rng, bits);
+    n.set_bit(0);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_bits_has_exact_width() {
+        let mut r = rng();
+        for bits in [1u32, 5, 63, 64, 65, 200] {
+            let n = random_bits(&mut r, bits);
+            assert_eq!(n.bits(), bits, "bits {bits}");
+        }
+        assert_eq!(random_bits(&mut r, 0), Ubig::zero());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = rng();
+        let bound = Ubig::from_u64(1000);
+        for _ in 0..200 {
+            assert!(below(&mut r, &bound) < bound);
+        }
+        // A power-of-two bound exercises the mask edge.
+        let bound = Ubig::one().shl(64);
+        for _ in 0..50 {
+            assert!(below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        // All values of [0, 4) should appear quickly.
+        let mut r = rng();
+        let bound = Ubig::from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[below(&mut r, &bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = rng();
+        let lo = Ubig::from_u64(500);
+        let hi = Ubig::from_u64(520);
+        for _ in 0..100 {
+            let v = range(&mut r, &lo, &hi);
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    fn odd_is_odd() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let n = random_odd_bits(&mut r, 128);
+            assert!(n.is_odd());
+            assert_eq!(n.bits(), 128);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the arithmetic laws every protocol in this
+//! workspace silently relies on.
+
+use proptest::prelude::*;
+use shs_bigint::{gcd, jacobi, Int, Ubig};
+
+/// Strategy: a Ubig of up to `limbs` limbs.
+fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u64>(), 0..=limbs).prop_map(Ubig::from_limbs)
+}
+
+/// Strategy: a non-zero Ubig.
+fn ubig_nz(limbs: usize) -> impl Strategy<Value = Ubig> {
+    ubig(limbs).prop_map(|u| if u.is_zero() { Ubig::one() } else { u })
+}
+
+/// Strategy: an odd modulus ≥ 3.
+fn odd_modulus(limbs: usize) -> impl Strategy<Value = Ubig> {
+    ubig_nz(limbs).prop_map(|mut u| {
+        u.set_bit(0);
+        u.set_bit(1);
+        u
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in ubig(5), b in ubig(5), c in ubig(5)) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(5), b in ubig(5)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_associates(a in ubig(4), b in ubig(4), c in ubig(4)) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(4), b in ubig(4), c in ubig(4)) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn mul_u64_matches_general(a in ubig(6), v in any::<u64>()) {
+        prop_assert_eq!(a.mul_u64(v), a.mul(&Ubig::from_u64(v)));
+    }
+
+    #[test]
+    fn division_reconstructs(a in ubig(8), d in ubig_nz(4)) {
+        let (q, r) = a.divrem(&d).unwrap();
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn divrem_u64_matches_general(a in ubig(8), d in 1u64..) {
+        let (q1, r1) = a.divrem_u64(d);
+        let (q2, r2) = a.divrem(&Ubig::from_u64(d)).unwrap();
+        prop_assert_eq!(q1, q2);
+        prop_assert_eq!(Ubig::from_u64(r1), r2);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig(6), s in 0u32..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in ubig(5), s in 0u32..100) {
+        let mut p = Ubig::zero();
+        p.set_bit(s);
+        prop_assert_eq!(a.shl(s), a.mul(&p));
+    }
+
+    #[test]
+    fn byte_roundtrip(a in ubig(8)) {
+        prop_assert_eq!(Ubig::from_bytes_be(&a.to_bytes_be()), a.clone());
+        let padded = a.to_bytes_be_padded(8 * 8 + 3);
+        prop_assert_eq!(Ubig::from_bytes_be(&padded), a);
+    }
+
+    #[test]
+    fn string_roundtrips(a in ubig(5)) {
+        prop_assert_eq!(Ubig::from_dec(&a.to_dec()).unwrap(), a.clone());
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in ubig(5), b in ubig(5)) {
+        if a >= b {
+            let d = a.sub(&b);
+            prop_assert_eq!(b.add(&d), a);
+        } else {
+            prop_assert!(b > a);
+        }
+    }
+
+    #[test]
+    fn modpow_is_homomorphic_in_exponent(
+        base in ubig(3), e1 in ubig(2), e2 in ubig(2), m in odd_modulus(3)
+    ) {
+        // base^(e1+e2) == base^e1 · base^e2 (mod m)
+        let lhs = base.modpow(&e1.add(&e2), &m);
+        let rhs = base.modpow(&e1, &m).mulm(&base.modpow(&e2, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modpow_is_homomorphic_in_base(
+        a in ubig(3), b in ubig(3), e in ubig(2), m in odd_modulus(3)
+    ) {
+        // (a·b)^e == a^e · b^e (mod m)
+        let lhs = a.mul(&b).modpow(&e, &m);
+        let rhs = a.modpow(&e, &m).mulm(&b.modpow(&e, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modpow_matches_iterated_multiplication(
+        base in ubig(2), e in 0u32..50, m in odd_modulus(2)
+    ) {
+        let mut acc = Ubig::one().rem(&m);
+        for _ in 0..e {
+            acc = acc.mulm(&base, &m);
+        }
+        prop_assert_eq!(base.modpow(&Ubig::from_u64(e as u64), &m), acc);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nz(4), b in ubig_nz(4)) {
+        let g = gcd::gcd(&a, &b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in ubig_nz(3), b in ubig_nz(3)) {
+        // gcd(a,b) · lcm(a,b) == a·b
+        let g = gcd::gcd(&a, &b);
+        let l = gcd::lcm(&a, &b);
+        prop_assert_eq!(g.mul(&l), a.mul(&b));
+    }
+
+    #[test]
+    fn bezout_identity(a in ubig_nz(4), b in ubig_nz(4)) {
+        let (g, x, y) = gcd::ext_gcd(&a, &b);
+        let lhs = Int::from_ubig(a.clone()).mul(&x).add(&Int::from_ubig(b.clone()).mul(&y));
+        prop_assert_eq!(lhs, Int::from_ubig(g));
+    }
+
+    #[test]
+    fn modinv_produces_inverses(a in ubig_nz(3), m in odd_modulus(3)) {
+        if let Ok(inv) = gcd::modinv(&a, &m) {
+            prop_assert_eq!(a.mulm(&inv, &m), Ubig::one().rem(&m));
+        } else {
+            prop_assert!(!gcd::gcd(&a.rem(&m), &m).is_one());
+        }
+    }
+
+    #[test]
+    fn jacobi_is_multiplicative(a in ubig(2), b in ubig(2), m in odd_modulus(2)) {
+        let ja = jacobi::jacobi(&a, &m);
+        let jb = jacobi::jacobi(&b, &m);
+        let jab = jacobi::jacobi(&a.mul(&b), &m);
+        prop_assert_eq!(jab, ja * jb);
+    }
+
+    #[test]
+    fn int_add_sub_roundtrip(a in any::<i64>(), b in any::<i64>()) {
+        let ia = Int::from_i64(a);
+        let ib = Int::from_i64(b);
+        prop_assert_eq!(ia.add(&ib).sub(&ib), ia);
+    }
+
+    #[test]
+    fn int_mod_in_range(a in any::<i64>(), m in 1u64..) {
+        let mu = Ubig::from_u64(m);
+        let r = Int::from_i64(a).mod_ubig(&mu);
+        prop_assert!(r < mu);
+        // Congruence: r ≡ a (mod m) checked via i128 arithmetic.
+        let expected = (a as i128).rem_euclid(m as i128) as u64;
+        prop_assert_eq!(r, Ubig::from_u64(expected));
+    }
+
+    #[test]
+    fn int_divrem_reconstructs(a in any::<i64>(), d in any::<i64>()) {
+        prop_assume!(d != 0);
+        let ia = Int::from_i64(a);
+        let id = Int::from_i64(d);
+        let (q, r) = ia.divrem(&id);
+        prop_assert_eq!(q.mul(&id).add(&r), ia);
+        prop_assert!(r.magnitude() < id.magnitude() || r.is_zero());
+    }
+
+    #[test]
+    fn montgomery_matches_plain_reduction(a in ubig(4), b in ubig(4), m in odd_modulus(4)) {
+        let ctx = shs_bigint::mont::MontCtx::new(m.clone());
+        prop_assert_eq!(ctx.modmul(&a, &b), a.mul(&b).rem(&m));
+    }
+}

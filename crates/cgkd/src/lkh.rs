@@ -1,0 +1,499 @@
+//! Logical Key Hierarchy (key graphs, Wong–Gouda–Lam \[33\]) with the
+//! strong-security rekey discipline of \[34\]: every key on an affected path
+//! is replaced by *fresh randomness* (never a one-way function of old
+//! keys), and rekey items are AEAD-encrypted.
+//!
+//! Rekeying a join or leave touches one leaf-to-root path, so broadcasts
+//! carry `O(log n)` items — the property measured in experiment E4.
+
+use crate::{BroadcastStats, CgkdError, Controller, MemberState, UserId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use shs_crypto::{aead, Key};
+use std::collections::{BTreeSet, HashMap};
+
+/// One encrypted rekey item: the new key of `node`, encrypted under the
+/// key of `under` (a child of `node`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RekeyItem {
+    /// Tree node whose key is being replaced.
+    pub node: u32,
+    /// Child node under whose key the new key is encrypted.
+    pub under: u32,
+    /// AEAD ciphertext of the new key.
+    pub ct: Vec<u8>,
+}
+
+/// A rekey broadcast: all items for one membership change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LkhBroadcast {
+    /// Epoch this broadcast moves the group *to*.
+    pub epoch: u64,
+    /// Encrypted rekey items (node keys bottom-up).
+    pub items: Vec<RekeyItem>,
+}
+
+/// The private welcome package for a joining member.
+#[derive(Debug, Clone)]
+pub struct LkhWelcome {
+    /// Assigned identity.
+    pub id: UserId,
+    /// Assigned leaf node index.
+    pub leaf: u32,
+    /// The member's individual (leaf) key.
+    pub leaf_key: Key,
+    /// The epoch *before* the join rekey (the member then processes the
+    /// join broadcast like everyone else).
+    pub epoch: u64,
+    /// Tree capacity (for path computation).
+    pub capacity: u32,
+}
+
+/// The group controller's LKH state.
+pub struct LkhController {
+    capacity: u32,
+    /// Keys of occupied tree nodes (`1` is the root).
+    keys: HashMap<u32, Key>,
+    /// Number of members in each node's subtree.
+    occupancy: Vec<u32>,
+    leaf_of: HashMap<UserId, u32>,
+    free_leaves: BTreeSet<u32>,
+    group_key: Key,
+    epoch: u64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for LkhController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LkhController {{ capacity: {}, members: {}, epoch: {} }}",
+            self.capacity,
+            self.leaf_of.len(),
+            self.epoch
+        )
+    }
+}
+
+/// Member-side LKH state: the keys along its leaf-to-root path.
+#[derive(Debug, Clone)]
+pub struct LkhMember {
+    id: UserId,
+    leaf: u32,
+    keys: HashMap<u32, Key>,
+    group_key: Key,
+    epoch: u64,
+}
+
+fn parent(node: u32) -> u32 {
+    node / 2
+}
+
+fn children(node: u32) -> (u32, u32) {
+    (2 * node, 2 * node + 1)
+}
+
+/// Nodes from `leaf` (exclusive) up to and including the root.
+fn path_up(leaf: u32) -> Vec<u32> {
+    let mut path = Vec::new();
+    let mut v = parent(leaf);
+    while v >= 1 {
+        path.push(v);
+        if v == 1 {
+            break;
+        }
+        v = parent(v);
+    }
+    path
+}
+
+impl LkhController {
+    /// Creates a controller for up to `capacity` members (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: u32, rng: &mut dyn RngCore) -> LkhController {
+        let capacity = capacity.max(2).next_power_of_two();
+        LkhController {
+            capacity,
+            keys: HashMap::new(),
+            occupancy: vec![0; (2 * capacity) as usize],
+            leaf_of: HashMap::new(),
+            free_leaves: (capacity..2 * capacity).collect(),
+            group_key: Key::random(rng),
+            epoch: 0,
+            next_id: 0,
+        }
+    }
+
+    fn rekey_path(&mut self, leaf: u32, rng: &mut dyn RngCore) -> Vec<RekeyItem> {
+        let mut items = Vec::new();
+        for v in path_up(leaf) {
+            if self.occupancy[v as usize] == 0 {
+                self.keys.remove(&v);
+                continue;
+            }
+            let new_key = if v == 1 {
+                let k = Key::random(rng);
+                self.group_key = k.clone();
+                k
+            } else {
+                Key::random(rng)
+            };
+            let (l, r) = children(v);
+            for c in [l, r] {
+                if self.occupancy[c as usize] > 0 {
+                    if let Some(child_key) = self.keys.get(&c) {
+                        let aad = format!("lkh-rekey:{}:{}:{}", self.epoch + 1, v, c);
+                        items.push(RekeyItem {
+                            node: v,
+                            under: c,
+                            ct: aead::seal(child_key, new_key.as_bytes(), aad.as_bytes(), rng),
+                        });
+                    }
+                }
+            }
+            self.keys.insert(v, new_key);
+        }
+        items
+    }
+}
+
+impl Controller for LkhController {
+    type Welcome = LkhWelcome;
+    type Member = LkhMember;
+    type Broadcast = LkhBroadcast;
+
+    fn admit(
+        &mut self,
+        rng: &mut dyn RngCore,
+    ) -> Result<(UserId, LkhWelcome, LkhBroadcast), CgkdError> {
+        let leaf = *self.free_leaves.iter().next().ok_or(CgkdError::Full)?;
+        self.free_leaves.remove(&leaf);
+        let id = UserId(self.next_id);
+        self.next_id += 1;
+        self.leaf_of.insert(id, leaf);
+
+        let leaf_key = Key::random(rng);
+        self.keys.insert(leaf, leaf_key.clone());
+        self.occupancy[leaf as usize] = 1;
+        for v in path_up(leaf) {
+            self.occupancy[v as usize] += 1;
+        }
+
+        let welcome = LkhWelcome {
+            id,
+            leaf,
+            leaf_key,
+            epoch: self.epoch,
+            capacity: self.capacity,
+        };
+        let items = self.rekey_path(leaf, rng);
+        self.epoch += 1;
+        Ok((
+            id,
+            welcome,
+            LkhBroadcast {
+                epoch: self.epoch,
+                items,
+            },
+        ))
+    }
+
+    fn evict(&mut self, id: UserId, rng: &mut dyn RngCore) -> Result<LkhBroadcast, CgkdError> {
+        let leaf = self.leaf_of.remove(&id).ok_or(CgkdError::UnknownMember)?;
+        self.keys.remove(&leaf);
+        self.occupancy[leaf as usize] = 0;
+        for v in path_up(leaf) {
+            self.occupancy[v as usize] -= 1;
+        }
+        self.free_leaves.insert(leaf);
+        let items = self.rekey_path(leaf, rng);
+        if self.leaf_of.is_empty() {
+            // Group emptied: nobody left to key; refresh the stored key so
+            // the old one is never reused.
+            self.group_key = Key::random(rng);
+        }
+        self.epoch += 1;
+        Ok(LkhBroadcast {
+            epoch: self.epoch,
+            items,
+        })
+    }
+
+    fn member_from_welcome(&self, welcome: LkhWelcome) -> LkhMember {
+        let mut keys = HashMap::new();
+        keys.insert(welcome.leaf, welcome.leaf_key.clone());
+        LkhMember {
+            id: welcome.id,
+            leaf: welcome.leaf,
+            keys,
+            // Placeholder until the join broadcast is processed.
+            group_key: welcome.leaf_key,
+            epoch: welcome.epoch,
+        }
+    }
+
+    fn group_key(&self) -> &Key {
+        &self.group_key
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn members(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.leaf_of.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn stats(broadcast: &LkhBroadcast) -> BroadcastStats {
+        BroadcastStats {
+            items: broadcast.items.len(),
+            bytes: broadcast.items.iter().map(|i| i.ct.len() + 8).sum(),
+        }
+    }
+}
+
+impl LkhMember {
+    /// Overwrites this member's view of the group key without any rekey
+    /// processing.
+    ///
+    /// This models the §3 attack of the paper (an unrevoked member leaking
+    /// the group key to a revoked one) in experiment E7b. It exists for
+    /// attack experiments only; honest members never call it.
+    pub fn force_group_key(&mut self, key: Key, epoch: u64) {
+        self.group_key = key;
+        self.epoch = epoch;
+    }
+}
+
+impl MemberState for LkhMember {
+    type Broadcast = LkhBroadcast;
+
+    fn process(&mut self, broadcast: &LkhBroadcast) -> Result<(), CgkdError> {
+        if broadcast.epoch != self.epoch + 1 {
+            return Err(CgkdError::EpochMismatch);
+        }
+        let my_path: BTreeSet<u32> = path_up(self.leaf).into_iter().collect();
+        // Fixpoint decryption: items may arrive in any order.
+        let mut learned: HashMap<u32, Key> = HashMap::new();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for item in &broadcast.items {
+                if !my_path.contains(&item.node) || learned.contains_key(&item.node) {
+                    continue;
+                }
+                let under_key = learned
+                    .get(&item.under)
+                    .or_else(|| self.keys.get(&item.under))
+                    .cloned();
+                let Some(under_key) = under_key else { continue };
+                let aad = format!("lkh-rekey:{}:{}:{}", broadcast.epoch, item.node, item.under);
+                if let Ok(pt) = aead::open(&under_key, &item.ct, aad.as_bytes()) {
+                    let mut kb = [0u8; 32];
+                    if pt.len() != 32 {
+                        continue;
+                    }
+                    kb.copy_from_slice(&pt);
+                    learned.insert(item.node, Key::from_bytes(kb));
+                    progress = true;
+                }
+            }
+        }
+        // A broadcast that touches our path must yield the new root key;
+        // one that doesn't touch it at all leaves the epoch bump only.
+        let touches_us = broadcast.items.iter().any(|i| my_path.contains(&i.node));
+        if touches_us {
+            let Some(root) = learned.get(&1) else {
+                return Err(CgkdError::CannotDecrypt);
+            };
+            self.group_key = root.clone();
+            for (node, key) in learned {
+                self.keys.insert(node, key);
+            }
+        }
+        self.epoch = broadcast.epoch;
+        Ok(())
+    }
+
+    fn group_key(&self) -> &Key {
+        &self.group_key
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn id(&self) -> UserId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(70)
+    }
+
+    /// Admits `n` members, processing every broadcast at every member.
+    fn build(n: usize, rng: &mut dyn RngCore) -> (LkhController, Vec<LkhMember>) {
+        let mut gc = LkhController::new(16, rng);
+        let mut members: Vec<LkhMember> = Vec::new();
+        for _ in 0..n {
+            let (_, welcome, broadcast) = gc.admit(rng).unwrap();
+            let mut joiner = gc.member_from_welcome(welcome);
+            for m in members.iter_mut() {
+                m.process(&broadcast).unwrap();
+            }
+            joiner.process(&broadcast).unwrap();
+            members.push(joiner);
+        }
+        (gc, members)
+    }
+
+    #[test]
+    fn all_members_agree_on_group_key() {
+        let mut r = rng();
+        let (gc, members) = build(7, &mut r);
+        for m in &members {
+            assert_eq!(m.group_key(), gc.group_key(), "{}", m.id());
+            assert_eq!(m.epoch(), gc.epoch());
+        }
+    }
+
+    #[test]
+    fn join_changes_group_key() {
+        let mut r = rng();
+        let mut gc = LkhController::new(8, &mut r);
+        let (_, w1, b1) = gc.admit(&mut r).unwrap();
+        let mut m1 = gc.member_from_welcome(w1);
+        m1.process(&b1).unwrap();
+        let key_before = gc.group_key().clone();
+        let (_, _w2, b2) = gc.admit(&mut r).unwrap();
+        assert_ne!(gc.group_key(), &key_before, "backward secrecy: join rekeys");
+        m1.process(&b2).unwrap();
+        assert_eq!(m1.group_key(), gc.group_key());
+    }
+
+    #[test]
+    fn evicted_member_cannot_follow() {
+        let mut r = rng();
+        let (mut gc, mut members) = build(4, &mut r);
+        let victim_id = members[1].id();
+        let broadcast = gc.evict(victim_id, &mut r).unwrap();
+        for (i, m) in members.iter_mut().enumerate() {
+            if i == 1 {
+                // The evicted member cannot decrypt the new root key.
+                assert_eq!(m.process(&broadcast), Err(CgkdError::CannotDecrypt));
+            } else {
+                m.process(&broadcast).unwrap();
+                assert_eq!(m.group_key(), gc.group_key());
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_changes_group_key() {
+        let mut r = rng();
+        let (mut gc, members) = build(3, &mut r);
+        let before = gc.group_key().clone();
+        gc.evict(members[0].id(), &mut r).unwrap();
+        assert_ne!(gc.group_key(), &before, "forward secrecy: leave rekeys");
+    }
+
+    #[test]
+    fn epoch_order_enforced() {
+        let mut r = rng();
+        let mut gc = LkhController::new(8, &mut r);
+        let (_, w1, b1) = gc.admit(&mut r).unwrap();
+        let mut m1 = gc.member_from_welcome(w1);
+        m1.process(&b1).unwrap();
+        let (_, _, b2) = gc.admit(&mut r).unwrap();
+        let (_, _, b3) = gc.admit(&mut r).unwrap();
+        // Skipping b2 fails.
+        assert_eq!(m1.process(&b3), Err(CgkdError::EpochMismatch));
+        m1.process(&b2).unwrap();
+        m1.process(&b3).unwrap();
+        assert_eq!(m1.group_key(), gc.group_key());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut r = rng();
+        let mut gc = LkhController::new(2, &mut r);
+        gc.admit(&mut r).unwrap();
+        gc.admit(&mut r).unwrap();
+        assert!(matches!(gc.admit(&mut r), Err(CgkdError::Full)));
+        // Eviction frees a slot.
+        let id = gc.members()[0];
+        gc.evict(id, &mut r).unwrap();
+        gc.admit(&mut r).unwrap();
+    }
+
+    #[test]
+    fn unknown_member_eviction() {
+        let mut r = rng();
+        let mut gc = LkhController::new(4, &mut r);
+        assert_eq!(
+            gc.evict(UserId(99), &mut r).err(),
+            Some(CgkdError::UnknownMember)
+        );
+    }
+
+    #[test]
+    fn rekey_cost_is_logarithmic() {
+        let mut r = rng();
+        let mut gc = LkhController::new(64, &mut r);
+        let mut last = None;
+        for _ in 0..64 {
+            let (_, _, b) = gc.admit(&mut r).unwrap();
+            last = Some(b);
+        }
+        // log2(64) levels, at most 2 items each.
+        let stats = LkhController::stats(last.as_ref().unwrap());
+        assert!(stats.items <= 2 * 7, "items = {}", stats.items);
+        assert!(stats.items >= 6, "a full tree touches every level");
+    }
+
+    #[test]
+    fn churn_sequence_stays_consistent() {
+        let mut r = rng();
+        let (mut gc, mut members) = build(8, &mut r);
+        // Evict three members, then re-admit two, processing everywhere.
+        for _ in 0..3 {
+            let victim = members[0].id();
+            let b = gc.evict(victim, &mut r).unwrap();
+            members.remove(0);
+            for m in members.iter_mut() {
+                m.process(&b).unwrap();
+            }
+        }
+        for _ in 0..2 {
+            let (_, w, b) = gc.admit(&mut r).unwrap();
+            let mut joiner = gc.member_from_welcome(w);
+            for m in members.iter_mut() {
+                m.process(&b).unwrap();
+            }
+            joiner.process(&b).unwrap();
+            members.push(joiner);
+        }
+        for m in &members {
+            assert_eq!(m.group_key(), gc.group_key());
+        }
+        assert_eq!(gc.members().len(), 7);
+    }
+
+    #[test]
+    fn emptied_group_changes_key() {
+        let mut r = rng();
+        let (mut gc, members) = build(1, &mut r);
+        let before = gc.group_key().clone();
+        gc.evict(members[0].id(), &mut r).unwrap();
+        assert_ne!(gc.group_key(), &before);
+        assert!(gc.members().is_empty());
+    }
+}

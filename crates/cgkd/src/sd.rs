@@ -1,0 +1,588 @@
+//! The Subset-Difference (SD) broadcast-encryption method for *stateless
+//! receivers* (Naor–Naor–Lotspiech \[26\]).
+//!
+//! The controller maintains a complete binary tree over the ID space. The
+//! subset `S_{i,j}` contains every leaf below node `i` except those below
+//! its descendant `j`; its key is derived GGM-style from a per-node label,
+//! so a member stores only `O(log² n)` labels at provisioning time and
+//! never processes rekey state: each broadcast carries the session key
+//! encrypted under a *cover* of the non-revoked set.
+//!
+//! The cover-finding algorithm is the one from the NNL paper: repeatedly
+//! merge the two Steiner-tree leaves with the deepest least common
+//! ancestor, emitting at most two subsets per merge; a cover of at most
+//! `2r - 1` subsets for `r` revocations.
+
+use crate::{BroadcastStats, CgkdError, Controller, MemberState, UserId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use shs_crypto::{aead, hmac, Key};
+use std::collections::{BTreeSet, HashMap};
+
+/// GGM derivations from a label.
+fn ggm_left(label: &[u8; 32]) -> [u8; 32] {
+    hmac::mac(label, b"sd-ggm-left")
+}
+fn ggm_right(label: &[u8; 32]) -> [u8; 32] {
+    hmac::mac(label, b"sd-ggm-right")
+}
+fn ggm_key(label: &[u8; 32]) -> Key {
+    Key::from_bytes(hmac::mac(label, b"sd-ggm-key"))
+}
+
+fn depth(node: u32) -> u32 {
+    31 - node.leading_zeros()
+}
+
+/// The ancestor of `u` at depth `d` (requires `d <= depth(u)`).
+fn ancestor_at(u: u32, d: u32) -> u32 {
+    u >> (depth(u) - d)
+}
+
+fn is_ancestor_or_self(a: u32, u: u32) -> bool {
+    depth(a) <= depth(u) && ancestor_at(u, depth(a)) == a
+}
+
+fn lca(a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while depth(a) > depth(b) {
+        a /= 2;
+    }
+    while depth(b) > depth(a) {
+        b /= 2;
+    }
+    while a != b {
+        a /= 2;
+        b /= 2;
+    }
+    a
+}
+
+/// A subset in a broadcast cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Subset {
+    /// All leaves (used only when nobody is revoked).
+    Full,
+    /// `S_{i,j}`: leaves below `i` but not below `j`.
+    Diff {
+        /// Subtree root.
+        i: u32,
+        /// Excluded descendant.
+        j: u32,
+    },
+}
+
+/// One encrypted item of an SD broadcast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdItem {
+    /// Which subset's key encrypts this item.
+    pub subset: Subset,
+    /// AEAD ciphertext of the session key.
+    pub ct: Vec<u8>,
+}
+
+/// An SD rekey broadcast: the session key under a cover of the non-revoked
+/// set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdBroadcast {
+    /// Epoch this broadcast establishes.
+    pub epoch: u64,
+    /// Cover items.
+    pub items: Vec<SdItem>,
+}
+
+/// Provisioning package for a member: its leaf plus all `LABEL_i(s)` for
+/// ancestors `i` and path-siblings `s`, and the full-tree key.
+#[derive(Debug, Clone)]
+pub struct SdWelcome {
+    /// Assigned identity.
+    pub id: UserId,
+    /// Assigned leaf node.
+    pub leaf: u32,
+    /// `(i, s) → LABEL_i(s)` for each ancestor `i` of the leaf and each
+    /// sibling `s` of the path below `i`.
+    pub labels: HashMap<(u32, u32), [u8; 32]>,
+    /// Key used when nobody is revoked.
+    pub full_key: Key,
+    /// Epoch before the join broadcast.
+    pub epoch: u64,
+}
+
+/// The SD controller.
+pub struct SdController {
+    capacity: u32,
+    master: [u8; 32],
+    leaf_of: HashMap<UserId, u32>,
+    revoked_leaves: BTreeSet<u32>,
+    next_leaf: u32,
+    group_key: Key,
+    epoch: u64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for SdController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SdController {{ capacity: {}, members: {}, revoked: {}, epoch: {} }}",
+            self.capacity,
+            self.leaf_of.len(),
+            self.revoked_leaves.len(),
+            self.epoch
+        )
+    }
+}
+
+/// Member state (stateless receiver: labels never change).
+#[derive(Debug, Clone)]
+pub struct SdMember {
+    id: UserId,
+    leaf: u32,
+    labels: HashMap<(u32, u32), [u8; 32]>,
+    full_key: Key,
+    group_key: Key,
+    epoch: u64,
+}
+
+impl SdController {
+    /// Creates a controller over a tree with `capacity` leaves (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(capacity: u32, rng: &mut dyn RngCore) -> SdController {
+        let capacity = capacity.max(2).next_power_of_two();
+        let mut master = [0u8; 32];
+        rng.fill_bytes(&mut master);
+        SdController {
+            capacity,
+            master,
+            leaf_of: HashMap::new(),
+            revoked_leaves: BTreeSet::new(),
+            next_leaf: capacity,
+            group_key: Key::random(rng),
+            epoch: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The initial label of subtree root `i`.
+    fn node_label(&self, i: u32) -> [u8; 32] {
+        let mut data = b"sd-node-label".to_vec();
+        data.extend_from_slice(&i.to_be_bytes());
+        hmac::mac(&self.master, &data)
+    }
+
+    fn full_key(&self) -> Key {
+        Key::from_bytes(hmac::mac(&self.master, b"sd-full-key"))
+    }
+
+    /// Derives `LABEL_i(j)` by walking the GGM tree from `i` down to `j`.
+    fn label(&self, i: u32, j: u32) -> [u8; 32] {
+        debug_assert!(is_ancestor_or_self(i, j));
+        let mut label = self.node_label(i);
+        for d in depth(i)..depth(j) {
+            let next = ancestor_at(j, d + 1);
+            label = if next.is_multiple_of(2) {
+                ggm_left(&label)
+            } else {
+                ggm_right(&label)
+            };
+        }
+        label
+    }
+
+    fn subset_key(&self, subset: Subset) -> Key {
+        match subset {
+            Subset::Full => self.full_key(),
+            Subset::Diff { i, j } => ggm_key(&self.label(i, j)),
+        }
+    }
+
+    /// NNL cover of all leaves except `revoked`.
+    fn cover(&self, revoked: &BTreeSet<u32>) -> Vec<Subset> {
+        if revoked.is_empty() {
+            return vec![Subset::Full];
+        }
+        // Working set: chains (top, excluded-leaf).
+        let mut chains: Vec<(u32, u32)> = revoked.iter().map(|&l| (l, l)).collect();
+        let mut cover = Vec::new();
+        while chains.len() > 1 {
+            // Find the pair with the deepest LCA.
+            let mut best = (0usize, 1usize);
+            let mut best_depth = 0;
+            for x in 0..chains.len() {
+                for y in x + 1..chains.len() {
+                    let d = depth(lca(chains[x].0, chains[y].0));
+                    if d >= best_depth {
+                        best_depth = d;
+                        best = (x, y);
+                    }
+                }
+            }
+            let (x, y) = best;
+            let (v1, l1) = chains[x];
+            let (v2, l2) = chains[y];
+            let v = lca(v1, v2);
+            let c1 = ancestor_at(v1, depth(v) + 1);
+            let c2 = ancestor_at(v2, depth(v) + 1);
+            if c1 != v1 {
+                cover.push(Subset::Diff { i: c1, j: v1 });
+            }
+            if c2 != v2 {
+                cover.push(Subset::Diff { i: c2, j: v2 });
+            }
+            // Merge into a single chain topped at v; the excluded leaf is
+            // arbitrary (we use l1) because everything below v is now
+            // handled.
+            let keep = l1.min(l2);
+            chains.remove(y);
+            chains.remove(x);
+            chains.push((v, keep));
+        }
+        let (v, _l) = chains[0];
+        if v != 1 {
+            cover.push(Subset::Diff { i: 1, j: v });
+        }
+        cover
+    }
+
+    fn rekey(&mut self, rng: &mut dyn RngCore) -> SdBroadcast {
+        self.group_key = Key::random(rng);
+        self.epoch += 1;
+        let items = self
+            .cover(&self.revoked_leaves)
+            .into_iter()
+            .map(|subset| {
+                let key = self.subset_key(subset);
+                let aad = format!("sd-rekey:{}", self.epoch);
+                SdItem {
+                    subset,
+                    ct: aead::seal(&key, self.group_key.as_bytes(), aad.as_bytes(), rng),
+                }
+            })
+            .collect();
+        SdBroadcast {
+            epoch: self.epoch,
+            items,
+        }
+    }
+
+    /// Number of subsets a rekey would currently need (cover size) — used
+    /// by the E4 experiment without re-encrypting.
+    pub fn cover_size(&self) -> usize {
+        self.cover(&self.revoked_leaves).len()
+    }
+}
+
+impl Controller for SdController {
+    type Welcome = SdWelcome;
+    type Member = SdMember;
+    type Broadcast = SdBroadcast;
+
+    fn admit(
+        &mut self,
+        rng: &mut dyn RngCore,
+    ) -> Result<(UserId, SdWelcome, SdBroadcast), CgkdError> {
+        if self.next_leaf >= 2 * self.capacity {
+            return Err(CgkdError::Full);
+        }
+        let leaf = self.next_leaf;
+        self.next_leaf += 1;
+        let id = UserId(self.next_id);
+        self.next_id += 1;
+        self.leaf_of.insert(id, leaf);
+
+        // Provision labels: for each ancestor i (strictly above the leaf),
+        // the labels of every sibling along the path below i.
+        let mut labels = HashMap::new();
+        for di in 0..depth(leaf) {
+            let i = ancestor_at(leaf, di);
+            for dv in di + 1..=depth(leaf) {
+                let on_path = ancestor_at(leaf, dv);
+                let sibling = on_path ^ 1;
+                labels.insert((i, sibling), self.label(i, sibling));
+            }
+        }
+        let welcome = SdWelcome {
+            id,
+            leaf,
+            labels,
+            full_key: self.full_key(),
+            epoch: self.epoch,
+        };
+        Ok((id, welcome, self.rekey(rng)))
+    }
+
+    fn evict(&mut self, id: UserId, rng: &mut dyn RngCore) -> Result<SdBroadcast, CgkdError> {
+        let leaf = self.leaf_of.remove(&id).ok_or(CgkdError::UnknownMember)?;
+        self.revoked_leaves.insert(leaf);
+        Ok(self.rekey(rng))
+    }
+
+    fn member_from_welcome(&self, welcome: SdWelcome) -> SdMember {
+        SdMember {
+            id: welcome.id,
+            leaf: welcome.leaf,
+            labels: welcome.labels,
+            group_key: welcome.full_key.clone(),
+            full_key: welcome.full_key,
+            epoch: welcome.epoch,
+        }
+    }
+
+    fn group_key(&self) -> &Key {
+        &self.group_key
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn members(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.leaf_of.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn stats(broadcast: &SdBroadcast) -> BroadcastStats {
+        BroadcastStats {
+            items: broadcast.items.len(),
+            bytes: broadcast.items.iter().map(|i| i.ct.len() + 8).sum(),
+        }
+    }
+}
+
+impl SdMember {
+    /// Derives the key for `subset` if this member belongs to it.
+    fn derive(&self, subset: Subset) -> Option<Key> {
+        match subset {
+            Subset::Full => Some(self.full_key.clone()),
+            Subset::Diff { i, j } => {
+                if !is_ancestor_or_self(i, self.leaf) || is_ancestor_or_self(j, self.leaf) {
+                    return None; // not in this subset
+                }
+                // First node on the path i→j that is not an ancestor of us:
+                // it is the sibling of our path at that depth.
+                let mut s = None;
+                for d in depth(i) + 1..=depth(j) {
+                    let node = ancestor_at(j, d);
+                    if !is_ancestor_or_self(node, self.leaf) {
+                        s = Some(node);
+                        break;
+                    }
+                }
+                let s = s?;
+                let mut label = *self.labels.get(&(i, s))?;
+                for d in depth(s)..depth(j) {
+                    let next = ancestor_at(j, d + 1);
+                    label = if next.is_multiple_of(2) {
+                        ggm_left(&label)
+                    } else {
+                        ggm_right(&label)
+                    };
+                }
+                Some(ggm_key(&label))
+            }
+        }
+    }
+}
+
+impl SdMember {
+    /// Overwrites this member's view of the group key without processing
+    /// a broadcast — attack-modelling API (§3 leaked-key experiment),
+    /// mirroring [`crate::lkh::LkhMember::force_group_key`].
+    pub fn force_group_key(&mut self, key: Key, epoch: u64) {
+        self.group_key = key;
+        self.epoch = epoch;
+    }
+}
+
+impl MemberState for SdMember {
+    type Broadcast = SdBroadcast;
+
+    fn process(&mut self, broadcast: &SdBroadcast) -> Result<(), CgkdError> {
+        if broadcast.epoch <= self.epoch {
+            return Err(CgkdError::EpochMismatch);
+        }
+        let aad = format!("sd-rekey:{}", broadcast.epoch);
+        for item in &broadcast.items {
+            let Some(key) = self.derive(item.subset) else {
+                continue;
+            };
+            if let Ok(pt) = aead::open(&key, &item.ct, aad.as_bytes()) {
+                if pt.len() == 32 {
+                    let mut kb = [0u8; 32];
+                    kb.copy_from_slice(&pt);
+                    self.group_key = Key::from_bytes(kb);
+                    // Stateless receivers may skip epochs freely.
+                    self.epoch = broadcast.epoch;
+                    return Ok(());
+                }
+            }
+        }
+        Err(CgkdError::CannotDecrypt)
+    }
+
+    fn group_key(&self) -> &Key {
+        &self.group_key
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn id(&self) -> UserId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(72)
+    }
+
+    #[test]
+    fn tree_helpers() {
+        assert_eq!(depth(1), 0);
+        assert_eq!(depth(2), 1);
+        assert_eq!(depth(7), 2);
+        assert_eq!(lca(4, 5), 2);
+        assert_eq!(lca(4, 6), 1);
+        assert_eq!(lca(4, 4), 4);
+        assert!(is_ancestor_or_self(1, 13));
+        assert!(is_ancestor_or_self(3, 13));
+        assert!(!is_ancestor_or_self(2, 13));
+        assert_eq!(ancestor_at(13, 1), 3);
+    }
+
+    #[test]
+    fn everyone_decrypts_when_nobody_revoked() {
+        let mut r = rng();
+        let mut gc = SdController::new(8, &mut r);
+        let mut members = Vec::new();
+        let mut last = None;
+        for _ in 0..6 {
+            let (_, w, b) = gc.admit(&mut r).unwrap();
+            members.push(gc.member_from_welcome(w));
+            last = Some(b);
+        }
+        // Stateless receivers only need the LATEST broadcast.
+        let b = last.unwrap();
+        for m in members.iter_mut() {
+            m.process(&b).unwrap();
+            assert_eq!(m.group_key(), gc.group_key());
+        }
+        assert_eq!(b.items.len(), 1, "no revocations: single Full item");
+    }
+
+    #[test]
+    fn revoked_member_excluded_others_covered() {
+        let mut r = rng();
+        let mut gc = SdController::new(8, &mut r);
+        let mut members = Vec::new();
+        for _ in 0..8 {
+            let (_, w, _) = gc.admit(&mut r).unwrap();
+            members.push(gc.member_from_welcome(w));
+        }
+        // Revoke members 2 and 5.
+        let b1 = gc.evict(members[2].id(), &mut r).unwrap();
+        let _ = b1;
+        let b2 = gc.evict(members[5].id(), &mut r).unwrap();
+        for (i, m) in members.iter_mut().enumerate() {
+            if i == 2 || i == 5 {
+                assert_eq!(m.process(&b2), Err(CgkdError::CannotDecrypt), "member {i}");
+            } else {
+                m.process(&b2).unwrap();
+                assert_eq!(m.group_key(), gc.group_key(), "member {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_sizes_bounded() {
+        let mut r = rng();
+        let mut gc = SdController::new(64, &mut r);
+        let mut ids = Vec::new();
+        for _ in 0..64 {
+            let (id, _, _) = gc.admit(&mut r).unwrap();
+            ids.push(id);
+        }
+        assert_eq!(gc.cover_size(), 1);
+        // Revoke a scattered set; cover stays ≤ 2r - 1.
+        for (count, &id) in [ids[0], ids[13], ids[27], ids[40], ids[63]]
+            .iter()
+            .enumerate()
+        {
+            gc.evict(id, &mut r).unwrap();
+            let rlen = count + 1;
+            assert!(
+                gc.cover_size() <= 2 * rlen,
+                "cover {} too big for {} revocations",
+                gc.cover_size(),
+                rlen
+            );
+        }
+    }
+
+    #[test]
+    fn cover_partitions_correctly() {
+        // Structural check: every non-revoked allocated leaf is in exactly
+        // one subset; revoked leaves are in none.
+        let mut r = rng();
+        let mut gc = SdController::new(16, &mut r);
+        let mut ids = Vec::new();
+        for _ in 0..16 {
+            let (id, _, _) = gc.admit(&mut r).unwrap();
+            ids.push(id);
+        }
+        for &victim in &[ids[1], ids[6], ids[7], ids[12]] {
+            gc.evict(victim, &mut r).unwrap();
+        }
+        let cover = gc.cover(&gc.revoked_leaves);
+        for leaf in 16u32..32 {
+            let covering = cover
+                .iter()
+                .filter(|s| match **s {
+                    Subset::Full => true,
+                    Subset::Diff { i, j } => {
+                        is_ancestor_or_self(i, leaf) && !is_ancestor_or_self(j, leaf)
+                    }
+                })
+                .count();
+            if gc.revoked_leaves.contains(&leaf) {
+                assert_eq!(covering, 0, "revoked leaf {leaf} must not be covered");
+            } else {
+                assert_eq!(covering, 1, "leaf {leaf} must be covered exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn stateless_members_skip_epochs() {
+        let mut r = rng();
+        let mut gc = SdController::new(8, &mut r);
+        let (_, w, _) = gc.admit(&mut r).unwrap();
+        let mut m = gc.member_from_welcome(w);
+        // Generate several epochs without delivering them.
+        let (_, _, _) = gc.admit(&mut r).unwrap();
+        let (_, _, _) = gc.admit(&mut r).unwrap();
+        let (id3, _, b) = gc.admit(&mut r).unwrap();
+        let _ = id3;
+        // Old member decrypts the latest broadcast directly.
+        m.process(&b).unwrap();
+        assert_eq!(m.group_key(), gc.group_key());
+        // Replays of older epochs are rejected.
+        assert_eq!(m.process(&b), Err(CgkdError::EpochMismatch));
+    }
+
+    #[test]
+    fn label_storage_is_polylog() {
+        let mut r = rng();
+        let mut gc = SdController::new(1024, &mut r);
+        let (_, w, _) = gc.admit(&mut r).unwrap();
+        // depth d = 10: expect d(d+1)/2 = 55 labels.
+        assert_eq!(w.labels.len(), 55);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based churn tests: arbitrary join/leave scripts keep every
+//! live member's view of the group key consistent with the controller's,
+//! and excluded members locked out — for all three CGKD schemes.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use shs_cgkd::lkh::{LkhController, LkhMember};
+use shs_cgkd::sd::{SdController, SdMember};
+use shs_cgkd::star::{StarController, StarMember};
+use shs_cgkd::{CgkdError, Controller, MemberState, UserId};
+
+/// A churn script step.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Join,
+    /// Leave the member at (index % live-count).
+    Leave(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Join),
+        2 => any::<usize>().prop_map(Op::Leave),
+    ]
+}
+
+/// Runs a script against a controller, tracking all live member states and
+/// checking the consistency invariant after every operation.
+fn run_script<C>(mut gc: C, ops: &[Op], seed: u64) -> Result<(), TestCaseError>
+where
+    C: Controller,
+    C::Broadcast: Clone,
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut live: Vec<(UserId, C::Member)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Join => match gc.admit(&mut rng) {
+                Ok((id, welcome, broadcast)) => {
+                    for (_, m) in live.iter_mut() {
+                        m.process(&broadcast).unwrap();
+                    }
+                    let mut joiner = gc.member_from_welcome(welcome);
+                    joiner.process(&broadcast).unwrap();
+                    live.push((id, joiner));
+                }
+                Err(CgkdError::Full) => continue,
+                Err(e) => prop_assert!(false, "admit failed: {e}"),
+            },
+            Op::Leave(raw) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = raw % live.len();
+                let (id, mut evicted) = live.swap_remove(idx);
+                let broadcast = gc.evict(id, &mut rng).unwrap();
+                for (_, m) in live.iter_mut() {
+                    m.process(&broadcast).unwrap();
+                }
+                // The evicted member must NOT recover the new key.
+                if !live.is_empty() {
+                    let before = evicted.group_key().clone();
+                    let _ = evicted.process(&broadcast);
+                    prop_assert_ne!(
+                        evicted.group_key(),
+                        gc.group_key(),
+                        "evicted member must not learn the new key"
+                    );
+                    let _ = before;
+                }
+            }
+        }
+        // Invariant: every live member agrees with the controller.
+        for (id, m) in &live {
+            prop_assert_eq!(
+                m.group_key(),
+                gc.group_key(),
+                "member {} diverged after {:?}",
+                id,
+                op
+            );
+        }
+        prop_assert_eq!(live.len(), gc.members().len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lkh_survives_arbitrary_churn(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gc: LkhController = LkhController::new(16, &mut rng);
+        run_script::<LkhController>(gc, &ops, seed.wrapping_add(1))?;
+        let _: Option<LkhMember> = None;
+    }
+
+    #[test]
+    fn star_survives_arbitrary_churn(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gc: StarController = StarController::new(16, &mut rng);
+        run_script::<StarController>(gc, &ops, seed.wrapping_add(1))?;
+        let _: Option<StarMember> = None;
+    }
+
+    #[test]
+    fn sd_covers_exactly_the_live_set(
+        joins in 2usize..32,
+        leave_picks in prop::collection::vec(any::<usize>(), 0..12),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gc = SdController::new(64, &mut rng);
+        let mut live: Vec<(UserId, SdMember)> = Vec::new();
+        for _ in 0..joins {
+            let (id, w, _) = gc.admit(&mut rng).unwrap();
+            live.push((id, gc.member_from_welcome(w)));
+        }
+        let mut excluded: Vec<SdMember> = Vec::new();
+        for pick in &leave_picks {
+            if live.len() <= 1 {
+                break;
+            }
+            let idx = pick % live.len();
+            let (id, m) = live.swap_remove(idx);
+            gc.evict(id, &mut rng).unwrap();
+            excluded.push(m);
+        }
+        // One fresh broadcast: every live member decrypts, every revoked
+        // member fails. (Stateless receivers need only the latest.)
+        let (id, w, broadcast) = gc.admit(&mut rng).unwrap();
+        for (_, m) in live.iter_mut() {
+            m.process(&broadcast).unwrap();
+        }
+        let mut joiner = gc.member_from_welcome(w);
+        joiner.process(&broadcast).unwrap();
+        live.push((id, joiner));
+        for (_, m) in &live {
+            prop_assert_eq!(m.group_key(), gc.group_key());
+        }
+        for m in excluded.iter_mut() {
+            prop_assert_eq!(m.process(&broadcast), Err(CgkdError::CannotDecrypt));
+        }
+    }
+}

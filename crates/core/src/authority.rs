@@ -1,0 +1,350 @@
+//! The group authority `GA`: group manager (GSIG) + group controller
+//! (CGKD) + tracing keyholder, exactly the triple role `GCD.CreateGroup`
+//! assigns it (§7).
+
+use crate::config::{CgkdChoice, GroupConfig, SchemeKind};
+use crate::member::{
+    encode_update_payload, CgkdMember, Credential, GroupUpdate, Member, RekeyBroadcast,
+    UpdatePayload,
+};
+use crate::transcript::{HandshakeTranscript, TraceError, TraceOutcome};
+use crate::{codec, CoreError};
+use rand::RngCore;
+use shs_cgkd::lkh::LkhController;
+use shs_cgkd::sd::SdController;
+use shs_cgkd::{Controller, UserId};
+use shs_crypto::{aead, Key};
+use shs_groups::cs;
+use shs_groups::rsa::{RsaGroup, RsaSecret};
+use shs_groups::schnorr::SchnorrGroup;
+use shs_gsig::crl::Crl;
+use shs_gsig::ky::MemberId;
+use shs_gsig::params::GsigParams;
+use shs_gsig::{acjt, ky};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The GSIG group-manager state, by instantiation.
+enum GmState {
+    Ky {
+        gm: ky::GroupManager,
+        pk: Arc<ky::GroupPublicKey>,
+    },
+    Acjt {
+        gm: acjt::GroupManager,
+        pk: Arc<acjt::GroupPublicKey>,
+    },
+}
+
+/// The CGKD controller state, by backend.
+enum CgkdState {
+    Lkh(LkhController),
+    Sd(SdController),
+}
+
+impl CgkdState {
+    fn group_key(&self) -> &Key {
+        match self {
+            CgkdState::Lkh(c) => c.group_key(),
+            CgkdState::Sd(c) => c.group_key(),
+        }
+    }
+
+    fn admit(
+        &mut self,
+        rng: &mut dyn RngCore,
+    ) -> Result<(UserId, CgkdMember, RekeyBroadcast), shs_cgkd::CgkdError> {
+        match self {
+            CgkdState::Lkh(c) => {
+                let (uid, welcome, rekey) = c.admit(rng)?;
+                Ok((
+                    uid,
+                    CgkdMember::Lkh(c.member_from_welcome(welcome)),
+                    RekeyBroadcast::Lkh(rekey),
+                ))
+            }
+            CgkdState::Sd(c) => {
+                let (uid, welcome, rekey) = c.admit(rng)?;
+                Ok((
+                    uid,
+                    CgkdMember::Sd(c.member_from_welcome(welcome)),
+                    RekeyBroadcast::Sd(rekey),
+                ))
+            }
+        }
+    }
+
+    fn evict(
+        &mut self,
+        uid: UserId,
+        rng: &mut dyn RngCore,
+    ) -> Result<RekeyBroadcast, shs_cgkd::CgkdError> {
+        match self {
+            CgkdState::Lkh(c) => Ok(RekeyBroadcast::Lkh(c.evict(uid, rng)?)),
+            CgkdState::Sd(c) => Ok(RekeyBroadcast::Sd(c.evict(uid, rng)?)),
+        }
+    }
+}
+
+/// The group authority of one group.
+pub struct GroupAuthority {
+    config: GroupConfig,
+    gm: GmState,
+    cgkd: CgkdState,
+    crl: Crl,
+    tracing_group: &'static SchnorrGroup,
+    tracing_pk: cs::PublicKey,
+    tracing_sk: cs::SecretKey,
+    uid_of: HashMap<MemberId, UserId>,
+}
+
+impl std::fmt::Debug for GroupAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GroupAuthority {{ scheme: {:?}, members: {}, crl: v{} }}",
+            self.config.scheme,
+            self.uid_of.len(),
+            self.crl.version
+        )
+    }
+}
+
+impl GroupAuthority {
+    /// `GCD.CreateGroup`: sets up GSIG, CGKD and the IND-CCA2 tracing
+    /// keypair. Generates a fresh safe-RSA modulus (slow for large
+    /// presets; see [`GroupAuthority::create_with_rsa`]).
+    pub fn create(config: GroupConfig, rng: &mut impl RngCore) -> GroupAuthority {
+        let params = GsigParams::preset(config.gsig_preset);
+        let (rsa, secret) = RsaGroup::generate(params.modulus_bits, rng);
+        Self::create_with_rsa(config, rsa, secret, rng)
+    }
+
+    /// `GCD.CreateGroup` reusing a pre-generated RSA setting (tests,
+    /// benchmarks, deterministic fixtures).
+    pub fn create_with_rsa(
+        config: GroupConfig,
+        rsa: RsaGroup,
+        rsa_secret: RsaSecret,
+        rng: &mut impl RngCore,
+    ) -> GroupAuthority {
+        let params = GsigParams::preset(config.gsig_preset);
+        let gm = match config.scheme {
+            SchemeKind::Scheme1 | SchemeKind::Scheme2SelfDistinct => {
+                let gm = ky::GroupManager::setup_with_rsa(params, rsa, rsa_secret, rng);
+                let pk = Arc::new(gm.public_key().clone());
+                GmState::Ky { gm, pk }
+            }
+            SchemeKind::Scheme1Classic => {
+                let gm = acjt::GroupManager::setup_with_rsa(params, rsa, rsa_secret, rng);
+                let pk = Arc::new(gm.public_key().clone());
+                GmState::Acjt { gm, pk }
+            }
+        };
+        let tracing_group = SchnorrGroup::system_wide(config.schnorr_preset);
+        let (tracing_pk, tracing_sk) = cs::keygen(tracing_group, rng);
+        let mut rng_box: &mut dyn RngCore = rng;
+        let cgkd = match config.cgkd {
+            CgkdChoice::Lkh => CgkdState::Lkh(LkhController::new(config.capacity, &mut rng_box)),
+            CgkdChoice::SubsetDifference => {
+                CgkdState::Sd(SdController::new(config.capacity, &mut rng_box))
+            }
+        };
+        GroupAuthority {
+            config,
+            gm,
+            cgkd,
+            crl: Crl::new(),
+            tracing_group,
+            tracing_pk,
+            tracing_sk,
+            uid_of: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GroupConfig {
+        &self.config
+    }
+
+    /// The tracing public key `pk_T` (part of the public cryptographic
+    /// context).
+    pub fn tracing_public_key(&self) -> &cs::PublicKey {
+        &self.tracing_pk
+    }
+
+    /// Current member count.
+    pub fn member_count(&self) -> usize {
+        self.uid_of.len()
+    }
+
+    /// Current CGKD group key (GC side).
+    pub fn group_key(&self) -> &Key {
+        self.cgkd.group_key()
+    }
+
+    /// `GCD.AdmitMember`: runs the interactive `GSIG.Join` (both ends of
+    /// the private authenticated channel are simulated here) and
+    /// `CGKD.Join`, then wraps the GSIG state update in an encrypted
+    /// bulletin-board update.
+    ///
+    /// Returns the new [`Member`] (already up to date) and the
+    /// [`GroupUpdate`] every *existing* member must apply.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Cgkd`] when capacity is exhausted; [`CoreError::Gsig`]
+    /// when the join protocol fails.
+    pub fn admit(&mut self, rng: &mut impl RngCore) -> Result<(Member, GroupUpdate), CoreError> {
+        let cred = match &mut self.gm {
+            GmState::Ky { gm, pk } => {
+                let (secret, req) = ky::start_join(pk, rng);
+                let resp = gm.admit(&req, rng).map_err(CoreError::Gsig)?;
+                let key = ky::finish_join(pk, secret, &resp).map_err(CoreError::Gsig)?;
+                Credential::Ky {
+                    pk: Arc::clone(pk),
+                    key,
+                }
+            }
+            GmState::Acjt { gm, pk } => {
+                let (secret, req) = acjt::start_join(pk, rng);
+                let resp = gm.admit(&req, rng).map_err(CoreError::Gsig)?;
+                let key = acjt::finish_join(pk, secret, &resp).map_err(CoreError::Gsig)?;
+                Credential::Acjt {
+                    pk: Arc::clone(pk),
+                    key,
+                }
+            }
+        };
+        let mut rng_dyn: &mut dyn RngCore = rng;
+        let (uid, cgkd_member, rekey) = self.cgkd.admit(&mut rng_dyn).map_err(CoreError::Cgkd)?;
+        self.uid_of.insert(cred.id(), uid);
+
+        let payload = UpdatePayload { crl_delta: None };
+        let update = self.seal_update(rekey, &payload, rng);
+
+        let mut member = Member {
+            config: self.config,
+            cred,
+            cgkd: cgkd_member,
+            crl: self.crl.clone(),
+            tracing_group: self.tracing_group,
+            tracing_pk: self.tracing_pk.clone(),
+        };
+        // The joiner processes its own join update immediately.
+        member.apply_update(&update)?;
+        Ok((member, update))
+    }
+
+    /// `GCD.RemoveUser`: `CGKD.Leave` + `GSIG.Revoke`, with the CRL delta
+    /// encrypted under the **new** group key so the revoked member cannot
+    /// read it (§7).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownMember`] for ids never admitted or already
+    /// removed.
+    pub fn remove(
+        &mut self,
+        id: MemberId,
+        rng: &mut impl RngCore,
+    ) -> Result<GroupUpdate, CoreError> {
+        let uid = self.uid_of.remove(&id).ok_or(CoreError::UnknownMember)?;
+        let crl_delta = match &mut self.gm {
+            GmState::Ky { gm, .. } => {
+                let token = gm.revoke(id).map_err(CoreError::Gsig)?;
+                Some(self.crl.push(token))
+            }
+            GmState::Acjt { gm, .. } => {
+                // ACJT has no VLR token: revocation is registry-only and
+                // the framework depends entirely on the CGKD rekey — the
+                // §3 trade-off experiment E7b demonstrates.
+                gm.revoke(id).map_err(CoreError::Gsig)?;
+                None
+            }
+        };
+        let mut rng_dyn: &mut dyn RngCore = rng;
+        let rekey = self
+            .cgkd
+            .evict(uid, &mut rng_dyn)
+            .map_err(CoreError::Cgkd)?;
+        let payload = UpdatePayload { crl_delta };
+        Ok(self.seal_update(rekey, &payload, rng))
+    }
+
+    fn seal_update(
+        &self,
+        rekey: RekeyBroadcast,
+        payload: &UpdatePayload,
+        rng: &mut impl RngCore,
+    ) -> GroupUpdate {
+        let params = self.params();
+        let pt = encode_update_payload(&params, payload);
+        let aad = crate::member::update_aad(rekey.epoch());
+        let payload_ct = aead::seal(self.cgkd.group_key(), &pt, &aad, rng);
+        GroupUpdate { rekey, payload_ct }
+    }
+
+    fn params(&self) -> GsigParams {
+        match &self.gm {
+            GmState::Ky { pk, .. } => pk.params,
+            GmState::Acjt { pk, .. } => pk.params,
+        }
+    }
+
+    /// `GCD.TraceUser`: decrypts every `δ_i` of the transcript with
+    /// `sk_T`, recovers `k'_i`, opens `θ_i`, and runs `GSIG.Open` on the
+    /// recovered signature.
+    ///
+    /// Per-slot failures (decoy payloads from failed handshakes, or
+    /// members of other groups) are reported as [`TraceError`]s, not
+    /// hard errors — the paper's traceability is deliberately best-effort
+    /// against dishonest last movers (§2 remark).
+    pub fn trace(&self, transcript: &HandshakeTranscript) -> Vec<TraceOutcome> {
+        transcript
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(slot, entry)| {
+                let result = self.trace_slot(transcript, &entry.theta, &entry.delta);
+                TraceOutcome { slot, result }
+            })
+            .collect()
+    }
+
+    fn trace_slot(
+        &self,
+        transcript: &HandshakeTranscript,
+        theta: &[u8],
+        delta_bytes: &[u8],
+    ) -> Result<MemberId, TraceError> {
+        let delta = codec::decode_delta(self.tracing_group, delta_bytes)
+            .map_err(|_| TraceError::MalformedDelta)?;
+        let k_prime_bytes = cs::decrypt(self.tracing_group, &self.tracing_sk, &delta)
+            .map_err(|_| TraceError::UndecryptableDelta)?;
+        if k_prime_bytes.len() != 32 {
+            return Err(TraceError::UndecryptableDelta);
+        }
+        let mut kb = [0u8; 32];
+        kb.copy_from_slice(&k_prime_bytes);
+        let k_prime = Key::from_bytes(kb);
+        let sig_bytes = aead::open(&k_prime, theta, &transcript.sid)
+            .map_err(|_| TraceError::UndecryptableTheta)?;
+        // The signed message is δ ‖ sid (as in Phase III).
+        let mut msg = delta_bytes.to_vec();
+        msg.extend_from_slice(&transcript.sid);
+        match &self.gm {
+            GmState::Ky { gm, pk } => {
+                let sig = codec::decode_ky_sig(&pk.params, &sig_bytes)
+                    .map_err(|_| TraceError::MalformedSignature)?;
+                let opening = gm.open(&msg, &sig).map_err(|_| TraceError::OpenFailed)?;
+                Ok(opening.id)
+            }
+            GmState::Acjt { gm, pk } => {
+                let sig = codec::decode_acjt_sig(&pk.params, &sig_bytes)
+                    .map_err(|_| TraceError::MalformedSignature)?;
+                gm.open(&msg, &sig).map_err(|_| TraceError::OpenFailed)
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The public bulletin board — the paper's *authenticated anonymous
+//! channel* (§2, §7: updated state information is "encrypted under the new
+//! CGKD group key and distributed to all group members through an
+//! authenticated anonymous channel, e.g., posted on a public bulletin
+//! board").
+//!
+//! The board is append-only and *public*: anyone (including adversaries)
+//! can read every posted blob, but the blobs are AEAD-encrypted under
+//! group keys the reader may not have. Members poll the board to catch up
+//! on missed epochs; an LKH member replays updates in order, an SD member
+//! can jump straight to the newest one.
+
+use crate::member::{GroupUpdate, Member};
+use crate::CoreError;
+
+/// An append-only public board of group updates.
+#[derive(Debug, Default)]
+pub struct BulletinBoard {
+    posts: Vec<GroupUpdate>,
+}
+
+impl BulletinBoard {
+    /// An empty board.
+    pub fn new() -> BulletinBoard {
+        BulletinBoard::default()
+    }
+
+    /// Posts an update (done by the group authority after
+    /// `AdmitMember`/`RemoveUser`).
+    pub fn post(&mut self, update: GroupUpdate) {
+        self.posts.push(update);
+    }
+
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Is the board empty?
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// All posts with an epoch greater than `after_epoch`, in post order.
+    /// This is the public read API — no authentication required (the
+    /// privacy lives in the encryption, not in access control).
+    pub fn since(&self, after_epoch: u64) -> impl Iterator<Item = &GroupUpdate> {
+        self.posts
+            .iter()
+            .filter(move |u| u.rekey.epoch() > after_epoch)
+    }
+
+    /// Brings a member up to date: applies every post newer than the
+    /// member's epoch, in order.
+    ///
+    /// Returns the number of updates applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing update (a revoked member fails on the
+    /// update that evicted it and learns nothing further).
+    pub fn sync(&self, member: &mut Member) -> Result<usize, CoreError> {
+        let mut applied = 0;
+        for update in self.since(member.epoch()) {
+            member.apply_update(update)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeKind;
+    use crate::fixtures;
+    use shs_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn members_catch_up_from_the_board() {
+        let mut rng = HmacDrbg::from_seed(b"bulletin-1");
+        let mut ga = fixtures::test_authority(SchemeKind::Scheme1, &mut rng);
+        let mut board = BulletinBoard::new();
+        let (mut alice, _) = ga.admit(&mut rng).unwrap();
+        // Three more members join; Alice does not watch the board.
+        for _ in 0..3 {
+            let (_m, update) = ga.admit(&mut rng).unwrap();
+            board.post(update);
+        }
+        assert_ne!(alice.group_key(), ga.group_key(), "alice is stale");
+        let applied = board.sync(&mut alice).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(alice.group_key(), ga.group_key());
+        // A second sync is a no-op.
+        assert_eq!(board.sync(&mut alice).unwrap(), 0);
+    }
+
+    #[test]
+    fn revoked_member_stops_at_its_eviction() {
+        let mut rng = HmacDrbg::from_seed(b"bulletin-2");
+        let (mut ga, mut members) =
+            fixtures::group_with_members(SchemeKind::Scheme1, 3, &mut rng).unwrap();
+        let mut board = BulletinBoard::new();
+        let mut victim = members.pop().unwrap();
+        board.post(ga.remove(victim.id(), &mut rng).unwrap());
+        // More churn after the eviction.
+        let (_m, update) = ga.admit(&mut rng).unwrap();
+        board.post(update);
+        // The victim's sync fails at its own eviction and learns nothing.
+        let before = victim.group_key().clone();
+        assert!(board.sync(&mut victim).is_err());
+        assert_eq!(victim.group_key(), &before);
+        // Honest members sync through everything.
+        for m in members.iter_mut() {
+            board.sync(m).unwrap();
+            assert_eq!(m.group_key(), ga.group_key());
+        }
+    }
+
+    #[test]
+    fn board_is_publicly_readable_but_opaque() {
+        // An adversary can read every blob yet cannot decrypt any payload:
+        // the AEAD under the (new) group key fails for any key it holds.
+        let mut rng = HmacDrbg::from_seed(b"bulletin-3");
+        let mut ga = fixtures::test_authority(SchemeKind::Scheme1, &mut rng);
+        let mut board = BulletinBoard::new();
+        let (_a, update) = ga.admit(&mut rng).unwrap();
+        board.post(update);
+        let adversary_key = shs_crypto::Key::random(&mut rng);
+        for post in board.since(0) {
+            let aad = format!("gcd-update:{}", post.rekey.epoch());
+            assert!(
+                shs_crypto::aead::open(&adversary_key, &post.payload_ct, aad.as_bytes()).is_err()
+            );
+        }
+    }
+}

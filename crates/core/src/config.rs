@@ -1,0 +1,161 @@
+//! Group configuration: which GSIG instantiation, which parameter sizes,
+//! which policy knobs.
+
+use serde::{Deserialize, Serialize};
+use shs_groups::schnorr::SchnorrPreset;
+use shs_gsig::params::GsigPreset;
+use shs_net::DeliveryPolicy;
+
+/// Which group-signature scheme instantiates the framework's GSIG slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// §8.1 as shipped: Kiayias–Yung signatures with per-signature random
+    /// `T7`, verifier-local revocation via the member CRL. Unlinkability,
+    /// traceability, revocation; no self-distinction.
+    Scheme1,
+    /// §8.2: Kiayias–Yung with the **common hashed `T7`** — adds
+    /// self-distinction (Theorem 3).
+    Scheme2SelfDistinct,
+    /// §8.1 strictly by the letter: classic ACJT with full-anonymity
+    /// (Theorem 1's full-unlinkability) but **no signature-level
+    /// revocation** — the configuration the §3 revocation attack (E7b)
+    /// targets.
+    Scheme1Classic,
+}
+
+impl SchemeKind {
+    /// Does this scheme enforce self-distinction?
+    pub fn self_distinct(self) -> bool {
+        matches!(self, SchemeKind::Scheme2SelfDistinct)
+    }
+
+    /// Does this scheme support signature-level (VLR) revocation?
+    pub fn supports_vlr(self) -> bool {
+        !matches!(self, SchemeKind::Scheme1Classic)
+    }
+}
+
+/// Which CGKD scheme backs the group (the **C** of GCD is pluggable,
+/// §5: "any centralized group key distribution scheme satisfying the
+/// functionality and security requirements ... can be integrated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CgkdChoice {
+    /// Logical Key Hierarchy (Wong–Gouda–Lam): stateful members,
+    /// `O(log n)` rekeying. The default.
+    Lkh,
+    /// Subset-Difference (Naor–Naor–Lotspiech): stateless receivers that
+    /// may skip epochs; broadcasts sized by the revoked set.
+    SubsetDifference,
+}
+
+/// Configuration of one group (one `GA`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// GSIG parameter preset.
+    pub gsig_preset: GsigPreset,
+    /// System-wide Schnorr parameters (DGKA + tracing encryption).
+    pub schnorr_preset: SchnorrPreset,
+    /// GSIG instantiation.
+    pub scheme: SchemeKind,
+    /// CGKD backend.
+    pub cgkd: CgkdChoice,
+    /// CGKD capacity (members).
+    pub capacity: u32,
+}
+
+impl GroupConfig {
+    /// Fast test-sized configuration for a scheme.
+    pub fn test(scheme: SchemeKind) -> GroupConfig {
+        GroupConfig {
+            gsig_preset: GsigPreset::Test,
+            schnorr_preset: SchnorrPreset::Test,
+            scheme,
+            cgkd: CgkdChoice::Lkh,
+            capacity: 64,
+        }
+    }
+
+    /// Test configuration on the stateless Subset-Difference backend.
+    pub fn test_sd(scheme: SchemeKind) -> GroupConfig {
+        GroupConfig {
+            cgkd: CgkdChoice::SubsetDifference,
+            ..GroupConfig::test(scheme)
+        }
+    }
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig::test(SchemeKind::Scheme2SelfDistinct)
+    }
+}
+
+/// Which phases of `GCD.Handshake` run (§7 remark: the protocol is
+/// tailorable; traceability can be dropped by stopping after Phase II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracePolicy {
+    /// All three phases (traceable).
+    Full,
+    /// Phases I + II only (no `(θ, δ)` published; untraceable by choice).
+    PreliminaryOnly,
+}
+
+/// Which DGKA protocol runs Phase I (the framework is a compiler: any
+/// secure group key agreement slots in, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DgkaChoice {
+    /// Burmester–Desmedt \[11\]: two broadcast rounds, constant
+    /// exponentiations per party. The default.
+    BurmesterDesmedt,
+    /// GDH.2 (Steiner–Tsudik–Waidner \[30\]): an `m`-round upflow chain.
+    /// Non-active slots transmit cover traffic each round so the wire
+    /// shape stays independent of the participant set.
+    Gdh2,
+}
+
+/// Options of one handshake session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeOptions {
+    /// Phase policy.
+    pub policy: TracePolicy,
+    /// Allow partially-successful handshakes (§7 extension): sub-groups of
+    /// co-members complete even in mixed sessions.
+    pub partial_success: bool,
+    /// Delivery model of the anonymous medium.
+    pub delivery: DeliveryPolicy,
+    /// Which key-agreement protocol runs Phase I.
+    pub dgka: DgkaChoice,
+}
+
+impl Default for HandshakeOptions {
+    fn default() -> Self {
+        HandshakeOptions {
+            policy: TracePolicy::Full,
+            partial_success: true,
+            delivery: DeliveryPolicy::Synchronous,
+            dgka: DgkaChoice::BurmesterDesmedt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_flags() {
+        assert!(SchemeKind::Scheme2SelfDistinct.self_distinct());
+        assert!(!SchemeKind::Scheme1.self_distinct());
+        assert!(SchemeKind::Scheme1.supports_vlr());
+        assert!(!SchemeKind::Scheme1Classic.supports_vlr());
+    }
+
+    #[test]
+    fn defaults() {
+        let c = GroupConfig::default();
+        assert_eq!(c.scheme, SchemeKind::Scheme2SelfDistinct);
+        let o = HandshakeOptions::default();
+        assert_eq!(o.policy, TracePolicy::Full);
+        assert!(o.partial_success);
+    }
+}

@@ -1,0 +1,54 @@
+//! Deterministic fixtures: test-sized group authorities built on the
+//! cached RSA setting, so tests and benchmarks skip safe-prime search.
+
+use crate::authority::GroupAuthority;
+use crate::config::{GroupConfig, SchemeKind};
+use crate::member::Member;
+use crate::CoreError;
+use rand::RngCore;
+
+/// Builds a test-sized [`GroupAuthority`] for `scheme`, reusing the
+/// workspace-wide cached RSA setting.
+pub fn test_authority(scheme: SchemeKind, rng: &mut impl RngCore) -> GroupAuthority {
+    let (rsa, secret) = shs_gsig::fixtures::test_rsa_setting().clone();
+    GroupAuthority::create_with_rsa(GroupConfig::test(scheme), rsa, secret, rng)
+}
+
+/// Builds a test authority plus `n` members, every member fully updated.
+///
+/// # Errors
+///
+/// Propagates admission errors (none occur for valid `n` within
+/// capacity).
+pub fn group_with_members(
+    scheme: SchemeKind,
+    n: usize,
+    rng: &mut impl RngCore,
+) -> Result<(GroupAuthority, Vec<Member>), CoreError> {
+    let mut ga = test_authority(scheme, rng);
+    let mut members: Vec<Member> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (joiner, update) = ga.admit(rng)?;
+        for m in members.iter_mut() {
+            m.apply_update(&update)?;
+        }
+        members.push(joiner);
+    }
+    Ok((ga, members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shs_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn members_share_group_key() {
+        let mut rng = HmacDrbg::from_seed(b"fixture-core");
+        let (ga, members) = group_with_members(SchemeKind::Scheme1, 3, &mut rng).unwrap();
+        for m in &members {
+            assert_eq!(m.group_key(), ga.group_key());
+        }
+        assert_eq!(ga.member_count(), 3);
+    }
+}

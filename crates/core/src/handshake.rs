@@ -1,0 +1,758 @@
+//! `GCD.Handshake` — the three-phase multi-party secret handshake of §7,
+//! executed over the anonymous broadcast medium of `shs-net`.
+//!
+//! * **Phase I (Preparation)** — distributed group key agreement
+//!   (Burmester–Desmedt by default, GDH.2 selectable) yields `k*`; each
+//!   party blinds it with its CGKD group key: `k'_i = k* ⊕ k_i`.
+//! * **Phase II (Preliminary handshake)** — each party publishes
+//!   `MAC(k'_i, s_i ‖ i)`; a tag verifies under `k'_j` iff the two parties
+//!   hold the same group key. Each party thereby learns its co-member set
+//!   `Δ` (the partially-successful-handshake extension).
+//! * **Phase III (Full handshake)** — parties in a big-enough `Δ` publish
+//!   `(θ_i, δ_i)` where `δ_i = ENC(pk_T, k'_i)` and
+//!   `θ_i = SENC(k'_i, GSIG.Sign(δ_i ‖ sid))`; everyone else publishes
+//!   decoys drawn uniformly from the same ciphertext spaces, so failures
+//!   are indistinguishable from successes on the wire. Scheme 2
+//!   additionally forces the common `T7 = H→QR(transcript)` and flags
+//!   duplicate `T6` values (self-distinction).
+
+use crate::config::{DgkaChoice, HandshakeOptions, SchemeKind, TracePolicy};
+use crate::member::{Credential, Member};
+use crate::transcript::{HandshakeTranscript, TranscriptEntry};
+use crate::{codec, CoreError};
+use rand::RngCore;
+use shs_bigint::counters;
+use shs_bigint::Ubig;
+use shs_crypto::{aead, hmac, Key};
+use shs_dgka::{bd, gdh};
+use shs_groups::cs;
+use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+use shs_gsig::params::{GsigParams, GsigPreset};
+use shs_gsig::{acjt, ky};
+use shs_net::observe::TrafficLog;
+use shs_net::sync::BroadcastNet;
+
+/// A participant slot in a handshake session.
+pub enum Actor<'a> {
+    /// A group member with real credentials.
+    Member(&'a Member),
+    /// An adversary without credentials for any relevant group: it runs
+    /// the public DGKA protocol honestly but holds a random "group key"
+    /// and publishes decoys in Phase III. Passing several `Outsider`
+    /// slots models an adversary playing multiple roles
+    /// (the "A plays the roles of multiple participants" clauses of
+    /// Fig. 2).
+    Outsider,
+}
+
+impl std::fmt::Debug for Actor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Actor::Member(m) => write!(f, "Actor::Member({})", m.id()),
+            Actor::Outsider => write!(f, "Actor::Outsider"),
+        }
+    }
+}
+
+/// Per-slot result of a handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// This party's slot.
+    pub slot: usize,
+    /// Did the *full* handshake succeed (all parties same group, all
+    /// signatures valid, no duplicate participants)? This is the paper's
+    /// binary `Handshake(∆) = 1`.
+    pub accepted: bool,
+    /// The co-member set `Δ` this party observed (slots whose Phase-II
+    /// tags verified, including itself).
+    pub same_group_slots: Vec<usize>,
+    /// Slots of `Δ` whose Phase-III group signature verified.
+    pub verified_slots: Vec<usize>,
+    /// Slots flagged by self-distinction (duplicate `T6`), scheme 2 only.
+    pub duplicate_slots: Vec<usize>,
+    /// Session key established with the accepted partners (present when
+    /// this party completed a full or partial handshake).
+    pub session_key: Option<Key>,
+}
+
+impl Outcome {
+    /// Did this party complete at least a *partial* handshake
+    /// (`|Δ| ≥ 2` with all of `Δ` verified)?
+    pub fn partial_accepted(&self) -> bool {
+        self.session_key.is_some()
+    }
+}
+
+/// Per-slot cost accounting for the complexity experiments (E1/E2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotCosts {
+    /// Modular exponentiations performed by this slot.
+    pub modexp: u64,
+    /// Messages this slot broadcast.
+    pub messages_sent: u64,
+    /// Bytes this slot broadcast.
+    pub bytes_sent: u64,
+}
+
+/// Everything a handshake session produced.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// Per-slot outcomes.
+    pub outcomes: Vec<Outcome>,
+    /// The `{(θ_i, δ_i)}` transcript for `GCD.TraceUser` (empty under
+    /// [`TracePolicy::PreliminaryOnly`]).
+    pub transcript: HandshakeTranscript,
+    /// The eavesdropper's traffic log.
+    pub traffic: TrafficLog,
+    /// Per-slot cost accounting.
+    pub costs: Vec<SlotCosts>,
+}
+
+/// Per-slot output of Phase I, protocol-independent.
+struct Phase1Slot {
+    /// Session id (transcript hash of the key agreement).
+    sid: Vec<u8>,
+    /// The agreed session key `k*` as this slot computed it.
+    k_star: Key,
+    /// Each sender's key-agreement contribution as *this slot* received
+    /// it (own entry = as sent). This is the `s` of Phase II's MAC.
+    contributions: Vec<Vec<u8>>,
+}
+
+struct SlotState<'a> {
+    actor: &'a Actor<'a>,
+    sid: Vec<u8>,
+    k_prime: Key,
+    contributions: Vec<Vec<u8>>,
+    /// Phase-II payloads as received, per sender.
+    seen_tags: Vec<Vec<u8>>,
+    delta_set: Vec<usize>,
+    /// Own Phase-III signature's T6 (scheme 2).
+    own_t6: Option<Ubig>,
+}
+
+/// Effective parameter view for one slot (outsiders mimic the session's
+/// dominant configuration).
+#[derive(Clone, Copy)]
+struct SlotParams {
+    scheme: SchemeKind,
+    params: GsigParams,
+}
+
+fn meter<T>(costs: &mut SlotCosts, f: impl FnOnce() -> T) -> T {
+    let (c, out) = counters::measure(f);
+    costs.modexp += c.modexp;
+    out
+}
+
+fn note_send(costs: &mut SlotCosts, payload: &[u8]) {
+    costs.messages_sent += 1;
+    costs.bytes_sent += payload.len() as u64;
+}
+
+/// Runs a handshake session among `actors` on a fresh anonymous broadcast
+/// medium configured per `opts`.
+///
+/// # Errors
+///
+/// [`CoreError::BadSession`] for fewer than two actors; network and codec
+/// errors are propagated.
+pub fn run_handshake(
+    actors: &[Actor<'_>],
+    opts: &HandshakeOptions,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<SessionResult, CoreError> {
+    let mut net = BroadcastNet::new(actors.len(), opts.delivery);
+    run_handshake_with_net(actors, opts, &mut net, rng)
+}
+
+/// [`run_handshake`] over a caller-provided medium (so tests can install
+/// man-in-the-middle interceptors or inspect traffic mid-run).
+///
+/// # Errors
+///
+/// See [`run_handshake`].
+pub fn run_handshake_with_net(
+    actors: &[Actor<'_>],
+    opts: &HandshakeOptions,
+    net: &mut BroadcastNet<'_>,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<SessionResult, CoreError> {
+    let m = actors.len();
+    if m < 2 || net.slots() != m {
+        return Err(CoreError::BadSession);
+    }
+    let group = session_group(actors);
+    let mimic = mimic_params(actors);
+    let mut costs = vec![SlotCosts::default(); m];
+
+    // ---- Phase I: distributed group key agreement -----------------------
+    let phase1 = match opts.dgka {
+        DgkaChoice::BurmesterDesmedt => phase1_bd(group, m, net, &mut costs, rng)?,
+        DgkaChoice::Gdh2 => phase1_gdh(group, m, net, &mut costs, rng)?,
+    };
+
+    // k'_i = k* ⊕ k_i.
+    let mut slots: Vec<SlotState<'_>> = Vec::with_capacity(m);
+    for (actor, p1) in actors.iter().zip(phase1) {
+        let k_i = match actor {
+            Actor::Member(member) => member.group_key().clone(),
+            Actor::Outsider => Key::random(rng),
+        };
+        let k_prime = p1.k_star.xor(&k_i);
+        slots.push(SlotState {
+            actor,
+            sid: p1.sid,
+            k_prime,
+            contributions: p1.contributions,
+            seen_tags: Vec::new(),
+            delta_set: Vec::new(),
+            own_t6: None,
+        });
+    }
+
+    // ---- Phase II: MAC tags ----------------------------------------------
+    let mut out_tags = Vec::with_capacity(m);
+    for (i, slot) in slots.iter().enumerate() {
+        let tag = phase2_tag(&slot.k_prime, &slot.sid, &slot.contributions[i], i);
+        note_send(&mut costs[i], &tag);
+        out_tags.push(tag.to_vec());
+    }
+    let inboxes = net.exchange("phase2-mac", out_tags)?;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let mut seen = vec![Vec::new(); m];
+        for rcv in &inboxes[i] {
+            seen[rcv.from_slot] = rcv.payload.clone();
+        }
+        let mut delta = Vec::new();
+        #[allow(clippy::needless_range_loop)] // j is a slot id, not just an index
+        for j in 0..m {
+            if j == i {
+                delta.push(j);
+                continue;
+            }
+            let expected = phase2_tag(&slot.k_prime, &slot.sid, &slot.contributions[j], j);
+            if shs_crypto::ct::eq(&expected, &seen[j]) {
+                delta.push(j);
+            }
+        }
+        slot.seen_tags = seen;
+        slot.delta_set = delta;
+    }
+
+    // ---- Phase III (unless preliminary-only) ------------------------------
+    let mut transcript = HandshakeTranscript::default();
+    let mut verified: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut duplicates: Vec<Vec<usize>> = vec![Vec::new(); m];
+    if opts.policy == TracePolicy::Full {
+        let mut out_p3 = Vec::with_capacity(m);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let publish_real = match slot.actor {
+                Actor::Member(_) => {
+                    slot.delta_set.len() == m || (opts.partial_success && slot.delta_set.len() >= 2)
+                }
+                Actor::Outsider => false,
+            };
+            let payload = meter(&mut costs[i], || {
+                phase3_payload(slot, group, &mimic, publish_real, rng)
+            })?;
+            note_send(&mut costs[i], &payload);
+            out_p3.push(payload);
+        }
+        let inboxes = net.exchange("phase3-full", out_p3.clone())?;
+
+        // Build the public transcript (slot order) from the broadcast.
+        transcript.sid = slots[0].sid.clone();
+        for payload in &out_p3 {
+            let (theta, delta) = decode_p3(payload)?;
+            transcript.entries.push(TranscriptEntry { theta, delta });
+        }
+
+        // Verification.
+        for (i, slot) in slots.iter().enumerate() {
+            let Actor::Member(member) = slot.actor else {
+                continue;
+            };
+            let expected_t7 = if member.scheme().self_distinct() {
+                Some(meter(&mut costs[i], || common_t7(member, slot)))
+            } else {
+                None
+            };
+            let mut t6_seen: Vec<(usize, Ubig)> = Vec::new();
+            if let Some(t6) = &slot.own_t6 {
+                t6_seen.push((i, t6.clone()));
+            }
+            for rcv in &inboxes[i] {
+                let j = rcv.from_slot;
+                if j == i || !slot.delta_set.contains(&j) {
+                    continue;
+                }
+                let Ok((theta, delta_bytes)) = decode_p3(&rcv.payload) else {
+                    continue;
+                };
+                let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
+                    continue;
+                };
+                let mut msg = delta_bytes.clone();
+                msg.extend_from_slice(&slot.sid);
+                let ok = meter(&mut costs[i], || {
+                    verify_sig(member, &msg, &sig_bytes, expected_t7.as_ref())
+                });
+                if let Some(t6) = ok {
+                    verified[i].push(j);
+                    if let Some(t6) = t6 {
+                        t6_seen.push((j, t6));
+                    }
+                }
+            }
+            // Self-distinction: flag every slot whose T6 collides.
+            for (a_idx, (slot_a, t6_a)) in t6_seen.iter().enumerate() {
+                for (slot_b, t6_b) in t6_seen.iter().skip(a_idx + 1) {
+                    if t6_a == t6_b {
+                        if !duplicates[i].contains(slot_a) {
+                            duplicates[i].push(*slot_a);
+                        }
+                        if !duplicates[i].contains(slot_b) {
+                            duplicates[i].push(*slot_b);
+                        }
+                    }
+                }
+            }
+            duplicates[i].sort_unstable();
+        }
+    }
+
+    // ---- Outcomes ----------------------------------------------------------
+    let mut outcomes = Vec::with_capacity(m);
+    for (i, slot) in slots.iter().enumerate() {
+        let is_member = matches!(slot.actor, Actor::Member(_));
+        let delta = slot.delta_set.clone();
+        let mut verified_i = verified[i].clone();
+        if is_member {
+            verified_i.push(i); // own signature trivially verified
+        }
+        verified_i.sort_unstable();
+        let all_delta_verified = opts.policy == TracePolicy::PreliminaryOnly
+            || delta.iter().all(|j| verified_i.contains(j));
+        let clean = duplicates[i].is_empty();
+        let accepted = is_member && delta.len() == m && all_delta_verified && clean;
+        let partial_ok =
+            is_member && opts.partial_success && delta.len() >= 2 && all_delta_verified && clean;
+        let session_key = if accepted || partial_ok {
+            Some(derive_session_key(&slot.k_prime, &slot.sid, &delta))
+        } else {
+            None
+        };
+        outcomes.push(Outcome {
+            slot: i,
+            accepted,
+            same_group_slots: delta,
+            verified_slots: verified_i,
+            duplicate_slots: duplicates[i].clone(),
+            session_key,
+        });
+    }
+
+    Ok(SessionResult {
+        outcomes,
+        transcript,
+        traffic: net.traffic().clone(),
+        costs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Phase I drivers
+// ---------------------------------------------------------------------------
+
+/// Burmester–Desmedt over the broadcast medium: two rounds, everyone
+/// active in both. A slot's "contribution" is its framed `(z_i, X_i)`
+/// pair.
+fn phase1_bd(
+    group: &'static SchnorrGroup,
+    m: usize,
+    net: &mut BroadcastNet<'_>,
+    costs: &mut [SlotCosts],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<Vec<Phase1Slot>, CoreError> {
+    let mut parties = Vec::with_capacity(m);
+    let mut out_r1 = Vec::with_capacity(m);
+    #[allow(clippy::needless_range_loop)] // i is the party's slot id
+    for i in 0..m {
+        let (party, r1) =
+            meter(&mut costs[i], || bd::Party::start(group, m, i, rng)).map_err(CoreError::Dgka)?;
+        let payload = encode_elem(group, i, &r1.z);
+        note_send(&mut costs[i], &payload);
+        out_r1.push(payload);
+        parties.push(party);
+    }
+    let inboxes_r1 = net.exchange("dgka-r1", out_r1)?;
+
+    let mut out_r2 = Vec::with_capacity(m);
+    let mut seen_r1: Vec<Vec<Vec<u8>>> = Vec::with_capacity(m);
+    for (i, party) in parties.iter_mut().enumerate() {
+        let mut seen = vec![Vec::new(); m];
+        let mut msgs = Vec::with_capacity(m);
+        for rcv in &inboxes_r1[i] {
+            seen[rcv.from_slot] = rcv.payload.clone();
+            let (sender, z) = decode_elem(group, rcv.from_slot, &rcv.payload)?;
+            msgs.push(bd::Round1 { sender, z });
+        }
+        seen_r1.push(seen);
+        let r2 = meter(&mut costs[i], || party.round2(&msgs)).map_err(CoreError::Dgka)?;
+        let payload = encode_elem(group, i, &r2.x);
+        note_send(&mut costs[i], &payload);
+        out_r2.push(payload);
+    }
+    let inboxes_r2 = net.exchange("dgka-r2", out_r2)?;
+
+    let mut out = Vec::with_capacity(m);
+    for (i, party) in parties.iter().enumerate() {
+        let mut msgs = Vec::with_capacity(m);
+        let mut contributions = vec![Vec::new(); m];
+        for rcv in &inboxes_r2[i] {
+            let (sender, x) = decode_elem(group, rcv.from_slot, &rcv.payload)?;
+            msgs.push(bd::Round2 { sender, x });
+            // Contribution of sender j = framed r1 ‖ r2 as this slot saw
+            // them.
+            let mut w = crate::wire::Writer::new();
+            w.put_bytes(&seen_r1[i][rcv.from_slot]);
+            w.put_bytes(&rcv.payload);
+            contributions[rcv.from_slot] = w.into_bytes();
+        }
+        let session = meter(&mut costs[i], || party.finish(&msgs)).map_err(CoreError::Dgka)?;
+        out.push(Phase1Slot {
+            sid: session.sid.to_vec(),
+            k_star: session.key,
+            contributions,
+        });
+    }
+    Ok(out)
+}
+
+/// GDH.2 over the broadcast medium: an `m`-round chain in which round `t`
+/// belongs to slot `t`. To keep the wire shape independent of who is
+/// doing what, **every** non-active slot transmits cover traffic of
+/// exactly the active message's length each round (a standard cover-
+/// traffic discipline on anonymous broadcast media).
+fn phase1_gdh(
+    group: &'static SchnorrGroup,
+    m: usize,
+    net: &mut BroadcastNet<'_>,
+    costs: &mut [SlotCosts],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<Vec<Phase1Slot>, CoreError> {
+    let mut parties = Vec::with_capacity(m);
+    for i in 0..m {
+        parties.push(gdh::Party::new(group, m, i, rng).map_err(CoreError::Dgka)?);
+    }
+    // Each slot's view of every sender's real contribution (chaff is cover
+    // traffic and never enters the MACs).
+    let mut views: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); m]; m];
+    let mut upflow: Option<gdh::Upflow> = None;
+    let mut final_broadcasts: Vec<Option<gdh::Broadcast>> = vec![None; m];
+
+    for t in 0..m {
+        // Active slot t computes its message; everyone else sends chaff of
+        // the same (publicly known) length.
+        let active_payload = if t == 0 {
+            let up = meter(&mut costs[0], || parties[0].initiate()).map_err(CoreError::Dgka)?;
+            let payload = encode_upflow(group, &up);
+            upflow = Some(up);
+            payload
+        } else {
+            let prev = upflow.take().ok_or(CoreError::BadSession)?;
+            let step =
+                meter(&mut costs[t], || parties[t].advance(&prev)).map_err(CoreError::Dgka)?;
+            match step {
+                gdh::Step::Upflow(up) => {
+                    let payload = encode_upflow(group, &up);
+                    upflow = Some(up);
+                    payload
+                }
+                gdh::Step::Broadcast(b) => encode_gdh_broadcast(group, &b),
+            }
+        };
+        let expected_len = active_payload.len();
+        let mut round_out = Vec::with_capacity(m);
+        for (i, cost) in costs.iter_mut().enumerate().take(m) {
+            let payload = if i == t {
+                active_payload.clone()
+            } else {
+                let mut chaff = vec![0u8; expected_len];
+                rng.fill_bytes(&mut chaff);
+                chaff
+            };
+            note_send(cost, &payload);
+            round_out.push(payload);
+        }
+        let inboxes = net.exchange(&format!("dgka-gdh-{t}"), round_out)?;
+        // Every slot records slot t's real message as that sender's
+        // contribution (from its own, possibly tampered, inbox).
+        for (i, inbox) in inboxes.iter().enumerate() {
+            for rcv in inbox {
+                if rcv.from_slot == t {
+                    views[i][t] = rcv.payload.clone();
+                }
+            }
+        }
+        if t + 1 < m {
+            // The successor re-decodes the upflow from ITS inbox so MITM
+            // tampering on that link is honored.
+            if let Some(rcv) = inboxes[t + 1].iter().find(|r| r.from_slot == t) {
+                upflow = Some(decode_upflow(group, &rcv.payload)?);
+            }
+        } else {
+            // Final round: every slot decodes the broadcast from its own
+            // inbox.
+            for (i, inbox) in inboxes.iter().enumerate() {
+                if let Some(rcv) = inbox.iter().find(|r| r.from_slot == t) {
+                    final_broadcasts[i] = Some(decode_gdh_broadcast(group, &rcv.payload)?);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(m);
+    for (i, party) in parties.iter().enumerate() {
+        let broadcast = final_broadcasts[i].take().ok_or(CoreError::BadSession)?;
+        let session = meter(&mut costs[i], || party.finish(&broadcast)).map_err(CoreError::Dgka)?;
+        out.push(Phase1Slot {
+            sid: session.sid.to_vec(),
+            k_star: session.key,
+            contributions: std::mem::take(&mut views[i]),
+        });
+    }
+    Ok(out)
+}
+
+fn session_group(actors: &[Actor<'_>]) -> &'static SchnorrGroup {
+    for a in actors {
+        if let Actor::Member(member) = a {
+            return member.tracing_group;
+        }
+    }
+    SchnorrGroup::system_wide(SchnorrPreset::Test)
+}
+
+fn mimic_params(actors: &[Actor<'_>]) -> SlotParams {
+    for a in actors {
+        if let Actor::Member(member) = a {
+            return SlotParams {
+                scheme: member.scheme(),
+                params: *member.cred.params(),
+            };
+        }
+    }
+    SlotParams {
+        scheme: SchemeKind::Scheme1,
+        params: GsigParams::preset(GsigPreset::Test),
+    }
+}
+
+fn encode_elem(group: &SchnorrGroup, sender: usize, v: &Ubig) -> Vec<u8> {
+    let mut w = crate::wire::Writer::new();
+    w.put_u32(sender as u32);
+    w.put_ubig_fixed(v, codec::p_width(group));
+    w.into_bytes()
+}
+
+fn decode_elem(
+    group: &SchnorrGroup,
+    from: usize,
+    bytes: &[u8],
+) -> Result<(usize, Ubig), CoreError> {
+    let mut r = crate::wire::Reader::new(bytes);
+    let sender = r.take_u32()? as usize;
+    let v = r.take_ubig_fixed(codec::p_width(group))?;
+    r.finish()?;
+    if sender != from {
+        return Err(CoreError::BadSession);
+    }
+    Ok((sender, v))
+}
+
+fn encode_upflow(group: &SchnorrGroup, up: &gdh::Upflow) -> Vec<u8> {
+    let pw = codec::p_width(group);
+    let mut w = crate::wire::Writer::new();
+    w.put_u32(up.contributors as u32);
+    w.put_u32(up.partials.len() as u32);
+    for p in &up.partials {
+        w.put_ubig_fixed(p, pw);
+    }
+    w.put_ubig_fixed(&up.cumulative, pw);
+    w.into_bytes()
+}
+
+fn decode_upflow(group: &SchnorrGroup, bytes: &[u8]) -> Result<gdh::Upflow, CoreError> {
+    let pw = codec::p_width(group);
+    let mut r = crate::wire::Reader::new(bytes);
+    let contributors = r.take_u32()? as usize;
+    let count = r.take_u32()? as usize;
+    if count > 4096 {
+        return Err(CoreError::Wire(crate::wire::WireError::BadLength));
+    }
+    let mut partials = Vec::with_capacity(count);
+    for _ in 0..count {
+        partials.push(r.take_ubig_fixed(pw)?);
+    }
+    let cumulative = r.take_ubig_fixed(pw)?;
+    r.finish()?;
+    Ok(gdh::Upflow {
+        contributors,
+        partials,
+        cumulative,
+    })
+}
+
+fn encode_gdh_broadcast(group: &SchnorrGroup, b: &gdh::Broadcast) -> Vec<u8> {
+    let pw = codec::p_width(group);
+    let mut w = crate::wire::Writer::new();
+    w.put_u32(b.values.len() as u32);
+    for v in &b.values {
+        w.put_ubig_fixed(v, pw);
+    }
+    w.into_bytes()
+}
+
+fn decode_gdh_broadcast(group: &SchnorrGroup, bytes: &[u8]) -> Result<gdh::Broadcast, CoreError> {
+    let pw = codec::p_width(group);
+    let mut r = crate::wire::Reader::new(bytes);
+    let count = r.take_u32()? as usize;
+    if count > 4096 {
+        return Err(CoreError::Wire(crate::wire::WireError::BadLength));
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(r.take_ubig_fixed(pw)?);
+    }
+    r.finish()?;
+    Ok(gdh::Broadcast { values })
+}
+
+/// `MAC(k'_i, sid ‖ s_i ‖ i)` where `s_i` is the party's Phase-I
+/// contribution.
+fn phase2_tag(k_prime: &Key, sid: &[u8], contribution: &[u8], slot: usize) -> Vec<u8> {
+    hmac::HmacSha256::new(k_prime.as_bytes())
+        .chain(b"gcd-phase2")
+        .chain(sid)
+        .chain(&(contribution.len() as u64).to_be_bytes())
+        .chain(contribution)
+        .chain(&(slot as u64).to_be_bytes())
+        .finalize()
+        .to_vec()
+}
+
+/// Self-distinction basis: the concatenation of everything sent in Phases
+/// I and II, as this slot saw it (§8.2: "the concatenation of all messages
+/// sent by the handshake participants").
+fn sd_basis(slot: &SlotState<'_>) -> Vec<u8> {
+    let mut basis = b"gcd-sd-basis".to_vec();
+    basis.extend_from_slice(&slot.sid);
+    for part in slot.contributions.iter().chain(&slot.seen_tags) {
+        basis.extend_from_slice(&(part.len() as u64).to_be_bytes());
+        basis.extend_from_slice(part);
+    }
+    basis
+}
+
+fn common_t7(member: &Member, slot: &SlotState<'_>) -> Ubig {
+    match &member.cred {
+        Credential::Ky { pk, .. } => pk.common_t7(&sd_basis(slot)),
+        Credential::Acjt { .. } => unreachable!("self-distinction requires the KY scheme"),
+    }
+}
+
+fn phase3_payload(
+    slot: &mut SlotState<'_>,
+    group: &'static SchnorrGroup,
+    mimic: &SlotParams,
+    publish_real: bool,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<Vec<u8>, CoreError> {
+    let (theta, delta_bytes) = if publish_real {
+        let Actor::Member(member) = slot.actor else {
+            unreachable!("outsiders never publish")
+        };
+        let delta = cs::encrypt(group, &member.tracing_pk, slot.k_prime.as_bytes(), rng);
+        let delta_bytes = codec::encode_delta(group, &delta);
+        let mut msg = delta_bytes.clone();
+        msg.extend_from_slice(&slot.sid);
+        let sig_bytes = match &member.cred {
+            Credential::Ky { pk, key } => {
+                let basis;
+                let sign_basis = if member.scheme().self_distinct() {
+                    basis = sd_basis(slot);
+                    ky::SignBasis::Common(&basis)
+                } else {
+                    ky::SignBasis::Random
+                };
+                let sig = ky::sign(pk, key, &msg, sign_basis, rng);
+                slot.own_t6 = Some(sig.tags.t6.clone());
+                codec::encode_ky_sig(&pk.params, &sig)
+            }
+            Credential::Acjt { pk, key } => {
+                let sig = acjt::sign(pk, key, &msg, rng);
+                codec::encode_acjt_sig(&pk.params, &sig)
+            }
+        };
+        let theta = aead::seal(&slot.k_prime, &sig_bytes, &slot.sid, rng);
+        (theta, delta_bytes)
+    } else {
+        // CASE 2: decoys drawn from the same ciphertext spaces (§7).
+        let (scheme, params) = match slot.actor {
+            Actor::Member(member) => (member.scheme(), *member.cred.params()),
+            Actor::Outsider => (mimic.scheme, mimic.params),
+        };
+        let sig_len = match scheme {
+            SchemeKind::Scheme1 | SchemeKind::Scheme2SelfDistinct => codec::ky_sig_len(&params),
+            SchemeKind::Scheme1Classic => codec::acjt_sig_len(&params),
+        };
+        let theta = aead::random_ciphertext(sig_len, rng);
+        let delta = cs::random_ciphertext(group, Key::LEN, rng);
+        (theta, codec::encode_delta(group, &delta))
+    };
+    let mut w = crate::wire::Writer::new();
+    w.put_bytes(&theta);
+    w.put_bytes(&delta_bytes);
+    Ok(w.into_bytes())
+}
+
+fn decode_p3(bytes: &[u8]) -> Result<(Vec<u8>, Vec<u8>), CoreError> {
+    let mut r = crate::wire::Reader::new(bytes);
+    let theta = r.take_bytes()?;
+    let delta = r.take_bytes()?;
+    r.finish()?;
+    Ok((theta, delta))
+}
+
+/// Verifies a co-member's Phase-III signature; returns its `T6` (KY) on
+/// success, `None`-payload for ACJT.
+fn verify_sig(
+    member: &Member,
+    msg: &[u8],
+    sig_bytes: &[u8],
+    expected_t7: Option<&Ubig>,
+) -> Option<Option<Ubig>> {
+    match &member.cred {
+        Credential::Ky { pk, .. } => {
+            let sig = codec::decode_ky_sig(&pk.params, sig_bytes).ok()?;
+            ky::verify_with_tokens(pk, msg, &sig, expected_t7, &member.crl.tokens).ok()?;
+            Some(Some(sig.tags.t6))
+        }
+        Credential::Acjt { pk, .. } => {
+            let sig = codec::decode_acjt_sig(&pk.params, sig_bytes).ok()?;
+            acjt::verify(pk, msg, &sig).ok()?;
+            Some(None)
+        }
+    }
+}
+
+fn derive_session_key(k_prime: &Key, sid: &[u8], delta: &[usize]) -> Key {
+    let mut ikm = k_prime.as_bytes().to_vec();
+    ikm.extend_from_slice(sid);
+    for &s in delta {
+        ikm.extend_from_slice(&(s as u64).to_be_bytes());
+    }
+    Key::derive(&ikm, "gcd-session-key")
+}

@@ -1,0 +1,262 @@
+//! The member side of a group: credentials, CGKD state, CRL copy, and the
+//! `SHS.Update` operation.
+
+use crate::config::{GroupConfig, SchemeKind};
+use crate::{codec, CoreError};
+use shs_cgkd::lkh::LkhMember;
+use shs_cgkd::sd::SdMember;
+use shs_cgkd::MemberState;
+use shs_crypto::{aead, Key};
+use shs_groups::cs;
+use shs_groups::schnorr::SchnorrGroup;
+use shs_gsig::crl::Crl;
+use shs_gsig::ky::MemberId;
+use shs_gsig::params::GsigParams;
+use shs_gsig::{acjt, ky};
+use std::sync::Arc;
+
+/// A member's group-signature credential (one variant per instantiation).
+#[derive(Clone)]
+pub enum Credential {
+    /// Kiayias–Yung credential (schemes 1 and 2).
+    Ky {
+        /// Shared group public key.
+        pk: Arc<ky::GroupPublicKey>,
+        /// This member's signing key.
+        key: ky::MemberKey,
+    },
+    /// Classic ACJT credential (scheme 1-classic).
+    Acjt {
+        /// Shared group public key.
+        pk: Arc<acjt::GroupPublicKey>,
+        /// This member's signing key.
+        key: acjt::MemberKey,
+    },
+}
+
+impl std::fmt::Debug for Credential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Credential::Ky { key, .. } => write!(f, "Credential::Ky({})", key.id),
+            Credential::Acjt { key, .. } => write!(f, "Credential::Acjt({})", key.id),
+        }
+    }
+}
+
+impl Credential {
+    /// The member's pseudonymous identity.
+    pub fn id(&self) -> MemberId {
+        match self {
+            Credential::Ky { key, .. } => key.id,
+            Credential::Acjt { key, .. } => key.id,
+        }
+    }
+
+    /// The interval parameters of the credential's group.
+    pub fn params(&self) -> &GsigParams {
+        match self {
+            Credential::Ky { pk, .. } => &pk.params,
+            Credential::Acjt { pk, .. } => &pk.params,
+        }
+    }
+}
+
+/// A rekey broadcast from whichever CGKD backend the group runs.
+#[derive(Debug, Clone)]
+pub enum RekeyBroadcast {
+    /// LKH rekey items.
+    Lkh(shs_cgkd::lkh::LkhBroadcast),
+    /// Subset-Difference cover broadcast.
+    Sd(shs_cgkd::sd::SdBroadcast),
+}
+
+impl RekeyBroadcast {
+    /// The epoch this broadcast establishes.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            RekeyBroadcast::Lkh(b) => b.epoch,
+            RekeyBroadcast::Sd(b) => b.epoch,
+        }
+    }
+}
+
+/// An encrypted group-state update posted on the bulletin board
+/// (`GCD.AdmitMember` / `GCD.RemoveUser` output; consumed by
+/// `GCD.Update`).
+#[derive(Debug, Clone)]
+pub struct GroupUpdate {
+    /// The CGKD rekey broadcast.
+    pub rekey: RekeyBroadcast,
+    /// GSIG state update (CRL delta), AEAD-encrypted under the **new**
+    /// group key so revoked members cannot read it.
+    pub payload_ct: Vec<u8>,
+}
+
+/// Member-side CGKD state, by backend.
+#[derive(Debug, Clone)]
+pub(crate) enum CgkdMember {
+    /// LKH path keys.
+    Lkh(LkhMember),
+    /// SD labels (stateless).
+    Sd(SdMember),
+}
+
+impl CgkdMember {
+    pub(crate) fn group_key(&self) -> &Key {
+        match self {
+            CgkdMember::Lkh(m) => m.group_key(),
+            CgkdMember::Sd(m) => m.group_key(),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        match self {
+            CgkdMember::Lkh(m) => m.epoch(),
+            CgkdMember::Sd(m) => m.epoch(),
+        }
+    }
+
+    pub(crate) fn process(&mut self, rekey: &RekeyBroadcast) -> Result<(), shs_cgkd::CgkdError> {
+        match (self, rekey) {
+            (CgkdMember::Lkh(m), RekeyBroadcast::Lkh(b)) => m.process(b),
+            (CgkdMember::Sd(m), RekeyBroadcast::Sd(b)) => m.process(b),
+            _ => Err(shs_cgkd::CgkdError::CannotDecrypt),
+        }
+    }
+}
+
+/// Content of the encrypted update payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct UpdatePayload {
+    pub crl_delta: Option<shs_gsig::crl::CrlDelta>,
+}
+
+pub(crate) fn encode_update_payload(params: &GsigParams, p: &UpdatePayload) -> Vec<u8> {
+    let mut w = crate::wire::Writer::new();
+    match &p.crl_delta {
+        None => w.put_u8(0),
+        Some(d) => {
+            w.put_u8(1);
+            w.put_bytes(&codec::encode_crl_delta(params, d));
+        }
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn decode_update_payload(
+    params: &GsigParams,
+    bytes: &[u8],
+) -> Result<UpdatePayload, CoreError> {
+    let mut r = crate::wire::Reader::new(bytes);
+    let tag = r.take_u8()?;
+    let payload = match tag {
+        0 => UpdatePayload { crl_delta: None },
+        1 => {
+            let inner = r.take_bytes()?;
+            UpdatePayload {
+                crl_delta: Some(codec::decode_crl_delta(params, &inner)?),
+            }
+        }
+        _ => return Err(CoreError::Wire(crate::wire::WireError::BadTag)),
+    };
+    r.finish()?;
+    Ok(payload)
+}
+
+pub(crate) fn update_aad(epoch: u64) -> Vec<u8> {
+    format!("gcd-update:{epoch}").into_bytes()
+}
+
+/// A group member: everything `U_i` holds (Fig. 1 of the paper).
+pub struct Member {
+    pub(crate) config: GroupConfig,
+    pub(crate) cred: Credential,
+    pub(crate) cgkd: CgkdMember,
+    pub(crate) crl: Crl,
+    pub(crate) tracing_group: &'static SchnorrGroup,
+    pub(crate) tracing_pk: cs::PublicKey,
+}
+
+impl std::fmt::Debug for Member {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Member {{ id: {}, scheme: {:?}, epoch: {} }}",
+            self.cred.id(),
+            self.config.scheme,
+            self.cgkd.epoch()
+        )
+    }
+}
+
+impl Member {
+    /// The member's pseudonymous identity (known to the GA; never revealed
+    /// during handshakes).
+    pub fn id(&self) -> MemberId {
+        self.cred.id()
+    }
+
+    /// The scheme this member's group runs.
+    pub fn scheme(&self) -> SchemeKind {
+        self.config.scheme
+    }
+
+    /// The member's current CGKD group key `k_i`.
+    pub fn group_key(&self) -> &Key {
+        self.cgkd.group_key()
+    }
+
+    /// The member's current CRL version.
+    pub fn crl_version(&self) -> u64 {
+        self.crl.version
+    }
+
+    /// The member's view of the CGKD epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cgkd.epoch()
+    }
+
+    /// The credential (used by the handshake driver).
+    pub fn credential(&self) -> &Credential {
+        &self.cred
+    }
+
+    /// `SHS.Update`: processes a bulletin-board update — runs
+    /// `CGKD.Rekey`, then decrypts the GSIG state update with the *new*
+    /// group key and applies the CRL delta.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Cgkd`] when the rekey cannot be processed (revoked
+    /// members land here), [`CoreError::UpdateRejected`] when the payload
+    /// fails authentication or ordering.
+    pub fn apply_update(&mut self, update: &GroupUpdate) -> Result<(), CoreError> {
+        self.cgkd.process(&update.rekey).map_err(CoreError::Cgkd)?;
+        let aad = update_aad(update.rekey.epoch());
+        let pt = aead::open(self.cgkd.group_key(), &update.payload_ct, &aad)
+            .map_err(|_| CoreError::UpdateRejected)?;
+        let payload = decode_update_payload(self.cred.params(), &pt)?;
+        if let Some(delta) = payload.crl_delta {
+            self.crl
+                .apply(&delta)
+                .map_err(|_| CoreError::UpdateRejected)?;
+        }
+        Ok(())
+    }
+
+    /// Leaks this member's current group key — **test/experiment API**
+    /// modelling the §3 attack where an unrevoked member hands the CGKD
+    /// key to a revoked one (experiment E7b).
+    pub fn leak_group_key(&self) -> Key {
+        self.cgkd.group_key().clone()
+    }
+
+    /// Overwrites this member's group key with a leaked one —
+    /// the receiving side of the E7b attack.
+    pub fn adopt_leaked_key(&mut self, key: Key, epoch: u64) {
+        match &mut self.cgkd {
+            CgkdMember::Lkh(m) => m.force_group_key(key, epoch),
+            CgkdMember::Sd(m) => m.force_group_key(key, epoch),
+        }
+    }
+}

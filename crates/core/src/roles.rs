@@ -1,0 +1,287 @@
+//! Role / clearance-level handshakes.
+//!
+//! The paper's introduction motivates handshakes scoped to roles: *"Alice
+//! might want to authenticate herself as an agent with a certain clearance
+//! level only if Bob is also an agent with at least the same clearance
+//! level."* Because the paper notes that group-scoped handshakes extend
+//! naturally to roles ("this property can be further extended to ensure
+//! that group members' affiliations are revealed only to members who hold
+//! specific roles in the group"), this module realizes the extension the
+//! canonical way: one GCD sub-group per clearance level, where a member
+//! with clearance `c` holds credentials for **every level `≤ c`**.
+//!
+//! A handshake "at level L" is then an ordinary GCD handshake in the
+//! level-`L` sub-group: it succeeds exactly among parties whose clearance
+//! is **at least** `L`, and reveals nothing to (or about) anyone below.
+
+use crate::authority::GroupAuthority;
+use crate::config::GroupConfig;
+use crate::member::{GroupUpdate, Member};
+use crate::CoreError;
+use rand::RngCore;
+use shs_groups::rsa::{RsaGroup, RsaSecret};
+
+/// A clearance level (0 = base membership; higher = more privileged).
+pub type Level = usize;
+
+/// An authority managing one sub-group per clearance level.
+pub struct RoleAuthority {
+    levels: Vec<GroupAuthority>,
+}
+
+impl std::fmt::Debug for RoleAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RoleAuthority {{ levels: {} }}", self.levels.len())
+    }
+}
+
+/// A member holding credentials for levels `0..=clearance`.
+pub struct RoleMember {
+    clearance: Level,
+    per_level: Vec<Member>,
+}
+
+impl std::fmt::Debug for RoleMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RoleMember {{ clearance: {}, base id: {} }}",
+            self.clearance,
+            self.per_level[0].id()
+        )
+    }
+}
+
+/// A bulletin-board update scoped to one level's sub-group.
+#[derive(Debug)]
+pub struct LevelUpdate {
+    /// Which level's sub-group changed.
+    pub level: Level,
+    /// The sub-group update itself.
+    pub update: GroupUpdate,
+}
+
+impl RoleAuthority {
+    /// Creates an authority with `levels` clearance levels, reusing one
+    /// RSA setting across the per-level sub-groups (each level still gets
+    /// independent generators, tracing keys and group keys).
+    pub fn create_with_rsa(
+        config: GroupConfig,
+        levels: usize,
+        rsa: RsaGroup,
+        rsa_secret: RsaSecret,
+        rng: &mut impl RngCore,
+    ) -> RoleAuthority {
+        assert!(levels >= 1, "need at least one level");
+        let levels = (0..levels)
+            .map(|_| GroupAuthority::create_with_rsa(config, rsa.clone(), rsa_secret.clone(), rng))
+            .collect();
+        RoleAuthority { levels }
+    }
+
+    /// Number of clearance levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level authority (e.g. for tracing a level-scoped
+    /// transcript).
+    pub fn authority_at(&self, level: Level) -> Option<&GroupAuthority> {
+        self.levels.get(level)
+    }
+
+    /// Admits a member with the given clearance: it joins the sub-groups
+    /// of every level `0..=clearance`. Returns the member plus one update
+    /// per affected level (to broadcast to existing members).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadSession`] when `clearance` exceeds the configured
+    /// levels; admission errors are propagated.
+    pub fn admit(
+        &mut self,
+        clearance: Level,
+        rng: &mut impl RngCore,
+    ) -> Result<(RoleMember, Vec<LevelUpdate>), CoreError> {
+        if clearance >= self.levels.len() {
+            return Err(CoreError::BadSession);
+        }
+        let mut per_level = Vec::with_capacity(clearance + 1);
+        let mut updates = Vec::with_capacity(clearance + 1);
+        for level in 0..=clearance {
+            let (member, update) = self.levels[level].admit(rng)?;
+            per_level.push(member);
+            updates.push(LevelUpdate { level, update });
+        }
+        Ok((
+            RoleMember {
+                clearance,
+                per_level,
+            },
+            updates,
+        ))
+    }
+
+    /// Revokes a member from every level it holds (demotion to a specific
+    /// level can be done by revoking only the upper levels).
+    ///
+    /// # Errors
+    ///
+    /// Propagates removal errors.
+    pub fn revoke_above(
+        &mut self,
+        member: &RoleMember,
+        keep_levels_below: Level,
+        rng: &mut impl RngCore,
+    ) -> Result<Vec<LevelUpdate>, CoreError> {
+        let mut updates = Vec::new();
+        for level in keep_levels_below..=member.clearance {
+            let id = member.per_level[level].id();
+            let update = self.levels[level].remove(id, rng)?;
+            updates.push(LevelUpdate { level, update });
+        }
+        Ok(updates)
+    }
+}
+
+impl RoleMember {
+    /// This member's clearance.
+    pub fn clearance(&self) -> Level {
+        self.clearance
+    }
+
+    /// The credential for handshakes at `level`, if this member is
+    /// cleared for it. Handshaking "at level L" means passing
+    /// `member.at_level(L)` into the ordinary handshake driver.
+    pub fn at_level(&self, level: Level) -> Option<&Member> {
+        self.per_level.get(level)
+    }
+
+    /// Applies a level-scoped update; updates for levels above this
+    /// member's clearance are (and must be) invisible to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `Member::apply_update` errors for levels this member
+    /// holds.
+    pub fn apply_update(&mut self, update: &LevelUpdate) -> Result<(), CoreError> {
+        match self.per_level.get_mut(update.level) {
+            Some(member) => member.apply_update(&update.update),
+            None => Ok(()), // not cleared for that level: nothing to see
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HandshakeOptions, SchemeKind};
+    use crate::handshake::{run_handshake, Actor};
+    use shs_crypto::drbg::HmacDrbg;
+
+    fn setup() -> (RoleAuthority, Vec<RoleMember>) {
+        let mut rng = HmacDrbg::from_seed(b"roles-test");
+        let (rsa, secret) = shs_gsig::fixtures::test_rsa_setting().clone();
+        let mut ra = RoleAuthority::create_with_rsa(
+            GroupConfig::test(SchemeKind::Scheme1),
+            3,
+            rsa,
+            secret,
+            &mut rng,
+        );
+        // Clearances: alice 2 (top), bob 2, carol 1, dave 0.
+        let mut members: Vec<RoleMember> = Vec::new();
+        for clearance in [2usize, 2, 1, 0] {
+            let (m, updates) = ra.admit(clearance, &mut rng).unwrap();
+            for u in &updates {
+                for existing in members.iter_mut() {
+                    existing.apply_update(u).unwrap();
+                }
+            }
+            members.push(m);
+        }
+        (ra, members)
+    }
+
+    #[test]
+    fn handshake_at_top_level_only_for_top_clearance() {
+        let (_ra, members) = setup();
+        let mut rng = HmacDrbg::from_seed(b"roles-hs");
+        // Alice and Bob (both clearance 2) handshake at level 2.
+        let session = [
+            Actor::Member(members[0].at_level(2).unwrap()),
+            Actor::Member(members[1].at_level(2).unwrap()),
+        ];
+        let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng).unwrap();
+        assert!(r.outcomes.iter().all(|o| o.accepted));
+        // Carol (clearance 1) simply has no level-2 credential.
+        assert!(members[2].at_level(2).is_none());
+    }
+
+    #[test]
+    fn lower_clearance_member_fails_upward_handshake() {
+        let (_ra, members) = setup();
+        let mut rng = HmacDrbg::from_seed(b"roles-up");
+        // Carol tries to pass her level-1 credential in a level-2 session:
+        // different sub-group, so the MACs expose nothing and fail.
+        let session = [
+            Actor::Member(members[0].at_level(2).unwrap()),
+            Actor::Member(members[1].at_level(2).unwrap()),
+            Actor::Member(members[2].at_level(1).unwrap()),
+        ];
+        let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng).unwrap();
+        assert_eq!(r.outcomes[0].same_group_slots, vec![0, 1]);
+        assert!(!r.outcomes[0].accepted);
+        assert_eq!(r.outcomes[2].same_group_slots, vec![2]);
+    }
+
+    #[test]
+    fn everyone_meets_at_level_zero() {
+        let (_ra, members) = setup();
+        let mut rng = HmacDrbg::from_seed(b"roles-base");
+        let session: Vec<Actor<'_>> = members
+            .iter()
+            .map(|m| Actor::Member(m.at_level(0).unwrap()))
+            .collect();
+        let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng).unwrap();
+        assert!(r.outcomes.iter().all(|o| o.accepted));
+    }
+
+    #[test]
+    fn demotion_revokes_upper_levels_only() {
+        let (mut ra, mut members) = setup();
+        let mut rng = HmacDrbg::from_seed(b"roles-demote");
+        // Demote Bob to clearance 0: revoke levels 1..=2.
+        let bob = members.remove(1);
+        let updates = ra.revoke_above(&bob, 1, &mut rng).unwrap();
+        assert_eq!(updates.len(), 2);
+        for u in &updates {
+            for m in members.iter_mut() {
+                m.apply_update(u).unwrap();
+            }
+        }
+        // Level-2 handshake between Alice and (stale) Bob now fails...
+        let session = [
+            Actor::Member(members[0].at_level(2).unwrap()),
+            Actor::Member(bob.at_level(2).unwrap()),
+        ];
+        let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng).unwrap();
+        assert!(!r.outcomes[0].accepted);
+        // ...but Bob still participates at level 0.
+        let session = [
+            Actor::Member(members[0].at_level(0).unwrap()),
+            Actor::Member(bob.at_level(0).unwrap()),
+        ];
+        let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng).unwrap();
+        assert!(r.outcomes.iter().all(|o| o.accepted));
+    }
+
+    #[test]
+    fn clearance_bounds_checked() {
+        let (mut ra, _members) = setup();
+        let mut rng = HmacDrbg::from_seed(b"roles-bounds");
+        assert!(matches!(ra.admit(3, &mut rng), Err(CoreError::BadSession)));
+        assert!(ra.authority_at(2).is_some());
+        assert!(ra.authority_at(3).is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! A small deterministic wire codec for handshake messages.
+//!
+//! Indistinguishability to eavesdroppers requires that real and decoy
+//! Phase-III payloads have *identical* lengths, so all big integers are
+//! encoded at **fixed widths** (padded to the modulus / parameter size)
+//! rather than at their natural length. Everything is length- or
+//! width-deterministic; no self-describing container format is used.
+
+use shs_bigint::{Int, Sign, Ubig};
+
+/// Errors from decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended early.
+    Truncated,
+    /// A tag/discriminant byte was invalid.
+    BadTag,
+    /// A length prefix exceeded sanity bounds.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag => write!(f, "invalid discriminant byte"),
+            WireError::BadLength => write!(f, "length prefix out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finishes and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a fixed-width big-endian integer (padded with zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit (caller controls widths).
+    pub fn put_ubig_fixed(&mut self, v: &Ubig, width: usize) {
+        self.buf.extend_from_slice(&v.to_bytes_be_padded(width));
+    }
+
+    /// Appends a signed integer at fixed magnitude width plus a sign byte.
+    pub fn put_int_fixed(&mut self, v: &Int, width: usize) {
+        self.buf.push(if v.is_negative() { 1 } else { 0 });
+        self.put_ubig_fixed(v.magnitude(), width);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, data: &[u8]) {
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends raw bytes with no prefix (fixed-size fields).
+    pub fn put_raw(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a fixed-width unsigned integer.
+    pub fn take_ubig_fixed(&mut self, width: usize) -> Result<Ubig, WireError> {
+        Ok(Ubig::from_bytes_be(self.take(width)?))
+    }
+
+    /// Reads a sign byte plus fixed-width magnitude.
+    pub fn take_int_fixed(&mut self, width: usize) -> Result<Int, WireError> {
+        let sign = match self.take(1)?[0] {
+            0 => Sign::Plus,
+            1 => Sign::Minus,
+            _ => return Err(WireError::BadTag),
+        };
+        Ok(Int::new(sign, self.take_ubig_fixed(width)?))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.take_u32()? as usize;
+        if len > 1 << 28 {
+            return Err(WireError::BadLength);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Requires that all input was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadLength)
+        }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.put_ubig_fixed(&Ubig::from_u64(0xdead), 8);
+        w.put_int_fixed(&Int::from_i64(-42), 4);
+        w.put_bytes(b"hello");
+        w.put_u32(7);
+        w.put_u64(1 << 40);
+        w.put_u8(3);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_ubig_fixed(8).unwrap(), Ubig::from_u64(0xdead));
+        assert_eq!(r.take_int_fixed(4).unwrap(), Int::from_i64(-42));
+        assert_eq!(r.take_bytes().unwrap(), b"hello");
+        assert_eq!(r.take_u32().unwrap(), 7);
+        assert_eq!(r.take_u64().unwrap(), 1 << 40);
+        assert_eq!(r.take_u8().unwrap(), 3);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn fixed_width_is_deterministic() {
+        // Same width regardless of magnitude — the property decoys rely
+        // on.
+        let mut w1 = Writer::new();
+        w1.put_ubig_fixed(&Ubig::one(), 32);
+        let mut w2 = Writer::new();
+        w2.put_ubig_fixed(&Ubig::one().shl(200), 32);
+        assert_eq!(w1.len(), w2.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_bytes(b"abc");
+        let mut bytes = w.into_bytes();
+        bytes.pop();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_bytes().err(), Some(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        let mut bytes = w.into_bytes();
+        bytes.push(9);
+        let mut r = Reader::new(&bytes);
+        r.take_u8().unwrap();
+        assert_eq!(r.finish().err(), Some(WireError::BadLength));
+    }
+
+    #[test]
+    fn bad_sign_byte_rejected() {
+        let bytes = [7u8, 0, 0, 0, 0];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_int_fixed(4).err(), Some(WireError::BadTag));
+    }
+
+    #[test]
+    fn zero_roundtrips_at_width() {
+        let mut w = Writer::new();
+        w.put_ubig_fixed(&Ubig::zero(), 16);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 16);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_ubig_fixed(16).unwrap(), Ubig::zero());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the wire codec and the fixed-width signature
+//! encodings the decoy machinery depends on.
+
+use proptest::prelude::*;
+use shs_bigint::{Int, Sign, Ubig};
+use shs_core::wire::{Reader, Writer};
+
+fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u64>(), 0..=limbs).prop_map(Ubig::from_limbs)
+}
+
+fn int(limbs: usize) -> impl Strategy<Value = Int> {
+    (ubig(limbs), any::<bool>())
+        .prop_map(|(mag, neg)| Int::new(if neg { Sign::Minus } else { Sign::Plus }, mag))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mixed_field_roundtrip(
+        a in ubig(4),
+        b in int(3),
+        bytes in prop::collection::vec(any::<u8>(), 0..100),
+        x in any::<u32>(),
+        y in any::<u64>(),
+        z in any::<u8>(),
+    ) {
+        let a_width = (a.bits() as usize).div_ceil(8).max(1);
+        let b_width = (b.magnitude().bits() as usize).div_ceil(8).max(1);
+        let mut w = Writer::new();
+        w.put_ubig_fixed(&a, a_width);
+        w.put_int_fixed(&b, b_width);
+        w.put_bytes(&bytes);
+        w.put_u32(x);
+        w.put_u64(y);
+        w.put_u8(z);
+        let buf = w.into_bytes();
+
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.take_ubig_fixed(a_width).unwrap(), a);
+        let b2 = r.take_int_fixed(b_width).unwrap();
+        // -0 normalizes to +0.
+        prop_assert_eq!(b2.magnitude(), b.magnitude());
+        if !b.is_zero() {
+            prop_assert_eq!(b2.is_negative(), b.is_negative());
+        }
+        prop_assert_eq!(r.take_bytes().unwrap(), bytes);
+        prop_assert_eq!(r.take_u32().unwrap(), x);
+        prop_assert_eq!(r.take_u64().unwrap(), y);
+        prop_assert_eq!(r.take_u8().unwrap(), z);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..60),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut w = Writer::new();
+        w.put_bytes(&bytes);
+        w.put_u64(7);
+        let buf = w.into_bytes();
+        let cut = cut.index(buf.len() + 1).min(buf.len());
+        let mut r = Reader::new(&buf[..cut]);
+        // Decoding may fail but must never panic.
+        let _ = r.take_bytes().and_then(|_| r.take_u64());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        use shs_core::codec;
+        use shs_gsig::params::{GsigParams, GsigPreset};
+        use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+        let params = GsigParams::preset(GsigPreset::Test);
+        let group = SchnorrGroup::system_wide(SchnorrPreset::Test);
+        // All decoders must be total on arbitrary input.
+        let _ = codec::decode_ky_sig(&params, &garbage);
+        let _ = codec::decode_acjt_sig(&params, &garbage);
+        let _ = codec::decode_delta(group, &garbage);
+        let _ = codec::decode_crl_delta(&params, &garbage);
+    }
+}

@@ -1,0 +1,178 @@
+//! Authenticated encryption with associated data, built as
+//! ChaCha20 + HMAC-SHA-256 in the encrypt-then-MAC composition.
+//!
+//! This is the `SENC`/`SDEC` of §7 Phase III (encrypting group signatures
+//! under `k'_i`), the transport protection for CGKD rekey messages, and the
+//! DEM half of the hybrid Cramer–Shoup encryption used for the tracing key.
+//!
+//! Wire format: `nonce (12) ‖ ciphertext ‖ tag (32)`.
+//! The MAC covers `aad_len_be64 ‖ aad ‖ nonce ‖ ciphertext` under a MAC key
+//! derived (HKDF) from the same 256-bit master key as the cipher key, so a
+//! single [`Key`] drives the whole AEAD.
+
+use crate::{chacha20, ct, hkdf, hmac, Key};
+use rand::RngCore;
+
+/// Ciphertext expansion: nonce plus tag.
+pub const OVERHEAD: usize = chacha20::NONCE_LEN + hmac::TAG_LEN;
+
+/// Error returned when decryption fails authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ciphertext failed authentication")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+fn subkeys(key: &Key) -> ([u8; 32], [u8; 32]) {
+    let okm = hkdf::hkdf(&[], key.as_bytes(), b"shs-aead-v1", 64);
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    enc.copy_from_slice(&okm[..32]);
+    mac.copy_from_slice(&okm[32..]);
+    (enc, mac)
+}
+
+fn compute_tag(mac_key: &[u8; 32], aad: &[u8], nonce: &[u8], ct: &[u8]) -> [u8; hmac::TAG_LEN] {
+    hmac::HmacSha256::new(mac_key)
+        .chain(&(aad.len() as u64).to_be_bytes())
+        .chain(aad)
+        .chain(nonce)
+        .chain(ct)
+        .finalize()
+}
+
+/// Encrypts `plaintext` with associated data `aad` under `key`, using a
+/// random nonce drawn from `rng`.
+pub fn seal(key: &Key, plaintext: &[u8], aad: &[u8], rng: &mut (impl RngCore + ?Sized)) -> Vec<u8> {
+    let mut nonce = [0u8; chacha20::NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    seal_with_nonce(key, plaintext, aad, &nonce)
+}
+
+/// Deterministic variant of [`seal`] with a caller-provided nonce.
+///
+/// The caller is responsible for nonce uniqueness per key.
+pub fn seal_with_nonce(
+    key: &Key,
+    plaintext: &[u8],
+    aad: &[u8],
+    nonce: &[u8; chacha20::NONCE_LEN],
+) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(key);
+    let ct = chacha20::encrypt(&enc_key, nonce, plaintext);
+    let tag = compute_tag(&mac_key, aad, nonce, &ct);
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(nonce);
+    out.extend_from_slice(&ct);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts and authenticates a ciphertext produced by [`seal`].
+///
+/// # Errors
+///
+/// Returns [`AuthError`] if the ciphertext is malformed, the tag does not
+/// verify, or the associated data differs.
+pub fn open(key: &Key, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, AuthError> {
+    if sealed.len() < OVERHEAD {
+        return Err(AuthError);
+    }
+    let (nonce_bytes, rest) = sealed.split_at(chacha20::NONCE_LEN);
+    let (ct, tag) = rest.split_at(rest.len() - hmac::TAG_LEN);
+    let nonce: [u8; chacha20::NONCE_LEN] = nonce_bytes.try_into().expect("split length");
+    let (enc_key, mac_key) = subkeys(key);
+    let expected = compute_tag(&mac_key, aad, &nonce, ct);
+    if !ct::eq(&expected, tag) {
+        return Err(AuthError);
+    }
+    let mut pt = ct.to_vec();
+    chacha20::xor_stream(&enc_key, &nonce, 1, &mut pt);
+    Ok(pt)
+}
+
+/// Returns a uniformly random byte string with the exact length of a sealed
+/// ciphertext for a plaintext of `plaintext_len` bytes.
+///
+/// Used by the handshake to publish *fake* `θ_i` values after a failed
+/// Phase II (§7 CASE 2) so that failures are indistinguishable from
+/// successes to eavesdroppers.
+pub fn random_ciphertext(plaintext_len: usize, rng: &mut (impl RngCore + ?Sized)) -> Vec<u8> {
+    let mut out = vec![0u8; plaintext_len + OVERHEAD];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = Key::from_bytes([42; 32]);
+        let mut r = rng();
+        for len in [0usize, 1, 63, 64, 65, 1000] {
+            let pt = vec![0x5Au8; len];
+            let ct = seal(&key, &pt, b"aad", &mut r);
+            assert_eq!(ct.len(), len + OVERHEAD);
+            assert_eq!(open(&key, &ct, b"aad").unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut r = rng();
+        let ct = seal(&Key::from_bytes([1; 32]), b"msg", b"", &mut r);
+        assert_eq!(open(&Key::from_bytes([2; 32]), &ct, b""), Err(AuthError));
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let mut r = rng();
+        let key = Key::from_bytes([1; 32]);
+        let ct = seal(&key, b"msg", b"aad-1", &mut r);
+        assert_eq!(open(&key, &ct, b"aad-2"), Err(AuthError));
+    }
+
+    #[test]
+    fn tampering_fails() {
+        let mut r = rng();
+        let key = Key::from_bytes([1; 32]);
+        let ct = seal(&key, b"a fairly long message body", b"", &mut r);
+        for idx in [0usize, 12, 20, ct.len() - 1] {
+            let mut bad = ct.clone();
+            bad[idx] ^= 0x80;
+            assert_eq!(open(&key, &bad, b""), Err(AuthError), "byte {idx}");
+        }
+        // Truncation fails too.
+        assert_eq!(open(&key, &ct[..ct.len() - 1], b""), Err(AuthError));
+        assert_eq!(open(&key, &[], b""), Err(AuthError));
+    }
+
+    #[test]
+    fn random_ciphertext_has_right_length() {
+        let mut r = rng();
+        let fake = random_ciphertext(17, &mut r);
+        let real = seal(&Key::from_bytes([0; 32]), &[0u8; 17], b"", &mut r);
+        assert_eq!(fake.len(), real.len());
+    }
+
+    #[test]
+    fn nonces_differ_between_seals() {
+        let mut r = rng();
+        let key = Key::from_bytes([3; 32]);
+        let a = seal(&key, b"same", b"", &mut r);
+        let b = seal(&key, b"same", b"", &mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,150 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the ChaCha20 keystream starting at
+/// `initial_counter`.
+///
+/// Encryption and decryption are the same operation.
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(block_idx as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience: returns the encryption of `data` (counter starts at 1 as in
+/// RFC 8439's AEAD construction, reserving block 0 for key derivation).
+pub fn encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_stream(key, nonce, 1, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(hex(&out[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
+        assert_eq!(hex(&out[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(hex(&ct[ct.len() - 10..]), "b40b8eedf2785e42874d");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let msg = b"the quick brown fox jumps over the lazy dog, twice over";
+        let mut buf = msg.to_vec();
+        xor_stream(&key, &nonce, 1, &mut buf);
+        assert_ne!(&buf[..], &msg[..]);
+        xor_stream(&key, &nonce, 1, &mut buf);
+        assert_eq!(&buf[..], &msg[..]);
+    }
+
+    #[test]
+    fn counter_continuity() {
+        // Encrypting in one go equals encrypting block-by-block with
+        // advancing counters.
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let data = vec![0xABu8; 200];
+        let mut whole = data.clone();
+        xor_stream(&key, &nonce, 5, &mut whole);
+        let mut parts = data.clone();
+        let (a, b) = parts.split_at_mut(64);
+        xor_stream(&key, &nonce, 5, a);
+        let (b1, b2) = b.split_at_mut(64);
+        xor_stream(&key, &nonce, 6, b1);
+        xor_stream(&key, &nonce, 7, b2);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [9u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_stream(&key, &[0u8; 12], 1, &mut a);
+        xor_stream(&key, &[1u8; 12], 1, &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Constant-time byte comparison.
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately (and unavoidably non-constant-time) when the
+/// lengths differ — lengths are public in every use in this workspace.
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_and_unequal() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"abc", b"abcd"));
+        // Difference only in the first byte.
+        assert!(!eq(b"xbc", b"abc"));
+    }
+}

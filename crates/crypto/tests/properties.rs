@@ -1,0 +1,116 @@
+//! Property-based tests of the symmetric toolbox.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use shs_crypto::{aead, chacha20, ct, drbg::HmacDrbg, hkdf, hmac, sha256, Key};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_split_invariance(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in prop::collection::vec(any::<u8>(), 0..80),
+        data in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let t1 = hmac::mac(&key, &data);
+        let t2 = hmac::mac(&key, &data);
+        prop_assert_eq!(t1, t2);
+        prop_assert!(hmac::verify(&key, &data, &t1));
+        let mut key2 = key.clone();
+        key2.push(1);
+        prop_assert_ne!(hmac::mac(&key2, &data), t1);
+    }
+
+    #[test]
+    fn hkdf_prefix_consistency(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        info in prop::collection::vec(any::<u8>(), 0..32),
+        len in 1usize..200,
+    ) {
+        // Longer outputs extend shorter ones (same prk/info).
+        let long = hkdf::hkdf(b"salt", &ikm, &info, len);
+        let short = hkdf::hkdf(b"salt", &ikm, &info, len / 2 + 1);
+        prop_assert_eq!(&long[..short.len()], &short[..]);
+        prop_assert_eq!(long.len(), len);
+    }
+
+    #[test]
+    fn chacha_xor_is_involutive(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut buf = data.clone();
+        chacha20::xor_stream(&key, &nonce, counter, &mut buf);
+        chacha20::xor_stream(&key, &nonce, counter, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aead_roundtrip(
+        key in any::<[u8; 32]>(),
+        pt in prop::collection::vec(any::<u8>(), 0..300),
+        aad in prop::collection::vec(any::<u8>(), 0..50),
+        seed in any::<u64>(),
+    ) {
+        let key = Key::from_bytes(key);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ctxt = aead::seal(&key, &pt, &aad, &mut rng);
+        prop_assert_eq!(ctxt.len(), pt.len() + aead::OVERHEAD);
+        prop_assert_eq!(aead::open(&key, &ctxt, &aad).unwrap(), pt);
+    }
+
+    #[test]
+    fn aead_tamper_any_byte_fails(
+        key in any::<[u8; 32]>(),
+        pt in prop::collection::vec(any::<u8>(), 1..100),
+        idx in any::<prop::sample::Index>(),
+        flip in 1u8..,
+    ) {
+        let key = Key::from_bytes(key);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut ctxt = aead::seal(&key, &pt, b"aad", &mut rng);
+        let i = idx.index(ctxt.len());
+        ctxt[i] ^= flip;
+        prop_assert!(aead::open(&key, &ctxt, b"aad").is_err());
+    }
+
+    #[test]
+    fn ct_eq_matches_slice_eq(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(ct::eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn drbg_streams_are_seed_determined(seed in prop::collection::vec(any::<u8>(), 1..64)) {
+        let mut a = HmacDrbg::from_seed(&seed);
+        let mut b = HmacDrbg::from_seed(&seed);
+        let mut xa = [0u8; 48];
+        let mut xb = [0u8; 48];
+        a.generate(&mut xa);
+        b.generate(&mut xb);
+        prop_assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn key_xor_group_laws(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let ka = Key::from_bytes(a);
+        let kb = Key::from_bytes(b);
+        prop_assert_eq!(ka.xor(&kb), kb.xor(&ka));
+        prop_assert_eq!(ka.xor(&kb).xor(&kb), ka.clone());
+        let zero = ka.xor(&ka);
+        prop_assert_eq!(zero.as_bytes(), &[0u8; 32]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Distributed group key agreement (the paper's **D** building block, §6).
+//!
+//! Implements the two unauthenticated ("raw") protocols the paper names as
+//! natural instantiations:
+//!
+//! * [`bd`] — Burmester–Desmedt \[11\]: two broadcast rounds, a constant
+//!   number of exponentiations per party.
+//! * [`gdh`] — GDH.2 (Steiner–Tsudik–Waidner \[30\]): `m-1` unicast upflow
+//!   steps plus one broadcast; work grows with the party's position.
+//!
+//! Per the paper's definition (Fig. 5), the protocols are *unauthenticated*
+//! — resistance to man-in-the-middle comes from the handshake layer, where
+//! the derived key is XOR-blinded with the CGKD group key and confirmed by
+//! MACs (§7 Phase II). The Katz–Yung authenticated compiler \[21\] the paper
+//! cites is additionally provided in [`ake`] (with Schnorr signatures from
+//! [`sig`]) for the E3 ablation. Each instance outputs a [`SessionOutput`] with the
+//! session key `sk`, the session id `sid` (a hash of the transcript) and
+//! the participant count, matching `acc/sid/pid/sk` of the definition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ake;
+pub mod bd;
+pub mod gdh;
+pub mod sig;
+
+use shs_crypto::Key;
+
+/// Result of a successful key-agreement instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutput {
+    /// The agreed session key (`sk`).
+    pub key: Key,
+    /// Session identifier: a hash over the protocol transcript (`sid`).
+    pub sid: [u8; 32],
+    /// Number of participants (`|pid|`).
+    pub participants: usize,
+}
+
+/// Errors produced by the key-agreement protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DgkaError {
+    /// A message arrived for the wrong round or from the wrong sender.
+    ProtocolViolation,
+    /// A message contained a value outside the group.
+    BadElement,
+    /// The message set for a round was incomplete.
+    MissingMessage,
+    /// Parameters were degenerate (fewer than two parties, bad index).
+    BadParameters,
+}
+
+impl std::fmt::Display for DgkaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DgkaError::ProtocolViolation => {
+                write!(f, "message violates the protocol state machine")
+            }
+            DgkaError::BadElement => write!(f, "message element is not a group member"),
+            DgkaError::MissingMessage => write!(f, "round message set incomplete"),
+            DgkaError::BadParameters => write!(f, "degenerate protocol parameters"),
+        }
+    }
+}
+
+impl std::error::Error for DgkaError {}

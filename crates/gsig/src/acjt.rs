@@ -1,0 +1,630 @@
+//! The ACJT2000 group signature scheme (Ateniese–Camenisch–Joye–Tsudik),
+//! the basis the paper cites for instantiation §8.1.
+//!
+//! Member key: `(A, e, x)` with `A^e = a0·a^x mod n`, `x ∈ Λ` known *only*
+//! to the member, `e ∈ Γ` prime. Signature tags:
+//! `T1 = A·y^w, T2 = g^w, T3 = g^e·h^w` plus a Fiat–Shamir proof of
+//! knowledge of `(x, e, w, h'=e·w)`.
+//!
+//! Compared to [`crate::ky`], this scheme offers **full-anonymity**
+//! (there is no GM-known per-member trapdoor at all, hence no user
+//! tracing and no VLR revocation): the framework instantiated over it
+//! achieves *full-unlinkability* (Theorem 1) but relies entirely on CGKD
+//! revocation — the exact trade-off §3 of the paper discusses, and the
+//! subject of the E7(b)/E9 experiments.
+
+use crate::params::GsigParams;
+use crate::proofs::{self, Transcript};
+use crate::GsigError;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use shs_bigint::{rng as brng, Int, Ubig};
+use shs_groups::rsa::{RsaGroup, RsaParams, RsaSecret};
+
+pub use crate::ky::MemberId;
+
+/// The ACJT group public key `(n, a, a0, g, h, y)`.
+#[derive(Debug, Clone)]
+pub struct GroupPublicKey {
+    /// Interval parameters.
+    pub params: GsigParams,
+    rsa: RsaGroup,
+    /// Base for the membership secret `x`.
+    pub a: Ubig,
+    /// Constant of the certificate equation.
+    pub a0: Ubig,
+    /// Blinding base.
+    pub g: Ubig,
+    /// Second blinding base.
+    pub h: Ubig,
+    /// Opening key `y = g^θ`.
+    pub y: Ubig,
+}
+
+/// Serializable form of [`GroupPublicKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupPublicKeyParams {
+    /// Interval parameters.
+    pub params: GsigParams,
+    /// Modulus.
+    pub rsa: RsaParams,
+    /// See [`GroupPublicKey::a`].
+    pub a: Ubig,
+    /// See [`GroupPublicKey::a0`].
+    pub a0: Ubig,
+    /// See [`GroupPublicKey::g`].
+    pub g: Ubig,
+    /// See [`GroupPublicKey::h`].
+    pub h: Ubig,
+    /// See [`GroupPublicKey::y`].
+    pub y: Ubig,
+}
+
+impl GroupPublicKey {
+    /// Serializable parameters.
+    pub fn to_params(&self) -> GroupPublicKeyParams {
+        GroupPublicKeyParams {
+            params: self.params,
+            rsa: self.rsa.params(),
+            a: self.a.clone(),
+            a0: self.a0.clone(),
+            g: self.g.clone(),
+            h: self.h.clone(),
+            y: self.y.clone(),
+        }
+    }
+
+    /// Rebuilds from parameters.
+    pub fn from_params(p: GroupPublicKeyParams) -> GroupPublicKey {
+        GroupPublicKey {
+            params: p.params,
+            rsa: RsaGroup::from_params(p.rsa),
+            a: p.a,
+            a0: p.a0,
+            g: p.g,
+            h: p.h,
+            y: p.y,
+        }
+    }
+
+    /// The RSA group.
+    pub fn rsa(&self) -> &RsaGroup {
+        &self.rsa
+    }
+
+    fn transcript_for(&self, message: &[u8], t: &[&Ubig; 3], b: &[Ubig; 4]) -> Transcript {
+        let mut tr = Transcript::new("shs-gsig-acjt");
+        tr.append_ubig("n", self.rsa.n());
+        tr.append_ubig("a", &self.a);
+        tr.append_ubig("a0", &self.a0);
+        tr.append_ubig("g", &self.g);
+        tr.append_ubig("h", &self.h);
+        tr.append_ubig("y", &self.y);
+        tr.append("m", message);
+        for (i, tag) in t.iter().enumerate() {
+            tr.append_ubig(&format!("T{}", i + 1), tag);
+        }
+        for (i, bi) in b.iter().enumerate() {
+            tr.append_ubig(&format!("B{}", i + 1), bi);
+        }
+        tr
+    }
+}
+
+/// An ACJT signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// `A·y^w`.
+    pub t1: Ubig,
+    /// `g^w`.
+    pub t2: Ubig,
+    /// `g^e·h^w`.
+    pub t3: Ubig,
+    /// Fiat–Shamir challenge.
+    pub c: Ubig,
+    /// Response for `x`.
+    pub s_x: Int,
+    /// Response for `e`.
+    pub s_e: Int,
+    /// Response for `w`.
+    pub s_w: Int,
+    /// Response for `h' = e·w`.
+    pub s_h: Int,
+}
+
+/// A member's signing key: `(A, e, x)` with `x` known only to the member.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct MemberKey {
+    /// Pseudonymous identity.
+    pub id: MemberId,
+    a_cert: Ubig,
+    e: Ubig,
+    x: Ubig,
+}
+
+impl MemberKey {
+    /// The certificate `A` (tests only).
+    pub fn certificate(&self) -> &Ubig {
+        &self.a_cert
+    }
+}
+
+impl std::fmt::Debug for MemberKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "acjt::MemberKey {{ id: {}, secrets: **** }}", self.id)
+    }
+}
+
+/// GM-side member record: note there is **no** tracing trapdoor — only the
+/// certificate, preserving full-anonymity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberRecord {
+    /// Member identity.
+    pub id: MemberId,
+    /// Certificate `A`.
+    pub a_cert: Ubig,
+    /// Certificate prime `e`.
+    pub e: Ubig,
+    /// Revocation flag (effective only via the registry / CGKD — ACJT has
+    /// no VLR mechanism; see crate docs).
+    pub revoked: bool,
+}
+
+/// The ACJT group manager.
+pub struct GroupManager {
+    pk: GroupPublicKey,
+    rsa_secret: RsaSecret,
+    theta: Ubig,
+    members: Vec<MemberRecord>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for GroupManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acjt::GroupManager {{ members: {}, secrets: **** }}",
+            self.members.len()
+        )
+    }
+}
+
+/// Member's first join message: commitment `C = a^x` plus PoK of `x ∈ Λ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinRequest {
+    /// `C = a^x`.
+    pub commitment: Ubig,
+    /// PoK challenge.
+    pub pok_c: Ubig,
+    /// PoK response.
+    pub pok_s: Int,
+}
+
+/// Member's private join state.
+pub struct JoinSecret {
+    x: Ubig,
+}
+
+impl std::fmt::Debug for JoinSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "acjt::JoinSecret(****)")
+    }
+}
+
+/// GM's join reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinResponse {
+    /// Assigned identity.
+    pub id: MemberId,
+    /// `A = (a0·C)^{1/e}`.
+    pub a_cert: Ubig,
+    /// Certificate prime.
+    pub e: Ubig,
+}
+
+impl GroupManager {
+    /// `Setup` with a fresh RSA modulus.
+    pub fn setup(params: GsigParams, rng: &mut (impl RngCore + ?Sized)) -> GroupManager {
+        let (rsa, rsa_secret) = RsaGroup::generate(params.modulus_bits, rng);
+        Self::setup_with_rsa(params, rsa, rsa_secret, rng)
+    }
+
+    /// `Setup` reusing an existing RSA setting.
+    pub fn setup_with_rsa(
+        params: GsigParams,
+        rsa: RsaGroup,
+        rsa_secret: RsaSecret,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> GroupManager {
+        let a = rsa_secret.qr_generator(&rsa, rng);
+        let a0 = rsa_secret.qr_generator(&rsa, rng);
+        let g = rsa_secret.qr_generator(&rsa, rng);
+        let h = rsa_secret.qr_generator(&rsa, rng);
+        let theta = brng::below(rng, &rsa.n().shr(2));
+        let y = rsa.exp(&g, &theta);
+        let pk = GroupPublicKey {
+            params,
+            rsa,
+            a,
+            a0,
+            g,
+            h,
+            y,
+        };
+        GroupManager {
+            pk,
+            rsa_secret,
+            theta,
+            members: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The group public key.
+    pub fn public_key(&self) -> &GroupPublicKey {
+        &self.pk
+    }
+
+    /// The member registry.
+    pub fn members(&self) -> &[MemberRecord] {
+        &self.members
+    }
+
+    /// GM side of `Join`.
+    ///
+    /// # Errors
+    ///
+    /// [`GsigError::JoinRejected`] when the PoK fails.
+    pub fn admit(
+        &mut self,
+        req: &JoinRequest,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<JoinResponse, GsigError> {
+        if !verify_join_pok(&self.pk, req) {
+            return Err(GsigError::JoinRejected);
+        }
+        let e = self.pk.params.sample_gamma_prime(rng);
+        let base = self.pk.rsa.mul(&self.pk.a0, &req.commitment);
+        let a_cert = self
+            .rsa_secret
+            .root(&self.pk.rsa, &base, &e)
+            .map_err(|_| GsigError::JoinRejected)?;
+        let id = MemberId(self.next_id);
+        self.next_id += 1;
+        self.members.push(MemberRecord {
+            id,
+            a_cert: a_cert.clone(),
+            e: e.clone(),
+            revoked: false,
+        });
+        Ok(JoinResponse { id, a_cert, e })
+    }
+
+    /// Marks a member revoked in the registry. ACJT offers no VLR; this
+    /// only affects the registry (and the framework's CGKD layer).
+    ///
+    /// # Errors
+    ///
+    /// [`GsigError::UnknownSigner`] for unknown ids.
+    pub fn revoke(&mut self, id: MemberId) -> Result<(), GsigError> {
+        let rec = self
+            .members
+            .iter_mut()
+            .find(|m| m.id == id)
+            .ok_or(GsigError::UnknownSigner)?;
+        rec.revoked = true;
+        Ok(())
+    }
+
+    /// `Open`: recovers `A = T1/T2^θ` and looks up the signer.
+    ///
+    /// # Errors
+    ///
+    /// [`GsigError::InvalidSignature`] for invalid signatures,
+    /// [`GsigError::UnknownSigner`] when no member matches.
+    pub fn open(&self, message: &[u8], sig: &Signature) -> Result<MemberId, GsigError> {
+        verify(&self.pk, message, sig)?;
+        let shield = self.pk.rsa.exp(&sig.t2, &self.theta);
+        let a_cert = self
+            .pk
+            .rsa
+            .div(&sig.t1, &shield)
+            .map_err(|_| GsigError::InvalidSignature)?;
+        self.members
+            .iter()
+            .find(|m| m.a_cert == a_cert)
+            .map(|m| m.id)
+            .ok_or(GsigError::UnknownSigner)
+    }
+}
+
+/// Member side of `Join`, step 1.
+pub fn start_join(
+    pk: &GroupPublicKey,
+    rng: &mut (impl RngCore + ?Sized),
+) -> (JoinSecret, JoinRequest) {
+    let params = &pk.params;
+    let x = params.sample_lambda(rng);
+    let commitment = pk.rsa.exp(&pk.a, &x);
+    let rho = proofs::sample_blind(params.blind_bits(params.lambda2), rng);
+    let big_b = pk.rsa.exp_signed(&pk.a, &rho);
+    let mut t = Transcript::new("shs-gsig-acjt-join");
+    t.append_ubig("n", pk.rsa.n());
+    t.append_ubig("a", &pk.a);
+    t.append_ubig("C", &commitment);
+    t.append_ubig("B", &big_b);
+    let c = t.challenge(params.k);
+    let s = proofs::response(&rho, &c, &x, &pow2(params.lambda1));
+    (
+        JoinSecret { x },
+        JoinRequest {
+            commitment,
+            pok_c: c,
+            pok_s: s,
+        },
+    )
+}
+
+fn verify_join_pok(pk: &GroupPublicKey, req: &JoinRequest) -> bool {
+    let params = &pk.params;
+    if !proofs::response_in_range(&req.pok_s, params.blind_bits(params.lambda2)) {
+        return false;
+    }
+    let exp = proofs::shifted(&req.pok_s, &req.pok_c, params.lambda1);
+    let big_b = pk.rsa.mul(
+        &pk.rsa.exp_signed(&pk.a, &exp),
+        &pk.rsa.exp(&req.commitment, &req.pok_c),
+    );
+    let mut t = Transcript::new("shs-gsig-acjt-join");
+    t.append_ubig("n", pk.rsa.n());
+    t.append_ubig("a", &pk.a);
+    t.append_ubig("C", &req.commitment);
+    t.append_ubig("B", &big_b);
+    t.challenge(params.k) == req.pok_c
+}
+
+/// Member side of `Join`, step 2.
+///
+/// # Errors
+///
+/// [`GsigError::JoinRejected`] when the certificate equation fails.
+pub fn finish_join(
+    pk: &GroupPublicKey,
+    secret: JoinSecret,
+    resp: &JoinResponse,
+) -> Result<MemberKey, GsigError> {
+    let params = &pk.params;
+    if !params.in_gamma(&resp.e) {
+        return Err(GsigError::JoinRejected);
+    }
+    let lhs = pk.rsa.exp(&resp.a_cert, &resp.e);
+    let rhs = pk.rsa.mul(&pk.a0, &pk.rsa.exp(&pk.a, &secret.x));
+    if lhs != rhs {
+        return Err(GsigError::JoinRejected);
+    }
+    Ok(MemberKey {
+        id: resp.id,
+        a_cert: resp.a_cert.clone(),
+        e: resp.e.clone(),
+        x: secret.x,
+    })
+}
+
+/// `Sign`.
+pub fn sign(
+    pk: &GroupPublicKey,
+    key: &MemberKey,
+    message: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Signature {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+
+    let w = brng::below(rng, &pow2(params.r_bits()));
+    let t1 = rsa.mul(&key.a_cert, &rsa.exp(&pk.y, &w));
+    let t2 = rsa.exp(&pk.g, &w);
+    let t3 = rsa.mul(&rsa.exp(&pk.g, &key.e), &rsa.exp(&pk.h, &w));
+    let h_prime = key.e.mul(&w);
+
+    let rho_x = proofs::sample_blind(params.blind_bits(params.lambda2), rng);
+    let rho_e = proofs::sample_blind(params.blind_bits(params.gamma2), rng);
+    let rho_w = proofs::sample_blind(params.blind_bits(params.r_bits()), rng);
+    let rho_h = proofs::sample_blind(params.blind_bits(params.h_bits()), rng);
+
+    // B1 = g^{ρ_w}; B2 = g^{ρ_e} h^{ρ_w}; B3 = T2^{ρ_e} g^{-ρ_h};
+    // B4 = a^{ρ_x} y^{ρ_h} T1^{-ρ_e}.
+    let b1 = rsa.exp_signed(&pk.g, &rho_w);
+    let b2 = rsa.mul(
+        &rsa.exp_signed(&pk.g, &rho_e),
+        &rsa.exp_signed(&pk.h, &rho_w),
+    );
+    let b3 = rsa.mul(
+        &rsa.exp_signed(&t2, &rho_e),
+        &rsa.exp_signed(&pk.g, &rho_h.neg()),
+    );
+    let b4 = rsa.mul(
+        &rsa.mul(
+            &rsa.exp_signed(&pk.a, &rho_x),
+            &rsa.exp_signed(&pk.y, &rho_h),
+        ),
+        &rsa.exp_signed(&t1, &rho_e.neg()),
+    );
+
+    let c = pk
+        .transcript_for(message, &[&t1, &t2, &t3], &[b1, b2, b3, b4])
+        .challenge(params.k);
+
+    let s_x = proofs::response(&rho_x, &c, &key.x, &pow2(params.lambda1));
+    let s_e = proofs::response(&rho_e, &c, &key.e, &pow2(params.gamma1));
+    let s_w = proofs::response(&rho_w, &c, &w, &Ubig::zero());
+    let s_h = proofs::response(&rho_h, &c, &h_prime, &Ubig::zero());
+
+    Signature {
+        t1,
+        t2,
+        t3,
+        c,
+        s_x,
+        s_e,
+        s_w,
+        s_h,
+    }
+}
+
+/// `Verify`.
+///
+/// # Errors
+///
+/// [`GsigError::InvalidSignature`] on any failed check.
+pub fn verify(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<(), GsigError> {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+
+    for tag in [&sig.t1, &sig.t2, &sig.t3] {
+        if tag.is_zero() || *tag >= *rsa.n() {
+            return Err(GsigError::InvalidSignature);
+        }
+    }
+    let ok = proofs::response_in_range(&sig.s_x, params.blind_bits(params.lambda2))
+        && proofs::response_in_range(&sig.s_e, params.blind_bits(params.gamma2))
+        && proofs::response_in_range(&sig.s_w, params.blind_bits(params.r_bits()))
+        && proofs::response_in_range(&sig.s_h, params.blind_bits(params.h_bits()));
+    if !ok {
+        return Err(GsigError::InvalidSignature);
+    }
+
+    let c = &sig.c;
+    let e_e = proofs::shifted(&sig.s_e, c, params.gamma1);
+    let e_x = proofs::shifted(&sig.s_x, c, params.lambda1);
+
+    let b1 = rsa.mul(&rsa.exp_signed(&pk.g, &sig.s_w), &rsa.exp(&sig.t2, c));
+    let b2 = rsa.mul(
+        &rsa.mul(
+            &rsa.exp_signed(&pk.g, &e_e),
+            &rsa.exp_signed(&pk.h, &sig.s_w),
+        ),
+        &rsa.exp(&sig.t3, c),
+    );
+    let b3 = rsa.mul(
+        &rsa.exp_signed(&sig.t2, &e_e),
+        &rsa.exp_signed(&pk.g, &sig.s_h.neg()),
+    );
+    let a0_inv_c = rsa.exp_signed(&pk.a0, &Int::from_ubig(c.clone()).neg());
+    let b4 = rsa.mul(
+        &rsa.mul(
+            &rsa.mul(
+                &rsa.exp_signed(&pk.a, &e_x),
+                &rsa.exp_signed(&pk.y, &sig.s_h),
+            ),
+            &rsa.exp_signed(&sig.t1, &e_e.neg()),
+        ),
+        &a0_inv_c,
+    );
+
+    let c_prime = pk
+        .transcript_for(message, &[&sig.t1, &sig.t2, &sig.t3], &[b1, b2, b3, b4])
+        .challenge(params.k);
+    if &c_prime == c {
+        Ok(())
+    } else {
+        Err(GsigError::InvalidSignature)
+    }
+}
+
+fn pow2(bits: u32) -> Ubig {
+    let mut u = Ubig::zero();
+    u.set_bit(bits);
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::params::GsigPreset;
+    use shs_crypto::drbg::HmacDrbg;
+    use std::sync::OnceLock;
+
+    fn acjt_group() -> &'static (GroupManager, Vec<MemberKey>) {
+        static GROUP: OnceLock<(GroupManager, Vec<MemberKey>)> = OnceLock::new();
+        GROUP.get_or_init(|| {
+            let (rsa, rsa_secret) = fixtures::test_rsa_setting().clone();
+            let params = GsigParams::preset(GsigPreset::Test);
+            let mut rng = HmacDrbg::from_seed(b"acjt-fixture");
+            let mut gm = GroupManager::setup_with_rsa(params, rsa, rsa_secret, &mut rng);
+            let mut keys = Vec::new();
+            for _ in 0..3 {
+                let (secret, req) = start_join(gm.public_key(), &mut rng);
+                let resp = gm.admit(&req, &mut rng).unwrap();
+                keys.push(finish_join(gm.public_key(), secret, &resp).unwrap());
+            }
+            (gm, keys)
+        })
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (gm, keys) = acjt_group();
+        let mut rng = HmacDrbg::from_seed(b"t1");
+        let sig = sign(gm.public_key(), &keys[0], b"hello acjt", &mut rng);
+        verify(gm.public_key(), b"hello acjt", &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (gm, keys) = acjt_group();
+        let mut rng = HmacDrbg::from_seed(b"t2");
+        let sig = sign(gm.public_key(), &keys[0], b"msg-a", &mut rng);
+        assert!(verify(gm.public_key(), b"msg-b", &sig).is_err());
+    }
+
+    #[test]
+    fn open_identifies_each_signer() {
+        let (gm, keys) = acjt_group();
+        let mut rng = HmacDrbg::from_seed(b"t3");
+        for key in keys {
+            let sig = sign(gm.public_key(), key, b"open me", &mut rng);
+            assert_eq!(gm.open(b"open me", &sig).unwrap(), key.id);
+        }
+    }
+
+    #[test]
+    fn forged_tags_rejected() {
+        let (gm, keys) = acjt_group();
+        let mut rng = HmacDrbg::from_seed(b"t4");
+        let mut sig = sign(gm.public_key(), &keys[0], b"m", &mut rng);
+        sig.t1 = gm.public_key().rsa().random_qr(&mut rng);
+        assert!(verify(gm.public_key(), b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn no_tracing_tags_exist() {
+        // Structural full-anonymity argument: an ACJT signature contains
+        // only the three ElGamal-style tags, nothing keyed to the member.
+        let (gm, keys) = acjt_group();
+        let mut rng = HmacDrbg::from_seed(b"t5");
+        let s1 = sign(gm.public_key(), &keys[0], b"m", &mut rng);
+        let s2 = sign(gm.public_key(), &keys[0], b"m", &mut rng);
+        assert_ne!(s1.t1, s2.t1);
+        assert_ne!(s1.t2, s2.t2);
+        assert_ne!(s1.t3, s2.t3);
+    }
+
+    #[test]
+    fn revocation_is_registry_only() {
+        let (rsa, rsa_secret) = fixtures::test_rsa_setting().clone();
+        let params = GsigParams::preset(GsigPreset::Test);
+        let mut rng = HmacDrbg::from_seed(b"t6");
+        let mut gm = GroupManager::setup_with_rsa(params, rsa, rsa_secret, &mut rng);
+        let (secret, req) = start_join(gm.public_key(), &mut rng);
+        let resp = gm.admit(&req, &mut rng).unwrap();
+        let key = finish_join(gm.public_key(), secret, &resp).unwrap();
+        gm.revoke(key.id).unwrap();
+        // The paper's §3 point: the revoked member's signature STILL
+        // verifies — ACJT alone cannot stop it; the framework must layer
+        // CGKD revocation on top (see E7b attack test in shs-core).
+        let sig = sign(gm.public_key(), &key, b"still signs", &mut rng);
+        verify(gm.public_key(), b"still signs", &sig).unwrap();
+        assert!(gm.members()[0].revoked);
+    }
+}

@@ -1,0 +1,161 @@
+//! The certificate revocation list (CRL).
+//!
+//! `SHS.CreateGroup` (Fig. 1 of the paper) creates an initially-empty CRL
+//! that is "made known only to current group members"; `SHS.RemoveUser`
+//! appends to it and ships the update over the authenticated anonymous
+//! channel (in the framework: AEAD-encrypted under the *new* CGKD group
+//! key, so revoked members cannot read it). Entries are the verifier-local
+//! revocation tokens of [`crate::ky`].
+
+use crate::ky::{GroupPublicKey, RevocationToken, Signature};
+use serde::{Deserialize, Serialize};
+
+/// A versioned list of revocation tokens.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crl {
+    /// Monotone version; bumped on every revocation.
+    pub version: u64,
+    /// Tokens of all revoked members.
+    pub tokens: Vec<RevocationToken>,
+}
+
+/// An incremental CRL update (what actually travels in rekey messages).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrlDelta {
+    /// Version the delta applies on top of.
+    pub from_version: u64,
+    /// Version after applying.
+    pub to_version: u64,
+    /// Newly revoked tokens.
+    pub new_tokens: Vec<RevocationToken>,
+}
+
+/// Error applying a CRL delta out of order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionMismatch {
+    /// The version the member holds.
+    pub have: u64,
+    /// The version the delta expects.
+    pub expected: u64,
+}
+
+impl std::fmt::Display for VersionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CRL delta expects version {} but member holds {}",
+            self.expected, self.have
+        )
+    }
+}
+
+impl std::error::Error for VersionMismatch {}
+
+impl Crl {
+    /// An empty CRL at version 0.
+    pub fn new() -> Crl {
+        Crl::default()
+    }
+
+    /// Appends a token, bumping the version, and returns the delta to
+    /// distribute.
+    pub fn push(&mut self, token: RevocationToken) -> CrlDelta {
+        let from_version = self.version;
+        self.tokens.push(token.clone());
+        self.version += 1;
+        CrlDelta {
+            from_version,
+            to_version: self.version,
+            new_tokens: vec![token],
+        }
+    }
+
+    /// Applies a delta received from the group authority.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionMismatch`] when deltas arrive out of order.
+    pub fn apply(&mut self, delta: &CrlDelta) -> Result<(), VersionMismatch> {
+        if delta.from_version != self.version {
+            return Err(VersionMismatch {
+                have: self.version,
+                expected: delta.from_version,
+            });
+        }
+        self.tokens.extend(delta.new_tokens.iter().cloned());
+        self.version = delta.to_version;
+        Ok(())
+    }
+
+    /// Does this signature match any revoked member?
+    pub fn is_revoked(&self, pk: &GroupPublicKey, sig: &Signature) -> bool {
+        self.tokens.iter().any(|t| t.matches(pk, sig))
+    }
+
+    /// Number of revoked members.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Is the CRL empty?
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ky::{self, SignBasis};
+    use shs_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn push_apply_roundtrip() {
+        let (mut gm, keys) = fixtures::group_with_members_mut(2);
+        let mut authority_crl = Crl::new();
+        let mut member_crl = Crl::new();
+
+        let token = gm.revoke(keys[0].id).unwrap();
+        let delta = authority_crl.push(token);
+        member_crl.apply(&delta).unwrap();
+        assert_eq!(authority_crl, member_crl);
+        assert_eq!(member_crl.version, 1);
+        assert_eq!(member_crl.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_delta_rejected() {
+        let (mut gm, keys) = fixtures::group_with_members_mut(2);
+        let mut authority_crl = Crl::new();
+        let mut member_crl = Crl::new();
+        let d1 = authority_crl.push(gm.revoke(keys[0].id).unwrap());
+        let d2 = authority_crl.push(gm.revoke(keys[1].id).unwrap());
+        // Applying d2 before d1 fails.
+        assert!(member_crl.apply(&d2).is_err());
+        member_crl.apply(&d1).unwrap();
+        member_crl.apply(&d2).unwrap();
+        assert_eq!(member_crl.version, 2);
+    }
+
+    #[test]
+    fn is_revoked_detects_signatures() {
+        let (mut gm, keys) = fixtures::group_with_members_mut(2);
+        let pk = ky::GroupPublicKey::from_params(gm.public_key().to_params());
+        let mut rng = HmacDrbg::from_seed(b"crl-test");
+        let sig_revoked = ky::sign(&pk, &keys[0], b"m", SignBasis::Random, &mut rng);
+        let sig_ok = ky::sign(&pk, &keys[1], b"m", SignBasis::Random, &mut rng);
+        let mut crl = Crl::new();
+        crl.push(gm.revoke(keys[0].id).unwrap());
+        assert!(crl.is_revoked(&pk, &sig_revoked));
+        assert!(!crl.is_revoked(&pk, &sig_ok));
+    }
+
+    #[test]
+    fn empty_crl() {
+        let crl = Crl::new();
+        assert!(crl.is_empty());
+        assert_eq!(crl.len(), 0);
+        assert_eq!(crl.version, 0);
+    }
+}

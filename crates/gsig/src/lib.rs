@@ -1,0 +1,61 @@
+//! Group signatures for the GCD secret-handshake framework.
+//!
+//! This crate implements the paper's GSIG building block (§4) from scratch:
+//!
+//! * [`ky`] — the Kiayias–Yung traceable-signature scheme sketched in the
+//!   paper's Appendix H (`T1..T7` tags), including the **self-distinction**
+//!   variant of §8.2 (common hashed `T7`) and verifier-local revocation via
+//!   the member-only CRL.
+//! * [`acjt`] — the classic ACJT2000 coalition-resistant group signature
+//!   (the basis cited for instantiation §8.1), with full-anonymity but no
+//!   signature-level revocation (see DESIGN.md §2.2 for the trade-off this
+//!   reproduces).
+//! * [`crl`] — the versioned certificate-revocation list distributed to
+//!   members inside encrypted CGKD updates.
+//! * [`accumulator`] — a Camenisch–Lysyanskaya dynamic accumulator, the
+//!   revocation substrate the paper cites as "quite expensive" \[12\];
+//!   benchmarked in the revocation ablation.
+//! * [`params`], [`proofs`] — interval parameters and Fiat–Shamir
+//!   machinery shared by the schemes.
+//! * [`fixtures`] — deterministic test/bench fixtures (cached RSA
+//!   settings and pre-admitted members).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod acjt;
+pub mod crl;
+pub mod fixtures;
+pub mod ky;
+pub mod params;
+pub mod proofs;
+
+/// Errors produced by the group-signature schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsigError {
+    /// A signature failed verification.
+    InvalidSignature,
+    /// A zero-knowledge proof (join PoK, opening proof) failed.
+    InvalidProof,
+    /// A valid signature was produced by a revoked member (VLR check).
+    RevokedMember,
+    /// `Open` recovered a certificate matching no registered member.
+    UnknownSigner,
+    /// The interactive join protocol was aborted.
+    JoinRejected,
+}
+
+impl std::fmt::Display for GsigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GsigError::InvalidSignature => write!(f, "group signature failed verification"),
+            GsigError::InvalidProof => write!(f, "zero-knowledge proof failed verification"),
+            GsigError::RevokedMember => write!(f, "signature matches a revoked member's token"),
+            GsigError::UnknownSigner => write!(f, "opened certificate matches no member"),
+            GsigError::JoinRejected => write!(f, "join protocol rejected"),
+        }
+    }
+}
+
+impl std::error::Error for GsigError {}

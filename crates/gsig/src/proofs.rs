@@ -1,0 +1,179 @@
+//! Fiat–Shamir plumbing shared by the ACJT and Kiayias–Yung proofs:
+//! domain-separated transcript hashing, blind sampling, responses over `Z`
+//! and interval (sphere) checks.
+
+use rand::RngCore;
+use shs_bigint::{rng as brng, Int, Sign, Ubig};
+use shs_crypto::sha256::Sha256;
+
+/// A Fiat–Shamir transcript: every absorbed item is length- and
+/// label-prefixed so distinct structures can never collide.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Sha256,
+}
+
+impl Transcript {
+    /// Starts a transcript under a protocol domain label.
+    pub fn new(domain: &str) -> Transcript {
+        let mut hasher = Sha256::new();
+        hasher.update(b"shs-fs-v1");
+        hasher.update(&(domain.len() as u64).to_be_bytes());
+        hasher.update(domain.as_bytes());
+        Transcript { hasher }
+    }
+
+    /// Absorbs labelled bytes.
+    pub fn append(&mut self, label: &str, data: &[u8]) {
+        self.hasher.update(&(label.len() as u64).to_be_bytes());
+        self.hasher.update(label.as_bytes());
+        self.hasher.update(&(data.len() as u64).to_be_bytes());
+        self.hasher.update(data);
+    }
+
+    /// Absorbs a labelled big integer.
+    pub fn append_ubig(&mut self, label: &str, v: &Ubig) {
+        self.append(label, &v.to_bytes_be());
+    }
+
+    /// Absorbs a labelled signed integer.
+    pub fn append_int(&mut self, label: &str, v: &Int) {
+        let sign: &[u8] = if v.is_negative() { b"-" } else { b"+" };
+        self.hasher.update(sign);
+        self.append(label, &v.magnitude().to_bytes_be());
+    }
+
+    /// Produces a `k_bits`-bit challenge (consuming the transcript).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_bits > 256` (one SHA-256 output).
+    pub fn challenge(self, k_bits: u32) -> Ubig {
+        assert!(k_bits <= 256, "challenge longer than one hash output");
+        let digest = self.hasher.finalize();
+        let full = Ubig::from_bytes_be(&digest);
+        // Keep the low k bits.
+        let excess = 256u32.saturating_sub(k_bits);
+        full.shr(excess)
+    }
+}
+
+/// Samples a blind uniformly from `±[0, 2^bits)`.
+pub fn sample_blind(bits: u32, rng: &mut (impl RngCore + ?Sized)) -> Int {
+    let mag = brng::below(rng, &pow2(bits));
+    let sign = if rng.next_u32() & 1 == 1 {
+        Sign::Minus
+    } else {
+        Sign::Plus
+    };
+    Int::new(sign, mag)
+}
+
+/// Computes the Fiat–Shamir response `s = ρ − c·(v − offset)` over `Z`.
+///
+/// `offset` is the sphere center (`2^{λ1}`, `2^{γ1}`, or zero).
+pub fn response(rho: &Int, c: &Ubig, v: &Ubig, offset: &Ubig) -> Int {
+    let v_hat = Int::from_ubig(v.clone()).sub(&Int::from_ubig(offset.clone()));
+    rho.sub(&Int::from_ubig(c.clone()).mul(&v_hat))
+}
+
+/// Range check on a response: `|s| ≤ 2^{bits+1}` for a blind of `bits`
+/// bits.
+pub fn response_in_range(s: &Int, blind_bits: u32) -> bool {
+    s.magnitude().bits() <= blind_bits + 1
+}
+
+/// `s - c·2^offset_bits` as a signed exponent (the recurring verification
+/// exponent shape).
+pub fn shifted(s: &Int, c: &Ubig, offset_bits: u32) -> Int {
+    if offset_bits == 0 {
+        return s.clone();
+    }
+    s.sub(&Int::from_ubig(c.mul(&pow2(offset_bits))))
+}
+
+fn pow2(bits: u32) -> Ubig {
+    let mut u = Ubig::zero();
+    u.set_bit(bits);
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transcript_is_deterministic_and_labelled() {
+        let mut a = Transcript::new("test");
+        a.append("x", b"123");
+        let mut b = Transcript::new("test");
+        b.append("x", b"123");
+        assert_eq!(a.challenge(128), b.challenge(128));
+
+        // Different label, same data -> different challenge.
+        let mut c = Transcript::new("test");
+        c.append("y", b"123");
+        let mut d = Transcript::new("test");
+        d.append("x", b"123");
+        assert_ne!(c.challenge(128), d.challenge(128));
+
+        // Data moved across boundary -> different challenge.
+        let mut e = Transcript::new("test");
+        e.append("x", b"12");
+        e.append("x", b"3");
+        let mut f = Transcript::new("test");
+        f.append("x", b"123");
+        f.append("x", b"");
+        assert_ne!(e.challenge(128), f.challenge(128));
+    }
+
+    #[test]
+    fn challenge_has_bounded_bits() {
+        let mut t = Transcript::new("bits");
+        t.append("a", b"b");
+        let c = t.challenge(80);
+        assert!(c.bits() <= 80);
+    }
+
+    #[test]
+    fn signed_ints_distinguished() {
+        let mut a = Transcript::new("int");
+        a.append_int("v", &Int::from_i64(-5));
+        let mut b = Transcript::new("int");
+        b.append_int("v", &Int::from_i64(5));
+        assert_ne!(a.challenge(128), b.challenge(128));
+    }
+
+    #[test]
+    fn response_algebra() {
+        // s + c·(v - offset) == rho
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let rho = sample_blind(100, &mut rng);
+        let c = Ubig::from_u64(12345);
+        let v = Ubig::from_u64(1 << 20);
+        let offset = Ubig::from_u64(1 << 19);
+        let s = response(&rho, &c, &v, &offset);
+        let v_hat = Int::from_ubig(v).sub(&Int::from_ubig(offset));
+        let back = s.add(&Int::from_ubig(c).mul(&v_hat));
+        assert_eq!(back, rho);
+    }
+
+    #[test]
+    fn blind_sampling_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let mut saw_negative = false;
+        for _ in 0..50 {
+            let b = sample_blind(64, &mut rng);
+            assert!(b.magnitude().bits() <= 64);
+            saw_negative |= b.is_negative();
+        }
+        assert!(saw_negative, "sign bit should vary");
+    }
+
+    #[test]
+    fn range_check() {
+        assert!(response_in_range(&Int::from_i64(-100), 6));
+        assert!(!response_in_range(&Int::from_i64(-1000), 6));
+    }
+}

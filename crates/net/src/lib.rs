@@ -1,0 +1,62 @@
+//! Anonymous-channel network simulation for the handshake protocols.
+//!
+//! The paper's system model (§2) assumes *anonymous channels*: an outside
+//! observer sees that messages flow (their sizes, their round structure,
+//! which anonymous *slot* of the session emitted them) but not who the
+//! parties are; §9 argues wireless broadcast provides this naturally. This
+//! crate simulates exactly that medium:
+//!
+//! * [`sync::BroadcastNet`] — a deterministic round-based broadcast
+//!   medium with pluggable delivery order ([`DeliveryPolicy`]), an
+//!   eavesdropper-facing traffic log ([`observe`]) and a
+//!   man-in-the-middle interception hook.
+//! * [`hub::run_session`] — a threaded, asynchronous (guaranteed-delivery)
+//!   variant where each party runs on its own thread and messages are
+//!   delivered through channels in adversarially perturbed order. Used by
+//!   the E10 model-agnosticism experiment.
+//!
+//! Payloads are opaque bytes: everything a protocol puts on the wire goes
+//! through here, so the observer API sees precisely what a real
+//! eavesdropper would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hub;
+pub mod observe;
+pub mod sync;
+
+/// Delivery-order policy of the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Messages of a round are delivered in slot order (synchronous
+    /// model).
+    Synchronous,
+    /// Messages of a round are delivered in an adversarially chosen
+    /// (seeded pseudo-random, per-receiver) order — the asynchronous model
+    /// with guaranteed delivery.
+    AdversarialReorder {
+        /// Seed of the adversary's permutation choices.
+        seed: u64,
+    },
+}
+
+/// Errors produced by the network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// A slot index was out of range.
+    BadSlot,
+    /// The per-round message set was incomplete.
+    IncompleteRound,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::BadSlot => write!(f, "slot index out of range"),
+            NetError::IncompleteRound => write!(f, "round message set incomplete"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,74 @@
+//! Clearance-level handshakes — the paper's own motivating refinement
+//! (§1: "Alice might want to authenticate herself as an agent with a
+//! certain clearance level only if Bob is also an agent with at least the
+//! same clearance level").
+//!
+//! ```sh
+//! cargo run --example clearance_levels
+//! ```
+
+use shs_core::handshake::run_handshake;
+use shs_core::roles::RoleAuthority;
+use shs_core::{Actor, CoreError, GroupConfig, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = HmacDrbg::from_seed(b"clearance-example");
+    let (rsa, secret) = shs_gsig::fixtures::test_rsa_setting().clone();
+    let mut agency = RoleAuthority::create_with_rsa(
+        GroupConfig::test(SchemeKind::Scheme1),
+        3, // clearance levels 0 (agent), 1 (secret), 2 (top secret)
+        rsa,
+        secret,
+        &mut rng,
+    );
+    println!("Agency created with clearance levels 0..=2.\n");
+
+    // Alice: top secret. Bob: top secret. Carol: secret. Dave: agent.
+    let mut people = Vec::new();
+    for (name, clearance) in [("alice", 2usize), ("bob", 2), ("carol", 1), ("dave", 0)] {
+        let (member, updates) = agency.admit(clearance, &mut rng)?;
+        for u in &updates {
+            for (_, existing) in people.iter_mut() {
+                let existing: &mut shs_core::roles::RoleMember = existing;
+                existing.apply_update(u)?;
+            }
+        }
+        println!("admitted {name} with clearance {clearance}");
+        people.push((name, member));
+    }
+
+    // A level-2 rendezvous: Alice, Bob — and Carol trying her level-1
+    // credential because she has nothing better.
+    println!("\nLevel-2 (top secret) handshake: alice, bob, carol...");
+    let session = [
+        Actor::Member(people[0].1.at_level(2).unwrap()),
+        Actor::Member(people[1].1.at_level(2).unwrap()),
+        Actor::Member(people[2].1.at_level(1).unwrap()),
+    ];
+    let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng)?;
+    println!(
+        "  alice's view: co-members at slots {:?} -> carol is invisible at this level",
+        r.outcomes[0].same_group_slots
+    );
+    assert_eq!(r.outcomes[0].same_group_slots, vec![0, 1]);
+    assert!(r.outcomes[0].partial_accepted());
+
+    // At level 0 everyone meets.
+    println!("\nLevel-0 (any agent) handshake: all four...");
+    let session: Vec<Actor<'_>> = people
+        .iter()
+        .map(|(_, m)| Actor::Member(m.at_level(0).unwrap()))
+        .collect();
+    let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng)?;
+    assert!(r.outcomes.iter().all(|o| o.accepted));
+    println!("  full handshake succeeds: all four are agents.");
+
+    // Key property: clearance is NOT revealed downward. Dave learned that
+    // the other three are agents — nothing about their higher clearances.
+    println!(
+        "\nDave (clearance 0) learned only that the others are agents; whether\n\
+         anyone holds level 1 or 2 credentials never touched the wire at level 0."
+    );
+    Ok(())
+}

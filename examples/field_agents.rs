@@ -1,0 +1,84 @@
+//! The paper's motivating scenario (§1): agents of two agencies meet on an
+//! anonymous channel. Nobody reveals an affiliation to anyone who is not a
+//! co-member — yet *within* each agency the agents find each other, count
+//! themselves, and come away with a shared key (the partially-successful
+//! handshake extension of §7).
+//!
+//! ```sh
+//! cargo run --example field_agents
+//! ```
+
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, CoreError, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = HmacDrbg::from_seed(b"field-agents-example");
+
+    println!("Two agencies set up their groups independently...");
+    let (fbi, fbi_agents) =
+        shs_core::fixtures::group_with_members(SchemeKind::Scheme1, 2, &mut rng)?;
+    let (mi6, mi6_agents) =
+        shs_core::fixtures::group_with_members(SchemeKind::Scheme1, 3, &mut rng)?;
+
+    // Five strangers meet. Slots: FBI, MI6, FBI, MI6, MI6 — but of course
+    // nobody at the table knows that.
+    println!("\nFive strangers run one multi-party secret handshake...");
+    let session = [
+        Actor::Member(&fbi_agents[0]),
+        Actor::Member(&mi6_agents[0]),
+        Actor::Member(&fbi_agents[1]),
+        Actor::Member(&mi6_agents[1]),
+        Actor::Member(&mi6_agents[2]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut rng)?;
+
+    for o in &result.outcomes {
+        println!(
+            "  slot {}: found {} co-member(s) at slots {:?}; partial handshake {}",
+            o.slot,
+            o.same_group_slots.len() - 1,
+            o.same_group_slots,
+            if o.partial_accepted() {
+                "COMPLETED"
+            } else {
+                "none"
+            },
+        );
+    }
+
+    // The paper's worked example: the 2 FBI agents learn "we are 2", the 3
+    // MI6 agents learn "we are 3", and neither side learns anything about
+    // the other beyond "not one of us".
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 2]);
+    assert_eq!(result.outcomes[1].same_group_slots, vec![1, 3, 4]);
+    assert!(
+        result.outcomes.iter().all(|o| !o.accepted),
+        "no full 5-party accept"
+    );
+    assert!(result.outcomes.iter().all(|o| o.partial_accepted()));
+
+    let fbi_key = result.outcomes[0].session_key.as_ref().unwrap();
+    let mi6_key = result.outcomes[1].session_key.as_ref().unwrap();
+    assert_eq!(result.outcomes[2].session_key.as_ref(), Some(fbi_key));
+    assert_eq!(result.outcomes[3].session_key.as_ref(), Some(mi6_key));
+    assert_ne!(fbi_key, mi6_key);
+    println!("\nEach sub-group now shares its own fresh session key.");
+
+    // Accountability: each authority can trace exactly its own agents.
+    println!("\nEach agency traces the transcript of the session:");
+    let fbi_view = fbi.trace(&result.transcript);
+    let mi6_view = mi6.trace(&result.transcript);
+    for slot in 0..5 {
+        println!(
+            "  slot {}: FBI says {:?}, MI6 says {:?}",
+            slot,
+            fbi_view[slot].result.as_ref().map(|id| id.to_string()).ok(),
+            mi6_view[slot].result.as_ref().map(|id| id.to_string()).ok(),
+        );
+    }
+    assert!(fbi_view[0].result.is_ok() && fbi_view[2].result.is_ok());
+    assert!(fbi_view[1].result.is_err() && fbi_view[3].result.is_err());
+    assert!(mi6_view[1].result.is_ok() && mi6_view[3].result.is_ok() && mi6_view[4].result.is_ok());
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Group lifecycle and the §3 revocation attack: why GCD keeps *both*
+//! revocation mechanisms (GSIG + CGKD).
+//!
+//! ```sh
+//! cargo run --example lifecycle
+//! ```
+
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, CoreError, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = HmacDrbg::from_seed(b"lifecycle-example");
+
+    println!("Group lifecycle under scheme 1 (KY + verifier-local revocation)\n");
+    let (mut ga, mut members) =
+        shs_core::fixtures::group_with_members(SchemeKind::Scheme1, 4, &mut rng)?;
+    println!(
+        "4 members admitted; CGKD epoch {}, CRL v{}.",
+        members[0].epoch(),
+        members[0].crl_version()
+    );
+
+    // --- Revoke a member ---------------------------------------------------
+    let mut revoked = members.pop().unwrap();
+    println!("\nRevoking {} ...", revoked.id());
+    let update = ga.remove(revoked.id(), &mut rng)?;
+    for m in members.iter_mut() {
+        m.apply_update(&update)?;
+    }
+    println!(
+        "Remaining members now at epoch {}, CRL v{}.",
+        members[0].epoch(),
+        members[0].crl_version()
+    );
+    // The revoked member cannot even read the update.
+    assert!(revoked.apply_update(&update).is_err());
+    println!("The revoked member could not decrypt the update (forward secrecy).");
+
+    // A handshake including the revoked member fails at the MAC phase.
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&revoked),
+    ];
+    let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng)?;
+    println!(
+        "Handshake with the revoked member: honest view of co-members = {:?} (revoked excluded).",
+        r.outcomes[0].same_group_slots
+    );
+
+    // --- The §3 attack: an insider leaks the fresh group key ---------------
+    println!("\n§3 attack: an unrevoked accomplice leaks the new group key to the revoked member.");
+    revoked.adopt_leaked_key(members[1].leak_group_key(), members[1].epoch());
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&revoked),
+    ];
+    let r = run_handshake(&session, &HandshakeOptions::default(), &mut rng)?;
+    println!(
+        "With the leaked key the MAC phase passes (co-members = {:?})...",
+        r.outcomes[0].same_group_slots
+    );
+    println!(
+        "...but verifier-local revocation rejects the revoked member's signature: \
+         verified = {:?}, accepted = {}.",
+        r.outcomes[0].verified_slots, r.outcomes[0].accepted
+    );
+    assert!(!r.outcomes[0].accepted);
+    assert!(!r.outcomes[0].verified_slots.contains(&2));
+    println!(
+        "\n(Under the ACJT 'scheme 1 classic' instantiation, which has no \
+         signature-level revocation,\n the same attack succeeds — run the \
+         `leaked_group_key_attack...` integration test to see both sides.)"
+    );
+
+    // --- Tracing ------------------------------------------------------------
+    let honest = [Actor::Member(&members[0]), Actor::Member(&members[1])];
+    let r = run_handshake(&honest, &HandshakeOptions::default(), &mut rng)?;
+    assert!(r.outcomes.iter().all(|o| o.accepted));
+    println!("\nA later honest handshake succeeds; the authority traces it:");
+    for t in ga.trace(&r.transcript) {
+        println!(
+            "  slot {} -> {}",
+            t.slot,
+            t.result.map(|id| id.to_string()).unwrap()
+        );
+    }
+    Ok(())
+}

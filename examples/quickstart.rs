@@ -1,0 +1,85 @@
+//! Quickstart: create a group, admit members, run a secret handshake.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, CoreError, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+fn main() -> Result<(), CoreError> {
+    // Deterministic randomness so the example output is reproducible;
+    // use `rand::thread_rng()` in real deployments.
+    let mut rng = HmacDrbg::from_seed(b"quickstart-example");
+
+    // --- GCD.CreateGroup -------------------------------------------------
+    // The authority plays group manager (GSIG), group controller (CGKD)
+    // and tracing keyholder. `test_authority` uses a cached test-sized RSA
+    // modulus; `GroupAuthority::create` generates a fresh one.
+    println!("Creating group (scheme 1: KY signatures + LKH + BD)...");
+    let mut ga = shs_core::fixtures::test_authority(SchemeKind::Scheme1, &mut rng);
+
+    // --- GCD.AdmitMember ×3 ----------------------------------------------
+    // Every admission produces a bulletin-board update that existing
+    // members must apply (GCD.Update).
+    let (mut alice, _) = ga.admit(&mut rng)?;
+    let (mut bob, update) = ga.admit(&mut rng)?;
+    alice.apply_update(&update)?;
+    let (carol, update) = ga.admit(&mut rng)?;
+    alice.apply_update(&update)?;
+    bob.apply_update(&update)?;
+    println!(
+        "Admitted three members: {}, {}, {}",
+        alice.id(),
+        bob.id(),
+        carol.id()
+    );
+
+    // --- GCD.Handshake: all three are co-members --------------------------
+    let result = run_handshake(
+        &[
+            Actor::Member(&alice),
+            Actor::Member(&bob),
+            Actor::Member(&carol),
+        ],
+        &HandshakeOptions::default(),
+        &mut rng,
+    )?;
+    for o in &result.outcomes {
+        println!(
+            "slot {}: accepted={}, co-members={:?}",
+            o.slot, o.accepted, o.same_group_slots
+        );
+    }
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    println!(
+        "Handshake succeeded; shared session key established ({} wire messages, {} bytes).",
+        result.traffic.len(),
+        result.traffic.total_bytes()
+    );
+
+    // --- An outsider probes the group -------------------------------------
+    // The outsider runs the public protocol but holds no credentials: the
+    // members reveal nothing, and the outsider cannot even tell whether
+    // the other two are members of anything.
+    let probe = run_handshake(
+        &[Actor::Member(&alice), Actor::Member(&bob), Actor::Outsider],
+        &HandshakeOptions::default(),
+        &mut rng,
+    )?;
+    println!(
+        "\nOutsider probe: outsider saw co-members {:?} (only itself); \
+         members saw {:?} and published nothing more than decoys to it.",
+        probe.outcomes[2].same_group_slots, probe.outcomes[0].same_group_slots
+    );
+    assert!(probe.outcomes[2].session_key.is_none());
+
+    // --- GCD.TraceUser -----------------------------------------------------
+    let traced = ga.trace(&result.transcript);
+    println!("\nAuthority traces the successful handshake:");
+    for t in &traced {
+        println!("  slot {} -> {:?}", t.slot, t.result);
+    }
+    Ok(())
+}

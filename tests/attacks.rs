@@ -1,0 +1,218 @@
+//! Adversarial experiments (E7): the attacks §3 of the paper uses to
+//! motivate the GCD composition, run against both the naive designs and
+//! the real framework.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::{run_handshake, run_handshake_with_net};
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+use shs_crypto::hmac;
+use shs_net::sync::BroadcastNet;
+use shs_net::DeliveryPolicy;
+
+/// Fig. 2 "resistance to impersonation": an outsider — even one playing
+/// several roles — convinces nobody.
+#[test]
+fn outsider_impersonation_fails() {
+    let mut r = rng("atk-outsider");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Outsider,
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    // The members see each other but not the outsider.
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 1]);
+    assert_eq!(result.outcomes[1].same_group_slots, vec![0, 1]);
+    assert!(!result.outcomes[0].accepted);
+    // The outsider learns nothing: its Δ contains only itself.
+    assert_eq!(result.outcomes[2].same_group_slots, vec![2]);
+    assert!(result.outcomes[2].session_key.is_none());
+}
+
+/// The multi-role variant: an adversary occupying several slots still
+/// convinces nobody (Fig. 2: "remains true even if A plays the roles of
+/// multiple participants").
+#[test]
+fn multi_role_outsider_still_fails() {
+    let mut r = rng("atk-multirole");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Outsider,
+        Actor::Outsider,
+        Actor::Member(&members[1]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 3]);
+    assert!(!result.outcomes[0].accepted);
+}
+
+/// §3 drawback (1) demonstrated: a handshake built on CGKD alone is
+/// detectable by any *eavesdropping* group member, because Phase-II-style
+/// tags would be keyed by the long-lived group key `k` instead of the
+/// session-blinded `k' = k* ⊕ k`.
+#[test]
+fn naive_cgkd_only_design_is_detectable_by_insiders() {
+    let mut r = rng("atk-naive");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+
+    // Naive design: parties authenticate with MAC(k, session-nonce).
+    let nonce = b"naive-session-nonce";
+    let naive_tag = hmac::mac(members[0].group_key().as_bytes(), nonce);
+    // A passive insider (member 2) who merely OBSERVES the tag can verify
+    // it with its own copy of k: the handshake is detected.
+    assert!(hmac::verify(
+        members[2].group_key().as_bytes(),
+        nonce,
+        &naive_tag
+    ));
+
+    // GCD: the observed Phase-II tag is keyed by k' = k* ⊕ k, and k* is
+    // known only to the *participants* of the DGKA run. The insider
+    // cannot recompute or verify it.
+    let session = [Actor::Member(&members[0]), Actor::Member(&members[1])];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let observed_tag = result
+        .traffic
+        .records()
+        .iter()
+        .find(|rec| rec.round == "phase2-mac")
+        .expect("phase 2 observed")
+        .payload
+        .clone();
+    // The insider tries the only key it has (k) against the observed tag
+    // with every sender slot's public Phase-I contribution — no match.
+    assert_ne!(
+        observed_tag,
+        hmac::mac(members[2].group_key().as_bytes(), nonce).to_vec(),
+        "insider cannot reproduce GCD phase-2 tags"
+    );
+}
+
+/// §3 revocation interplay, the reason GCD keeps BOTH revocation
+/// mechanisms: an unrevoked member leaks the new CGKD group key to a
+/// revoked member.
+///
+/// * Under `Scheme1Classic` (ACJT: no signature-level revocation) the
+///   attack SUCCEEDS — the revoked member completes the handshake.
+/// * Under `Scheme1` (KY with verifier-local revocation) the attack
+///   FAILS — honest members reject the revoked member's signature via the
+///   CRL even though its MAC was valid.
+#[test]
+fn leaked_group_key_attack_blocked_only_with_gsig_revocation() {
+    for (scheme, attack_succeeds) in [
+        (SchemeKind::Scheme1Classic, true),
+        (SchemeKind::Scheme1, false),
+    ] {
+        let mut r = rng("atk-leak");
+        let (mut ga, mut members) = group(scheme, 3, &mut r);
+        // Revoke member 2.
+        let revoked_id = members[2].id();
+        let update = ga.remove(revoked_id, &mut r).unwrap();
+        let mut victim = members.pop().unwrap();
+        let mut accomplice = members.pop().unwrap();
+        members[0].apply_update(&update).unwrap();
+        accomplice.apply_update(&update).unwrap();
+        // The revoked member cannot process the update...
+        assert!(victim.apply_update(&update).is_err());
+        // ...but the malicious accomplice leaks the fresh key (§3).
+        victim.adopt_leaked_key(accomplice.leak_group_key(), accomplice.epoch());
+
+        let session = [
+            Actor::Member(&members[0]),
+            Actor::Member(&accomplice),
+            Actor::Member(&victim),
+        ];
+        let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+        let honest = &result.outcomes[0];
+        // The MAC phase always passes (the leaked key is genuine)...
+        assert_eq!(honest.same_group_slots, vec![0, 1, 2], "{scheme:?}");
+        // ...so everything hinges on GSIG revocation:
+        assert_eq!(
+            honest.accepted, attack_succeeds,
+            "{scheme:?}: leaked-key attack outcome"
+        );
+        if !attack_succeeds {
+            assert!(
+                !honest.verified_slots.contains(&2),
+                "VLR rejects the revoked member's signature"
+            );
+        }
+    }
+}
+
+/// An active man-in-the-middle substitutes a well-formed group element of
+/// its own choosing in the DGKA (the classic unauthenticated-DH attack);
+/// Phase II detects the desynchronized keys and the handshake fails
+/// closed for the attacked party.
+#[test]
+fn mitm_substitution_fails_closed() {
+    let mut r = rng("atk-mitm");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+    let schnorr =
+        shs_groups::schnorr::SchnorrGroup::system_wide(shs_groups::schnorr::SchnorrPreset::Test);
+    let attacker_z = schnorr.exp_g(&shs_bigint::Ubig::from_u64(123456789));
+    let p_width = (schnorr.p().bits() as usize).div_ceil(8);
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(move |ctx, payload| {
+        // Replace slot 1's z with the attacker's own group element, but
+        // only on the link towards slot 0.
+        if ctx.round == "dgka-r1" && ctx.from_slot == 1 && ctx.to_slot == 0 {
+            payload.truncate(4); // keep the sender index
+            payload.extend_from_slice(&attacker_z.to_bytes_be_padded(p_width));
+        }
+    }));
+    let result =
+        run_handshake_with_net(&acts, &HandshakeOptions::default(), &mut net, &mut r).unwrap();
+    assert!(!result.outcomes[0].accepted, "attacked party rejects");
+    // The attacked party's view of slot 1 diverged, so slot 1 is not in
+    // its co-member set.
+    assert!(!result.outcomes[0].same_group_slots.contains(&1));
+    // And crucially the MITM itself gained nothing: no party handed out a
+    // session key involving the attacker's value.
+    assert!(result.outcomes[0].session_key.is_none());
+}
+
+/// Injecting a non-group element is detected immediately: the party
+/// aborts the run (simulated as a protocol error).
+#[test]
+fn mitm_garbage_injection_aborts() {
+    let mut r = rng("atk-mitm-garbage");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(|ctx, payload| {
+        if ctx.round == "dgka-r1" && ctx.from_slot == 1 && ctx.to_slot == 0 {
+            let last = payload.len() - 1;
+            payload[last] ^= 1;
+        }
+    }));
+    let err = run_handshake_with_net(&acts, &HandshakeOptions::default(), &mut net, &mut r)
+        .expect_err("non-group element must abort");
+    assert!(matches!(err, shs_core::CoreError::Dgka(_)));
+}
+
+/// Tampering with a Phase-III payload invalidates exactly that sender's
+/// signature for the attacked receiver.
+#[test]
+fn phase3_tampering_rejected() {
+    let mut r = rng("atk-p3");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(|ctx, payload| {
+        if ctx.round == "phase3-full" && ctx.from_slot == 2 && ctx.to_slot == 0 {
+            payload[10] ^= 0xFF;
+        }
+    }));
+    let result =
+        run_handshake_with_net(&acts, &HandshakeOptions::default(), &mut net, &mut r).unwrap();
+    assert!(!result.outcomes[0].accepted);
+    assert!(!result.outcomes[0].verified_slots.contains(&2));
+    // Unattacked parties still fully accept.
+    assert!(result.outcomes[1].accepted);
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // not every test binary uses every helper
+
+use rand::RngCore;
+use shs_core::fixtures;
+use shs_core::{Actor, GroupAuthority, Member, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+
+/// Deterministic RNG for a test.
+pub fn rng(label: &str) -> HmacDrbg {
+    HmacDrbg::from_seed(label.as_bytes())
+}
+
+/// A group with `n` fully-updated members.
+pub fn group(
+    scheme: SchemeKind,
+    n: usize,
+    rng: &mut impl RngCore,
+) -> (GroupAuthority, Vec<Member>) {
+    fixtures::group_with_members(scheme, n, rng).expect("group fixture")
+}
+
+/// Borrows members as handshake actors.
+pub fn actors(members: &[Member]) -> Vec<Actor<'_>> {
+    members.iter().map(Actor::Member).collect()
+}

@@ -1,0 +1,121 @@
+//! The framework really is a compiler (E3 within the handshake): swapping
+//! the DGKA building block from Burmester–Desmedt to GDH.2 changes nothing
+//! about the outcome semantics.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+fn gdh_opts() -> HandshakeOptions {
+    HandshakeOptions {
+        dgka: DgkaChoice::Gdh2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn gdh_backed_handshake_accepts() {
+    let mut r = rng("dc-accept");
+    let (_, members) = group(SchemeKind::Scheme1, 4, &mut r);
+    let result = run_handshake(&actors(&members), &gdh_opts(), &mut r).unwrap();
+    for o in &result.outcomes {
+        assert!(o.accepted, "slot {}", o.slot);
+    }
+    let key0 = result.outcomes[0].session_key.clone().unwrap();
+    assert!(result
+        .outcomes
+        .iter()
+        .all(|o| o.session_key.as_ref() == Some(&key0)));
+}
+
+#[test]
+fn gdh_backed_mixed_session_partial_success() {
+    let mut r = rng("dc-partial");
+    let (_, a) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&a[0]),
+        Actor::Member(&b[0]),
+        Actor::Member(&a[1]),
+        Actor::Member(&b[1]),
+    ];
+    let result = run_handshake(&session, &gdh_opts(), &mut r).unwrap();
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 2]);
+    assert_eq!(result.outcomes[1].same_group_slots, vec![1, 3]);
+    assert!(result
+        .outcomes
+        .iter()
+        .all(|o| o.partial_accepted() && !o.accepted));
+}
+
+#[test]
+fn gdh_backed_self_distinction_still_works() {
+    let mut r = rng("dc-sd");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&members[0]),
+    ];
+    let result = run_handshake(&session, &gdh_opts(), &mut r).unwrap();
+    assert_eq!(result.outcomes[1].duplicate_slots, vec![0, 2]);
+    assert!(!result.outcomes[1].accepted);
+}
+
+#[test]
+fn gdh_cover_traffic_keeps_shapes_identical() {
+    // Success vs failure still shape-identical under the GDH chain with
+    // cover traffic.
+    let mut r = rng("dc-shape");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let (_, foreign) = group(SchemeKind::Scheme1, 1, &mut r);
+    let ok = run_handshake(&actors(&members), &gdh_opts(), &mut r).unwrap();
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..gdh_opts()
+    };
+    let mixed = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&foreign[0]),
+    ];
+    let failed = run_handshake(&mixed, &opts, &mut r).unwrap();
+    assert_eq!(ok.traffic.shape(), failed.traffic.shape());
+}
+
+#[test]
+fn gdh_round_count_differs_from_bd() {
+    // The wire structure reflects the protocol: BD uses 2 DGKA rounds,
+    // GDH uses m.
+    let mut r = rng("dc-rounds");
+    let (_, members) = group(SchemeKind::Scheme1, 4, &mut r);
+    let bd = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let gdh = run_handshake(&actors(&members), &gdh_opts(), &mut r).unwrap();
+    let dgka_rounds = |log: &shs_net::observe::TrafficLog| {
+        log.records()
+            .iter()
+            .filter(|rec| rec.round.starts_with("dgka"))
+            .map(|rec| rec.round.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    };
+    assert_eq!(dgka_rounds(&bd.traffic), 2);
+    assert_eq!(dgka_rounds(&gdh.traffic), 4);
+}
+
+#[test]
+fn outsiders_fail_under_gdh_too() {
+    let mut r = rng("dc-outsider");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Outsider,
+    ];
+    let result = run_handshake(&session, &gdh_opts(), &mut r).unwrap();
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 1]);
+    assert_eq!(result.outcomes[2].same_group_slots, vec![2]);
+}

@@ -1,0 +1,112 @@
+//! Indistinguishability to eavesdroppers and resistance to detection
+//! (Fig. 2, experiment E7a): on the wire, successful, failed and
+//! outsider-probed handshakes all look the same — identical rounds, slots
+//! and message sizes; only (pseudo)random payload bits differ.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+#[test]
+fn success_and_failure_have_identical_traffic_shape() {
+    let mut r = rng("ev-shape");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let (_, foreign) = group(SchemeKind::Scheme1, 1, &mut r);
+
+    // Successful 3-party handshake.
+    let ok = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(ok.outcomes.iter().all(|o| o.accepted));
+
+    // Failed 3-party handshake (one foreign member), strict mode so
+    // everyone publishes decoys.
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let mixed = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&foreign[0]),
+    ];
+    let failed = run_handshake(&mixed, &opts, &mut r).unwrap();
+    assert!(failed.outcomes.iter().all(|o| !o.accepted));
+
+    assert_eq!(
+        ok.traffic.shape(),
+        failed.traffic.shape(),
+        "an eavesdropper sees the same rounds, slots and sizes either way"
+    );
+}
+
+#[test]
+fn outsider_probe_has_identical_shape_too() {
+    let mut r = rng("ev-outsider");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let ok = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let probed = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Outsider,
+    ];
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let with_outsider = run_handshake(&probed, &opts, &mut r).unwrap();
+    assert_eq!(ok.traffic.shape(), with_outsider.traffic.shape());
+}
+
+#[test]
+fn partial_success_is_shape_identical_as_well() {
+    // Even the partial-success extension leaks nothing in metadata: a
+    // fully mixed and a fully successful session have the same shape.
+    let mut r = rng("ev-partial");
+    let (_, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let ok = {
+        let (_, ms) = group(SchemeKind::Scheme1, 4, &mut r);
+        run_handshake(&actors(&ms), &HandshakeOptions::default(), &mut r).unwrap()
+    };
+    let mixed = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&a_members[1]),
+        Actor::Member(&b_members[0]),
+        Actor::Member(&b_members[1]),
+    ];
+    let partial = run_handshake(&mixed, &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(partial
+        .outcomes
+        .iter()
+        .all(|o| o.partial_accepted() && !o.accepted));
+    assert_eq!(ok.traffic.shape(), partial.traffic.shape());
+}
+
+#[test]
+fn payload_bits_do_differ() {
+    // Sanity: the logs are shape-equal, not byte-equal.
+    let mut r = rng("ev-bits");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let s1 = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let s2 = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert_eq!(s1.traffic.shape(), s2.traffic.shape());
+    assert_ne!(s1.traffic, s2.traffic);
+}
+
+#[test]
+fn every_slot_sends_the_same_number_of_messages() {
+    // No party's behavior (member / outsider, success / failure) changes
+    // its send pattern.
+    let mut r = rng("ev-counts");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Outsider,
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    for slot in 0..3 {
+        assert_eq!(result.traffic.messages_from(slot), 4, "slot {slot}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Correctness of `SHS.Handshake` (Fig. 2, first property): members of the
+//! same group always accept; anyone else never does.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind, TracePolicy};
+
+#[test]
+fn same_group_handshake_accepts_for_all_sizes() {
+    let mut r = rng("hs-correct");
+    let (_, members) = group(SchemeKind::Scheme1, 5, &mut r);
+    for m in [2usize, 3, 5] {
+        let subset: Vec<_> = members[..m].iter().map(shs_core::Actor::Member).collect();
+        let result = run_handshake(&subset, &HandshakeOptions::default(), &mut r).unwrap();
+        for o in &result.outcomes {
+            assert!(o.accepted, "m={m}, slot {}", o.slot);
+            assert_eq!(o.same_group_slots.len(), m);
+            assert_eq!(o.verified_slots.len(), m);
+            assert!(o.duplicate_slots.is_empty());
+        }
+    }
+}
+
+#[test]
+fn scheme2_same_group_accepts() {
+    let mut r = rng("hs-scheme2");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 3, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+}
+
+#[test]
+fn scheme1_classic_same_group_accepts() {
+    let mut r = rng("hs-classic");
+    let (_, members) = group(SchemeKind::Scheme1Classic, 3, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+}
+
+#[test]
+fn mixed_groups_reject_full_handshake() {
+    let mut r = rng("hs-mixed");
+    let (_, members_a) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, members_b) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members_a[0]),
+        Actor::Member(&members_a[1]),
+        Actor::Member(&members_b[0]),
+        Actor::Member(&members_b[1]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    for o in &result.outcomes {
+        assert!(
+            !o.accepted,
+            "slot {} must not fully accept in a mixed session",
+            o.slot
+        );
+    }
+}
+
+#[test]
+fn accepted_parties_share_a_session_key() {
+    let mut r = rng("hs-key");
+    let (_, members) = group(SchemeKind::Scheme1, 4, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let key0 = result.outcomes[0]
+        .session_key
+        .clone()
+        .expect("accepted => key");
+    for o in &result.outcomes[1..] {
+        assert_eq!(o.session_key.as_ref(), Some(&key0));
+    }
+}
+
+#[test]
+fn session_keys_differ_across_sessions() {
+    let mut r = rng("hs-key-fresh");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let r1 = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let r2 = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert_ne!(r1.outcomes[0].session_key, r2.outcomes[0].session_key);
+}
+
+#[test]
+fn preliminary_only_policy_accepts_without_transcript() {
+    let mut r = rng("hs-prelim");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let opts = HandshakeOptions {
+        policy: TracePolicy::PreliminaryOnly,
+        ..Default::default()
+    };
+    let result = run_handshake(&actors(&members), &opts, &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    assert!(
+        result.transcript.entries.is_empty(),
+        "no (θ, δ) under preliminary-only policy"
+    );
+}
+
+#[test]
+fn single_actor_session_rejected() {
+    let mut r = rng("hs-single");
+    let (_, members) = group(SchemeKind::Scheme1, 1, &mut r);
+    let session = [Actor::Member(&members[0])];
+    assert!(run_handshake(&session, &HandshakeOptions::default(), &mut r).is_err());
+}
+
+#[test]
+fn costs_are_reported_per_slot() {
+    let mut r = rng("hs-costs");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    for c in &result.costs {
+        assert!(c.modexp > 0, "every slot exponentiates");
+        assert_eq!(c.messages_sent, 4, "BD r1 + r2 + MAC + phase3");
+        assert!(c.bytes_sent > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Group lifecycle: `AdmitMember` / `RemoveUser` / `Update` interplay with
+//! handshakes — backward/forward secrecy of the CGKD layer, CRL
+//! propagation, stale members.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, CoreError, HandshakeOptions, SchemeKind};
+
+#[test]
+fn churn_then_handshake() {
+    let mut r = rng("lc-churn");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 5, &mut r);
+    // Remove two members, everyone else updates.
+    for _ in 0..2 {
+        let victim = members.pop().unwrap();
+        let update = ga.remove(victim.id(), &mut r).unwrap();
+        for m in members.iter_mut() {
+            m.apply_update(&update).unwrap();
+        }
+    }
+    // Admit one more.
+    let (newbie, update) = ga.admit(&mut r).unwrap();
+    for m in members.iter_mut() {
+        m.apply_update(&update).unwrap();
+    }
+    members.push(newbie);
+    assert_eq!(ga.member_count(), 4);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+}
+
+#[test]
+fn revoked_member_cannot_handshake() {
+    let mut r = rng("lc-revoked");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let victim = members.pop().unwrap();
+    let update = ga.remove(victim.id(), &mut r).unwrap();
+    for m in members.iter_mut() {
+        m.apply_update(&update).unwrap();
+    }
+    // The revoked member (with its stale key) fails the MAC phase.
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&victim),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 1]);
+    assert!(!result.outcomes[0].accepted);
+    assert_eq!(result.outcomes[2].same_group_slots, vec![2]);
+}
+
+#[test]
+fn revoked_member_cannot_read_updates() {
+    let mut r = rng("lc-blind");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let mut victim = members.pop().unwrap();
+    let update = ga.remove(victim.id(), &mut r).unwrap();
+    assert!(matches!(
+        victim.apply_update(&update),
+        Err(CoreError::Cgkd(shs_cgkd::CgkdError::CannotDecrypt))
+    ));
+    // And the victim also cannot read any LATER update (forward secrecy).
+    let (newbie, update2) = ga.admit(&mut r).unwrap();
+    assert!(victim.apply_update(&update2).is_err());
+    let _ = newbie;
+}
+
+#[test]
+fn stale_member_fails_until_updated() {
+    let mut r = rng("lc-stale");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 2, &mut r);
+    // Admit a third member; member 1 misses the update.
+    let (carol, update) = ga.admit(&mut r).unwrap();
+    members[0].apply_update(&update).unwrap();
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]), // stale
+        Actor::Member(&carol),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(!result.outcomes[0].accepted, "stale member has the old key");
+    assert_eq!(result.outcomes[0].same_group_slots, vec![0, 2]);
+    // After catching up, everything works.
+    members[1].apply_update(&update).unwrap();
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&carol),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+}
+
+#[test]
+fn crl_version_propagates_through_updates() {
+    let mut r = rng("lc-crl");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 4, &mut r);
+    assert_eq!(members[0].crl_version(), 0);
+    let victim = members.pop().unwrap();
+    let update = ga.remove(victim.id(), &mut r).unwrap();
+    for m in members.iter_mut() {
+        m.apply_update(&update).unwrap();
+        assert_eq!(m.crl_version(), 1);
+    }
+    let victim2 = members.pop().unwrap();
+    let update2 = ga.remove(victim2.id(), &mut r).unwrap();
+    for m in members.iter_mut() {
+        m.apply_update(&update2).unwrap();
+        assert_eq!(m.crl_version(), 2);
+    }
+}
+
+#[test]
+fn updates_cannot_be_replayed_or_skipped() {
+    let mut r = rng("lc-order");
+    let (mut ga, mut members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_m3, u1) = ga.admit(&mut r).unwrap();
+    let (_m4, u2) = ga.admit(&mut r).unwrap();
+    // Skipping u1 fails.
+    assert!(members[0].apply_update(&u2).is_err());
+    members[0].apply_update(&u1).unwrap();
+    members[0].apply_update(&u2).unwrap();
+    // Replaying fails.
+    assert!(members[0].apply_update(&u2).is_err());
+    let _ = &mut members[1];
+}
+
+#[test]
+fn capacity_exhaustion_is_an_error() {
+    let mut r = rng("lc-capacity");
+    let mut ga = shs_core::fixtures::test_authority(SchemeKind::Scheme1, &mut r);
+    // Config capacity is 64; fill it.
+    for _ in 0..64 {
+        ga.admit(&mut r).unwrap();
+    }
+    assert!(matches!(
+        ga.admit(&mut r),
+        Err(CoreError::Cgkd(shs_cgkd::CgkdError::Full))
+    ));
+}
+
+#[test]
+fn removing_unknown_member_is_an_error() {
+    let mut r = rng("lc-unknown");
+    let (mut ga, _members) = group(SchemeKind::Scheme1, 1, &mut r);
+    assert!(matches!(
+        ga.remove(shs_gsig::ky::MemberId(999), &mut r),
+        Err(CoreError::UnknownMember)
+    ));
+}

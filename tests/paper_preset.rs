@@ -1,0 +1,41 @@
+//! Full-strength parameter smoke test: the `Paper` preset (2048-bit RSA
+//! modulus, 2048-bit Schnorr prime, 160-bit challenges, strict ACJT
+//! interval constraints).
+//!
+//! Ignored by default because safe-prime generation at this size takes
+//! minutes; run with
+//!
+//! ```sh
+//! cargo test --release --test paper_preset -- --ignored
+//! ```
+
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, GroupAuthority, GroupConfig, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+use shs_groups::schnorr::SchnorrPreset;
+use shs_gsig::params::GsigPreset;
+
+#[test]
+#[ignore = "generates 2048-bit safe primes; run explicitly with --ignored --release"]
+fn full_size_parameters_end_to_end() {
+    let mut rng = HmacDrbg::from_seed(b"paper-preset-smoke");
+    let config = GroupConfig {
+        gsig_preset: GsigPreset::Paper,
+        schnorr_preset: SchnorrPreset::Paper,
+        ..GroupConfig::test(SchemeKind::Scheme2SelfDistinct)
+    };
+    let mut ga = GroupAuthority::create(config, &mut rng);
+    let (mut alice, _) = ga.admit(&mut rng).unwrap();
+    let (bob, update) = ga.admit(&mut rng).unwrap();
+    alice.apply_update(&update).unwrap();
+
+    let result = run_handshake(
+        &[Actor::Member(&alice), Actor::Member(&bob)],
+        &HandshakeOptions::default(),
+        &mut rng,
+    )
+    .unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    let traced = ga.trace(&result.transcript);
+    assert!(traced.iter().all(|t| t.result.is_ok()));
+}

@@ -1,0 +1,124 @@
+//! Partially-successful handshakes (§7 extension, experiment E6): in a
+//! mixed session, every sub-group of co-members completes its own
+//! handshake and learns its own size — the paper's worked example is
+//! 5 parties, 2 from group A and 3 from group B.
+
+mod common;
+
+use common::{group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+#[test]
+fn papers_five_party_example() {
+    let mut r = rng("ps-5");
+    let (_, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 3, &mut r);
+    // Interleave: A0 B0 A1 B1 B2.
+    let session = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&b_members[0]),
+        Actor::Member(&a_members[1]),
+        Actor::Member(&b_members[1]),
+        Actor::Member(&b_members[2]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+
+    // Nobody fully accepts...
+    assert!(result.outcomes.iter().all(|o| !o.accepted));
+    // ...but each member determines exactly its own sub-group:
+    assert_eq!(
+        result.outcomes[0].same_group_slots,
+        vec![0, 2],
+        "A member sees 2 A-parties"
+    );
+    assert_eq!(result.outcomes[2].same_group_slots, vec![0, 2]);
+    assert_eq!(
+        result.outcomes[1].same_group_slots,
+        vec![1, 3, 4],
+        "B member sees 3 B-parties"
+    );
+    assert_eq!(result.outcomes[3].same_group_slots, vec![1, 3, 4]);
+    assert_eq!(result.outcomes[4].same_group_slots, vec![1, 3, 4]);
+
+    // Both sub-handshakes complete: signatures verified, keys derived.
+    for o in &result.outcomes {
+        assert!(o.partial_accepted(), "slot {}", o.slot);
+    }
+    // Keys agree within a sub-group and differ across sub-groups.
+    let key_a = result.outcomes[0].session_key.clone().unwrap();
+    assert_eq!(result.outcomes[2].session_key.as_ref(), Some(&key_a));
+    let key_b = result.outcomes[1].session_key.clone().unwrap();
+    assert_eq!(result.outcomes[3].session_key.as_ref(), Some(&key_b));
+    assert_eq!(result.outcomes[4].session_key.as_ref(), Some(&key_b));
+    assert_ne!(key_a, key_b);
+}
+
+#[test]
+fn singletons_learn_nothing() {
+    let mut r = rng("ps-singleton");
+    let (_, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 1, &mut r);
+    let session = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&a_members[1]),
+        Actor::Member(&b_members[0]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    // The lone B member completes nothing.
+    let lone = &result.outcomes[2];
+    assert_eq!(lone.same_group_slots, vec![2]);
+    assert!(!lone.partial_accepted());
+    assert!(lone.session_key.is_none());
+    // The A pair completes a partial handshake.
+    assert!(result.outcomes[0].partial_accepted());
+    assert!(result.outcomes[1].partial_accepted());
+}
+
+#[test]
+fn strict_mode_disables_partial_success() {
+    let mut r = rng("ps-strict");
+    let (_, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&a_members[1]),
+        Actor::Member(&b_members[0]),
+        Actor::Member(&b_members[1]),
+    ];
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let result = run_handshake(&session, &opts, &mut r).unwrap();
+    for o in &result.outcomes {
+        assert!(!o.accepted);
+        assert!(
+            o.session_key.is_none(),
+            "strict CASE 2: everyone publishes decoys"
+        );
+    }
+}
+
+#[test]
+fn partial_subgroups_with_scheme2_self_distinction() {
+    // Self-distinction also applies within sub-groups: a B-member playing
+    // two B-slots is caught by the other B-member even in a mixed session.
+    let mut r = rng("ps-sd");
+    let (_, a_members) = group(SchemeKind::Scheme2SelfDistinct, 1, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme2SelfDistinct, 2, &mut r);
+    let session = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&b_members[0]),
+        Actor::Member(&b_members[1]),
+        Actor::Member(&b_members[0]), // duplicate!
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let honest_b = &result.outcomes[2];
+    assert_eq!(honest_b.same_group_slots, vec![1, 2, 3]);
+    assert_eq!(honest_b.duplicate_slots, vec![1, 3]);
+    assert!(
+        !honest_b.partial_accepted(),
+        "duplicates void the partial handshake"
+    );
+}

@@ -1,0 +1,59 @@
+//! Property-based handshake tests: for *any* assignment of session slots
+//! to groups, every party's discovered `Δ` is exactly the ground-truth
+//! co-member set, full acceptance happens iff all slots share a group,
+//! and sub-group session keys agree within and differ across sub-groups.
+
+mod common;
+
+use proptest::prelude::*;
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+proptest! {
+    // Handshakes are not cheap; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn delta_matches_ground_truth(
+        assignment in prop::collection::vec(0usize..3, 2..6),
+        seed in any::<u64>(),
+    ) {
+        let mut r = shs_crypto::drbg::HmacDrbg::from_seed(&seed.to_be_bytes());
+        // Pools: up to 5 members in each of 3 groups.
+        let pools: Vec<Vec<shs_core::Member>> = (0..3)
+            .map(|_| common::group(SchemeKind::Scheme1, 5, &mut r).1)
+            .collect();
+        let mut used = [0usize; 3];
+        let actors: Vec<Actor<'_>> = assignment
+            .iter()
+            .map(|&g| {
+                let m = &pools[g][used[g]];
+                used[g] += 1;
+                Actor::Member(m)
+            })
+            .collect();
+        let result = run_handshake(&actors, &HandshakeOptions::default(), &mut r).unwrap();
+
+        let m = assignment.len();
+        for (i, o) in result.outcomes.iter().enumerate() {
+            // Ground truth Δ for slot i.
+            let expected: Vec<usize> = (0..m).filter(|&j| assignment[j] == assignment[i]).collect();
+            prop_assert_eq!(&o.same_group_slots, &expected, "slot {}", i);
+            let all_same = expected.len() == m;
+            prop_assert_eq!(o.accepted, all_same, "slot {}", i);
+            prop_assert_eq!(o.partial_accepted(), expected.len() >= 2, "slot {}", i);
+        }
+        // Session keys agree within sub-groups, differ across.
+        for i in 0..m {
+            for j in i + 1..m {
+                let ki = &result.outcomes[i].session_key;
+                let kj = &result.outcomes[j].session_key;
+                if assignment[i] == assignment[j] {
+                    prop_assert_eq!(ki, kj);
+                } else if ki.is_some() && kj.is_some() {
+                    prop_assert_ne!(ki, kj);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Replay resistance: material captured from one handshake session is
+//! useless in any other — the session-specific `k* ` (and hence
+//! `k' = k* ⊕ k`) keys every MAC, every `θ`, and the signed message binds
+//! the session id.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::{run_handshake, run_handshake_with_net};
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+use shs_net::sync::BroadcastNet;
+use shs_net::DeliveryPolicy;
+
+/// An adversary records session A and replays a member's Phase-II MAC
+/// into session B. The tag is keyed by session A's `k'`, so it never
+/// verifies in B: the victim slot is simply treated as a non-member.
+#[test]
+fn phase2_tag_replay_across_sessions_fails() {
+    let mut r = rng("rp-tag");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+
+    // Session A: record slot 2's Phase-II tag.
+    let session_a = run_handshake(&acts, &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(session_a.outcomes.iter().all(|o| o.accepted));
+    let recorded_tag = session_a
+        .traffic
+        .records()
+        .iter()
+        .find(|rec| rec.round == "phase2-mac" && rec.from_slot == 2)
+        .unwrap()
+        .payload
+        .clone();
+
+    // Session B: a MITM overwrites slot 2's genuine tag with the recording.
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(move |ctx, payload| {
+        if ctx.round == "phase2-mac" && ctx.from_slot == 2 {
+            payload.clear();
+            payload.extend_from_slice(&recorded_tag);
+        }
+    }));
+    let session_b =
+        run_handshake_with_net(&acts, &HandshakeOptions::default(), &mut net, &mut r).unwrap();
+    // Slots 0 and 1 no longer see slot 2 as a co-member.
+    assert_eq!(session_b.outcomes[0].same_group_slots, vec![0, 1]);
+    assert_eq!(session_b.outcomes[1].same_group_slots, vec![0, 1]);
+    assert!(!session_b.outcomes[0].accepted);
+}
+
+/// Replaying a recorded Phase-III `(θ, δ)` into a new session fails: `θ`
+/// was sealed under session A's `k'` with session A's `sid` as AAD.
+#[test]
+fn phase3_payload_replay_across_sessions_fails() {
+    let mut r = rng("rp-p3");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+
+    let session_a = run_handshake(&acts, &HandshakeOptions::default(), &mut r).unwrap();
+    let recorded_p3 = session_a
+        .traffic
+        .records()
+        .iter()
+        .find(|rec| rec.round == "phase3-full" && rec.from_slot == 2)
+        .unwrap()
+        .payload
+        .clone();
+
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(move |ctx, payload| {
+        if ctx.round == "phase3-full" && ctx.from_slot == 2 {
+            payload.clear();
+            payload.extend_from_slice(&recorded_p3);
+        }
+    }));
+    let session_b =
+        run_handshake_with_net(&acts, &HandshakeOptions::default(), &mut net, &mut r).unwrap();
+    // The MAC phase passed (nothing was tampered there), but slot 2's
+    // replayed signature payload does not decrypt/verify for anyone.
+    assert_eq!(session_b.outcomes[0].same_group_slots, vec![0, 1, 2]);
+    assert!(!session_b.outcomes[0].verified_slots.contains(&2));
+    assert!(!session_b.outcomes[0].accepted);
+}
+
+/// A whole-transcript replay to the authority is detectable only as the
+/// SAME session (same sid) — transcripts are bound to their session id, so
+/// a transcript cannot be passed off as evidence of a different meeting.
+#[test]
+fn transcript_is_bound_to_its_session() {
+    let mut r = rng("rp-transcript");
+    let (ga, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let acts = actors(&members);
+    let a = run_handshake(&acts, &HandshakeOptions::default(), &mut r).unwrap();
+    let b = run_handshake(&acts, &HandshakeOptions::default(), &mut r).unwrap();
+    assert_ne!(a.transcript.sid, b.transcript.sid);
+    // Grafting session A's entries onto session B's sid breaks tracing:
+    // the AEAD AAD (sid) no longer matches.
+    let mut franken = a.transcript.clone();
+    franken.sid = b.transcript.sid.clone();
+    let traced = ga.trace(&franken);
+    assert!(traced.iter().all(|t| t.result.is_err()));
+    // The genuine transcripts trace fine.
+    assert!(ga.trace(&a.transcript).iter().all(|t| t.result.is_ok()));
+    assert!(ga.trace(&b.transcript).iter().all(|t| t.result.is_ok()));
+}
+
+/// Cross-group replay: a valid Phase-III payload from group A's session
+/// is injected into a same-shaped session of group B. Nothing verifies.
+#[test]
+fn cross_group_replay_fails() {
+    let mut r = rng("rp-crossgroup");
+    let (_, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 2, &mut r);
+
+    let a_session = run_handshake(
+        &[Actor::Member(&a_members[0]), Actor::Member(&a_members[1])],
+        &HandshakeOptions::default(),
+        &mut r,
+    )
+    .unwrap();
+    let recorded = a_session
+        .traffic
+        .records()
+        .iter()
+        .find(|rec| rec.round == "phase3-full" && rec.from_slot == 1)
+        .unwrap()
+        .payload
+        .clone();
+
+    let mut net = BroadcastNet::new(2, DeliveryPolicy::Synchronous);
+    net.set_interceptor(Box::new(move |ctx, payload| {
+        if ctx.round == "phase3-full" && ctx.from_slot == 1 {
+            payload.clear();
+            payload.extend_from_slice(&recorded);
+        }
+    }));
+    let b_session = run_handshake_with_net(
+        &[Actor::Member(&b_members[0]), Actor::Member(&b_members[1])],
+        &HandshakeOptions::default(),
+        &mut net,
+        &mut r,
+    )
+    .unwrap();
+    assert!(!b_session.outcomes[0].verified_slots.contains(&1));
+    assert!(!b_session.outcomes[0].accepted);
+}

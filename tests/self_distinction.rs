@@ -1,0 +1,98 @@
+//! Self-distinction (§8.2, Theorem 3, experiment E7c): a malicious insider
+//! playing several roles in one handshake is detected by scheme 2 — and,
+//! demonstrating the motivation, is *not* detected by scheme 1.
+
+mod common;
+
+use common::{group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+
+#[test]
+fn scheme2_detects_insider_playing_two_roles() {
+    let mut r = rng("sd-detect");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 2, &mut r);
+    // Member 0 occupies two slots of a "three-party" handshake.
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&members[0]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    // The honest member sees valid MACs and valid signatures from all
+    // three slots, but the duplicate T6 exposes slots 0 and 2 as one
+    // member.
+    let honest = &result.outcomes[1];
+    assert_eq!(honest.same_group_slots, vec![0, 1, 2]);
+    assert_eq!(honest.duplicate_slots, vec![0, 2]);
+    assert!(!honest.accepted, "self-distinction must veto the handshake");
+    assert!(honest.session_key.is_none());
+}
+
+#[test]
+fn scheme1_misses_the_same_attack() {
+    let mut r = rng("sd-miss");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+        Actor::Member(&members[0]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let honest = &result.outcomes[1];
+    // Scheme 1's randomized T6/T7 makes the two roles unlinkable even to
+    // co-participants: the honest member is fooled into a 3-party accept.
+    assert!(honest.duplicate_slots.is_empty());
+    assert!(
+        honest.accepted,
+        "without self-distinction the honest member wrongly counts three distinct peers"
+    );
+}
+
+#[test]
+fn scheme2_three_distinct_members_accept() {
+    // No false positives: distinct members have distinct x', hence
+    // distinct T6 under the common T7.
+    let mut r = rng("sd-clean");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 3, &mut r);
+    let session: Vec<_> = members.iter().map(Actor::Member).collect();
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    for o in &result.outcomes {
+        assert!(o.duplicate_slots.is_empty(), "slot {}", o.slot);
+        assert!(o.accepted);
+    }
+}
+
+#[test]
+fn scheme2_detects_triple_role() {
+    let mut r = rng("sd-triple");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 2, &mut r);
+    let session = [
+        Actor::Member(&members[0]),
+        Actor::Member(&members[0]),
+        Actor::Member(&members[0]),
+        Actor::Member(&members[1]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let honest = &result.outcomes[3];
+    assert_eq!(honest.duplicate_slots, vec![0, 1, 2]);
+    assert!(!honest.accepted);
+}
+
+#[test]
+fn self_distinction_does_not_link_across_sessions() {
+    // Unlinkability is preserved: the SAME pair of members handshaking
+    // twice produces entirely different Phase-III payloads (T7 differs per
+    // session, so T6 differs too).
+    let mut r = rng("sd-unlink");
+    let (_, members) = group(SchemeKind::Scheme2SelfDistinct, 2, &mut r);
+    let session: Vec<_> = members.iter().map(Actor::Member).collect();
+    let r1 = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let r2 = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(r1.outcomes.iter().all(|o| o.accepted));
+    assert!(r2.outcomes.iter().all(|o| o.accepted));
+    for (e1, e2) in r1.transcript.entries.iter().zip(&r2.transcript.entries) {
+        assert_ne!(e1.theta, e2.theta);
+        assert_ne!(e1.delta, e2.delta);
+    }
+}

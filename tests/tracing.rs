@@ -1,0 +1,137 @@
+//! Traceability and no-misattribution (Fig. 2, experiment E8):
+//! `GCD.TraceUser` recovers all participants of a successful handshake
+//! from its transcript, never blames a non-participant, and learns nothing
+//! from failed handshakes or foreign groups.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::run_handshake;
+use shs_core::{Actor, HandshakeOptions, SchemeKind, TraceError};
+use std::collections::BTreeSet;
+
+#[test]
+fn authority_traces_every_participant() {
+    let mut r = rng("tr-all");
+    let (ga, members) = group(SchemeKind::Scheme1, 4, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    let traced = ga.trace(&result.transcript);
+    assert_eq!(traced.len(), 4);
+    let ids: BTreeSet<_> = traced.iter().map(|t| t.result.unwrap()).collect();
+    let expected: BTreeSet<_> = members.iter().map(|m| m.id()).collect();
+    assert_eq!(ids, expected, "all four identities recovered, no extras");
+}
+
+#[test]
+fn tracing_works_for_scheme2() {
+    let mut r = rng("tr-s2");
+    let (ga, members) = group(SchemeKind::Scheme2SelfDistinct, 3, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let traced = ga.trace(&result.transcript);
+    for t in &traced {
+        assert!(t.result.is_ok(), "slot {}", t.slot);
+    }
+}
+
+#[test]
+fn tracing_works_for_scheme1_classic() {
+    let mut r = rng("tr-classic");
+    let (ga, members) = group(SchemeKind::Scheme1Classic, 3, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let traced = ga.trace(&result.transcript);
+    let ids: BTreeSet<_> = traced.iter().map(|t| t.result.unwrap()).collect();
+    assert_eq!(ids.len(), 3);
+}
+
+#[test]
+fn no_misattribution_subset_sessions() {
+    // Only actual participants appear in the trace: members 0 and 2
+    // handshake; member 1 must never be named.
+    let mut r = rng("tr-subset");
+    let (ga, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let session = [Actor::Member(&members[0]), Actor::Member(&members[2])];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let traced = ga.trace(&result.transcript);
+    let ids: BTreeSet<_> = traced.iter().filter_map(|t| t.result.ok()).collect();
+    assert!(ids.contains(&members[0].id()));
+    assert!(ids.contains(&members[2].id()));
+    assert!(
+        !ids.contains(&members[1].id()),
+        "honest non-participant never framed"
+    );
+}
+
+#[test]
+fn failed_handshakes_are_untraceable() {
+    // A mixed session without partial success publishes only decoys: the
+    // GA recovers nothing (weak traceability, §2 remark).
+    let mut r = rng("tr-failed");
+    let (ga, a_members) = group(SchemeKind::Scheme1, 1, &mut r);
+    let (_, b_members) = group(SchemeKind::Scheme1, 1, &mut r);
+    let session = [Actor::Member(&a_members[0]), Actor::Member(&b_members[0])];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let traced = ga.trace(&result.transcript);
+    for t in &traced {
+        assert!(
+            matches!(t.result, Err(TraceError::UndecryptableDelta)),
+            "slot {}: decoys must not decrypt",
+            t.slot
+        );
+    }
+}
+
+#[test]
+fn foreign_authority_learns_nothing() {
+    // Another group's GA cannot trace this group's handshake: its sk_T
+    // does not decrypt the deltas.
+    let mut r = rng("tr-foreign");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (foreign_ga, _) = group(SchemeKind::Scheme1, 1, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    assert!(result.outcomes[0].accepted);
+    let traced = foreign_ga.trace(&result.transcript);
+    for t in &traced {
+        assert!(t.result.is_err(), "slot {}", t.slot);
+    }
+}
+
+#[test]
+fn mixed_sessions_trace_only_own_members() {
+    // E6 + E8 interplay: in a partially successful mixed session, each GA
+    // traces exactly its own members' slots.
+    let mut r = rng("tr-mixed");
+    let (ga_a, a_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (ga_b, b_members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let session = [
+        Actor::Member(&a_members[0]),
+        Actor::Member(&b_members[0]),
+        Actor::Member(&a_members[1]),
+        Actor::Member(&b_members[1]),
+    ];
+    let result = run_handshake(&session, &HandshakeOptions::default(), &mut r).unwrap();
+    let traced_a = ga_a.trace(&result.transcript);
+    assert!(traced_a[0].result.is_ok());
+    assert!(traced_a[2].result.is_ok());
+    assert!(traced_a[1].result.is_err());
+    assert!(traced_a[3].result.is_err());
+    let traced_b = ga_b.trace(&result.transcript);
+    assert!(traced_b[1].result.is_ok());
+    assert!(traced_b[3].result.is_ok());
+    assert!(traced_b[0].result.is_err());
+}
+
+#[test]
+fn tampered_transcript_does_not_misattribute() {
+    // Cutting a transcript entry's θ or δ yields trace errors, never a
+    // wrong identity.
+    let mut r = rng("tr-tamper");
+    let (ga, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let result = run_handshake(&actors(&members), &HandshakeOptions::default(), &mut r).unwrap();
+    let mut transcript = result.transcript.clone();
+    transcript.entries[0].theta[5] ^= 0xFF;
+    transcript.entries[1].delta[5] ^= 0xFF;
+    let traced = ga.trace(&transcript);
+    assert!(traced[0].result.is_err());
+    assert!(traced[1].result.is_err());
+}
