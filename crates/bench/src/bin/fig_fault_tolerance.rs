@@ -1,0 +1,103 @@
+//! **Fault tolerance figure** — sweep per-delivery drop and corruption
+//! rates and measure what the hardened runtime delivers: the fraction of
+//! sessions that still fully complete, the retransmission cost of the
+//! survivors, and how the rest degrade into structured aborts (never
+//! hangs). Emits one JSON document on stdout.
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin fig_fault_tolerance
+//! ```
+
+use shs_bench::{group, rng};
+use shs_core::handshake::run_handshake_with_net;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::sync::BroadcastNet;
+use shs_net::DeliveryPolicy;
+
+const TRIALS: u32 = 25;
+const SLOTS: usize = 3;
+
+struct Point {
+    fault: &'static str,
+    rate: f64,
+    completed: u32,
+    aborted_slots: u32,
+    total_retries: u32,
+    total_exchanges: u32,
+    budget_exhausted: u32,
+}
+
+fn main() {
+    let mut r = rng("fig-fault-tolerance");
+    let (_, members) = group(SchemeKind::Scheme1, SLOTS, &mut r);
+    let acts: Vec<Actor<'_>> = members.iter().map(Actor::Member).collect();
+    let opts = HandshakeOptions::default();
+
+    let rates = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+    let mut points = Vec::new();
+    for fault in ["drop", "corrupt"] {
+        for &rate in &rates {
+            let mut point = Point {
+                fault,
+                rate,
+                completed: 0,
+                aborted_slots: 0,
+                total_retries: 0,
+                total_exchanges: 0,
+                budget_exhausted: 0,
+            };
+            for trial in 0..TRIALS {
+                let seed = 1000 * (rate * 100.0) as u64 + trial as u64;
+                let rule = match fault {
+                    "drop" => FaultRule::drop().with_probability(rate),
+                    _ => FaultRule::corrupt(2).with_probability(rate),
+                };
+                let mut net = BroadcastNet::new(SLOTS, DeliveryPolicy::Synchronous);
+                net.set_fault_plan(FaultPlan::new(seed).with(rule));
+                let result = run_handshake_with_net(&acts, &opts, &mut net, &mut r)
+                    .expect("hardened runtime always returns a structured result");
+                if result.outcomes.iter().all(|o| o.accepted) {
+                    point.completed += 1;
+                }
+                point.aborted_slots +=
+                    result.outcomes.iter().filter(|o| o.abort.is_some()).count() as u32;
+                point.total_retries += result.stats.retries;
+                point.total_exchanges += result.stats.exchanges;
+                if result.stats.budget_exhausted {
+                    point.budget_exhausted += 1;
+                }
+            }
+            points.push(point);
+        }
+    }
+
+    // Hand-rolled JSON: the offline build has no serde_json.
+    println!("{{");
+    println!("  \"figure\": \"fault_tolerance\",");
+    println!("  \"slots\": {SLOTS},");
+    println!("  \"trials_per_point\": {TRIALS},");
+    println!(
+        "  \"budget\": {{ \"max_exchanges\": {}, \"retries_per_round\": {} }},",
+        opts.budget.max_exchanges, opts.budget.retries_per_round
+    );
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{ \"fault\": \"{}\", \"rate\": {:.2}, \"completion_rate\": {:.3}, \
+             \"mean_retries\": {:.2}, \"mean_exchanges\": {:.2}, \
+             \"aborted_slots\": {}, \"budget_exhausted\": {} }}{}",
+            p.fault,
+            p.rate,
+            f64::from(p.completed) / f64::from(TRIALS),
+            f64::from(p.total_retries) / f64::from(TRIALS),
+            f64::from(p.total_exchanges) / f64::from(TRIALS),
+            p.aborted_slots,
+            p.budget_exhausted,
+            comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

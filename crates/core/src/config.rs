@@ -113,6 +113,40 @@ pub enum DgkaChoice {
     Gdh2,
 }
 
+/// Round budget of a session on a possibly-lossy medium.
+///
+/// The simulated media are clocked by broadcast exchanges, so the budget
+/// is denominated in exchanges rather than wall time: it is the timeout.
+/// The protocol's *base* exchanges always run (they also carry every
+/// slot's cover traffic, so skipping one would change the wire shape);
+/// the budget bounds the **extra** retransmission exchanges the driver
+/// may spend recovering lost or mangled messages. A session therefore
+/// always terminates within `base + min(max_exchanges, labels ×
+/// retries_per_round)` exchanges, with slots that could not recover
+/// reporting a structured abort instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionBudget {
+    /// Hard cap on total exchanges (base + retransmissions); once
+    /// reached, no further retransmissions are attempted.
+    pub max_exchanges: u32,
+    /// Retransmissions allowed per round label before the driver gives
+    /// up on the still-missing messages and degrades (smaller `Δ`,
+    /// partial success, or a per-slot abort). The retry schedule is
+    /// linear — one re-exchange per attempt — because the medium's clock
+    /// is the exchange counter, which is also exactly what a
+    /// `Delay { rounds }` fault counts.
+    pub retries_per_round: u32,
+}
+
+impl Default for SessionBudget {
+    fn default() -> Self {
+        SessionBudget {
+            max_exchanges: 32,
+            retries_per_round: 2,
+        }
+    }
+}
+
 /// Options of one handshake session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HandshakeOptions {
@@ -125,6 +159,8 @@ pub struct HandshakeOptions {
     pub delivery: DeliveryPolicy,
     /// Which key-agreement protocol runs Phase I.
     pub dgka: DgkaChoice,
+    /// Retry/timeout budget on lossy media.
+    pub budget: SessionBudget,
 }
 
 impl Default for HandshakeOptions {
@@ -134,6 +170,7 @@ impl Default for HandshakeOptions {
             partial_success: true,
             delivery: DeliveryPolicy::Synchronous,
             dgka: DgkaChoice::BurmesterDesmedt,
+            budget: SessionBudget::default(),
         }
     }
 }

@@ -15,8 +15,22 @@
 //!   are indistinguishable from successes on the wire. Scheme 2
 //!   additionally forces the common `T7 = H→QR(transcript)` and flags
 //!   duplicate `T6` values (self-distinction).
+//!
+//! # Hardened runtime
+//!
+//! The driver tolerates a lossy, malicious medium (see `shs-net`'s
+//! fault injection): every broadcast exchange is retried within the
+//! session's [`crate::config::SessionBudget`] when expected messages are
+//! missing or undecodable, and a slot that still cannot proceed
+//! **aborts structurally** — [`Outcome::abort`] carries an
+//! [`AbortReason`] instead of the session hanging or returning a global
+//! error. Crucially for unobservability, an aborting slot keeps
+//! participating as a *decoy sender*: it transmits chaff and decoy
+//! payloads of exactly the shapes an ordinary failed handshake would
+//! produce, so an eavesdropper cannot tell a fault-induced abort from a
+//! run-of-the-mill membership mismatch.
 
-use crate::config::{DgkaChoice, HandshakeOptions, SchemeKind, TracePolicy};
+use crate::config::{DgkaChoice, HandshakeOptions, SchemeKind, SessionBudget, TracePolicy};
 use crate::member::{Credential, Member};
 use crate::transcript::{HandshakeTranscript, TranscriptEntry};
 use crate::{codec, CoreError};
@@ -54,6 +68,34 @@ impl std::fmt::Debug for Actor<'_> {
     }
 }
 
+/// Why a slot abandoned a session instead of completing it.
+///
+/// Aborting is *quiet*: the slot keeps transmitting decoy traffic of the
+/// ordinary failed-handshake shape, so the reason is visible only in its
+/// local [`Outcome`], never on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Phase I key agreement never completed: contributions stayed
+    /// missing or undecodable after the retry budget.
+    KeyAgreement,
+    /// The session's exchange budget ran out while messages were still
+    /// missing.
+    BudgetExhausted,
+    /// The slot itself crash-stopped (fault injection): the medium
+    /// suppressed its sends mid-session.
+    Crashed,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::KeyAgreement => write!(f, "phase I key agreement incomplete"),
+            AbortReason::BudgetExhausted => write!(f, "session exchange budget exhausted"),
+            AbortReason::Crashed => write!(f, "slot crash-stopped"),
+        }
+    }
+}
+
 /// Per-slot result of a handshake.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome {
@@ -73,6 +115,11 @@ pub struct Outcome {
     /// Session key established with the accepted partners (present when
     /// this party completed a full or partial handshake).
     pub session_key: Option<Key>,
+    /// Why this slot abandoned the session, if it did. `None` for every
+    /// slot that ran the protocol to completion — including ordinary
+    /// failed handshakes (wrong group, bad signatures), which are
+    /// *completions*, not aborts.
+    pub abort: Option<AbortReason>,
 }
 
 impl Outcome {
@@ -94,6 +141,18 @@ pub struct SlotCosts {
     pub bytes_sent: u64,
 }
 
+/// Session-level accounting of the hardened runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Broadcast exchanges performed (base rounds + retransmissions).
+    pub exchanges: u32,
+    /// Retransmission exchanges among those.
+    pub retries: u32,
+    /// Did the session hit [`SessionBudget::max_exchanges`] with
+    /// messages still missing?
+    pub budget_exhausted: bool,
+}
+
 /// Everything a handshake session produced.
 #[derive(Debug)]
 pub struct SessionResult {
@@ -106,6 +165,8 @@ pub struct SessionResult {
     pub traffic: TrafficLog,
     /// Per-slot cost accounting.
     pub costs: Vec<SlotCosts>,
+    /// Exchange/retry accounting (the cost of surviving a lossy medium).
+    pub stats: SessionStats,
 }
 
 /// Per-slot output of Phase I, protocol-independent.
@@ -150,6 +211,89 @@ fn note_send(costs: &mut SlotCosts, payload: &[u8]) {
     costs.bytes_sent += payload.len() as u64;
 }
 
+/// Uniform random bytes of a protocol-determined length: what an aborted
+/// slot transmits so the wire shape never reveals the abort.
+fn chaff(len: usize, rng: &mut (impl RngCore + ?Sized)) -> Vec<u8> {
+    let mut bytes = vec![0u8; len];
+    rng.fill_bytes(&mut bytes);
+    bytes
+}
+
+/// The budgeted exchange engine: performs one logical round, retrying
+/// (all slots retransmitting together, which keeps the per-slot wire
+/// shape uniform) while some receiver still lacks a *valid* copy of some
+/// sender's message and budget remains.
+struct Exchanger<'n, 'a> {
+    net: &'n mut BroadcastNet<'a>,
+    budget: SessionBudget,
+    exchanges: u32,
+    retries: u32,
+    exhausted: bool,
+}
+
+impl<'n, 'a> Exchanger<'n, 'a> {
+    fn new(net: &'n mut BroadcastNet<'a>, budget: SessionBudget) -> Exchanger<'n, 'a> {
+        Exchanger {
+            net,
+            budget,
+            exchanges: 0,
+            retries: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Broadcasts `outgoing` under `label`, returning each receiver's
+    /// best copy per sender (`None` where nothing valid ever arrived).
+    /// `valid` decides whether a payload counts as received — the first
+    /// valid copy wins, which also discards injected duplicates.
+    fn round(
+        &mut self,
+        label: &str,
+        outgoing: &[Vec<u8>],
+        valid: &mut dyn FnMut(usize, usize, &[u8]) -> bool,
+    ) -> Result<Vec<Vec<Option<Vec<u8>>>>, CoreError> {
+        let m = outgoing.len();
+        let mut views: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; m]; m];
+        let mut attempt = 0u32;
+        loop {
+            self.exchanges += 1;
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let inboxes = self.net.exchange(label, outgoing.to_vec())?;
+            for (to, inbox) in inboxes.iter().enumerate() {
+                for rcv in inbox {
+                    if rcv.from_slot < m
+                        && views[to][rcv.from_slot].is_none()
+                        && valid(to, rcv.from_slot, &rcv.payload)
+                    {
+                        views[to][rcv.from_slot] = Some(rcv.payload.clone());
+                    }
+                }
+            }
+            let complete = views.iter().all(|row| row.iter().all(Option::is_some));
+            if complete || attempt >= self.budget.retries_per_round {
+                break;
+            }
+            if self.exchanges >= self.budget.max_exchanges {
+                self.exhausted = true;
+                break;
+            }
+            attempt += 1;
+        }
+        Ok(views)
+    }
+
+    /// The abort reason matching how the last incomplete round ended.
+    fn abort_reason(&self) -> AbortReason {
+        if self.exhausted {
+            AbortReason::BudgetExhausted
+        } else {
+            AbortReason::KeyAgreement
+        }
+    }
+}
+
 /// Runs a handshake session among `actors` on a fresh anonymous broadcast
 /// medium configured per `opts`.
 ///
@@ -185,16 +329,19 @@ pub fn run_handshake_with_net(
     let group = session_group(actors);
     let mimic = mimic_params(actors);
     let mut costs = vec![SlotCosts::default(); m];
+    let mut ex = Exchanger::new(net, opts.budget);
 
     // ---- Phase I: distributed group key agreement -----------------------
     let phase1 = match opts.dgka {
-        DgkaChoice::BurmesterDesmedt => phase1_bd(group, m, net, &mut costs, rng)?,
-        DgkaChoice::Gdh2 => phase1_gdh(group, m, net, &mut costs, rng)?,
+        DgkaChoice::BurmesterDesmedt => phase1_bd(group, m, &mut ex, &mut costs, rng)?,
+        DgkaChoice::Gdh2 => phase1_gdh(group, m, &mut ex, &mut costs, rng)?,
     };
+    let mut aborts: Vec<Option<AbortReason>> = phase1.iter().map(|(_, a)| *a).collect();
 
-    // k'_i = k* ⊕ k_i.
+    // k'_i = k* ⊕ k_i. A slot that aborted in Phase I holds a random
+    // `k*`, so its `k'` is uniform — exactly an outsider's distribution.
     let mut slots: Vec<SlotState<'_>> = Vec::with_capacity(m);
-    for (actor, p1) in actors.iter().zip(phase1) {
+    for (actor, (p1, _)) in actors.iter().zip(phase1) {
         let k_i = match actor {
             Actor::Member(member) => member.group_key().clone(),
             Actor::Outsider => Key::random(rng),
@@ -213,17 +360,22 @@ pub fn run_handshake_with_net(
 
     // ---- Phase II: MAC tags ----------------------------------------------
     let mut out_tags = Vec::with_capacity(m);
+    let mut tag_len = 0;
     for (i, slot) in slots.iter().enumerate() {
         let tag = phase2_tag(&slot.k_prime, &slot.sid, &slot.contributions[i], i);
         note_send(&mut costs[i], &tag);
+        tag_len = tag.len();
         out_tags.push(tag.to_vec());
     }
-    let inboxes = net.exchange("phase2-mac", out_tags)?;
+    // A tag of the wrong size was tampered in transit and worth a
+    // retransmission; a right-sized tag that fails to verify is
+    // indistinguishable from a non-member's and must NOT be retried.
+    let views = ex.round("phase2-mac", &out_tags, &mut |_, _, p| p.len() == tag_len)?;
     for (i, slot) in slots.iter_mut().enumerate() {
-        let mut seen = vec![Vec::new(); m];
-        for rcv in &inboxes[i] {
-            seen[rcv.from_slot] = rcv.payload.clone();
-        }
+        let seen: Vec<Vec<u8>> = views[i]
+            .iter()
+            .map(|v| v.clone().unwrap_or_default())
+            .collect();
         let mut delta = Vec::new();
         #[allow(clippy::needless_range_loop)] // j is a slot id, not just an index
         for j in 0..m {
@@ -247,19 +399,26 @@ pub fn run_handshake_with_net(
     if opts.policy == TracePolicy::Full {
         let mut out_p3 = Vec::with_capacity(m);
         for (i, slot) in slots.iter_mut().enumerate() {
-            let publish_real = match slot.actor {
-                Actor::Member(_) => {
-                    slot.delta_set.len() == m || (opts.partial_success && slot.delta_set.len() >= 2)
-                }
-                Actor::Outsider => false,
-            };
+            // Aborted slots publish decoys: on the wire they look exactly
+            // like a member whose handshake merely failed.
+            let publish_real = aborts[i].is_none()
+                && match slot.actor {
+                    Actor::Member(_) => {
+                        slot.delta_set.len() == m
+                            || (opts.partial_success && slot.delta_set.len() >= 2)
+                    }
+                    Actor::Outsider => false,
+                };
             let payload = meter(&mut costs[i], || {
                 phase3_payload(slot, group, &mimic, publish_real, rng)
             })?;
             note_send(&mut costs[i], &payload);
             out_p3.push(payload);
         }
-        let inboxes = net.exchange("phase3-full", out_p3.clone())?;
+        // An undecodable (θ, δ) frame was tampered in transit: retry. A
+        // decodable frame that fails to decrypt/verify is an ordinary
+        // non-member signal and is not retried.
+        let views = ex.round("phase3-full", &out_p3, &mut |_, _, p| decode_p3(p).is_ok())?;
 
         // Build the public transcript (slot order) from the broadcast.
         transcript.sid = slots[0].sid.clone();
@@ -268,11 +427,15 @@ pub fn run_handshake_with_net(
             transcript.entries.push(TranscriptEntry { theta, delta });
         }
 
-        // Verification.
+        // Verification (aborted slots are decoy senders; they verify
+        // nothing).
         for (i, slot) in slots.iter().enumerate() {
             let Actor::Member(member) = slot.actor else {
                 continue;
             };
+            if aborts[i].is_some() {
+                continue;
+            }
             let expected_t7 = if member.scheme().self_distinct() {
                 Some(meter(&mut costs[i], || common_t7(member, slot)))
             } else {
@@ -282,12 +445,14 @@ pub fn run_handshake_with_net(
             if let Some(t6) = &slot.own_t6 {
                 t6_seen.push((i, t6.clone()));
             }
-            for rcv in &inboxes[i] {
-                let j = rcv.from_slot;
+            for (j, payload) in views[i].iter().enumerate() {
                 if j == i || !slot.delta_set.contains(&j) {
                     continue;
                 }
-                let Ok((theta, delta_bytes)) = decode_p3(&rcv.payload) else {
+                let Some(payload) = payload else {
+                    continue;
+                };
+                let Ok((theta, delta_bytes)) = decode_p3(payload) else {
                     continue;
                 };
                 let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
@@ -323,9 +488,22 @@ pub fn run_handshake_with_net(
     }
 
     // ---- Outcomes ----------------------------------------------------------
+    let stats = SessionStats {
+        exchanges: ex.exchanges,
+        retries: ex.retries,
+        budget_exhausted: ex.exhausted,
+    };
+    // A crash-stopped slot never finished the session regardless of what
+    // the local simulation computed for it: mark it aborted.
+    if let Some(plan) = net.fault_plan() {
+        for crashed in plan.crashed_slots(m) {
+            aborts[crashed] = Some(AbortReason::Crashed);
+        }
+    }
     let mut outcomes = Vec::with_capacity(m);
     for (i, slot) in slots.iter().enumerate() {
-        let is_member = matches!(slot.actor, Actor::Member(_));
+        let ok = aborts[i].is_none();
+        let is_member = ok && matches!(slot.actor, Actor::Member(_));
         let delta = slot.delta_set.clone();
         let mut verified_i = verified[i].clone();
         if is_member {
@@ -350,6 +528,7 @@ pub fn run_handshake_with_net(
             verified_slots: verified_i,
             duplicate_slots: duplicates[i].clone(),
             session_key,
+            abort: aborts[i],
         });
     }
 
@@ -358,6 +537,7 @@ pub fn run_handshake_with_net(
         transcript,
         traffic: net.traffic().clone(),
         costs,
+        stats,
     })
 }
 
@@ -368,13 +548,19 @@ pub fn run_handshake_with_net(
 /// Burmester–Desmedt over the broadcast medium: two rounds, everyone
 /// active in both. A slot's "contribution" is its framed `(z_i, X_i)`
 /// pair.
+///
+/// Returns one `(state, abort)` pair per slot. A slot that cannot
+/// complete (missing or invalid contributions after the retry budget)
+/// gets decoy state — random `sid`/`k*`, so everything it derives later
+/// is distributed like an outsider's — and keeps transmitting chaff of
+/// the correct element size, preserving the wire shape.
 fn phase1_bd(
     group: &'static SchnorrGroup,
     m: usize,
-    net: &mut BroadcastNet<'_>,
+    ex: &mut Exchanger<'_, '_>,
     costs: &mut [SlotCosts],
     rng: &mut (impl RngCore + ?Sized),
-) -> Result<Vec<Phase1Slot>, CoreError> {
+) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {
     let mut parties = Vec::with_capacity(m);
     let mut out_r1 = Vec::with_capacity(m);
     #[allow(clippy::needless_range_loop)] // i is the party's slot id
@@ -386,48 +572,102 @@ fn phase1_bd(
         out_r1.push(payload);
         parties.push(party);
     }
-    let inboxes_r1 = net.exchange("dgka-r1", out_r1)?;
+    let elem_len = out_r1[0].len();
+    let views_r1 = ex.round("dgka-r1", &out_r1, &mut |_, from, p| {
+        decode_elem(group, from, p).is_ok()
+    })?;
 
+    let mut aborts: Vec<Option<AbortReason>> = vec![None; m];
     let mut out_r2 = Vec::with_capacity(m);
-    let mut seen_r1: Vec<Vec<Vec<u8>>> = Vec::with_capacity(m);
     for (i, party) in parties.iter_mut().enumerate() {
-        let mut seen = vec![Vec::new(); m];
-        let mut msgs = Vec::with_capacity(m);
-        for rcv in &inboxes_r1[i] {
-            seen[rcv.from_slot] = rcv.payload.clone();
-            let (sender, z) = decode_elem(group, rcv.from_slot, &rcv.payload)?;
-            msgs.push(bd::Round1 { sender, z });
-        }
-        seen_r1.push(seen);
-        let r2 = meter(&mut costs[i], || party.round2(&msgs)).map_err(CoreError::Dgka)?;
-        let payload = encode_elem(group, i, &r2.x);
+        let payload = if views_r1[i].iter().all(Option::is_some) {
+            let msgs: Vec<bd::Round1> = views_r1[i]
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    let (sender, z) =
+                        decode_elem(group, j, p.as_deref().expect("checked complete"))
+                            .expect("validated by exchange");
+                    bd::Round1 { sender, z }
+                })
+                .collect();
+            match meter(&mut costs[i], || party.round2(&msgs)) {
+                Ok(r2) => encode_elem(group, i, &r2.x),
+                Err(_) => {
+                    aborts[i] = Some(AbortReason::KeyAgreement);
+                    chaff(elem_len, rng)
+                }
+            }
+        } else {
+            aborts[i] = Some(ex.abort_reason());
+            chaff(elem_len, rng)
+        };
         note_send(&mut costs[i], &payload);
         out_r2.push(payload);
     }
-    let inboxes_r2 = net.exchange("dgka-r2", out_r2)?;
+    let views_r2 = ex.round("dgka-r2", &out_r2, &mut |_, from, p| {
+        decode_elem(group, from, p).is_ok()
+    })?;
 
     let mut out = Vec::with_capacity(m);
     for (i, party) in parties.iter().enumerate() {
-        let mut msgs = Vec::with_capacity(m);
+        // Contribution of sender j = framed r1 ‖ r2 as this slot saw
+        // them (empty where nothing valid ever arrived).
         let mut contributions = vec![Vec::new(); m];
-        for rcv in &inboxes_r2[i] {
-            let (sender, x) = decode_elem(group, rcv.from_slot, &rcv.payload)?;
-            msgs.push(bd::Round2 { sender, x });
-            // Contribution of sender j = framed r1 ‖ r2 as this slot saw
-            // them.
-            let mut w = crate::wire::Writer::new();
-            w.put_bytes(&seen_r1[i][rcv.from_slot]);
-            w.put_bytes(&rcv.payload);
-            contributions[rcv.from_slot] = w.into_bytes();
+        for j in 0..m {
+            if let (Some(r1), Some(r2)) = (&views_r1[i][j], &views_r2[i][j]) {
+                let mut w = crate::wire::Writer::new();
+                w.put_bytes(r1);
+                w.put_bytes(r2);
+                contributions[j] = w.into_bytes();
+            }
         }
-        let session = meter(&mut costs[i], || party.finish(&msgs)).map_err(CoreError::Dgka)?;
-        out.push(Phase1Slot {
-            sid: session.sid.to_vec(),
-            k_star: session.key,
-            contributions,
-        });
+        if aborts[i].is_none() {
+            if views_r2[i].iter().all(Option::is_some) {
+                let msgs: Vec<bd::Round2> = views_r2[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| {
+                        let (sender, x) =
+                            decode_elem(group, j, p.as_deref().expect("checked complete"))
+                                .expect("validated by exchange");
+                        bd::Round2 { sender, x }
+                    })
+                    .collect();
+                match meter(&mut costs[i], || party.finish(&msgs)) {
+                    Ok(session) => {
+                        out.push((
+                            Phase1Slot {
+                                sid: session.sid.to_vec(),
+                                k_star: session.key,
+                                contributions,
+                            },
+                            None,
+                        ));
+                        continue;
+                    }
+                    Err(_) => aborts[i] = Some(AbortReason::KeyAgreement),
+                }
+            } else {
+                aborts[i] = Some(ex.abort_reason());
+            }
+        }
+        out.push((decoy_phase1(contributions, rng), aborts[i]));
     }
     Ok(out)
+}
+
+/// Decoy Phase-I state for an aborted slot: random `sid` and `k*` of the
+/// genuine sizes, so every quantity derived from them downstream (MAC
+/// key, tags, Phase-III decoys) has an outsider's distribution.
+fn decoy_phase1(contributions: Vec<Vec<u8>>, rng: &mut (impl RngCore + ?Sized)) -> Phase1Slot {
+    let mut sid = vec![0u8; 32];
+    rng.fill_bytes(&mut sid);
+    Phase1Slot {
+        sid,
+        k_star: Key::random(rng),
+        contributions,
+    }
 }
 
 /// GDH.2 over the broadcast medium: an `m`-round chain in which round `t`
@@ -438,10 +678,11 @@ fn phase1_bd(
 fn phase1_gdh(
     group: &'static SchnorrGroup,
     m: usize,
-    net: &mut BroadcastNet<'_>,
+    ex: &mut Exchanger<'_, '_>,
     costs: &mut [SlotCosts],
     rng: &mut (impl RngCore + ?Sized),
-) -> Result<Vec<Phase1Slot>, CoreError> {
+) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {
+    let pw = codec::p_width(group);
     let mut parties = Vec::with_capacity(m);
     for i in 0..m {
         parties.push(gdh::Party::new(group, m, i, rng).map_err(CoreError::Dgka)?);
@@ -451,63 +692,107 @@ fn phase1_gdh(
     let mut views: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); m]; m];
     let mut upflow: Option<gdh::Upflow> = None;
     let mut final_broadcasts: Vec<Option<gdh::Broadcast>> = vec![None; m];
+    // Once the upflow chain breaks (a hop stayed undecodable after the
+    // retry budget), every later active slot can only transmit chaff —
+    // of the correct, protocol-determined length, so the wire shape
+    // never reveals where (or whether) the chain broke.
+    let mut chain_ok = true;
 
     for t in 0..m {
+        // The active message's wire length is protocol-determined: an
+        // upflow after active slot t carries t+2 group elements plus two
+        // counters; the final broadcast carries m elements plus one.
+        let expected_len = if t + 1 < m {
+            8 + (t + 2) * pw
+        } else {
+            4 + m * pw
+        };
         // Active slot t computes its message; everyone else sends chaff of
         // the same (publicly known) length.
-        let active_payload = if t == 0 {
-            let up = meter(&mut costs[0], || parties[0].initiate()).map_err(CoreError::Dgka)?;
-            let payload = encode_upflow(group, &up);
-            upflow = Some(up);
-            payload
-        } else {
-            let prev = upflow.take().ok_or(CoreError::BadSession)?;
-            let step =
-                meter(&mut costs[t], || parties[t].advance(&prev)).map_err(CoreError::Dgka)?;
-            match step {
-                gdh::Step::Upflow(up) => {
+        let active_payload = if !chain_ok {
+            chaff(expected_len, rng)
+        } else if t == 0 {
+            match meter(&mut costs[0], || parties[0].initiate()) {
+                Ok(up) => {
                     let payload = encode_upflow(group, &up);
                     upflow = Some(up);
                     payload
                 }
-                gdh::Step::Broadcast(b) => encode_gdh_broadcast(group, &b),
+                Err(_) => {
+                    chain_ok = false;
+                    chaff(expected_len, rng)
+                }
+            }
+        } else {
+            match upflow.take() {
+                Some(prev) => match meter(&mut costs[t], || parties[t].advance(&prev)) {
+                    Ok(gdh::Step::Upflow(up)) => {
+                        let payload = encode_upflow(group, &up);
+                        upflow = Some(up);
+                        payload
+                    }
+                    Ok(gdh::Step::Broadcast(b)) => encode_gdh_broadcast(group, &b),
+                    Err(_) => {
+                        chain_ok = false;
+                        chaff(expected_len, rng)
+                    }
+                },
+                None => {
+                    chain_ok = false;
+                    chaff(expected_len, rng)
+                }
             }
         };
-        let expected_len = active_payload.len();
         let mut round_out = Vec::with_capacity(m);
         for (i, cost) in costs.iter_mut().enumerate().take(m) {
             let payload = if i == t {
                 active_payload.clone()
             } else {
-                let mut chaff = vec![0u8; expected_len];
-                rng.fill_bytes(&mut chaff);
-                chaff
+                chaff(expected_len, rng)
             };
             note_send(cost, &payload);
             round_out.push(payload);
         }
-        let inboxes = net.exchange(&format!("dgka-gdh-{t}"), round_out)?;
+        // Only slot t's message is protocol-critical this round: the
+        // successor must decode the upflow, everyone must decode the
+        // final broadcast. Chaff from the other slots is valid as-is.
+        let label = format!("dgka-gdh-{t}");
+        let broken = !chain_ok;
+        let views_t = ex.round(&label, &round_out, &mut |to, from, p| {
+            if from != t || broken {
+                return true;
+            }
+            if t + 1 < m {
+                to != t + 1 || decode_upflow(group, p).is_ok()
+            } else {
+                decode_gdh_broadcast(group, p).is_ok()
+            }
+        })?;
         // Every slot records slot t's real message as that sender's
-        // contribution (from its own, possibly tampered, inbox).
-        for (i, inbox) in inboxes.iter().enumerate() {
-            for rcv in inbox {
-                if rcv.from_slot == t {
-                    views[i][t] = rcv.payload.clone();
-                }
+        // contribution (from its own, possibly tampered, view).
+        for (i, row) in views_t.iter().enumerate() {
+            if let Some(p) = &row[t] {
+                views[i][t] = p.clone();
             }
         }
         if t + 1 < m {
-            // The successor re-decodes the upflow from ITS inbox so MITM
+            // The successor re-decodes the upflow from ITS view so MITM
             // tampering on that link is honored.
-            if let Some(rcv) = inboxes[t + 1].iter().find(|r| r.from_slot == t) {
-                upflow = Some(decode_upflow(group, &rcv.payload)?);
+            if chain_ok {
+                match views_t[t + 1][t].as_ref().map(|p| decode_upflow(group, p)) {
+                    Some(Ok(up)) => upflow = Some(up),
+                    _ => {
+                        upflow = None;
+                        chain_ok = false;
+                    }
+                }
             }
-        } else {
+        } else if chain_ok {
             // Final round: every slot decodes the broadcast from its own
-            // inbox.
-            for (i, inbox) in inboxes.iter().enumerate() {
-                if let Some(rcv) = inbox.iter().find(|r| r.from_slot == t) {
-                    final_broadcasts[i] = Some(decode_gdh_broadcast(group, &rcv.payload)?);
+            // view (slots whose copy never arrived will abort below).
+            for (i, row) in views_t.iter().enumerate() {
+                if let Some(Ok(b)) = row[t].as_ref().map(|p| decode_gdh_broadcast(group, p)) {
+                    final_broadcasts[i] = Some(b);
                 }
             }
         }
@@ -515,13 +800,21 @@ fn phase1_gdh(
 
     let mut out = Vec::with_capacity(m);
     for (i, party) in parties.iter().enumerate() {
-        let broadcast = final_broadcasts[i].take().ok_or(CoreError::BadSession)?;
-        let session = meter(&mut costs[i], || party.finish(&broadcast)).map_err(CoreError::Dgka)?;
-        out.push(Phase1Slot {
-            sid: session.sid.to_vec(),
-            k_star: session.key,
-            contributions: std::mem::take(&mut views[i]),
-        });
+        let contributions = std::mem::take(&mut views[i]);
+        if let Some(broadcast) = final_broadcasts[i].take() {
+            if let Ok(session) = meter(&mut costs[i], || party.finish(&broadcast)) {
+                out.push((
+                    Phase1Slot {
+                        sid: session.sid.to_vec(),
+                        k_star: session.key,
+                        contributions,
+                    },
+                    None,
+                ));
+                continue;
+            }
+        }
+        out.push((decoy_phase1(contributions, rng), Some(ex.abort_reason())));
     }
     Ok(out)
 }

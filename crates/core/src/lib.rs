@@ -56,8 +56,8 @@ pub mod wire;
 
 pub use authority::GroupAuthority;
 pub use bulletin::BulletinBoard;
-pub use config::{GroupConfig, HandshakeOptions, SchemeKind, TracePolicy};
-pub use handshake::{Actor, Outcome, SessionResult, SlotCosts};
+pub use config::{GroupConfig, HandshakeOptions, SchemeKind, SessionBudget, TracePolicy};
+pub use handshake::{AbortReason, Actor, Outcome, SessionResult, SessionStats, SlotCosts};
 pub use member::{GroupUpdate, Member};
 pub use transcript::{HandshakeTranscript, TraceError, TraceOutcome};
 

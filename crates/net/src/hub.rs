@@ -1,4 +1,4 @@
-//! A threaded asynchronous broadcast hub with guaranteed delivery.
+//! A threaded asynchronous broadcast hub.
 //!
 //! Each party runs on its own OS thread and talks to the hub through
 //! channels; the hub relays every message to every other party, delaying
@@ -6,14 +6,26 @@
 //! communication model (with guaranteed delivery)" in which the paper
 //! claims the framework still works (§1.1 flexibility) — exercised by the
 //! E10 experiment.
+//!
+//! [`run_session_with_faults`] weakens the guarantee: the hub consults a
+//! [`FaultPlan`] on every relay, so deliveries may be lost, duplicated,
+//! mangled, delayed, or cut by a partition, and crash-stopped parties go
+//! silent after their `after_round`-th broadcast. Party bodies that must
+//! survive such a medium should use the deadline-based receives
+//! ([`PartyHandle::recv_timeout`], [`PartyHandle::collect_round_within`])
+//! instead of the blocking ones — a blocking [`PartyHandle::recv`] on a
+//! lossy medium can wait forever.
 
+use crate::fault::FaultPlan;
 use crate::observe::TrafficLog;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::NetError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -58,9 +70,26 @@ impl PartyHandle {
     }
 
     /// Blocks until the next delivery: `(from_slot, round, payload)`.
+    ///
+    /// Only safe on a guaranteed-delivery medium; under a fault plan use
+    /// [`PartyHandle::recv_timeout`].
     pub fn recv(&self) -> (usize, String, Vec<u8>) {
         let w = self.from_hub.recv().expect("hub alive while parties run");
         (w.from_slot, w.round, w.payload)
+    }
+
+    /// Blocks for the next delivery up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if nothing arrived in time,
+    /// [`NetError::Disconnected`] if the hub is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(usize, String, Vec<u8>), NetError> {
+        match self.from_hub.recv_timeout(timeout) {
+            Ok(w) => Ok((w.from_slot, w.round, w.payload)),
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
     }
 
     /// Collects one message per *other* slot for the given round,
@@ -83,10 +112,39 @@ impl PartyHandle {
             .map(|(slot, p)| (slot, p.expect("all slots collected")))
             .collect()
     }
+
+    /// Collects up to one message per slot for the given round, giving up
+    /// on slots that produced nothing within `timeout` (overall
+    /// deadline). Entry `i` is `None` if slot `i`'s message never
+    /// arrived — dropped, partitioned, or its sender crashed. Duplicate
+    /// copies are discarded (first one wins); out-of-round arrivals are
+    /// skipped as in [`PartyHandle::collect_round`].
+    pub fn collect_round_within(&self, round: &str, timeout: Duration) -> Vec<Option<Vec<u8>>> {
+        let deadline = Instant::now() + timeout;
+        let mut got: Vec<Option<Vec<u8>>> = vec![None; self.slots];
+        let mut count = 0;
+        while count < self.slots {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_timeout(left) {
+                Ok((from, r, payload)) => {
+                    if r == round && from < self.slots && got[from].is_none() {
+                        got[from] = Some(payload);
+                        count += 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        got
+    }
 }
 
 /// Runs `m` party bodies on threads connected through an asynchronous
-/// reordering hub; returns their outputs plus the eavesdropper log.
+/// reordering hub with guaranteed delivery; returns their outputs plus
+/// the eavesdropper log.
 ///
 /// Every broadcast is delivered to **all** slots, including the sender
 /// (radio-medium echo semantics, matching [`crate::sync::BroadcastNet`]).
@@ -95,6 +153,32 @@ impl PartyHandle {
 ///
 /// Panics if a party thread panics.
 pub fn run_session<T, F>(m: usize, seed: u64, bodies: Vec<F>) -> (Vec<T>, TrafficLog)
+where
+    T: Send + 'static,
+    F: FnOnce(PartyHandle) -> T + Send + 'static,
+{
+    run_session_with_faults(m, seed, FaultPlan::new(seed), bodies)
+}
+
+/// [`run_session`] over a faulty medium: the hub consults `plan` on every
+/// relay. The final [`TrafficLog`] carries the plan's fault counters.
+///
+/// The crash-stop clock here is **per sender**: a `CrashStop { slot,
+/// after_round }` rule silences `slot` once it has broadcast
+/// `after_round` messages, which coincides with protocol rounds because
+/// every party broadcasts exactly once per round. The delay clock, as in
+/// the synchronous medium, re-releases a held delivery when a later
+/// message with the same round label (a retransmission) is relayed.
+///
+/// # Panics
+///
+/// Panics if a party thread panics.
+pub fn run_session_with_faults<T, F>(
+    m: usize,
+    seed: u64,
+    mut plan: FaultPlan,
+    bodies: Vec<F>,
+) -> (Vec<T>, TrafficLog)
 where
     T: Send + 'static,
     F: FnOnce(PartyHandle) -> T + Send + 'static,
@@ -120,6 +204,44 @@ where
     let hub = thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pending: Vec<Wire> = Vec::new();
+        let mut sent_by: Vec<u64> = vec![0; m];
+        let relay = |w: Wire, plan: &mut FaultPlan, sent_by: &mut Vec<u64>, rng: &mut StdRng| {
+            // Crash-stop: the sender dies after its `after_round`-th
+            // broadcast; later messages never reach the wire or the log.
+            if let Some(after) = plan.crash_budget(w.from_slot) {
+                if sent_by[w.from_slot] >= u64::from(after) {
+                    plan.note_crash_silenced();
+                    return;
+                }
+            }
+            sent_by[w.from_slot] += 1;
+            hub_log.lock().record(&w.round, w.from_slot, &w.payload);
+            // Release deliveries delayed until a retransmission of this
+            // round label; their receiver order is adversarial too.
+            let mut due = plan.begin_exchange(&w.round);
+            for i in (1..due.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                due.swap(i, j);
+            }
+            for d in due {
+                if let Some(tx) = party_txs.get(d.to_slot) {
+                    let _ = tx.send(Wire {
+                        from_slot: d.from_slot,
+                        round: w.round.clone(),
+                        payload: d.payload,
+                    });
+                }
+            }
+            for (to_slot, tx) in party_txs.iter().enumerate() {
+                for copy in plan.deliver(&w.round, w.from_slot, to_slot, w.payload.clone()) {
+                    let _ = tx.send(Wire {
+                        from_slot: w.from_slot,
+                        round: w.round.clone(),
+                        payload: copy,
+                    });
+                }
+            }
+        };
         loop {
             // Drain what's available; block for at least one if the
             // buffer is empty.
@@ -132,22 +254,17 @@ where
             while let Ok(w) = hub_in.try_recv() {
                 pending.push(w);
             }
-            // Deliver a random pending message to all parties (guaranteed,
-            // but in adversarial order relative to other messages).
+            // Deliver a random pending message to all parties (in
+            // adversarial order relative to other messages).
             let idx = rng.gen_range(0..pending.len());
             let w = pending.swap_remove(idx);
-            hub_log.lock().record(&w.round, w.from_slot, &w.payload);
-            for tx in &party_txs {
-                let _ = tx.send(w.clone());
-            }
+            relay(w, &mut plan, &mut sent_by, &mut rng);
         }
         // Flush anything left after senders disconnected.
         while let Some(w) = pending.pop() {
-            hub_log.lock().record(&w.round, w.from_slot, &w.payload);
-            for tx in &party_txs {
-                let _ = tx.send(w.clone());
-            }
+            relay(w, &mut plan, &mut sent_by, &mut rng);
         }
+        hub_log.lock().set_faults(plan.counters().clone());
     });
 
     let threads: Vec<thread::JoinHandle<T>> = handles
@@ -167,6 +284,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRule;
 
     #[test]
     fn echo_round_collects_everyone() {
@@ -185,6 +303,7 @@ mod tests {
             assert_eq!(out, vec![(0, 0u8), (1, 1), (2, 2), (3, 3)]);
         }
         assert_eq!(log.len(), m);
+        assert_eq!(log.faults().total(), 0, "plain run injects nothing");
     }
 
     #[test]
@@ -231,5 +350,77 @@ mod tests {
                 assert_eq!(out, vec![10, 11, 12], "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn lossy_round_times_out_instead_of_hanging() {
+        let m = 3;
+        // Slot 2's broadcasts never reach slot 0.
+        let plan = FaultPlan::new(9).with(FaultRule::drop().from(2).to(0));
+        let bodies: Vec<_> = (0..m)
+            .map(|_| {
+                move |h: PartyHandle| {
+                    h.broadcast("r", vec![h.slot() as u8]);
+                    h.collect_round_within("r", Duration::from_millis(300))
+                        .iter()
+                        .map(|p| p.is_some())
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        let (outputs, log) = run_session_with_faults(m, 5, plan, bodies);
+        assert_eq!(outputs[0], vec![true, true, false], "slot 0 misses slot 2");
+        assert_eq!(outputs[1], vec![true, true, true]);
+        assert_eq!(outputs[2], vec![true, true, true]);
+        assert!(log.faults().dropped >= 1);
+        assert_eq!(log.len(), m, "eavesdropper still saw every broadcast");
+    }
+
+    #[test]
+    fn crashed_party_goes_silent_after_budget() {
+        let m = 3;
+        // Slot 1 participates in round r1, then dies.
+        let plan = FaultPlan::new(3).with(FaultRule::crash_stop(1, 1));
+        let bodies: Vec<_> = (0..m)
+            .map(|_| {
+                move |h: PartyHandle| {
+                    h.broadcast("r1", vec![1]);
+                    let r1 = h.collect_round_within("r1", Duration::from_millis(300));
+                    h.broadcast("r2", vec![2]);
+                    let r2 = h.collect_round_within("r2", Duration::from_millis(300));
+                    (
+                        r1.iter().filter(|p| p.is_some()).count(),
+                        r2.iter().filter(|p| p.is_some()).count(),
+                    )
+                }
+            })
+            .collect();
+        let (outputs, log) = run_session_with_faults(m, 7, plan, bodies);
+        for (r1_got, r2_got) in outputs {
+            assert_eq!(r1_got, m, "everyone alive in r1");
+            assert_eq!(r2_got, m - 1, "slot 1 silent in r2");
+        }
+        assert_eq!(log.faults().crash_silenced, 1);
+        assert_eq!(log.len(), 2 * m - 1, "dead sender logs nothing");
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated_by_collect() {
+        let m = 2;
+        let plan = FaultPlan::new(4).with(FaultRule::duplicate());
+        let bodies: Vec<_> = (0..m)
+            .map(|_| {
+                move |h: PartyHandle| {
+                    h.broadcast("r", vec![h.slot() as u8]);
+                    h.collect_round_within("r", Duration::from_millis(300))
+                        .iter()
+                        .filter(|p| p.is_some())
+                        .count()
+                }
+            })
+            .collect();
+        let (outputs, log) = run_session_with_faults(m, 2, plan, bodies);
+        assert_eq!(outputs, vec![m, m], "first copy wins, extras discarded");
+        assert!(log.faults().duplicated >= 1);
     }
 }

@@ -18,10 +18,34 @@
 //! Payloads are opaque bytes: everything a protocol puts on the wire goes
 //! through here, so the observer API sees precisely what a real
 //! eavesdropper would.
+//!
+//! # Failure model
+//!
+//! By default both media guarantee delivery, matching the paper's system
+//! model. Installing a [`fault::FaultPlan`] (via
+//! [`sync::BroadcastNet::set_fault_plan`] or
+//! [`hub::run_session_with_faults`]) weakens the medium to a lossy,
+//! malicious network: deliveries may be dropped, duplicated, corrupted,
+//! truncated, delayed to a later retransmission, cut by a partition, or
+//! silenced entirely by a crash-stopped sender. Two invariants hold
+//! regardless of the plan:
+//!
+//! * **The eavesdropper log records what senders put on the wire.**
+//!   Per-receiver faults (drop/corrupt/truncate/delay/partition) never
+//!   change the observed [`observe::TrafficLog`] shape; only a
+//!   crash-stop does, because a dead sender truly transmits nothing.
+//! * **Every fault that fires is counted** in
+//!   [`observe::FaultCounters`], exposed via
+//!   [`observe::TrafficLog::faults`].
+//!
+//! Recovering from injected faults (retransmission, abort with decoy
+//! traffic) is the protocol driver's job — see `shs-core`'s session
+//! budget and abort semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hub;
 pub mod observe;
 pub mod sync;
@@ -48,6 +72,11 @@ pub enum NetError {
     BadSlot,
     /// The per-round message set was incomplete.
     IncompleteRound,
+    /// A blocking receive exceeded its deadline (lossy medium; the
+    /// expected message may have been dropped or its sender crashed).
+    Timeout,
+    /// The peer side of a channel disappeared mid-session.
+    Disconnected,
 }
 
 impl std::fmt::Display for NetError {
@@ -55,6 +84,8 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::BadSlot => write!(f, "slot index out of range"),
             NetError::IncompleteRound => write!(f, "round message set incomplete"),
+            NetError::Timeout => write!(f, "receive deadline exceeded"),
+            NetError::Disconnected => write!(f, "peer channel disconnected"),
         }
     }
 }

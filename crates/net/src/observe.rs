@@ -19,10 +19,48 @@ pub struct TrafficRecord {
     pub payload: Vec<u8>,
 }
 
+/// Per-fault-kind tallies of injected faults (see [`crate::fault`]).
+///
+/// Exposed through [`TrafficLog::faults`] so tests and benches can assert
+/// exactly which faults fired during a session.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Deliveries silently discarded.
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Payload copies with flipped bits.
+    pub corrupted: u64,
+    /// Payload copies cut short.
+    pub truncated: u64,
+    /// Deliveries held back for a later matching exchange.
+    pub delayed: u64,
+    /// Held-back deliveries that eventually arrived.
+    pub redelivered: u64,
+    /// Broadcasts suppressed because the sender crash-stopped.
+    pub crash_silenced: u64,
+    /// Deliveries cut by a network partition.
+    pub partitioned: u64,
+}
+
+impl FaultCounters {
+    /// Total faults that fired (redeliveries are recoveries, not faults).
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.corrupted
+            + self.truncated
+            + self.delayed
+            + self.crash_silenced
+            + self.partitioned
+    }
+}
+
 /// An ordered log of observed transmissions.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficLog {
     records: Vec<TrafficRecord>,
+    faults: FaultCounters,
 }
 
 /// The *shape* of a log: everything an eavesdropper can compare across
@@ -71,6 +109,17 @@ impl TrafficLog {
     /// Number of transmissions attributed to `slot`.
     pub fn messages_from(&self, slot: usize) -> usize {
         self.records.iter().filter(|r| r.from_slot == slot).count()
+    }
+
+    /// Tallies of faults the medium injected while producing this log.
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Overwrites the fault tallies (called by the media after each
+    /// exchange; the plan owns the authoritative counts).
+    pub(crate) fn set_faults(&mut self, faults: FaultCounters) {
+        self.faults = faults;
     }
 
     /// The metadata shape (see [`TrafficShape`]).

@@ -4,8 +4,12 @@
 //! [`BroadcastNet::exchange`]; the medium logs them for the eavesdropper,
 //! lets an optional man-in-the-middle rewrite what each receiver sees, and
 //! returns every receiver's inbox in policy order. Delivery is guaranteed
-//! (the paper's asynchronous model assumes guaranteed delivery; Fig. 5).
+//! (the paper's asynchronous model assumes guaranteed delivery; Fig. 5)
+//! *unless* a [`FaultPlan`] is installed, in which case deliveries may be
+//! dropped, duplicated, corrupted, truncated, delayed or partitioned, and
+//! crash-stopped senders go silent — see [`crate::fault`].
 
+use crate::fault::FaultPlan;
 use crate::observe::TrafficLog;
 use crate::{DeliveryPolicy, NetError};
 use rand::rngs::StdRng;
@@ -43,6 +47,7 @@ pub struct BroadcastNet<'a> {
     policy: DeliveryPolicy,
     log: TrafficLog,
     interceptor: Option<Interceptor<'a>>,
+    fault_plan: Option<FaultPlan>,
     reorder_rng: Option<StdRng>,
 }
 
@@ -70,6 +75,7 @@ impl<'a> BroadcastNet<'a> {
             policy,
             log: TrafficLog::new(),
             interceptor: None,
+            fault_plan: None,
             reorder_rng,
         }
     }
@@ -77,6 +83,17 @@ impl<'a> BroadcastNet<'a> {
     /// Installs a man-in-the-middle hook.
     pub fn set_interceptor(&mut self, interceptor: Interceptor<'a>) {
         self.interceptor = Some(interceptor);
+    }
+
+    /// Installs a fault schedule; delivery is no longer guaranteed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault schedule, if any (e.g. to query
+    /// [`FaultPlan::crashed_slots`] or inspect counters mid-session).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Number of party slots.
@@ -106,29 +123,60 @@ impl<'a> BroadcastNet<'a> {
         if outgoing.len() != self.slots {
             return Err(NetError::IncompleteRound);
         }
+        // Advance the fault clock: release deliveries delayed until this
+        // (retransmission) exchange and decide which senders are dead.
+        let mut due = Vec::new();
+        let mut silent = vec![false; self.slots];
+        if let Some(plan) = self.fault_plan.as_mut() {
+            due = plan.begin_exchange(round);
+            for (slot, muted) in silent.iter_mut().enumerate() {
+                *muted = plan.suppress_send(slot);
+            }
+        }
+        // The eavesdropper logs what actually hit the wire: everything a
+        // live sender broadcast (per-receiver faults happen downstream of
+        // the observer), nothing from a crash-stopped sender.
         for (slot, payload) in outgoing.iter().enumerate() {
-            self.log.record(round, slot, payload);
+            if !silent[slot] {
+                self.log.record(round, slot, payload);
+            }
         }
         let mut inboxes = Vec::with_capacity(self.slots);
         for to_slot in 0..self.slots {
-            let mut inbox: Vec<Received> = outgoing
-                .iter()
-                .enumerate()
-                .map(|(from_slot, payload)| {
-                    let mut payload = payload.clone();
-                    if let Some(hook) = self.interceptor.as_mut() {
-                        hook(
-                            InterceptCtx {
-                                round,
+            let mut inbox: Vec<Received> = Vec::with_capacity(self.slots);
+            for (from_slot, payload) in outgoing.iter().enumerate() {
+                if silent[from_slot] {
+                    continue;
+                }
+                let mut payload = payload.clone();
+                if let Some(hook) = self.interceptor.as_mut() {
+                    hook(
+                        InterceptCtx {
+                            round,
+                            from_slot,
+                            to_slot,
+                        },
+                        &mut payload,
+                    );
+                }
+                match self.fault_plan.as_mut() {
+                    Some(plan) => {
+                        for copy in plan.deliver(round, from_slot, to_slot, payload) {
+                            inbox.push(Received {
                                 from_slot,
-                                to_slot,
-                            },
-                            &mut payload,
-                        );
+                                payload: copy,
+                            });
+                        }
                     }
-                    Received { from_slot, payload }
-                })
-                .collect();
+                    None => inbox.push(Received { from_slot, payload }),
+                }
+            }
+            for r in due.iter().filter(|r| r.to_slot == to_slot) {
+                inbox.push(Received {
+                    from_slot: r.from_slot,
+                    payload: r.payload.clone(),
+                });
+            }
             if let Some(rng) = self.reorder_rng.as_mut() {
                 // Fisher–Yates with the adversary's coins.
                 for i in (1..inbox.len()).rev() {
@@ -137,6 +185,9 @@ impl<'a> BroadcastNet<'a> {
                 }
             }
             inboxes.push(inbox);
+        }
+        if let Some(plan) = self.fault_plan.as_ref() {
+            self.log.set_faults(plan.counters().clone());
         }
         Ok(inboxes)
     }
@@ -200,6 +251,47 @@ mod tests {
         assert_eq!(inboxes[0][1].payload, b"evil");
         // Other receivers see the genuine payload.
         assert_eq!(inboxes[2][1].payload, vec![1u8, 1]);
+    }
+
+    #[test]
+    fn dropped_delivery_vanishes_from_inbox_not_from_log() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+        net.set_fault_plan(FaultPlan::new(1).with(FaultRule::drop().from(1).to(0)));
+        let inboxes = net.exchange("r1", payloads(3)).unwrap();
+        let senders: Vec<usize> = inboxes[0].iter().map(|r| r.from_slot).collect();
+        assert_eq!(senders, vec![0, 2], "slot 0 lost slot 1's message");
+        assert_eq!(inboxes[2].len(), 3, "other receivers unaffected");
+        // The eavesdropper still saw the broadcast.
+        assert_eq!(net.traffic().len(), 3);
+        assert_eq!(net.traffic().faults().dropped, 1);
+    }
+
+    #[test]
+    fn crashed_sender_disappears_from_wire_and_log() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+        net.set_fault_plan(FaultPlan::new(1).with(FaultRule::crash_stop(2, 1)));
+        let first = net.exchange("r1", payloads(3)).unwrap();
+        assert_eq!(first[0].len(), 3, "alive in its first exchange");
+        let second = net.exchange("r2", payloads(3)).unwrap();
+        assert!(second.iter().all(|inbox| inbox.len() == 2));
+        assert_eq!(net.traffic().len(), 3 + 2, "dead sender logs nothing");
+        assert_eq!(net.traffic().faults().crash_silenced, 1);
+        assert_eq!(net.fault_plan().unwrap().crashed_slots(3), vec![2]);
+    }
+
+    #[test]
+    fn delayed_delivery_arrives_on_retransmission() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let mut net = BroadcastNet::new(2, DeliveryPolicy::Synchronous);
+        net.set_fault_plan(FaultPlan::new(1).with(FaultRule::delay(1).from(1).to(0).at_most(1)));
+        let first = net.exchange("r1", payloads(2)).unwrap();
+        assert_eq!(first[0].len(), 1, "delayed copy missing");
+        // The driver retransmits the round; the stale copy arrives too.
+        let second = net.exchange("r1", payloads(2)).unwrap();
+        assert_eq!(second[0].len(), 3, "retransmission plus released copy");
+        assert_eq!(net.traffic().faults().redelivered, 1);
     }
 
     #[test]

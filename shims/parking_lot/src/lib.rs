@@ -1,0 +1,53 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync::Mutex`.
+//!
+//! Matches parking_lot's poison-free API: `lock()` returns the guard
+//! directly and `into_inner()` returns the value directly. A poisoned
+//! std mutex (a thread panicked while holding it) is treated as fatal.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// A mutual-exclusion lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = StdGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+}

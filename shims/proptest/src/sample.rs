@@ -1,0 +1,25 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+
+/// An arbitrary index into a collection of yet-unknown length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}

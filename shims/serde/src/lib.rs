@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so existing `use serde::{Deserialize,
+//! Serialize}` imports and `#[derive(...)]` attributes compile unchanged.
+//! Nothing in the workspace actually serializes through serde, so the
+//! derives are no-ops and the traits are empty markers.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

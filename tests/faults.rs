@@ -1,0 +1,282 @@
+//! Fault-matrix experiments: handshakes on a lossy, malicious medium.
+//!
+//! Under *every* fault schedule the hardened runtime must terminate every
+//! honest party within the session budget with either success or a
+//! structured abort — never a hang, never a panic. Recoverable faults
+//! (bounded drops, delays, duplicates) must additionally complete after
+//! retransmission, and an aborted session must stay shape-identical on
+//! the wire to an ordinary failed handshake.
+
+mod common;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use common::{actors, group, rng};
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::run_handshake_with_net;
+use shs_core::{AbortReason, Actor, HandshakeOptions, SchemeKind};
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::observe::TrafficLog;
+use shs_net::sync::BroadcastNet;
+use shs_net::DeliveryPolicy;
+
+/// One handshake over a faulty medium.
+fn run_faulty(label: &str, plan: FaultPlan, opts: &HandshakeOptions) -> shs_core::SessionResult {
+    let mut r = rng(label);
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+    let mut net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    net.set_fault_plan(plan);
+    run_handshake_with_net(&acts, opts, &mut net, &mut r)
+        .expect("faulty medium still yields a structured result")
+}
+
+/// The acceptance matrix: every fault kind, one schedule each. All
+/// parties must terminate inside the budget with a structured outcome.
+#[test]
+fn fault_matrix_terminates_with_structured_outcomes() {
+    let matrix: Vec<(&str, FaultPlan)> = vec![
+        (
+            "drop-unbounded",
+            FaultPlan::new(11).with(FaultRule::drop().from(1).to(0)),
+        ),
+        (
+            "duplicate",
+            FaultPlan::new(12).with(FaultRule::duplicate().from(2)),
+        ),
+        (
+            "corrupt",
+            FaultPlan::new(13).with(FaultRule::corrupt(3).in_round("dgka-r1").from(1).to(0)),
+        ),
+        (
+            "truncate",
+            FaultPlan::new(14).with(FaultRule::truncate().in_round("dgka-r2").from(0).to(2)),
+        ),
+        (
+            "delay",
+            FaultPlan::new(15).with(FaultRule::delay(1).from(1).to(0).at_most(2)),
+        ),
+        (
+            "crash-stop",
+            FaultPlan::new(16).with(FaultRule::crash_stop(2, 1)),
+        ),
+        (
+            "partition",
+            FaultPlan::new(17).with(FaultRule::partition(1)),
+        ),
+        (
+            "chaos",
+            FaultPlan::new(18)
+                .with(FaultRule::drop().with_probability(0.3))
+                .with(FaultRule::corrupt(1).with_probability(0.2))
+                .with(FaultRule::duplicate().with_probability(0.2)),
+        ),
+    ];
+    let opts = HandshakeOptions::default();
+    for (name, plan) in matrix {
+        let result = run_faulty(&format!("fault-matrix-{name}"), plan, &opts);
+        assert!(
+            result.stats.exchanges <= opts.budget.max_exchanges,
+            "{name}: stayed within the exchange budget"
+        );
+        for (slot, outcome) in result.outcomes.iter().enumerate() {
+            // Structured: accepted, ordinary failure, or explicit abort —
+            // reaching this line at all already proves no hang/panic.
+            if outcome.abort.is_some() {
+                assert!(
+                    !outcome.accepted && outcome.session_key.is_none(),
+                    "{name}: aborted slot {slot} keeps no key"
+                );
+            }
+        }
+    }
+}
+
+/// Recoverable faults — a bounded drop, a short delay, duplicates — cost
+/// retransmissions but the handshake still fully succeeds.
+#[test]
+fn recoverable_faults_complete_after_retry() {
+    let opts = HandshakeOptions::default();
+
+    let dropped = run_faulty(
+        "fault-recover-drop",
+        FaultPlan::new(21).with(
+            FaultRule::drop()
+                .in_round("dgka-r1")
+                .from(1)
+                .to(0)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(
+        dropped.outcomes.iter().all(|o| o.accepted),
+        "drop recovered"
+    );
+    assert!(dropped.stats.retries > 0, "recovery was not free");
+    assert_eq!(dropped.traffic.faults().dropped, 1);
+
+    let delayed = run_faulty(
+        "fault-recover-delay",
+        FaultPlan::new(22).with(
+            FaultRule::delay(1)
+                .in_round("dgka-r2")
+                .from(2)
+                .to(1)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(
+        delayed.outcomes.iter().all(|o| o.accepted),
+        "delay recovered"
+    );
+    assert!(delayed.stats.retries > 0);
+    assert_eq!(delayed.traffic.faults().delayed, 1);
+
+    let duplicated = run_faulty(
+        "fault-recover-duplicate",
+        FaultPlan::new(23).with(FaultRule::duplicate()),
+        &opts,
+    );
+    assert!(duplicated.outcomes.iter().all(|o| o.accepted));
+    assert_eq!(
+        duplicated.stats.retries, 0,
+        "duplicates never trigger retransmission"
+    );
+    assert!(duplicated.traffic.faults().duplicated > 0);
+}
+
+/// The GDH.2 upflow chain recovers from a bounded drop on a chain link.
+#[test]
+fn gdh_chain_recovers_from_dropped_upflow() {
+    let opts = HandshakeOptions {
+        dgka: DgkaChoice::Gdh2,
+        ..Default::default()
+    };
+    let result = run_faulty(
+        "fault-gdh-drop",
+        FaultPlan::new(31).with(
+            FaultRule::drop()
+                .in_round("dgka-gdh-0")
+                .from(0)
+                .to(1)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    assert!(result.stats.retries > 0);
+}
+
+/// A crash-stopped slot is reported as such; the survivors still
+/// terminate with structured aborts (Burmester–Desmedt needs everyone).
+#[test]
+fn crash_stop_is_reported_and_survivors_terminate() {
+    let result = run_faulty(
+        "fault-crash",
+        FaultPlan::new(41).with(FaultRule::crash_stop(2, 1)),
+        &HandshakeOptions::default(),
+    );
+    assert_eq!(result.outcomes[2].abort, Some(AbortReason::Crashed));
+    for outcome in &result.outcomes {
+        assert!(!outcome.accepted);
+        assert!(outcome.abort.is_some(), "everyone aborts, nobody hangs");
+    }
+    assert!(result.traffic.faults().crash_silenced > 0);
+}
+
+/// A total partition exhausts the retry budget on every round; all
+/// parties abort within the exchange budget instead of spinning.
+#[test]
+fn partition_aborts_within_budget() {
+    let opts = HandshakeOptions::default();
+    let result = run_faulty(
+        "fault-partition",
+        FaultPlan::new(51).with(FaultRule::partition(1)),
+        &opts,
+    );
+    for outcome in &result.outcomes {
+        assert!(!outcome.accepted);
+        assert!(outcome.abort.is_some());
+    }
+    assert!(result.stats.exchanges <= opts.budget.max_exchanges);
+    assert!(result.traffic.faults().partitioned > 0);
+}
+
+/// Per-round wire shape of a log: for each round label, the multiset of
+/// `(slot, payload_len)` seen in one transmission of that round.
+/// Retransmissions repeat a label with an identical multiset (everyone
+/// retransmits together), so deduplicating by label recovers the
+/// *behavioral* shape an eavesdropper attributes to the parties — the
+/// repeats are attributable only to the lossy network.
+fn per_round_shape(log: &TrafficLog) -> BTreeMap<String, BTreeSet<(usize, usize)>> {
+    let mut by_round: BTreeMap<String, BTreeSet<(usize, usize)>> = BTreeMap::new();
+    for rec in log.records() {
+        by_round
+            .entry(rec.round.clone())
+            .or_default()
+            .insert((rec.from_slot, rec.payload.len()));
+    }
+    by_round
+}
+
+/// The unobservability-under-faults requirement: a session in which a
+/// party *aborts* (here: persistent corruption makes slot 1's Phase-I
+/// element unusable for slot 0) emits, per round, exactly the traffic
+/// shape of an ordinary failed handshake between members of different
+/// groups. The aborting parties keep sending correctly-sized decoys.
+#[test]
+fn aborted_session_is_shape_identical_to_ordinary_failure() {
+    // Ordinary failure: 2 + 1 members of different groups, no faults.
+    let mut r = rng("fault-shape-ordinary");
+    let (_, ours) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, foreign) = group(SchemeKind::Scheme1, 1, &mut r);
+    let mixed = [
+        Actor::Member(&ours[0]),
+        Actor::Member(&ours[1]),
+        Actor::Member(&foreign[0]),
+    ];
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let mut plain_net = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+    let ordinary = run_handshake_with_net(&mixed, &opts, &mut plain_net, &mut r).unwrap();
+    assert!(ordinary.outcomes.iter().all(|o| !o.accepted));
+    assert!(ordinary.outcomes.iter().all(|o| o.abort.is_none()));
+
+    // Aborted session: co-members, but slot 0 can never use slot 1's
+    // element — it aborts and (Burmester–Desmedt being all-or-nothing)
+    // drags the others into quiet aborts too.
+    let aborted = run_faulty(
+        "fault-shape-aborted",
+        FaultPlan::new(61).with(FaultRule::corrupt(5).in_round("dgka-r1").from(1).to(0)),
+        &opts,
+    );
+    assert!(aborted.outcomes.iter().any(|o| o.abort.is_some()));
+    assert!(aborted.outcomes.iter().all(|o| !o.accepted));
+
+    // Same rounds, same per-round per-slot message sizes.
+    assert_eq!(
+        per_round_shape(&ordinary.traffic),
+        per_round_shape(&aborted.traffic),
+        "an eavesdropper cannot tell a quiet abort from an ordinary failure"
+    );
+
+    // And within the aborted run, every retransmission of a round label
+    // repeated the identical per-slot shape (uniform retransmission).
+    let mut seen: BTreeMap<(String, usize), BTreeSet<usize>> = BTreeMap::new();
+    for rec in aborted.traffic.records() {
+        seen.entry((rec.round.clone(), rec.from_slot))
+            .or_default()
+            .insert(rec.payload.len());
+    }
+    for ((round, slot), lens) in seen {
+        assert_eq!(
+            lens.len(),
+            1,
+            "slot {slot} changed its {round} payload size across retransmissions"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Decoder robustness: every public decoder must reject malformed input
+//! with a typed error — never panic, never allocate absurdly — whatever
+//! bytes a malicious network feeds it. Strategies cover fully arbitrary
+//! buffers, truncations of valid encodings, and targeted bit flips.
+
+use proptest::prelude::*;
+use shs_bigint::Ubig;
+use shs_core::codec;
+use shs_core::wire::Reader;
+use shs_groups::cs;
+use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+use shs_gsig::crl::CrlDelta;
+use shs_gsig::ky::{MemberId, RevocationToken};
+use shs_gsig::params::{GsigParams, GsigPreset};
+
+fn params() -> GsigParams {
+    GsigParams::preset(GsigPreset::Test)
+}
+
+fn schnorr() -> &'static SchnorrGroup {
+    SchnorrGroup::system_wide(SchnorrPreset::Test)
+}
+
+/// A small, honestly-encoded CRL delta to mutate.
+fn valid_crl_bytes(p: &GsigParams) -> Vec<u8> {
+    let delta = CrlDelta {
+        from_version: 3,
+        to_version: 4,
+        new_tokens: vec![
+            RevocationToken {
+                id: MemberId(7),
+                x: Ubig::from_u64(0xDEAD_BEEF),
+            },
+            RevocationToken {
+                id: MemberId(8),
+                x: Ubig::from_u64(0x1234_5678),
+            },
+        ],
+    };
+    codec::encode_crl_delta(p, &delta)
+}
+
+/// A small, honestly-encoded tracing ciphertext to mutate.
+fn valid_delta_bytes(group: &SchnorrGroup) -> Vec<u8> {
+    let ct = cs::Ciphertext {
+        u1: Ubig::from_u64(11),
+        u2: Ubig::from_u64(22),
+        v: Ubig::from_u64(33),
+        dem: vec![0xAB; 48],
+    };
+    codec::encode_delta(group, &ct)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes into every codec decoder: no panic, and a decoder
+    /// that does accept must have consumed a buffer of exactly the
+    /// length its parameters dictate (fixed-width encodings).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let p = params();
+        let group = schnorr();
+        if codec::decode_ky_sig(&p, &bytes).is_ok() {
+            prop_assert_eq!(bytes.len(), codec::ky_sig_len(&p));
+        }
+        if codec::decode_acjt_sig(&p, &bytes).is_ok() {
+            prop_assert_eq!(bytes.len(), codec::acjt_sig_len(&p));
+        }
+        if let Ok(ct) = codec::decode_delta(group, &bytes) {
+            prop_assert_eq!(bytes.len(), codec::delta_len(group, ct.dem.len()));
+        }
+        // CRL deltas are variable-length; acceptance only requires that
+        // the decode round-trips to the same bytes.
+        if let Ok(delta) = codec::decode_crl_delta(&p, &bytes) {
+            prop_assert_eq!(codec::encode_crl_delta(&p, &delta), bytes);
+        }
+    }
+
+    /// Every strict prefix of a valid encoding is rejected (fixed-width
+    /// fields make truncation always detectable).
+    #[test]
+    fn truncations_are_rejected(cut in 0usize..1000) {
+        let p = params();
+        let group = schnorr();
+        for full in [valid_crl_bytes(&p), valid_delta_bytes(group)] {
+            if cut < full.len() {
+                let truncated = &full[..cut];
+                prop_assert!(
+                    codec::decode_crl_delta(&p, truncated).is_err()
+                        || codec::decode_delta(group, truncated).is_err(),
+                    "a strict prefix decoded under both decoders"
+                );
+            }
+        }
+        // Signature decoders demand the exact parameter-derived length.
+        let sig_garbage = vec![0x5Au8; codec::ky_sig_len(&p)];
+        if cut < sig_garbage.len() {
+            prop_assert!(codec::decode_ky_sig(&p, &sig_garbage[..cut]).is_err());
+            prop_assert!(codec::decode_acjt_sig(&p, &sig_garbage[..cut]).is_err());
+        }
+    }
+
+    /// Single bit flips anywhere in a valid encoding: decoding must
+    /// terminate with Ok or a typed error — it must never panic or hang
+    /// on a huge phantom count.
+    #[test]
+    fn bit_flips_never_panic(bit in 0usize..4096, extra in any::<u8>()) {
+        let p = params();
+        let group = schnorr();
+        for mut bytes in [valid_crl_bytes(&p), valid_delta_bytes(group)] {
+            let nbits = bytes.len() * 8;
+            bytes[(bit % nbits) / 8] ^= 1 << (bit % 8);
+            // A second flip somewhere else, to hit multi-field damage.
+            let second = (bit.wrapping_mul(31) + extra as usize) % nbits;
+            bytes[second / 8] ^= 1 << (second % 8);
+            let _ = codec::decode_crl_delta(&p, &bytes);
+            let _ = codec::decode_delta(group, &bytes);
+        }
+    }
+
+    /// The wire Reader survives arbitrary op sequences over arbitrary
+    /// buffers: reads past the end are typed errors, and `finish` on a
+    /// partially-consumed buffer is too.
+    #[test]
+    fn reader_ops_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        ops in prop::collection::vec(0u8..6, 1..24),
+    ) {
+        let mut r = Reader::new(&bytes);
+        for op in &ops {
+            let result_err = match op {
+                0 => r.take_u8().is_err(),
+                1 => r.take_u32().is_err(),
+                2 => r.take_u64().is_err(),
+                3 => r.take_bytes().is_err(),
+                4 => r.take_ubig_fixed(33).is_err(),
+                _ => r.take_raw(17).is_err(),
+            };
+            // Once the buffer is exhausted every subsequent read errors.
+            if result_err && r.remaining() == 0 {
+                prop_assert!(r.take_u8().is_err());
+            }
+        }
+    }
+
+    /// Length-prefixed reads with absurd counts are rejected instead of
+    /// allocating: a `take_bytes` whose prefix promises more data than
+    /// the buffer holds is a typed error.
+    #[test]
+    fn oversized_length_prefix_rejected(promised in 8u32..u32::MAX, tail in 0usize..32) {
+        let mut bytes = promised.to_be_bytes().to_vec();
+        bytes.extend(vec![0u8; tail.min(7)]);
+        let mut r = Reader::new(&bytes);
+        prop_assert!(r.take_bytes().is_err());
+    }
+}
+
+/// Deterministic spot-checks that both signature decoders reject the
+/// empty buffer and a one-byte buffer with a typed error.
+#[test]
+fn degenerate_buffers_rejected() {
+    let p = params();
+    let group = schnorr();
+    for buf in [&[][..], &[0u8][..]] {
+        assert!(codec::decode_ky_sig(&p, buf).is_err());
+        assert!(codec::decode_acjt_sig(&p, buf).is_err());
+        assert!(codec::decode_delta(group, buf).is_err());
+        assert!(codec::decode_crl_delta(&p, buf).is_err());
+    }
+}
