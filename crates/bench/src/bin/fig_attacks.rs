@@ -46,7 +46,10 @@ fn attack_a_eavesdropping_insider() {
         .payload;
     // The insider's best guess: its own group key against the observed
     // bytes (it cannot reconstruct k*).
-    let matches = observed.as_slice() == hmac::mac(members[2].group_key().as_bytes(), nonce);
+    let matches = shs_crypto::ct::eq(
+        observed,
+        &hmac::mac(members[2].group_key().as_bytes(), nonce),
+    );
     println!("GCD                     : passive insider detects handshake = {matches}\n");
     assert!(insider_detects && !matches);
 }

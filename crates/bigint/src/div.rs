@@ -30,6 +30,7 @@ impl Ubig {
     /// Panics if `d` is zero.
     pub fn divrem_u64(&self, d: u64) -> (Ubig, u64) {
         assert!(d != 0, "division by zero");
+        crate::trace::limb_div(self.limbs.len() as u64);
         let mut out = vec![0u64; self.limbs.len()];
         let mut rem = 0u128;
         for i in (0..self.limbs.len()).rev() {
@@ -65,10 +66,14 @@ fn knuth_d(u: &Ubig, d: &Ubig) -> (Ubig, Ubig) {
     // D2/D7: loop over quotient digits from most significant down.
     for j in (0..=m).rev() {
         // D3: estimate qhat from the top two dividend limbs.
+        crate::trace::limb_div(1);
         let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = top / v_hi as u128;
         let mut rhat = top % v_hi as u128;
         while qhat >= B || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
+            // Value-dependent qhat correction (why reduction traces are
+            // only input-independent when the dividend is already reduced).
+            crate::trace::branch();
             qhat -= 1;
             rhat += v_hi as u128;
             if rhat >= B {
@@ -77,6 +82,7 @@ fn knuth_d(u: &Ubig, d: &Ubig) -> (Ubig, Ubig) {
         }
 
         // D4: multiply and subtract un[j..j+n+1] -= qhat * v.
+        crate::trace::limb_mul(n as u64);
         let mut borrow = 0i128;
         let mut carry = 0u128;
         for i in 0..n {
@@ -95,6 +101,8 @@ fn knuth_d(u: &Ubig, d: &Ubig) -> (Ubig, Ubig) {
         let t = un[j + n] as i128 - carry as i128 - borrow;
         if t < 0 {
             // D6: qhat was one too large; add the divisor back.
+            crate::trace::branch();
+            crate::trace::limb_add(n as u64);
             un[j + n] = (t + B as i128) as u64;
             qhat -= 1;
             let mut carry2 = 0u64;

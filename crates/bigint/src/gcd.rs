@@ -44,6 +44,9 @@ pub fn ext_gcd(a: &Ubig, b: &Ubig) -> (Ubig, Int, Int) {
     let mut t0 = Int::zero();
     let mut t1 = Int::one();
     while !r1.is_zero() {
+        // Iteration count is input-dependent (Euclid); recorded so the
+        // trace harness can see it.
+        crate::trace::branch();
         let (q, r) = r0.divrem(&r1);
         let s = s0.sub(&q.mul(&s1));
         let t = t0.sub(&q.mul(&t1));

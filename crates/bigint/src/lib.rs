@@ -24,6 +24,9 @@
 //! * Instrumentation counters ([`counters`]) so experiments can report the
 //!   *number* of modular exponentiations a protocol performs — the unit in
 //!   which the paper states its complexity claims.
+//! * Limb-level operation traces ([`trace`], behind the `trace-ops`
+//!   feature) asserting that the Montgomery kernels do *secret-independent*
+//!   work: same-width exponents produce identical traces.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ pub mod jacobi;
 pub mod mont;
 pub mod prime;
 pub mod rng;
+pub mod trace;
 
 pub use int::{Int, Sign};
 pub use ubig::Ubig;

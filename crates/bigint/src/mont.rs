@@ -67,10 +67,16 @@ impl MontCtx {
     }
 
     /// CIOS Montgomery multiplication of two k-limb Montgomery-form values.
+    ///
+    /// Constant-trace: the limb-operation sequence depends only on `k`,
+    /// never on the values of `a` or `b` (the final subtraction is always
+    /// computed and selected by mask, not branched on).
     #[allow(clippy::needless_range_loop)] // textbook CIOS index arithmetic
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k;
         let n = &self.n_limbs;
+        // 2k² limb multiplications: k per a·b[i] pass, k per reduction pass.
+        crate::trace::limb_mul(2 * (k as u64) * (k as u64));
         let mut t = vec![0u64; k + 2];
         for i in 0..k {
             let bi = b[i];
@@ -98,11 +104,29 @@ impl MontCtx {
             t[k - 1] = s as u64;
             t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
         }
-        // Conditional final subtraction.
+        // Final subtraction, branch-free: always compute `t - n` and select
+        // the reduced value by mask. CIOS guarantees the accumulator is
+        // below 2n, so one conditional subtraction suffices; doing it as a
+        // masked select removes the classic value-dependent timing leak of
+        // the "sometimes subtract" step.
+        crate::trace::limb_add(2 * k as u64);
         let overflow = t[k] != 0;
         let mut out = t[..k].to_vec();
-        if overflow || ge(&out, n) {
-            sub_in_place(&mut out, n);
+        let mut diff = vec![0u64; k];
+        let mut borrow = 0u64;
+        for i in 0..k {
+            let (d, b1) = out[i].overflowing_sub(n[i]);
+            let (d, b2) = d.overflowing_sub(borrow);
+            diff[i] = d;
+            borrow = u64::from(b1) | u64::from(b2);
+        }
+        // Subtract when the accumulator overflowed R or when out >= n
+        // (equivalently: the trial subtraction did not borrow). With the
+        // overflow limb, the borrow cancels against the hidden 2^{64k}.
+        let need_sub = overflow | (borrow == 0);
+        let mask = 0u64.wrapping_sub(u64::from(need_sub));
+        for i in 0..k {
+            out[i] = (diff[i] & mask) | (out[i] & !mask);
         }
         out
     }
@@ -128,6 +152,14 @@ impl MontCtx {
     }
 
     /// Modular exponentiation `base^exp mod n` with a fixed 4-bit window.
+    ///
+    /// Secret-independent for a fixed public bit-width: every window
+    /// performs exactly `WINDOW` squarings and one multiplication (a zero
+    /// window multiplies by `table[0] = 1` in Montgomery form, which has
+    /// the same operation trace as any other entry), and the table entry
+    /// is fetched with a masked scan over the whole table rather than an
+    /// index. Only `exp.bits()` — the public width — shapes the operation
+    /// sequence; the bigint `trace-ops` tests pin this down.
     pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         if exp.is_zero() {
             return Ubig::one().rem(&self.n);
@@ -147,58 +179,41 @@ impl MontCtx {
         let bits = exp.bits();
         let windows = bits.div_ceil(WINDOW);
         let mut acc = self.r1.clone();
-        let mut started = false;
         for w in (0..windows).rev() {
-            if started {
-                for _ in 0..WINDOW {
-                    acc = self.mont_mul(&acc, &acc);
-                }
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
             }
             let mut chunk = 0usize;
             for b in (0..WINDOW).rev() {
                 let bit_idx = w * WINDOW + b;
-                chunk <<= 1;
-                if bit_idx < bits && exp.bit(bit_idx) {
-                    chunk |= 1;
-                }
+                let bit = bit_idx < bits && exp.bit(bit_idx);
+                chunk = (chunk << 1) | usize::from(bit);
             }
-            if chunk != 0 {
-                acc = self.mont_mul(&acc, &table[chunk]);
-                started = true;
-            } else if started {
-                // squarings already applied; nothing to multiply
-            } else {
-                // still leading zeros; acc stays at one
-            }
+            let entry = select_entry(&table, chunk);
+            acc = self.mont_mul(&acc, &entry);
         }
         self.from_mont(&acc)
     }
+}
+
+/// Masked constant-trace table lookup: reads every entry and keeps the
+/// selected one, so neither the branch predictor nor the data cache sees
+/// which window value the secret exponent produced.
+fn select_entry(table: &[Vec<u64>], idx: usize) -> Vec<u64> {
+    let mut out = vec![0u64; table[0].len()];
+    for (i, entry) in table.iter().enumerate() {
+        let mask = 0u64.wrapping_sub(u64::from(i == idx));
+        for (o, &e) in out.iter_mut().zip(entry) {
+            *o |= e & mask;
+        }
+    }
+    out
 }
 
 fn pad(limbs: &[u64], k: usize) -> Vec<u64> {
     let mut v = limbs.to_vec();
     v.resize(k, 0);
     v
-}
-
-/// `a >= b` on equal-length limb slices.
-fn ge(a: &[u64], b: &[u64]) -> bool {
-    for i in (0..a.len()).rev() {
-        if a[i] != b[i] {
-            return a[i] > b[i];
-        }
-    }
-    true
-}
-
-fn sub_in_place(a: &mut [u64], b: &[u64]) {
-    let mut borrow = 0u64;
-    for i in 0..a.len() {
-        let (t, b1) = a[i].overflowing_sub(b[i]);
-        let (t, b2) = t.overflowing_sub(borrow);
-        borrow = (b1 as u64) + (b2 as u64);
-        a[i] = t;
-    }
 }
 
 #[cfg(test)]

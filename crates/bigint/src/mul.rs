@@ -21,6 +21,7 @@ impl Ubig {
         if v == 0 || self.is_zero() {
             return Ubig::zero();
         }
+        crate::trace::limb_mul(self.limbs.len() as u64);
         let mut out = Vec::with_capacity(self.limbs.len() + 1);
         let mut carry = 0u64;
         for &l in &self.limbs {
@@ -52,8 +53,12 @@ fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = vec![0u64; a.len() + b.len()];
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
+            // Value-dependent shortcut: visible in the op trace as a
+            // missing row of limb multiplications plus a branch event.
+            crate::trace::branch();
             continue;
         }
+        crate::trace::limb_mul(b.len() as u64);
         let mut carry = 0u64;
         for (j, &bj) in b.iter().enumerate() {
             let t = (ai as u128) * (bj as u128) + out[i + j] as u128 + carry as u128;

@@ -53,9 +53,13 @@ fn mr_round(n: &Ubig, base: &Ubig, d: &Ubig, s: u32) -> bool {
     let n_minus_1 = n.sub_u64(1);
     let mut x = base.modpow(d, n);
     if x.is_one() || x == n_minus_1 {
+        crate::trace::branch();
         return true;
     }
     for _ in 1..s {
+        // The witness loop exits early on ±1 — inherently value-dependent,
+        // recorded so the trace harness can see how far each round ran.
+        crate::trace::branch();
         x = x.sqm(n);
         if x == n_minus_1 {
             return true;

@@ -60,6 +60,21 @@ impl Ubig {
         &self.limbs
     }
 
+    /// Best-effort zeroization: overwrites every limb, routes the buffer
+    /// through [`std::hint::black_box`] so the stores count as observed and
+    /// cannot be elided as dead writes, then resets to the canonical zero.
+    ///
+    /// The workspace forbids `unsafe`, so a true volatile wipe is not
+    /// available; this is the strongest erasure safe stable Rust offers.
+    /// Capacity freed by earlier reallocations is not recoverable.
+    pub fn wipe(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            *limb = 0;
+        }
+        std::hint::black_box(&mut self.limbs);
+        self.limbs.clear();
+    }
+
     /// Is this number zero?
     #[inline]
     pub fn is_zero(&self) -> bool {
@@ -430,6 +445,16 @@ impl From<u128> for Ubig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wipe_clears_limbs() {
+        let mut x = Ubig::from_u128(0xdead_beef_dead_beef_dead_beef_dead_beef);
+        x.wipe();
+        assert!(x.is_zero());
+        assert!(x.limbs().is_empty());
+        // Wiped values are back to canonical zero and fully usable.
+        assert_eq!(x.add_u64(3), Ubig::from_u64(3));
+    }
 
     #[test]
     fn zero_and_one() {

@@ -43,7 +43,7 @@ pub fn ky_sig_len(p: &GsigParams) -> usize {
 /// Encodes a KY signature at fixed width.
 pub fn encode_ky_sig(p: &GsigParams, sig: &ky::Signature) -> Vec<u8> {
     let nw = n_width(p);
-    let ws = ky_widths(p);
+    let [w_sx, w_sxp, w_se, w_sr, w_sh] = ky_widths(p);
     let mut w = Writer::new();
     for tag in [
         &sig.tags.t1,
@@ -57,11 +57,11 @@ pub fn encode_ky_sig(p: &GsigParams, sig: &ky::Signature) -> Vec<u8> {
         w.put_ubig_fixed(tag, nw);
     }
     w.put_ubig_fixed(&sig.c, C_WIDTH);
-    w.put_int_fixed(&sig.s_x, ws[0]);
-    w.put_int_fixed(&sig.s_xp, ws[1]);
-    w.put_int_fixed(&sig.s_e, ws[2]);
-    w.put_int_fixed(&sig.s_r, ws[3]);
-    w.put_int_fixed(&sig.s_h, ws[4]);
+    w.put_int_fixed(&sig.s_x, w_sx);
+    w.put_int_fixed(&sig.s_xp, w_sxp);
+    w.put_int_fixed(&sig.s_e, w_se);
+    w.put_int_fixed(&sig.s_r, w_sr);
+    w.put_int_fixed(&sig.s_h, w_sh);
     debug_assert_eq!(w.len(), ky_sig_len(p));
     w.into_bytes()
 }
@@ -73,7 +73,7 @@ pub fn encode_ky_sig(p: &GsigParams, sig: &ky::Signature) -> Vec<u8> {
 /// [`WireError`] on truncation or malformed fields.
 pub fn decode_ky_sig(p: &GsigParams, bytes: &[u8]) -> Result<ky::Signature, WireError> {
     let nw = n_width(p);
-    let ws = ky_widths(p);
+    let [w_sx, w_sxp, w_se, w_sr, w_sh] = ky_widths(p);
     let mut r = Reader::new(bytes);
     let t1 = r.take_ubig_fixed(nw)?;
     let t2 = r.take_ubig_fixed(nw)?;
@@ -83,11 +83,11 @@ pub fn decode_ky_sig(p: &GsigParams, bytes: &[u8]) -> Result<ky::Signature, Wire
     let t6 = r.take_ubig_fixed(nw)?;
     let t7 = r.take_ubig_fixed(nw)?;
     let c = r.take_ubig_fixed(C_WIDTH)?;
-    let s_x = r.take_int_fixed(ws[0])?;
-    let s_xp = r.take_int_fixed(ws[1])?;
-    let s_e = r.take_int_fixed(ws[2])?;
-    let s_r = r.take_int_fixed(ws[3])?;
-    let s_h = r.take_int_fixed(ws[4])?;
+    let s_x = r.take_int_fixed(w_sx)?;
+    let s_xp = r.take_int_fixed(w_sxp)?;
+    let s_e = r.take_int_fixed(w_se)?;
+    let s_r = r.take_int_fixed(w_sr)?;
+    let s_h = r.take_int_fixed(w_sh)?;
     r.finish()?;
     Ok(ky::Signature {
         tags: Tags {
@@ -126,16 +126,16 @@ pub fn acjt_sig_len(p: &GsigParams) -> usize {
 /// Encodes an ACJT signature at fixed width.
 pub fn encode_acjt_sig(p: &GsigParams, sig: &acjt::Signature) -> Vec<u8> {
     let nw = n_width(p);
-    let ws = acjt_widths(p);
+    let [w_sx, w_se, w_sw, w_sh] = acjt_widths(p);
     let mut w = Writer::new();
     w.put_ubig_fixed(&sig.t1, nw);
     w.put_ubig_fixed(&sig.t2, nw);
     w.put_ubig_fixed(&sig.t3, nw);
     w.put_ubig_fixed(&sig.c, C_WIDTH);
-    w.put_int_fixed(&sig.s_x, ws[0]);
-    w.put_int_fixed(&sig.s_e, ws[1]);
-    w.put_int_fixed(&sig.s_w, ws[2]);
-    w.put_int_fixed(&sig.s_h, ws[3]);
+    w.put_int_fixed(&sig.s_x, w_sx);
+    w.put_int_fixed(&sig.s_e, w_se);
+    w.put_int_fixed(&sig.s_w, w_sw);
+    w.put_int_fixed(&sig.s_h, w_sh);
     debug_assert_eq!(w.len(), acjt_sig_len(p));
     w.into_bytes()
 }
@@ -147,16 +147,16 @@ pub fn encode_acjt_sig(p: &GsigParams, sig: &acjt::Signature) -> Vec<u8> {
 /// [`WireError`] on truncation or malformed fields.
 pub fn decode_acjt_sig(p: &GsigParams, bytes: &[u8]) -> Result<acjt::Signature, WireError> {
     let nw = n_width(p);
-    let ws = acjt_widths(p);
+    let [w_sx, w_se, w_sw, w_sh] = acjt_widths(p);
     let mut r = Reader::new(bytes);
     let t1 = r.take_ubig_fixed(nw)?;
     let t2 = r.take_ubig_fixed(nw)?;
     let t3 = r.take_ubig_fixed(nw)?;
     let c = r.take_ubig_fixed(C_WIDTH)?;
-    let s_x = r.take_int_fixed(ws[0])?;
-    let s_e = r.take_int_fixed(ws[1])?;
-    let s_w = r.take_int_fixed(ws[2])?;
-    let s_h = r.take_int_fixed(ws[3])?;
+    let s_x = r.take_int_fixed(w_sx)?;
+    let s_e = r.take_int_fixed(w_se)?;
+    let s_w = r.take_int_fixed(w_sw)?;
+    let s_h = r.take_int_fixed(w_sh)?;
     r.finish()?;
     Ok(acjt::Signature {
         t1,

@@ -437,7 +437,7 @@ pub fn run_handshake_with_net(
                 continue;
             }
             let expected_t7 = if member.scheme().self_distinct() {
-                Some(meter(&mut costs[i], || common_t7(member, slot)))
+                meter(&mut costs[i], || common_t7(member, slot))
             } else {
                 None
             };
@@ -580,17 +580,18 @@ fn phase1_bd(
     let mut aborts: Vec<Option<AbortReason>> = vec![None; m];
     let mut out_r2 = Vec::with_capacity(m);
     for (i, party) in parties.iter_mut().enumerate() {
-        let payload = if views_r1[i].iter().all(Option::is_some) {
-            let msgs: Vec<bd::Round1> = views_r1[i]
-                .iter()
-                .enumerate()
-                .map(|(j, p)| {
-                    let (sender, z) =
-                        decode_elem(group, j, p.as_deref().expect("checked complete"))
-                            .expect("validated by exchange");
-                    bd::Round1 { sender, z }
-                })
-                .collect();
+        // A missing or undecodable view (the exchange validates payloads,
+        // but decode defensively anyway) degrades to an abort, never a
+        // panic.
+        let msgs: Vec<bd::Round1> = views_r1[i]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| {
+                let (sender, z) = decode_elem(group, j, p.as_deref()?).ok()?;
+                Some(bd::Round1 { sender, z })
+            })
+            .collect();
+        let payload = if msgs.len() == m {
             match meter(&mut costs[i], || party.round2(&msgs)) {
                 Ok(r2) => encode_elem(group, i, &r2.x),
                 Err(_) => {
@@ -623,17 +624,15 @@ fn phase1_bd(
             }
         }
         if aborts[i].is_none() {
-            if views_r2[i].iter().all(Option::is_some) {
-                let msgs: Vec<bd::Round2> = views_r2[i]
-                    .iter()
-                    .enumerate()
-                    .map(|(j, p)| {
-                        let (sender, x) =
-                            decode_elem(group, j, p.as_deref().expect("checked complete"))
-                                .expect("validated by exchange");
-                        bd::Round2 { sender, x }
-                    })
-                    .collect();
+            let msgs: Vec<bd::Round2> = views_r2[i]
+                .iter()
+                .enumerate()
+                .filter_map(|(j, p)| {
+                    let (sender, x) = decode_elem(group, j, p.as_deref()?).ok()?;
+                    Some(bd::Round2 { sender, x })
+                })
+                .collect();
+            if msgs.len() == m {
                 match meter(&mut costs[i], || party.finish(&msgs)) {
                     Ok(session) => {
                         out.push((
@@ -949,10 +948,12 @@ fn sd_basis(slot: &SlotState<'_>) -> Vec<u8> {
     basis
 }
 
-fn common_t7(member: &Member, slot: &SlotState<'_>) -> Ubig {
+/// The self-distinction anchor `T7`; `None` under ACJT, which has no
+/// self-distinction tag (callers gate on `scheme().self_distinct()`).
+fn common_t7(member: &Member, slot: &SlotState<'_>) -> Option<Ubig> {
     match &member.cred {
-        Credential::Ky { pk, .. } => pk.common_t7(&sd_basis(slot)),
-        Credential::Acjt { .. } => unreachable!("self-distinction requires the KY scheme"),
+        Credential::Ky { pk, .. } => Some(pk.common_t7(&sd_basis(slot))),
+        Credential::Acjt { .. } => None,
     }
 }
 
@@ -963,10 +964,10 @@ fn phase3_payload(
     publish_real: bool,
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<Vec<u8>, CoreError> {
-    let (theta, delta_bytes) = if publish_real {
-        let Actor::Member(member) = slot.actor else {
-            unreachable!("outsiders never publish")
-        };
+    // `publish_real` is only ever set for members (outsiders have nothing
+    // to publish); an outsider slot falls through to the decoy arm rather
+    // than panicking.
+    let (theta, delta_bytes) = if let (true, Actor::Member(member)) = (publish_real, slot.actor) {
         let delta = cs::encrypt(group, &member.tracing_pk, slot.k_prime.as_bytes(), rng);
         let delta_bytes = codec::encode_delta(group, &delta);
         let mut msg = delta_bytes.clone();

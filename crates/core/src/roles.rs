@@ -72,6 +72,7 @@ impl RoleAuthority {
         rsa_secret: RsaSecret,
         rng: &mut impl RngCore,
     ) -> RoleAuthority {
+        // lint:allow(panic-path) reason="constructor precondition on operator-supplied config at setup time, not attacker-reachable protocol data"
         assert!(levels >= 1, "need at least one level");
         let levels = (0..levels)
             .map(|_| GroupAuthority::create_with_rsa(config, rsa.clone(), rsa_secret.clone(), rng))

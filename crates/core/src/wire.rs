@@ -115,11 +115,9 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.data.len() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let out = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -130,7 +128,7 @@ impl<'a> Reader<'a> {
 
     /// Reads a sign byte plus fixed-width magnitude.
     pub fn take_int_fixed(&mut self, width: usize) -> Result<Int, WireError> {
-        let sign = match self.take(1)?[0] {
+        let sign = match self.take_u8()? {
             0 => Sign::Plus,
             1 => Sign::Minus,
             _ => return Err(WireError::BadTag),
@@ -154,17 +152,19 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u32`.
     pub fn take_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+        let bytes = self.take(4)?;
+        Ok(bytes.iter().fold(0u32, |acc, &b| (acc << 8) | u32::from(b)))
     }
 
     /// Reads a `u64`.
     pub fn take_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        let bytes = self.take(8)?;
+        Ok(bytes.iter().fold(0u64, |acc, &b| (acc << 8) | u64::from(b)))
     }
 
     /// Reads one byte.
     pub fn take_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Requires that all input was consumed.

@@ -17,6 +17,7 @@
 //! * [`drbg`] — HMAC-DRBG (NIST SP 800-90A) implementing
 //!   [`rand::RngCore`].
 //! * [`ct`] — constant-time comparison.
+//! * [`wipe`] — best-effort zeroization of secret buffers.
 //!
 //! # Example
 //!
@@ -40,6 +41,7 @@ pub mod drbg;
 pub mod hkdf;
 pub mod hmac;
 pub mod sha256;
+pub mod wipe;
 
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +97,17 @@ impl Key {
     pub fn ct_eq(&self, other: &Key) -> bool {
         ct::eq(&self.0, &other.0)
     }
+
+    /// Zeroizes the key material in place. Called automatically on drop.
+    fn wipe_in_place(&mut self) {
+        wipe::wipe(&mut self.0);
+    }
+}
+
+impl Drop for Key {
+    fn drop(&mut self) {
+        self.wipe_in_place();
+    }
 }
 
 impl std::fmt::Debug for Key {
@@ -141,5 +154,14 @@ mod tests {
     fn debug_hides_contents() {
         let k = Key::from_bytes([1; 32]);
         assert_eq!(format!("{k:?}"), "Key(****)");
+    }
+
+    #[test]
+    fn drop_path_clears_key_bytes() {
+        // `Drop` cannot be observed after the fact in safe code, so the
+        // test exercises the exact routine `drop` runs.
+        let mut k = Key::from_bytes([0xAB; 32]);
+        k.wipe_in_place();
+        assert_eq!(k.as_bytes(), &[0u8; 32]);
     }
 }

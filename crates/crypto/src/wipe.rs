@@ -1,0 +1,35 @@
+//! Best-effort zeroization of secret byte buffers.
+//!
+//! The workspace forbids `unsafe`, so a true volatile write
+//! (`ptr::write_volatile`) is off the table. Instead the buffer is zeroed
+//! and then routed through [`std::hint::black_box`], which tells the
+//! optimizer the zeroed bytes are observed — the stores cannot be removed
+//! as dead writes. This is the strongest erasure guarantee available in
+//! safe stable Rust; it does not defend against copies the compiler or OS
+//! already made (moves, swaps, pages written out), hence "best effort".
+
+/// Overwrites `buf` with zeros and forces the stores to survive
+/// optimization.
+pub fn wipe(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    std::hint::black_box(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipe_zeroes_every_byte() {
+        let mut buf = *b"top secret keying material!";
+        wipe(&mut buf);
+        assert_eq!(buf, [0u8; 27]);
+    }
+
+    #[test]
+    fn wipe_handles_empty_slices() {
+        wipe(&mut []);
+    }
+}

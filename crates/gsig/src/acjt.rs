@@ -211,6 +211,20 @@ impl std::fmt::Debug for JoinSecret {
     }
 }
 
+impl JoinSecret {
+    /// Zeroizes the private exponent in place. Called automatically on
+    /// drop.
+    fn wipe_in_place(&mut self) {
+        self.x.wipe();
+    }
+}
+
+impl Drop for JoinSecret {
+    fn drop(&mut self) {
+        self.wipe_in_place();
+    }
+}
+
 /// GM's join reply.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinResponse {
@@ -390,7 +404,7 @@ fn verify_join_pok(pk: &GroupPublicKey, req: &JoinRequest) -> bool {
 /// [`GsigError::JoinRejected`] when the certificate equation fails.
 pub fn finish_join(
     pk: &GroupPublicKey,
-    secret: JoinSecret,
+    mut secret: JoinSecret,
     resp: &JoinResponse,
 ) -> Result<MemberKey, GsigError> {
     let params = &pk.params;
@@ -402,11 +416,14 @@ pub fn finish_join(
     if lhs != rhs {
         return Err(GsigError::JoinRejected);
     }
+    // `JoinSecret: Drop`, so `x` cannot be moved out; swap it for zero and
+    // let the drop wipe the (now empty) remainder.
+    let x = std::mem::replace(&mut secret.x, Ubig::zero());
     Ok(MemberKey {
         id: resp.id,
         a_cert: resp.a_cert.clone(),
         e: resp.e.clone(),
-        x: secret.x,
+        x,
     })
 }
 
@@ -544,6 +561,17 @@ mod tests {
     use crate::params::GsigPreset;
     use shs_crypto::drbg::HmacDrbg;
     use std::sync::OnceLock;
+
+    #[test]
+    fn join_secret_drop_path_wipes_exponent() {
+        // Exercises the exact routine `drop` runs; post-drop memory cannot
+        // be inspected from safe code.
+        let mut s = JoinSecret {
+            x: Ubig::from_u64(0xdead_beef),
+        };
+        s.wipe_in_place();
+        assert!(s.x.is_zero());
+    }
 
     fn acjt_group() -> &'static (GroupManager, Vec<MemberKey>) {
         static GROUP: OnceLock<(GroupManager, Vec<MemberKey>)> = OnceLock::new();

@@ -309,6 +309,20 @@ impl std::fmt::Debug for JoinSecret {
     }
 }
 
+impl JoinSecret {
+    /// Zeroizes the private exponent in place. Called automatically on
+    /// drop.
+    fn wipe_in_place(&mut self) {
+        self.x_prime.wipe();
+    }
+}
+
+impl Drop for JoinSecret {
+    fn drop(&mut self) {
+        self.wipe_in_place();
+    }
+}
+
 /// The GM's reply: the certificate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinResponse {
@@ -610,7 +624,7 @@ fn verify_join_pok(pk: &GroupPublicKey, req: &JoinRequest) -> bool {
 /// issued values fall outside their spheres.
 pub fn finish_join(
     pk: &GroupPublicKey,
-    secret: JoinSecret,
+    mut secret: JoinSecret,
     resp: &JoinResponse,
 ) -> Result<MemberKey, GsigError> {
     let params = &pk.params;
@@ -626,12 +640,15 @@ pub fn finish_join(
     if lhs != rhs {
         return Err(GsigError::JoinRejected);
     }
+    // `JoinSecret: Drop`, so `x_prime` cannot be moved out; swap it for
+    // zero and let the drop wipe the (now empty) remainder.
+    let x_prime = std::mem::replace(&mut secret.x_prime, Ubig::zero());
     Ok(MemberKey {
         id: resp.id,
         a_cert: resp.a_cert.clone(),
         e: resp.e.clone(),
         x: resp.x.clone(),
-        x_prime: secret.x_prime,
+        x_prime,
     })
 }
 
@@ -917,6 +934,17 @@ mod tests {
     use super::*;
     use crate::fixtures as test_support;
     use rand::SeedableRng;
+
+    #[test]
+    fn join_secret_drop_path_wipes_exponent() {
+        // Exercises the exact routine `drop` runs; post-drop memory cannot
+        // be inspected from safe code.
+        let mut s = JoinSecret {
+            x_prime: Ubig::from_u64(0xdead_beef),
+        };
+        s.wipe_in_place();
+        assert!(s.x_prime.is_zero());
+    }
 
     fn rng() -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(60)

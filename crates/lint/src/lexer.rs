@@ -1,0 +1,493 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces just enough token structure for the secret-hygiene rules:
+//! identifiers, literals, multi-character operators, and the positions of
+//! everything. Comments are consumed (never tokenized), but line comments
+//! carrying `lint:allow(...)` directives are extracted so the rule engine
+//! can honor written-down exceptions.
+//!
+//! The lexer is deliberately forgiving: any byte it does not recognize
+//! becomes a single-character punctuation token. Lint rules only need the
+//! token *stream* to be faithful, not a full grammar.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal (prefix/suffix included verbatim).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or delimiter, possibly multi-character (`==`, `::`, `{`).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim text (for `Str` the raw source slice, quotes included).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `// lint:allow(rule-a, rule-b) reason="…"` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// Whether a non-empty `reason="…"` was supplied.
+    pub has_reason: bool,
+}
+
+/// Output of [`lex`]: the token stream plus any allow directives found in
+/// comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Allow directives in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src` into tokens and allow directives.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+        // Helper to advance one char, maintaining line/col.
+        macro_rules! bump {
+            () => {{
+                if b[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }};
+        }
+
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (and allow directives).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(dir) = parse_allow(&text, tline) {
+                out.allows.push(dir);
+            }
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b' || c == 'c') && starts_string(&b, i) {
+            let start = i;
+            // Skip prefix letters.
+            while i < n && (b[i] == 'r' || b[i] == 'b' || b[i] == 'c') {
+                bump!();
+            }
+            if i < n && b[i] == '#' || (i < n && b[i] == '"' && b[start..i].contains(&'r')) {
+                // Raw string: count hashes, then scan for `"#…#` closer.
+                let mut hashes = 0usize;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    bump!();
+                }
+                if i < n && b[i] == '"' {
+                    bump!();
+                    'raw: while i < n {
+                        if b[i] == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0usize;
+                            while j < n && b[j] == '#' && seen < hashes {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                }
+            } else if i < n && b[i] == '"' {
+                // Cooked string with a b/c prefix.
+                bump!();
+                scan_cooked_string(&b, &mut i, &mut line, &mut col);
+            } else if i < n && b[i] == '\'' {
+                // Byte char literal b'x'.
+                bump!();
+                scan_char_body(&b, &mut i, &mut line, &mut col);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Plain string.
+        if c == '"' {
+            let start = i;
+            bump!();
+            scan_cooked_string(&b, &mut i, &mut line, &mut col);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let start = i;
+            let next_ident = i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_');
+            let closes = i + 2 < n && b[i + 2] == '\'';
+            if next_ident && !closes {
+                bump!(); // '
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                bump!(); // '
+                scan_char_body(&b, &mut i, &mut line, &mut col);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!();
+            }
+            // Fractional part, but never consume a `..` range operator.
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                bump!();
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Number,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Multi-character operators, longest match first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oc: Vec<char> = op.chars().collect();
+            if i + oc.len() <= n && b[i..i + oc.len()] == oc[..] {
+                for _ in 0..oc.len() {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-character punctuation (or anything unrecognized).
+        bump!();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+    out
+}
+
+/// Does a string literal start at `i` after r/b/c prefix letters?
+fn starts_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b' || b[j] == 'c') && j - i < 2 {
+        j += 1;
+    }
+    j < b.len() && (b[j] == '"' || b[j] == '#' || (b[j] == '\'' && b[i] == 'b'))
+}
+
+/// Scans the body of a cooked (escaped) string; `i` sits just past the
+/// opening quote and ends just past the closing quote.
+fn scan_cooked_string(b: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let n = b.len();
+    while *i < n {
+        let c = b[*i];
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+            *i += 1;
+            continue;
+        }
+        *col += 1;
+        *i += 1;
+        if c == '\\' && *i < n {
+            if b[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+            continue;
+        }
+        if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Scans a char/byte literal body; `i` sits just past the opening quote.
+fn scan_char_body(b: &[char], i: &mut usize, _line: &mut u32, col: &mut u32) {
+    let n = b.len();
+    if *i < n && b[*i] == '\\' {
+        *i += 1;
+        *col += 1;
+        if *i < n {
+            *i += 1;
+            *col += 1;
+        }
+        // Multi-char escapes (\x41, \u{…}): scan to the closing quote.
+        while *i < n && b[*i] != '\'' {
+            *i += 1;
+            *col += 1;
+        }
+    } else if *i < n {
+        *i += 1;
+        *col += 1;
+    }
+    if *i < n && b[*i] == '\'' {
+        *i += 1;
+        *col += 1;
+    }
+}
+
+/// Parses a `lint:allow(...)` directive out of a line comment, if present.
+/// Doc comments (`///`, `//!`) are documentation, never directives.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
+    let at = comment.find("lint:allow")?;
+    let rest = &comment[at + "lint:allow".len()..];
+    let open = rest.find('(')?;
+    let close = rest[open..].find(')')? + open;
+    let rules: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let tail = &rest[close + 1..];
+    let has_reason = match tail.find("reason=") {
+        Some(r) => {
+            let v = tail[r + "reason=".len()..].trim();
+            v.len() > 2 && v.starts_with('"')
+        }
+        None => false,
+    };
+    Some(AllowDirective {
+        line,
+        rules,
+        has_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ts = kinds("let x = a == b; // c");
+        assert_eq!(
+            ts,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, "==".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = "f(\"a == b\", 'x', '\\n', b\"==\", r\"eq == eq\")";
+        let ts = kinds(src);
+        assert!(!ts.iter().any(|(k, t)| *k == TokKind::Punct && t == "=="));
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            3,
+            "{ts:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Char && t == "'q'"));
+    }
+
+    #[test]
+    fn comments_are_skipped_but_allows_extracted() {
+        let l = lex("let a = 1; // lint:allow(secret-cmp) reason=\"test vector\"\n/* x == y */");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rules, vec!["secret-cmp"]);
+        assert!(l.allows[0].has_reason);
+        assert!(!l.toks.iter().any(|t| t.is_punct("==")));
+    }
+
+    #[test]
+    fn allow_without_reason_detected() {
+        let l = lex("// lint:allow(panic-path, index-path)");
+        assert_eq!(l.allows[0].rules, vec!["panic-path", "index-path"]);
+        assert!(!l.allows[0].has_reason);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let l = lex("a\nb\n  c");
+        assert_eq!(l.toks[0].line, 1);
+        assert_eq!(l.toks[1].line, 2);
+        assert_eq!(l.toks[2].line, 3);
+        assert_eq!(l.toks[2].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ x");
+        assert_eq!(l.toks.len(), 1);
+        assert!(l.toks[0].is_ident("x"));
+    }
+}

@@ -1,0 +1,172 @@
+//! `shs-lint` — secret-hygiene static analysis for the secret-handshakes
+//! workspace.
+//!
+//! The GCD framework's anonymity and unobservability guarantees are only
+//! as strong as the implementation's side channels: a timing-dependent
+//! `==` on a MAC tag, a `Debug`-printed join secret, or a panic on a
+//! protocol path de-anonymizes a participant even when the protocol math
+//! is correct. This crate machine-checks the written policy in
+//! `lint-policy.toml` on every PR:
+//!
+//! * **secret-debug** — registered secret types must not derive
+//!   `Debug`/`Display`; redacting manual impls only.
+//! * **secret-cmp** — no `==`/`!=` on secret values; comparisons route
+//!   through `shs_crypto::ct`.
+//! * **secret-fmt** — no secret value may flow into `format!`-family or
+//!   log sinks.
+//! * **panic-path** — no `unwrap()`/`expect()`/panicking macro on the
+//!   protocol paths named by the policy.
+//! * **index-path** — no panicking indexing on the decoder paths named by
+//!   the policy.
+//! * **allow-hygiene** — every `// lint:allow(<rule>) reason="…"`
+//!   exception must carry a reason and actually suppress something.
+//!
+//! Everything is hand-rolled (lexer, TOML-subset parser, JSON emitter) so
+//! the tool has zero dependencies, consistent with the offline `shims/`
+//! policy of this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+
+pub use policy::{Policy, Rule};
+pub use report::{Finding, Report};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A configured lint run rooted at the directory holding the policy file.
+#[derive(Debug)]
+pub struct Linter {
+    policy: Policy,
+    root: PathBuf,
+}
+
+impl Linter {
+    /// Loads the policy at `policy_path`; its parent directory becomes the
+    /// scan root.
+    ///
+    /// # Errors
+    ///
+    /// I/O or policy-syntax problems, as a printable message.
+    pub fn from_policy_file(policy_path: &Path) -> Result<Linter, String> {
+        let src = fs::read_to_string(policy_path)
+            .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
+        let policy = Policy::parse(&src)?;
+        let root = policy_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        Ok(Linter { policy, root })
+    }
+
+    /// Builds a linter from an already-parsed policy (used by tests).
+    pub fn from_policy(policy: Policy, root: PathBuf) -> Linter {
+        Linter { policy, root }
+    }
+
+    /// The scan root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Lints every `.rs` file under the policy's scan roots.
+    ///
+    /// # Errors
+    ///
+    /// I/O problems, as a printable message.
+    pub fn lint_workspace(&self) -> Result<Report, String> {
+        let mut files = Vec::new();
+        for dir in &self.policy.scan_roots {
+            collect_rs_files(&self.root.join(dir), &mut files)?;
+        }
+        files.sort();
+        self.lint_files(&files)
+    }
+
+    /// Lints an explicit set of files.
+    ///
+    /// # Errors
+    ///
+    /// I/O problems, as a printable message.
+    pub fn lint_files(&self, files: &[PathBuf]) -> Result<Report, String> {
+        let mut report = Report::default();
+        for path in files {
+            let rel = self.relative_name(path);
+            if self.policy.excluded(&rel) {
+                continue;
+            }
+            let src = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            report.findings.extend(self.lint_source(&rel, &src));
+            report.files_scanned += 1;
+        }
+        report
+            .findings
+            .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        Ok(report)
+    }
+
+    /// Lints one file's source text under the given relative name.
+    pub fn lint_source(&self, rel: &str, src: &str) -> Vec<Finding> {
+        let lexed = lexer::lex(src);
+        rules::lint_tokens(rel, &lexed, &self.policy)
+    }
+
+    /// Root-relative, `/`-separated path used in reports and policy
+    /// matching.
+    fn relative_name(&self, path: &Path) -> String {
+        let rel = path.strip_prefix(&self.root).unwrap_or(path);
+        rel.components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+/// Recursively collects `.rs` files; a missing root directory is fine
+/// (policies may list optional dirs like `examples`).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_on_source_text() {
+        let policy = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+"#,
+        )
+        .unwrap();
+        let linter = Linter::from_policy(policy, PathBuf::from("."));
+        let bad = "fn f() { if k_prime == x { println!(\"{:?}\", k_prime); } }";
+        let fs = linter.lint_source("m.rs", bad);
+        assert_eq!(fs.len(), 2);
+        assert!(linter.lint_source("m.rs", "fn f() {}").is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! The written secret-hygiene policy (`lint-policy.toml`).
+//!
+//! The workspace is offline, so instead of a TOML crate this module parses
+//! the small TOML subset the policy file actually uses: `[section]` and
+//! `[section.sub]` headers, `key = "string"`, `key = 123`, `key = true`,
+//! and `key = ["a", "b"]` arrays (single- or multi-line). That subset is
+//! stable; anything outside it is a hard error so policy typos cannot
+//! silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The lint rules, in severity-then-name order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `#[derive(Debug)]`/`Display` on a registered secret type.
+    SecretDebug,
+    /// `==`/`!=` touching a registered secret identifier.
+    SecretCmp,
+    /// A secret identifier flowing into a format/print/log sink macro.
+    SecretFmt,
+    /// `unwrap()`/`expect()`/panicking macro on a protocol path.
+    PanicPath,
+    /// Slice/array indexing (can panic) on a decoder path.
+    IndexPath,
+    /// A malformed or unused `lint:allow` directive.
+    AllowHygiene,
+}
+
+impl Rule {
+    /// All rules.
+    pub const ALL: [Rule; 6] = [
+        Rule::SecretDebug,
+        Rule::SecretCmp,
+        Rule::SecretFmt,
+        Rule::PanicPath,
+        Rule::IndexPath,
+        Rule::AllowHygiene,
+    ];
+
+    /// The kebab-case name used in the policy file and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SecretDebug => "secret-debug",
+            Rule::SecretCmp => "secret-cmp",
+            Rule::SecretFmt => "secret-fmt",
+            Rule::PanicPath => "panic-path",
+            Rule::IndexPath => "index-path",
+            Rule::AllowHygiene => "allow-hygiene",
+        }
+    }
+
+    /// Parses a rule name.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parsed, validated policy.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Type names whose contents are secret (Debug/Display must redact).
+    pub secret_types: Vec<String>,
+    /// Identifiers bound to secret values (exact match).
+    pub secret_idents: Vec<String>,
+    /// Macro names that are observable sinks (`format`, `println`, …).
+    pub sink_macros: Vec<String>,
+    /// Files (suffix match) the panic-path rule applies to.
+    pub panic_paths: Vec<String>,
+    /// Files (suffix match) the index-path rule applies to.
+    pub index_paths: Vec<String>,
+    /// Directories under the policy root to scan.
+    pub scan_roots: Vec<String>,
+    /// Path substrings to exclude from scanning.
+    pub scan_exclude: Vec<String>,
+}
+
+impl Policy {
+    /// Parses a policy file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the supported TOML subset or for missing required keys.
+    pub fn parse(src: &str) -> Result<Policy, String> {
+        let map = parse_toml_subset(src)?;
+        let list = |key: &str| -> Vec<String> {
+            match map.get(key) {
+                Some(Value::List(v)) => v.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let required = |key: &str| -> Result<Vec<String>, String> {
+            match map.get(key) {
+                Some(Value::List(v)) if !v.is_empty() => Ok(v.clone()),
+                _ => Err(format!("lint-policy: missing required list `{key}`")),
+            }
+        };
+        Ok(Policy {
+            secret_types: required("secret.types")?,
+            secret_idents: required("secret.idents")?,
+            sink_macros: required("sinks.macros")?,
+            panic_paths: list("rules.panic-path.paths"),
+            index_paths: list("rules.index-path.paths"),
+            scan_roots: {
+                let r = list("scan.roots");
+                if r.is_empty() {
+                    vec!["crates".into(), "src".into()]
+                } else {
+                    r
+                }
+            },
+            scan_exclude: list("scan.exclude"),
+        })
+    }
+
+    /// Does the panic-path rule apply to this (policy-root-relative) file?
+    pub fn panic_rule_applies(&self, rel: &str) -> bool {
+        path_listed(&self.panic_paths, rel)
+    }
+
+    /// Does the index-path rule apply to this file?
+    pub fn index_rule_applies(&self, rel: &str) -> bool {
+        path_listed(&self.index_paths, rel)
+    }
+
+    /// Is this file excluded from scanning entirely?
+    pub fn excluded(&self, rel: &str) -> bool {
+        self.scan_exclude.iter().any(|e| rel.contains(e.as_str()))
+    }
+}
+
+/// A path matches a policy list by exact or suffix match, so workspace
+/// policies can use full relative paths while fixture policies can name
+/// bare file names.
+fn path_listed(list: &[String], rel: &str) -> bool {
+    list.iter().any(|p| rel == p || rel.ends_with(p.as_str()))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+/// Parses the supported TOML subset into a `section.key -> value` map.
+fn parse_toml_subset(src: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut map = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let end = line
+                .find(']')
+                .ok_or_else(|| format!("lint-policy line {}: unterminated section", idx + 1))?;
+            section = line[1..end].trim().to_string();
+            continue;
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| format!("lint-policy line {}: expected `key = value`", idx + 1))?;
+        let key = line[..eq].trim();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming until brackets balance.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| format!("lint-policy line {}: unterminated array", idx + 1))?;
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let full_key = if section.is_empty() {
+            key.to_string()
+        } else {
+            format!("{section}.{key}")
+        };
+        map.insert(full_key, parse_value(&value, idx + 1)?);
+    }
+    Ok(map)
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str, line: usize) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = v.strip_prefix('"') {
+        let end = stripped
+            .find('"')
+            .ok_or_else(|| format!("lint-policy line {line}: unterminated string"))?;
+        return Ok(Value::Str(stripped[..end].to_string()));
+    }
+    if v.starts_with('[') {
+        if !v.ends_with(']') {
+            return Err(format!("lint-policy line {line}: unterminated array"));
+        }
+        let inner = &v[1..v.len() - 1];
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, line)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(format!(
+                        "lint-policy line {line}: arrays may contain only strings"
+                    ))
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    v.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("lint-policy line {line}: unsupported value `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+version = 1
+
+[secret]
+types = ["Key", "JoinSecret"]  # trailing comment
+idents = [
+    "k_prime",
+    "k_star",
+]
+
+[sinks]
+macros = ["format", "println"]
+
+[rules.panic-path]
+paths = ["crates/core/src/wire.rs"]
+
+[scan]
+roots = ["crates"]
+exclude = ["shims/", "tests/"]
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.secret_types, vec!["Key", "JoinSecret"]);
+        assert_eq!(p.secret_idents, vec!["k_prime", "k_star"]);
+        assert!(p.panic_rule_applies("crates/core/src/wire.rs"));
+        assert!(!p.panic_rule_applies("crates/core/src/codec.rs"));
+        assert!(p.excluded("shims/rand/src/lib.rs"));
+        assert!(p.excluded("crates/core/tests/x.rs"));
+        assert!(!p.excluded("crates/core/src/handshake.rs"));
+    }
+
+    #[test]
+    fn missing_required_key_is_error() {
+        let err = Policy::parse("[secret]\ntypes = [\"Key\"]").unwrap_err();
+        assert!(err.contains("secret.idents"), "{err}");
+    }
+
+    #[test]
+    fn bad_syntax_is_error() {
+        assert!(Policy::parse("key value").is_err());
+        assert!(Policy::parse("[sec\nk = 1").is_err());
+        assert!(Policy::parse("k = [1, 2]").is_err());
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+}

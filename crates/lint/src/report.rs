@@ -1,0 +1,128 @@
+//! Findings and the machine-readable report.
+
+use crate::policy::Rule;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Policy-root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(file: &str, line: u32, col: u32, rule: Rule, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            message,
+        }
+    }
+
+    /// `file:line:col rule message` — the CI-greppable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A whole lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by file then position.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Did the run find nothing?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report as JSON (hand-rolled; the workspace is
+    /// dependency-free by policy).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"tool\": \"shs-lint\",\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"file\": \"{}\", ", json_escape(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"col\": {}, ", f.col));
+            s.push_str(&format!("\"rule\": \"{}\", ", f.rule));
+            s.push_str(&format!("\"message\": \"{}\"", json_escape(&f.message)));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let r = Report {
+            files_scanned: 2,
+            findings: vec![Finding::new(
+                "a.rs",
+                3,
+                7,
+                Rule::SecretCmp,
+                "`==` with \"quotes\"".to_string(),
+            )],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"rule\": \"secret-cmp\""));
+        assert!(j.contains("\\\"quotes\\\""));
+    }
+
+    #[test]
+    fn render_is_greppable() {
+        let f = Finding::new("x/y.rs", 10, 4, Rule::PanicPath, "boom".to_string());
+        assert_eq!(f.render(), "x/y.rs:10:4: [panic-path] boom");
+    }
+}

@@ -1,0 +1,616 @@
+//! The secret-hygiene rules, run over one file's token stream.
+//!
+//! Every rule is a linear scan over the [`crate::lexer::Lexed`] tokens;
+//! none of them needs a parse tree. Code inside `#[cfg(test)]`-gated items
+//! and `#[test]` functions is exempt (tests may print, compare, and
+//! unwrap secrets freely), and individual findings can be waived with a
+//! written-down `// lint:allow(<rule>) reason="…"` directive on the same
+//! line or the line above.
+
+use crate::lexer::{AllowDirective, Lexed, Tok, TokKind};
+use crate::policy::{Policy, Rule};
+use crate::report::Finding;
+
+/// Runs every applicable rule over one file.
+///
+/// `rel` is the policy-root-relative path used for path-scoped rules and
+/// for reporting.
+pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let test_lines = test_regions(toks);
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    raw.extend(rule_secret_debug(rel, toks, policy));
+    raw.extend(rule_secret_cmp(rel, toks, policy));
+    raw.extend(rule_secret_fmt(rel, toks, policy));
+    if policy.panic_rule_applies(rel) {
+        raw.extend(rule_panic_path(rel, toks));
+    }
+    if policy.index_rule_applies(rel) {
+        raw.extend(rule_index_path(rel, toks));
+    }
+    raw.retain(|f| !in_test(f.line));
+
+    // Apply allow directives; track which ones earned their keep.
+    let mut used = vec![false; lexed.allows.len()];
+    raw.retain(|f| {
+        let mut suppressed = false;
+        for (i, a) in lexed.allows.iter().enumerate() {
+            if allow_covers(a, f) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    // Allow-directive hygiene: every exception must carry a reason, name
+    // real rules, and actually suppress something.
+    for (i, a) in lexed.allows.iter().enumerate() {
+        if in_test(a.line) {
+            continue;
+        }
+        if !a.has_reason {
+            raw.push(Finding::new(
+                rel,
+                a.line,
+                1,
+                Rule::AllowHygiene,
+                "lint:allow directive without a reason=\"…\" justification".to_string(),
+            ));
+            continue;
+        }
+        for r in &a.rules {
+            if Rule::from_name(r).is_none() {
+                raw.push(Finding::new(
+                    rel,
+                    a.line,
+                    1,
+                    Rule::AllowHygiene,
+                    format!("lint:allow names unknown rule `{r}`"),
+                ));
+            }
+        }
+        if !used[i] && a.rules.iter().all(|r| Rule::from_name(r).is_some()) {
+            raw.push(Finding::new(
+                rel,
+                a.line,
+                1,
+                Rule::AllowHygiene,
+                "unused lint:allow directive (suppresses nothing on this or the next line)"
+                    .to_string(),
+            ));
+        }
+    }
+
+    raw.sort_by_key(|a| (a.line, a.col, a.rule));
+    raw
+}
+
+/// A directive covers a finding on its own line or the line below it.
+fn allow_covers(a: &AllowDirective, f: &Finding) -> bool {
+    (f.line == a.line || f.line == a.line + 1) && a.rules.iter().any(|r| r == f.rule.name())
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges of items gated by `#[cfg(test)]` / `#[test]`.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let (idents, after) = attr_contents(toks, i + 1);
+            if is_test_attr(&idents) {
+                let start_line = toks[i].line;
+                if let Some(end_line) = item_end_line(toks, after) {
+                    regions.push((start_line, end_line));
+                    // Skip past the whole gated item in one step.
+                    i = after;
+                    continue;
+                }
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `#[cfg(test)]`, `#[test]`, `#[cfg(any(test, …))]`, `#[tokio::test]` …
+/// but never `#[cfg(not(test))]`.
+fn is_test_attr(idents: &[String]) -> bool {
+    let has = |s: &str| idents.iter().any(|i| i == s);
+    has("test") && !has("not")
+}
+
+/// Collects the identifiers inside `[…]` starting at `open` (the `[`),
+/// returning them and the index just past the closing `]`.
+fn attr_contents(toks: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, i + 1);
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// The last line of the item starting at `i` (skipping further attributes):
+/// through the matching `}` of its first brace, or at its terminating `;`.
+fn item_end_line(toks: &[Tok], mut i: usize) -> Option<u32> {
+    // Skip stacked attributes between the test gate and the item.
+    while i + 1 < toks.len() && toks[i].is_punct("#") && toks[i + 1].is_punct("[") {
+        let (_, after) = attr_contents(toks, i + 1);
+        i = after;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(t.line);
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return Some(t.line);
+        }
+        i += 1;
+    }
+    toks.last().map(|t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// secret-debug
+// ---------------------------------------------------------------------------
+
+fn rule_secret_debug(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_punct("#") && toks[i + 1].is_punct("[") && toks[i + 2].is_ident("derive") {
+            let derive_line = toks[i].line;
+            let (derived, mut j) = attr_contents(toks, i + 1);
+            // Skip further attributes/visibility down to the item keyword.
+            loop {
+                if j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                    let (_, after) = attr_contents(toks, j + 1);
+                    j = after;
+                } else if j < toks.len()
+                    && (toks[j].is_ident("pub")
+                        || toks[j].is_punct("(")
+                        || toks[j].is_punct(")")
+                        || toks[j].is_ident("crate")
+                        || toks[j].is_ident("super"))
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let is_type_item = j < toks.len()
+                && (toks[j].is_ident("struct")
+                    || toks[j].is_ident("enum")
+                    || toks[j].is_ident("union"));
+            if is_type_item && j + 1 < toks.len() && toks[j + 1].kind == TokKind::Ident {
+                let name = &toks[j + 1].text;
+                if policy.secret_types.iter().any(|t| t == name) {
+                    for bad in ["Debug", "Display"] {
+                        if derived.iter().any(|d| d == bad && d != "derive") {
+                            out.push(Finding::new(
+                                rel,
+                                derive_line,
+                                toks[i].col,
+                                Rule::SecretDebug,
+                                format!(
+                                    "secret type `{name}` derives `{bad}`; write a redacting \
+                                     manual impl (print type name and length only)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// secret-cmp
+// ---------------------------------------------------------------------------
+
+fn rule_secret_cmp(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let mut idents = operand_idents_left(toks, i);
+        idents.extend(operand_idents_right(toks, i));
+        if let Some(secret) = idents
+            .iter()
+            .find(|id| policy.secret_idents.iter().any(|s| s == *id))
+        {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                t.col,
+                Rule::SecretCmp,
+                format!(
+                    "`{}` on secret value `{secret}`; use `shs_crypto::ct::eq` \
+                     (or `Key::ct_eq`) for content comparison",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Identifiers in the primary expression to the left of operator index `op`.
+fn operand_idents_left(toks: &[Tok], op: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = op;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => out.push(t.text.clone()),
+            TokKind::Number | TokKind::Str | TokKind::Char | TokKind::Lifetime => {}
+            TokKind::Punct => match t.text.as_str() {
+                ")" | "]" => {
+                    // Skip the balanced group backwards.
+                    let close = t.text.clone();
+                    let open = if close == ")" { "(" } else { "[" };
+                    let mut depth = 1usize;
+                    while i > 0 && depth > 0 {
+                        i -= 1;
+                        if toks[i].is_punct(&close) {
+                            depth += 1;
+                        } else if toks[i].is_punct(open) {
+                            depth -= 1;
+                        } else if toks[i].kind == TokKind::Ident {
+                            out.push(toks[i].text.clone());
+                        }
+                    }
+                }
+                "." | "::" | "&" | "*" | "?" => {}
+                _ => break,
+            },
+        }
+    }
+    out
+}
+
+/// Identifiers in the primary expression to the right of operator index `op`.
+fn operand_idents_right(toks: &[Tok], op: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = op + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => out.push(t.text.clone()),
+            TokKind::Number | TokKind::Str | TokKind::Char | TokKind::Lifetime => {}
+            TokKind::Punct => match t.text.as_str() {
+                "(" | "[" => {
+                    let open = t.text.clone();
+                    let close = if open == "(" { ")" } else { "]" };
+                    let mut depth = 1usize;
+                    while i + 1 < toks.len() && depth > 0 {
+                        i += 1;
+                        if toks[i].is_punct(&open) {
+                            depth += 1;
+                        } else if toks[i].is_punct(close) {
+                            depth -= 1;
+                        } else if toks[i].kind == TokKind::Ident {
+                            out.push(toks[i].text.clone());
+                        }
+                    }
+                }
+                "." | "::" | "&" | "*" | "?" => {}
+                _ => break,
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// secret-fmt
+// ---------------------------------------------------------------------------
+
+fn rule_secret_fmt(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_sink = toks[i].kind == TokKind::Ident
+            && policy.sink_macros.iter().any(|m| m == &toks[i].text)
+            && toks[i + 1].is_punct("!")
+            && (toks[i + 2].is_punct("(")
+                || toks[i + 2].is_punct("[")
+                || toks[i + 2].is_punct("{"));
+        if !is_sink {
+            i += 1;
+            continue;
+        }
+        let sink = toks[i].text.clone();
+        let (line, col) = (toks[i].line, toks[i].col);
+        let open = toks[i + 2].text.clone();
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            _ => "}",
+        };
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        let mut leaked: Vec<String> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if t.is_punct(&open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+            } else if t.kind == TokKind::Ident
+                && policy.secret_idents.iter().any(|s| s == &t.text)
+                && !leaked.contains(&t.text)
+            {
+                leaked.push(t.text.clone());
+            }
+            j += 1;
+        }
+        for id in leaked {
+            out.push(Finding::new(
+                rel,
+                line,
+                col,
+                Rule::SecretFmt,
+                format!("secret value `{id}` flows into `{sink}!` sink; redact or remove it"),
+            ));
+        }
+        i = j;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn rule_panic_path(rel: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_method = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(");
+        let is_macro = PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("!");
+        if is_method {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                t.col,
+                Rule::PanicPath,
+                format!(
+                    "`.{}()` on a protocol path; return a structured error \
+                     (`CoreError`/`AbortReason`) instead of panicking",
+                    t.text
+                ),
+            ));
+        } else if is_macro {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                t.col,
+                Rule::PanicPath,
+                format!(
+                    "`{}!` on a protocol path; protocol code must fail \
+                     structurally, not panic",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// index-path
+// ---------------------------------------------------------------------------
+
+fn rule_index_path(rel: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct("[") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let is_index = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+            || prev.is_punct(")")
+            || prev.is_punct("]");
+        if is_index {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                t.col,
+                Rule::IndexPath,
+                "indexing can panic on a decoder path; use `.get(..)` and return \
+                 a structured error"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (`in [..]`, `return [..]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "in" | "return"
+            | "break"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "box"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "for"
+            | "let"
+            | "const"
+            | "static"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[secret]
+types = ["Key", "JoinSecret"]
+idents = ["k_prime", "tag", "key"]
+[sinks]
+macros = ["format", "println", "dbg"]
+[rules.panic-path]
+paths = ["proto.rs"]
+[rules.index-path]
+paths = ["proto.rs"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn findings(rel: &str, src: &str) -> Vec<(Rule, u32)> {
+        let lexed = lex(src);
+        lint_tokens(rel, &lexed, &policy())
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn derive_debug_on_secret_flagged() {
+        let src = "#[derive(Clone, Debug)]\npub struct Key([u8; 32]);";
+        assert_eq!(findings("a.rs", src), vec![(Rule::SecretDebug, 1)]);
+        // Non-secret type: fine.
+        let ok = "#[derive(Clone, Debug)]\npub struct Public([u8; 32]);";
+        assert!(findings("a.rs", ok).is_empty());
+        // Secret type without Debug: fine.
+        let ok2 = "#[derive(Clone)]\npub struct Key([u8; 32]);";
+        assert!(findings("a.rs", ok2).is_empty());
+    }
+
+    #[test]
+    fn secret_eq_flagged() {
+        assert_eq!(
+            findings("a.rs", "fn f() { if tag == other { } }"),
+            vec![(Rule::SecretCmp, 1)]
+        );
+        assert_eq!(
+            findings("a.rs", "fn f() { let x = a.key != b; }"),
+            vec![(Rule::SecretCmp, 1)]
+        );
+        assert!(findings("a.rs", "fn f() { if a.len() == b.len() { } }").is_empty());
+    }
+
+    #[test]
+    fn secret_fmt_flagged() {
+        assert_eq!(
+            findings("a.rs", "fn f() { println!(\"{:?}\", k_prime); }"),
+            vec![(Rule::SecretFmt, 1)]
+        );
+        assert!(findings("a.rs", "fn f() { println!(\"{}\", public); }").is_empty());
+    }
+
+    #[test]
+    fn panic_and_index_scoped_by_path() {
+        let src = "fn f(v: &[u8]) -> u8 { let x = v[0]; y.unwrap(); panic!(\"no\"); x }";
+        let hits = findings("proto.rs", src);
+        assert!(hits.contains(&(Rule::IndexPath, 1)));
+        assert!(hits.iter().filter(|(r, _)| *r == Rule::PanicPath).count() == 2);
+        // Out-of-scope file: silent.
+        assert!(findings("other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { tag == x; v.unwrap(); }\n}";
+        assert!(findings("proto.rs", src).is_empty());
+        let src2 = "#[test]\nfn t() { tag == x; }";
+        assert!(findings("a.rs", src2).is_empty());
+        // cfg(not(test)) is NOT exempt.
+        let src3 = "#[cfg(not(test))]\nmod m {\n  fn f() { tag == x; }\n}";
+        assert_eq!(findings("a.rs", src3), vec![(Rule::SecretCmp, 3)]);
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason() {
+        let src =
+            "fn f() { tag == x; } // lint:allow(secret-cmp) reason=\"public commitment bytes\"";
+        assert!(findings("a.rs", src).is_empty());
+        // Directive above the line also works.
+        let src2 = "// lint:allow(secret-cmp) reason=\"vetted\"\nfn f() { tag == x; }";
+        assert!(findings("a.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn allow_hygiene_enforced() {
+        // No reason.
+        let src = "fn f() { tag == x; } // lint:allow(secret-cmp)";
+        assert_eq!(findings("a.rs", src), vec![(Rule::AllowHygiene, 1)]);
+        // Unused.
+        let src2 = "fn f() {} // lint:allow(secret-cmp) reason=\"stale\"";
+        assert_eq!(findings("a.rs", src2), vec![(Rule::AllowHygiene, 1)]);
+        // Unknown rule name.
+        let src3 = "fn f() {} // lint:allow(secret-compare) reason=\"typo\"";
+        assert_eq!(findings("a.rs", src3), vec![(Rule::AllowHygiene, 1)]);
+    }
+}

@@ -1,0 +1,10 @@
+//! BAD: malformed and stale allow directives.
+
+// lint:allow(secret-cmp)
+pub fn reason_missing(k_prime: &[u8], o: &[u8]) -> bool { k_prime == o }
+
+// lint:allow(secret-cmp) reason="nothing on this or the next line needs it"
+pub fn directive_unused() {}
+
+// lint:allow(secret-compare) reason="rule name is a typo"
+pub fn unknown_rule() {}

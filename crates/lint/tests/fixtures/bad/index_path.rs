@@ -1,0 +1,5 @@
+//! BAD: panicking indexing on a decoder path.
+
+pub fn tag_of(frame: &[u8]) -> u8 {
+    frame[0]
+}

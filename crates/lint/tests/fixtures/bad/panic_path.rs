@@ -1,0 +1,7 @@
+//! BAD: panicking on a protocol path.
+
+pub fn decode_len(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap();
+    assert!(buf.len() >= 4, "short header");
+    u32::from(*first)
+}

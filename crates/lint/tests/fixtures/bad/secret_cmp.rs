@@ -1,0 +1,5 @@
+//! BAD: timing-dependent comparison of secret key material.
+
+pub fn verify(k_prime: &[u8], other: &[u8]) -> bool {
+    k_prime == other
+}

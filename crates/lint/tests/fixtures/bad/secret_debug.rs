@@ -1,0 +1,4 @@
+//! BAD: a registered secret type deriving `Debug`.
+
+#[derive(Clone, Debug)]
+pub struct Key([u8; 32]);

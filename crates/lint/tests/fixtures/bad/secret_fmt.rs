@@ -1,0 +1,5 @@
+//! BAD: secret value flows into a format-family sink.
+
+pub fn log_key(group_key: &[u8]) -> String {
+    format!("derived group key = {:02x?}", group_key)
+}

@@ -1,0 +1,4 @@
+//! GOOD: a justified, load-bearing allow directive.
+
+// lint:allow(secret-cmp) reason="commitment bytes are public once opened"
+pub fn opened_matches(k_prime: &[u8], commitment: &[u8]) -> bool { k_prime == commitment }

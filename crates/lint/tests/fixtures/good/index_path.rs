@@ -1,0 +1,5 @@
+//! GOOD: checked access with a structured error.
+
+pub fn tag_of(frame: &[u8]) -> Result<u8, &'static str> {
+    frame.first().copied().ok_or("empty frame")
+}

@@ -1,0 +1,6 @@
+//! GOOD: structured errors on the protocol path.
+
+pub fn decode_len(buf: &[u8]) -> Result<u32, &'static str> {
+    let first = buf.first().ok_or("short header")?;
+    Ok(u32::from(*first))
+}

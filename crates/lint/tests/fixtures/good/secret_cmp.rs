@@ -1,0 +1,5 @@
+//! GOOD: content comparison through the constant-time helper.
+
+pub fn verify(k_prime: &[u8], other: &[u8]) -> bool {
+    shs_crypto::ct::eq(k_prime, other)
+}

@@ -1,0 +1,10 @@
+//! GOOD: a redacting manual impl instead of a derive.
+
+#[derive(Clone)]
+pub struct Key([u8; 32]);
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Key(****)")
+    }
+}

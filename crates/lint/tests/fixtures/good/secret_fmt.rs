@@ -1,0 +1,5 @@
+//! GOOD: log the event, never the key bytes.
+
+pub fn log_key(key_len: usize) -> String {
+    format!("derived a group key ({key_len} bytes)")
+}

@@ -1,0 +1,30 @@
+//! Snapshot gate: the real workspace, linted with the real policy, is
+//! clean. This is the tier-1 guarantee that the secret-hygiene pass stays
+//! green; any new violation fails `cargo test` with the exact findings.
+
+use shs_lint::Linter;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_under_the_shipped_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let linter =
+        Linter::from_policy_file(&root.join("lint-policy.toml")).expect("workspace policy parses");
+    let report = linter.lint_workspace().expect("workspace lints");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); scan roots misconfigured?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.clean(),
+        "workspace has {} secret-hygiene finding(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

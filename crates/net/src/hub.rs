@@ -74,6 +74,7 @@ impl PartyHandle {
     /// Only safe on a guaranteed-delivery medium; under a fault plan use
     /// [`PartyHandle::recv_timeout`].
     pub fn recv(&self) -> (usize, String, Vec<u8>) {
+        // lint:allow(panic-path) reason="documented blocking API, valid only on a guaranteed-delivery medium; fault-tolerant callers use recv_timeout"
         let w = self.from_hub.recv().expect("hub alive while parties run");
         (w.from_slot, w.round, w.payload)
     }
@@ -109,6 +110,7 @@ impl PartyHandle {
         }
         got.into_iter()
             .enumerate()
+            // lint:allow(panic-path) reason="completeness is established by the count loop above; unreachable on a guaranteed-delivery medium"
             .map(|(slot, p)| (slot, p.expect("all slots collected")))
             .collect()
     }
@@ -183,6 +185,7 @@ where
     T: Send + 'static,
     F: FnOnce(PartyHandle) -> T + Send + 'static,
 {
+    // lint:allow(panic-path) reason="public API precondition documented under # Panics; harness configuration, not wire data"
     assert_eq!(bodies.len(), m, "one body per slot");
     let (to_hub, hub_in) = unbounded::<Wire>();
     let mut party_txs = Vec::with_capacity(m);
@@ -274,9 +277,12 @@ where
         .collect();
     let outputs: Vec<T> = threads
         .into_iter()
+        // lint:allow(panic-path) reason="propagates a party-thread panic to the harness caller, documented under # Panics"
         .map(|t| t.join().expect("party thread"))
         .collect();
+    // lint:allow(panic-path) reason="propagates a hub-thread panic to the harness caller, documented under # Panics"
     hub.join().expect("hub thread");
+    // lint:allow(panic-path) reason="hub thread joined above, so the log Arc is uniquely held here"
     let log = Arc::try_unwrap(log).expect("hub done").into_inner();
     (outputs, log)
 }

@@ -60,9 +60,19 @@ fn main() -> Result<(), CoreError> {
 
     let fbi_key = result.outcomes[0].session_key.as_ref().unwrap();
     let mi6_key = result.outcomes[1].session_key.as_ref().unwrap();
-    assert_eq!(result.outcomes[2].session_key.as_ref(), Some(fbi_key));
-    assert_eq!(result.outcomes[3].session_key.as_ref(), Some(mi6_key));
-    assert_ne!(fbi_key, mi6_key);
+    // Compare keys in constant time and keep the secret values out of the
+    // assert's (printable) argument list.
+    let slot2_shares_fbi = result.outcomes[2]
+        .session_key
+        .as_ref()
+        .is_some_and(|k| k.ct_eq(fbi_key));
+    let slot3_shares_mi6 = result.outcomes[3]
+        .session_key
+        .as_ref()
+        .is_some_and(|k| k.ct_eq(mi6_key));
+    assert!(slot2_shares_fbi, "slot 2 shares the FBI sub-group key");
+    assert!(slot3_shares_mi6, "slot 3 shares the MI6 sub-group key");
+    assert!(!fbi_key.ct_eq(mi6_key), "sub-group keys are independent");
     println!("\nEach sub-group now shares its own fresh session key.");
 
     // Accountability: each authority can trace exactly its own agents.

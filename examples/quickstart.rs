@@ -73,7 +73,8 @@ fn main() -> Result<(), CoreError> {
          members saw {:?} and published nothing more than decoys to it.",
         probe.outcomes[2].same_group_slots, probe.outcomes[0].same_group_slots
     );
-    assert!(probe.outcomes[2].session_key.is_none());
+    let outsider_keyless = probe.outcomes[2].session_key.is_none();
+    assert!(outsider_keyless, "outsider derives no session key");
 
     // --- GCD.TraceUser -----------------------------------------------------
     let traced = ga.trace(&result.transcript);
