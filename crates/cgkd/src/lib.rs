@@ -142,4 +142,12 @@ pub trait MemberState {
 
     /// This member's id.
     fn id(&self) -> UserId;
+
+    /// Overwrites this member's view of the group key without any rekey
+    /// processing.
+    ///
+    /// This models the §3 attack of the paper (an unrevoked member leaking
+    /// the group key to a revoked one) in experiment E7b. It exists for
+    /// attack experiments only; honest members never call it.
+    fn force_group_key(&mut self, key: Key, epoch: u64);
 }

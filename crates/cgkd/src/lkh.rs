@@ -254,19 +254,6 @@ impl Controller for LkhController {
     }
 }
 
-impl LkhMember {
-    /// Overwrites this member's view of the group key without any rekey
-    /// processing.
-    ///
-    /// This models the §3 attack of the paper (an unrevoked member leaking
-    /// the group key to a revoked one) in experiment E7b. It exists for
-    /// attack experiments only; honest members never call it.
-    pub fn force_group_key(&mut self, key: Key, epoch: u64) {
-        self.group_key = key;
-        self.epoch = epoch;
-    }
-}
-
 impl MemberState for LkhMember {
     type Broadcast = LkhBroadcast;
 
@@ -327,6 +314,11 @@ impl MemberState for LkhMember {
 
     fn id(&self) -> UserId {
         self.id
+    }
+
+    fn force_group_key(&mut self, key: Key, epoch: u64) {
+        self.group_key = key;
+        self.epoch = epoch;
     }
 }
 

@@ -385,16 +385,6 @@ impl SdMember {
     }
 }
 
-impl SdMember {
-    /// Overwrites this member's view of the group key without processing
-    /// a broadcast — attack-modelling API (§3 leaked-key experiment),
-    /// mirroring [`crate::lkh::LkhMember::force_group_key`].
-    pub fn force_group_key(&mut self, key: Key, epoch: u64) {
-        self.group_key = key;
-        self.epoch = epoch;
-    }
-}
-
 impl MemberState for SdMember {
     type Broadcast = SdBroadcast;
 
@@ -431,6 +421,11 @@ impl MemberState for SdMember {
 
     fn id(&self) -> UserId {
         self.id
+    }
+
+    fn force_group_key(&mut self, key: Key, epoch: u64) {
+        self.group_key = key;
+        self.epoch = epoch;
     }
 }
 

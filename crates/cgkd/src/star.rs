@@ -202,6 +202,11 @@ impl MemberState for StarMember {
     fn id(&self) -> UserId {
         self.id
     }
+
+    fn force_group_key(&mut self, key: Key, epoch: u64) {
+        self.group_key = key;
+        self.epoch = epoch;
+    }
 }
 
 #[cfg(test)]

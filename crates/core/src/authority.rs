@@ -1,18 +1,19 @@
 //! The group authority `GA`: group manager (GSIG) + group controller
 //! (CGKD) + tracing keyholder, exactly the triple role `GCD.CreateGroup`
 //! assigns it (§7).
+//!
+//! Both primitives are held behind the substrate trait layer
+//! ([`crate::substrate`]) and instantiated through [`crate::factory`],
+//! so this module is identical for every cell of the instantiation
+//! matrix.
 
-use crate::config::{CgkdChoice, GroupConfig, SchemeKind};
-use crate::member::{
-    encode_update_payload, CgkdMember, Credential, GroupUpdate, Member, RekeyBroadcast,
-    UpdatePayload,
-};
+use crate::config::GroupConfig;
+use crate::member::{encode_update_payload, GroupUpdate, Member, RekeyBroadcast, UpdatePayload};
+use crate::substrate::{Cgkd, Gsig};
 use crate::transcript::{HandshakeTranscript, TraceError, TraceOutcome};
-use crate::{codec, CoreError};
+use crate::{codec, factory, CoreError};
 use rand::RngCore;
-use shs_cgkd::lkh::LkhController;
-use shs_cgkd::sd::SdController;
-use shs_cgkd::{Controller, UserId};
+use shs_cgkd::UserId;
 use shs_crypto::{aead, Key};
 use shs_groups::cs;
 use shs_groups::rsa::{RsaGroup, RsaSecret};
@@ -20,77 +21,13 @@ use shs_groups::schnorr::SchnorrGroup;
 use shs_gsig::crl::Crl;
 use shs_gsig::ky::MemberId;
 use shs_gsig::params::GsigParams;
-use shs_gsig::{acjt, ky};
 use std::collections::HashMap;
-use std::sync::Arc;
-
-/// The GSIG group-manager state, by instantiation.
-enum GmState {
-    Ky {
-        gm: ky::GroupManager,
-        pk: Arc<ky::GroupPublicKey>,
-    },
-    Acjt {
-        gm: acjt::GroupManager,
-        pk: Arc<acjt::GroupPublicKey>,
-    },
-}
-
-/// The CGKD controller state, by backend.
-enum CgkdState {
-    Lkh(LkhController),
-    Sd(SdController),
-}
-
-impl CgkdState {
-    fn group_key(&self) -> &Key {
-        match self {
-            CgkdState::Lkh(c) => c.group_key(),
-            CgkdState::Sd(c) => c.group_key(),
-        }
-    }
-
-    fn admit(
-        &mut self,
-        rng: &mut dyn RngCore,
-    ) -> Result<(UserId, CgkdMember, RekeyBroadcast), shs_cgkd::CgkdError> {
-        match self {
-            CgkdState::Lkh(c) => {
-                let (uid, welcome, rekey) = c.admit(rng)?;
-                Ok((
-                    uid,
-                    CgkdMember::Lkh(c.member_from_welcome(welcome)),
-                    RekeyBroadcast::Lkh(rekey),
-                ))
-            }
-            CgkdState::Sd(c) => {
-                let (uid, welcome, rekey) = c.admit(rng)?;
-                Ok((
-                    uid,
-                    CgkdMember::Sd(c.member_from_welcome(welcome)),
-                    RekeyBroadcast::Sd(rekey),
-                ))
-            }
-        }
-    }
-
-    fn evict(
-        &mut self,
-        uid: UserId,
-        rng: &mut dyn RngCore,
-    ) -> Result<RekeyBroadcast, shs_cgkd::CgkdError> {
-        match self {
-            CgkdState::Lkh(c) => Ok(RekeyBroadcast::Lkh(c.evict(uid, rng)?)),
-            CgkdState::Sd(c) => Ok(RekeyBroadcast::Sd(c.evict(uid, rng)?)),
-        }
-    }
-}
 
 /// The group authority of one group.
 pub struct GroupAuthority {
     config: GroupConfig,
-    gm: GmState,
-    cgkd: CgkdState,
+    gsig: Box<dyn Gsig>,
+    cgkd: Box<dyn Cgkd>,
     crl: Crl,
     tracing_group: &'static SchnorrGroup,
     tracing_pk: cs::PublicKey,
@@ -128,31 +65,15 @@ impl GroupAuthority {
         rsa_secret: RsaSecret,
         rng: &mut impl RngCore,
     ) -> GroupAuthority {
+        let rng: &mut dyn RngCore = rng;
         let params = GsigParams::preset(config.gsig_preset);
-        let gm = match config.scheme {
-            SchemeKind::Scheme1 | SchemeKind::Scheme2SelfDistinct => {
-                let gm = ky::GroupManager::setup_with_rsa(params, rsa, rsa_secret, rng);
-                let pk = Arc::new(gm.public_key().clone());
-                GmState::Ky { gm, pk }
-            }
-            SchemeKind::Scheme1Classic => {
-                let gm = acjt::GroupManager::setup_with_rsa(params, rsa, rsa_secret, rng);
-                let pk = Arc::new(gm.public_key().clone());
-                GmState::Acjt { gm, pk }
-            }
-        };
+        let gsig = factory::gsig_authority(config.scheme, params, rsa, rsa_secret, rng);
         let tracing_group = SchnorrGroup::system_wide(config.schnorr_preset);
         let (tracing_pk, tracing_sk) = cs::keygen(tracing_group, rng);
-        let mut rng_box: &mut dyn RngCore = rng;
-        let cgkd = match config.cgkd {
-            CgkdChoice::Lkh => CgkdState::Lkh(LkhController::new(config.capacity, &mut rng_box)),
-            CgkdChoice::SubsetDifference => {
-                CgkdState::Sd(SdController::new(config.capacity, &mut rng_box))
-            }
-        };
+        let cgkd = factory::cgkd_controller(config.cgkd, config.capacity, rng);
         GroupAuthority {
             config,
-            gm,
+            gsig,
             cgkd,
             crl: Crl::new(),
             tracing_group,
@@ -196,28 +117,9 @@ impl GroupAuthority {
     /// [`CoreError::Cgkd`] when capacity is exhausted; [`CoreError::Gsig`]
     /// when the join protocol fails.
     pub fn admit(&mut self, rng: &mut impl RngCore) -> Result<(Member, GroupUpdate), CoreError> {
-        let cred = match &mut self.gm {
-            GmState::Ky { gm, pk } => {
-                let (secret, req) = ky::start_join(pk, rng);
-                let resp = gm.admit(&req, rng).map_err(CoreError::Gsig)?;
-                let key = ky::finish_join(pk, secret, &resp).map_err(CoreError::Gsig)?;
-                Credential::Ky {
-                    pk: Arc::clone(pk),
-                    key,
-                }
-            }
-            GmState::Acjt { gm, pk } => {
-                let (secret, req) = acjt::start_join(pk, rng);
-                let resp = gm.admit(&req, rng).map_err(CoreError::Gsig)?;
-                let key = acjt::finish_join(pk, secret, &resp).map_err(CoreError::Gsig)?;
-                Credential::Acjt {
-                    pk: Arc::clone(pk),
-                    key,
-                }
-            }
-        };
-        let mut rng_dyn: &mut dyn RngCore = rng;
-        let (uid, cgkd_member, rekey) = self.cgkd.admit(&mut rng_dyn).map_err(CoreError::Cgkd)?;
+        let rng: &mut dyn RngCore = rng;
+        let cred = self.gsig.admit(rng).map_err(CoreError::Gsig)?;
+        let (uid, cgkd_slot, rekey) = self.cgkd.admit(rng).map_err(CoreError::Cgkd)?;
         self.uid_of.insert(cred.id(), uid);
 
         let payload = UpdatePayload { crl_delta: None };
@@ -226,7 +128,7 @@ impl GroupAuthority {
         let mut member = Member {
             config: self.config,
             cred,
-            cgkd: cgkd_member,
+            cgkd: cgkd_slot,
             crl: self.crl.clone(),
             tracing_group: self.tracing_group,
             tracing_pk: self.tracing_pk.clone(),
@@ -249,25 +151,14 @@ impl GroupAuthority {
         id: MemberId,
         rng: &mut impl RngCore,
     ) -> Result<GroupUpdate, CoreError> {
+        let rng: &mut dyn RngCore = rng;
         let uid = self.uid_of.remove(&id).ok_or(CoreError::UnknownMember)?;
-        let crl_delta = match &mut self.gm {
-            GmState::Ky { gm, .. } => {
-                let token = gm.revoke(id).map_err(CoreError::Gsig)?;
-                Some(self.crl.push(token))
-            }
-            GmState::Acjt { gm, .. } => {
-                // ACJT has no VLR token: revocation is registry-only and
-                // the framework depends entirely on the CGKD rekey — the
-                // §3 trade-off experiment E7b demonstrates.
-                gm.revoke(id).map_err(CoreError::Gsig)?;
-                None
-            }
-        };
-        let mut rng_dyn: &mut dyn RngCore = rng;
-        let rekey = self
-            .cgkd
-            .evict(uid, &mut rng_dyn)
-            .map_err(CoreError::Cgkd)?;
+        let crl_delta = self
+            .gsig
+            .revoke(id)
+            .map_err(CoreError::Gsig)?
+            .map(|token| self.crl.push(token));
+        let rekey = self.cgkd.evict(uid, rng).map_err(CoreError::Cgkd)?;
         let payload = UpdatePayload { crl_delta };
         Ok(self.seal_update(rekey, &payload, rng))
     }
@@ -276,7 +167,7 @@ impl GroupAuthority {
         &self,
         rekey: RekeyBroadcast,
         payload: &UpdatePayload,
-        rng: &mut impl RngCore,
+        rng: &mut dyn RngCore,
     ) -> GroupUpdate {
         let params = self.params();
         let pt = encode_update_payload(&params, payload);
@@ -286,10 +177,7 @@ impl GroupAuthority {
     }
 
     fn params(&self) -> GsigParams {
-        match &self.gm {
-            GmState::Ky { pk, .. } => pk.params,
-            GmState::Acjt { pk, .. } => pk.params,
-        }
+        self.gsig.params()
     }
 
     /// `GCD.TraceUser`: decrypts every `δ_i` of the transcript with
@@ -333,18 +221,6 @@ impl GroupAuthority {
         // The signed message is δ ‖ sid (as in Phase III).
         let mut msg = delta_bytes.to_vec();
         msg.extend_from_slice(&transcript.sid);
-        match &self.gm {
-            GmState::Ky { gm, pk } => {
-                let sig = codec::decode_ky_sig(&pk.params, &sig_bytes)
-                    .map_err(|_| TraceError::MalformedSignature)?;
-                let opening = gm.open(&msg, &sig).map_err(|_| TraceError::OpenFailed)?;
-                Ok(opening.id)
-            }
-            GmState::Acjt { gm, pk } => {
-                let sig = codec::decode_acjt_sig(&pk.params, &sig_bytes)
-                    .map_err(|_| TraceError::MalformedSignature)?;
-                gm.open(&msg, &sig).map_err(|_| TraceError::OpenFailed)
-            }
-        }
+        self.gsig.open(&msg, &sig_bytes)
     }
 }

@@ -175,6 +175,11 @@ pub fn p_width(group: &SchnorrGroup) -> usize {
     (group.p().bits() as usize).div_ceil(8)
 }
 
+/// Byte width of a Schnorr-group exponent (mod `q`).
+pub fn q_width(group: &SchnorrGroup) -> usize {
+    (group.q().bits() as usize).div_ceil(8)
+}
+
 /// Serialized length of a tracing ciphertext `δ` for a `payload_len`-byte
 /// plaintext.
 pub fn delta_len(group: &SchnorrGroup, payload_len: usize) -> usize {

@@ -10,8 +10,14 @@ use rand::RngCore;
 /// Builds a test-sized [`GroupAuthority`] for `scheme`, reusing the
 /// workspace-wide cached RSA setting.
 pub fn test_authority(scheme: SchemeKind, rng: &mut impl RngCore) -> GroupAuthority {
+    test_authority_with(GroupConfig::test(scheme), rng)
+}
+
+/// Builds a [`GroupAuthority`] for an arbitrary configuration (any cell
+/// of the instantiation matrix), reusing the cached RSA setting.
+pub fn test_authority_with(config: GroupConfig, rng: &mut impl RngCore) -> GroupAuthority {
     let (rsa, secret) = shs_gsig::fixtures::test_rsa_setting().clone();
-    GroupAuthority::create_with_rsa(GroupConfig::test(scheme), rsa, secret, rng)
+    GroupAuthority::create_with_rsa(config, rsa, secret, rng)
 }
 
 /// Builds a test authority plus `n` members, every member fully updated.
@@ -25,7 +31,21 @@ pub fn group_with_members(
     n: usize,
     rng: &mut impl RngCore,
 ) -> Result<(GroupAuthority, Vec<Member>), CoreError> {
-    let mut ga = test_authority(scheme, rng);
+    group_with_config(GroupConfig::test(scheme), n, rng)
+}
+
+/// Builds an authority for `config` plus `n` fully-updated members.
+///
+/// # Errors
+///
+/// Propagates admission errors (none occur for valid `n` within
+/// capacity).
+pub fn group_with_config(
+    config: GroupConfig,
+    n: usize,
+    rng: &mut impl RngCore,
+) -> Result<(GroupAuthority, Vec<Member>), CoreError> {
+    let mut ga = test_authority_with(config, rng);
     let mut members: Vec<Member> = Vec::with_capacity(n);
     for _ in 0..n {
         let (joiner, update) = ga.admit(rng)?;

@@ -1,0 +1,59 @@
+//! Every decoy and chaff construction in one place.
+//!
+//! Abort indistinguishability rests on these shapes: an aborted or
+//! outsider slot must put bytes on the wire that are distributed
+//! exactly like a real participant's, at every phase. Keeping the
+//! constructions together makes the invariant auditable — if a new
+//! protocol message is added, its decoy belongs here.
+
+use crate::handshake::{Actor, SlotParams};
+use crate::substrate::dgka::Phase1Slot;
+use crate::{codec, factory};
+use rand::RngCore;
+use shs_crypto::{aead, Key};
+use shs_groups::cs;
+use shs_groups::schnorr::SchnorrGroup;
+
+/// Uniform random bytes of a protocol-determined length: what an aborted
+/// slot transmits so the wire shape never reveals the abort.
+pub(crate) fn chaff(len: usize, rng: &mut (impl RngCore + ?Sized)) -> Vec<u8> {
+    let mut bytes = vec![0u8; len];
+    rng.fill_bytes(&mut bytes);
+    bytes
+}
+
+/// Decoy Phase-I state for an aborted slot: random `sid` and `k*` of the
+/// genuine sizes, so every quantity derived from them downstream (MAC
+/// key, tags, Phase-III decoys) has an outsider's distribution.
+pub(crate) fn decoy_phase1(
+    contributions: Vec<Vec<u8>>,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Phase1Slot {
+    let mut sid = vec![0u8; 32];
+    rng.fill_bytes(&mut sid);
+    Phase1Slot {
+        sid,
+        k_star: Key::random(rng),
+        contributions,
+    }
+}
+
+/// Decoy Phase-III `(θ, δ)` drawn uniformly from the same ciphertext
+/// spaces as a real frame (§7): `θ` mimics an AEAD ciphertext of a
+/// signature of the slot's effective scheme, `δ` an IND-CCA2 ciphertext
+/// of a key. Outsiders mimic the session's dominant configuration.
+pub(crate) fn phase3_decoy(
+    actor: &Actor<'_>,
+    group: &'static SchnorrGroup,
+    mimic: &SlotParams,
+    rng: &mut dyn RngCore,
+) -> (Vec<u8>, Vec<u8>) {
+    let (scheme, params) = match actor {
+        Actor::Member(member) => (member.scheme(), *member.credential().params()),
+        Actor::Outsider => (mimic.scheme, mimic.params),
+    };
+    let sig_len = factory::sig_len(scheme, &params);
+    let theta = aead::random_ciphertext(sig_len, rng);
+    let delta = cs::random_ciphertext(group, Key::LEN, rng);
+    (theta, codec::encode_delta(group, &delta))
+}

@@ -1,0 +1,151 @@
+//! The budgeted exchange engine and the generic Phase-I scheduler.
+//!
+//! [`Exchanger`] owns the session's retry budget: it performs logical
+//! broadcast rounds, retransmitting (all slots together, which keeps the
+//! per-slot wire shape uniform) while some receiver still lacks a valid
+//! copy of some sender's message. [`run_phase1`] drives any set of
+//! [`DgkaSlot`] state machines through their rounds on top of it,
+//! metering every slot's `emit`/`absorb`/`finish` work uniformly — the
+//! protocol-specific logic lives entirely in the slots.
+
+use crate::config::SessionBudget;
+use crate::handshake::{AbortReason, SlotCosts};
+use crate::substrate::dgka::{DgkaSlot, Phase1Slot};
+use crate::CoreError;
+use rand::RngCore;
+use shs_bigint::counters;
+use shs_net::sync::BroadcastNet;
+
+/// Meters `f`'s modular-exponentiation count into `costs`.
+pub(crate) fn meter<T>(costs: &mut SlotCosts, f: impl FnOnce() -> T) -> T {
+    let (c, out) = counters::measure(f);
+    costs.modexp += c.modexp;
+    out
+}
+
+/// Accounts one broadcast send of `payload`.
+pub(crate) fn note_send(costs: &mut SlotCosts, payload: &[u8]) {
+    costs.messages_sent += 1;
+    costs.bytes_sent += payload.len() as u64;
+}
+
+/// The budgeted exchange engine: performs one logical round, retrying
+/// (all slots retransmitting together, which keeps the per-slot wire
+/// shape uniform) while some receiver still lacks a *valid* copy of some
+/// sender's message and budget remains.
+pub(crate) struct Exchanger<'n, 'a> {
+    pub(crate) net: &'n mut BroadcastNet<'a>,
+    budget: SessionBudget,
+    pub(crate) exchanges: u32,
+    pub(crate) retries: u32,
+    pub(crate) exhausted: bool,
+}
+
+impl<'n, 'a> Exchanger<'n, 'a> {
+    pub(crate) fn new(net: &'n mut BroadcastNet<'a>, budget: SessionBudget) -> Exchanger<'n, 'a> {
+        Exchanger {
+            net,
+            budget,
+            exchanges: 0,
+            retries: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Broadcasts `outgoing` under `label`, returning each receiver's
+    /// best copy per sender (`None` where nothing valid ever arrived).
+    /// `valid` decides whether a payload counts as received — the first
+    /// valid copy wins, which also discards injected duplicates.
+    pub(crate) fn round(
+        &mut self,
+        label: &str,
+        outgoing: &[Vec<u8>],
+        valid: &mut dyn FnMut(usize, usize, &[u8]) -> bool,
+    ) -> Result<Vec<Vec<Option<Vec<u8>>>>, CoreError> {
+        let m = outgoing.len();
+        let mut views: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; m]; m];
+        let mut attempt = 0u32;
+        loop {
+            self.exchanges += 1;
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let inboxes = self.net.exchange(label, outgoing.to_vec())?;
+            for (to, inbox) in inboxes.iter().enumerate() {
+                for rcv in inbox {
+                    if rcv.from_slot < m
+                        && views[to][rcv.from_slot].is_none()
+                        && valid(to, rcv.from_slot, &rcv.payload)
+                    {
+                        views[to][rcv.from_slot] = Some(rcv.payload.clone());
+                    }
+                }
+            }
+            let complete = views.iter().all(|row| row.iter().all(Option::is_some));
+            if complete || attempt >= self.budget.retries_per_round {
+                break;
+            }
+            if self.exchanges >= self.budget.max_exchanges {
+                self.exhausted = true;
+                break;
+            }
+            attempt += 1;
+        }
+        Ok(views)
+    }
+
+    /// The abort reason matching how the last incomplete round ended.
+    pub(crate) fn abort_reason(&self) -> AbortReason {
+        if self.exhausted {
+            AbortReason::BudgetExhausted
+        } else {
+            AbortReason::KeyAgreement
+        }
+    }
+}
+
+/// Drives a set of [`DgkaSlot`] state machines through their broadcast
+/// rounds: each round, every slot emits (metered, send-accounted), one
+/// budgeted exchange runs with the slots' own `validate` as the
+/// acceptance test, and every slot absorbs its view (metered; an
+/// incomplete view carries the engine's abort reason). Finally every
+/// slot derives its Phase-I output (metered).
+///
+/// # Errors
+///
+/// Network errors from the underlying exchange are propagated.
+pub(crate) fn run_phase1(
+    slots: &mut [Box<dyn DgkaSlot>],
+    ex: &mut Exchanger<'_, '_>,
+    costs: &mut [SlotCosts],
+    rng: &mut dyn RngCore,
+) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {
+    let m = slots.len();
+    let rounds = slots.first().map_or(0, |s| s.rounds());
+    for t in 0..rounds {
+        let mut outgoing = Vec::with_capacity(m);
+        for (slot, cost) in slots.iter_mut().zip(costs.iter_mut()) {
+            let payload = meter(cost, || slot.emit(t, rng));
+            note_send(cost, &payload);
+            outgoing.push(payload);
+        }
+        let label = slots.first().map_or(String::new(), |s| s.round_label(t));
+        let views = ex.round(&label, &outgoing, &mut |to, from, p| {
+            slots.get(to).is_some_and(|s| s.validate(t, from, p))
+        })?;
+        for (i, (slot, cost)) in slots.iter_mut().zip(costs.iter_mut()).enumerate() {
+            let incomplete = views
+                .get(i)
+                .is_some_and(|row| row.iter().any(Option::is_none))
+                .then(|| ex.abort_reason());
+            if let Some(view) = views.get(i) {
+                meter(cost, || slot.absorb(t, view, incomplete, rng));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(m);
+    for (slot, cost) in slots.iter_mut().zip(costs.iter_mut()) {
+        out.push(meter(cost, || slot.finish(rng)));
+    }
+    Ok(out)
+}

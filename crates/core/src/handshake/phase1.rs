@@ -1,0 +1,59 @@
+//! Phase I (Preparation): distributed group key agreement, then the
+//! CGKD blinding `k'_i = k* ⊕ k_i`.
+
+use crate::config::DgkaChoice;
+use crate::handshake::engine::{run_phase1, Exchanger};
+use crate::handshake::{AbortReason, Actor, SlotCosts, SlotState};
+use crate::substrate::dgka::Phase1Slot;
+use crate::CoreError;
+use rand::RngCore;
+use shs_crypto::Key;
+use shs_groups::schnorr::SchnorrGroup;
+
+/// Runs the configured key agreement: builds one [`crate::substrate::DgkaSlot`]
+/// per session slot through the factory and drives them with the
+/// generic scheduler.
+///
+/// # Errors
+///
+/// Parameter rejections surface as [`CoreError::Dgka`]; network errors
+/// are propagated.
+pub(crate) fn run(
+    dgka: DgkaChoice,
+    group: &'static SchnorrGroup,
+    m: usize,
+    ex: &mut Exchanger<'_, '_>,
+    costs: &mut [SlotCosts],
+    rng: &mut dyn RngCore,
+) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {
+    let mut slots = crate::factory::dgka_slots(dgka, group, m, rng)?;
+    run_phase1(&mut slots, ex, costs, rng)
+}
+
+/// `k'_i = k* ⊕ k_i`. A slot that aborted in Phase I holds a random
+/// `k*`, so its `k'` is uniform — exactly an outsider's distribution
+/// (outsiders hold a random "group key" for the same reason).
+pub(crate) fn bind_group_keys<'a>(
+    actors: &'a [Actor<'a>],
+    phase1: Vec<(Phase1Slot, Option<AbortReason>)>,
+    rng: &mut dyn RngCore,
+) -> Vec<SlotState<'a>> {
+    let mut slots = Vec::with_capacity(actors.len());
+    for (actor, (p1, _)) in actors.iter().zip(phase1) {
+        let k_i = match actor {
+            Actor::Member(member) => member.group_key().clone(),
+            Actor::Outsider => Key::random(rng),
+        };
+        let k_prime = p1.k_star.xor(&k_i);
+        slots.push(SlotState {
+            actor,
+            sid: p1.sid,
+            k_prime,
+            contributions: p1.contributions,
+            seen_tags: Vec::new(),
+            delta_set: Vec::new(),
+            own_t6: None,
+        });
+    }
+    slots
+}

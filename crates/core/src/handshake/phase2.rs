@@ -1,0 +1,68 @@
+//! Phase II (Preliminary handshake): CGKD-keyed MAC tags and the
+//! co-member set `Δ`.
+
+use crate::handshake::engine::{note_send, Exchanger};
+use crate::handshake::{SlotCosts, SlotState};
+use crate::CoreError;
+use shs_crypto::{hmac, Key};
+
+/// `MAC(k'_i, sid ‖ s_i ‖ i)` where `s_i` is the party's Phase-I
+/// contribution.
+pub(crate) fn phase2_tag(k_prime: &Key, sid: &[u8], contribution: &[u8], slot: usize) -> Vec<u8> {
+    hmac::HmacSha256::new(k_prime.as_bytes())
+        .chain(b"gcd-phase2")
+        .chain(sid)
+        .chain(&(contribution.len() as u64).to_be_bytes())
+        .chain(contribution)
+        .chain(&(slot as u64).to_be_bytes())
+        .finalize()
+        .to_vec()
+}
+
+/// Broadcasts every slot's tag and computes its `Δ` — the set of slots
+/// whose tags verify under this slot's `k'` (membership in the same
+/// group, via the same CGKD epoch key).
+///
+/// # Errors
+///
+/// Network errors from the exchange are propagated.
+pub(crate) fn run(
+    slots: &mut [SlotState<'_>],
+    ex: &mut Exchanger<'_, '_>,
+    costs: &mut [SlotCosts],
+) -> Result<(), CoreError> {
+    let m = slots.len();
+    let mut out_tags = Vec::with_capacity(m);
+    let mut tag_len = 0;
+    for (i, (slot, cost)) in slots.iter().zip(costs.iter_mut()).enumerate() {
+        let tag = phase2_tag(&slot.k_prime, &slot.sid, &slot.contributions[i], i);
+        note_send(cost, &tag);
+        tag_len = tag.len();
+        out_tags.push(tag.to_vec());
+    }
+    // A tag of the wrong size was tampered in transit and worth a
+    // retransmission; a right-sized tag that fails to verify is
+    // indistinguishable from a non-member's and must NOT be retried.
+    let views = ex.round("phase2-mac", &out_tags, &mut |_, _, p| p.len() == tag_len)?;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let seen: Vec<Vec<u8>> = views[i]
+            .iter()
+            .map(|v| v.clone().unwrap_or_default())
+            .collect();
+        let mut delta = Vec::new();
+        #[allow(clippy::needless_range_loop)] // j is a slot id, not just an index
+        for j in 0..m {
+            if j == i {
+                delta.push(j);
+                continue;
+            }
+            let expected = phase2_tag(&slot.k_prime, &slot.sid, &slot.contributions[j], j);
+            if shs_crypto::ct::eq(&expected, &seen[j]) {
+                delta.push(j);
+            }
+        }
+        slot.seen_tags = seen;
+        slot.delta_set = delta;
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Phase III (Full handshake): the `(θ, δ)` broadcast, signature
+//! verification against the CRL, self-distinction, and session-key
+//! derivation.
+
+use crate::config::HandshakeOptions;
+use crate::handshake::decoy::phase3_decoy;
+use crate::handshake::engine::{meter, note_send, Exchanger};
+use crate::handshake::{AbortReason, Actor, SlotCosts, SlotParams, SlotState};
+use crate::transcript::{HandshakeTranscript, TranscriptEntry};
+use crate::{codec, CoreError};
+use rand::RngCore;
+use shs_bigint::Ubig;
+use shs_crypto::{aead, Key};
+use shs_groups::cs;
+use shs_groups::schnorr::SchnorrGroup;
+
+/// Runs Phase III: every slot broadcasts a real or decoy `(θ, δ)`
+/// frame, members verify their co-members' signatures, and scheme 2
+/// flags duplicate `T6` values. Returns the public transcript plus the
+/// per-slot `verified` and `duplicate` sets.
+///
+/// # Errors
+///
+/// Network and codec errors are propagated.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub(crate) fn run(
+    slots: &mut [SlotState<'_>],
+    aborts: &[Option<AbortReason>],
+    group: &'static SchnorrGroup,
+    mimic: &SlotParams,
+    opts: &HandshakeOptions,
+    ex: &mut Exchanger<'_, '_>,
+    costs: &mut [SlotCosts],
+    rng: &mut dyn RngCore,
+) -> Result<(HandshakeTranscript, Vec<Vec<usize>>, Vec<Vec<usize>>), CoreError> {
+    let m = slots.len();
+    let mut transcript = HandshakeTranscript::default();
+    let mut verified: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut duplicates: Vec<Vec<usize>> = vec![Vec::new(); m];
+
+    let mut out_p3 = Vec::with_capacity(m);
+    for (i, (slot, cost)) in slots.iter_mut().zip(costs.iter_mut()).enumerate() {
+        // Aborted slots publish decoys: on the wire they look exactly
+        // like a member whose handshake merely failed.
+        let publish_real = aborts[i].is_none()
+            && match slot.actor {
+                Actor::Member(_) => {
+                    slot.delta_set.len() == m || (opts.partial_success && slot.delta_set.len() >= 2)
+                }
+                Actor::Outsider => false,
+            };
+        let payload = meter(cost, || {
+            phase3_payload(slot, group, mimic, publish_real, rng)
+        })?;
+        note_send(cost, &payload);
+        out_p3.push(payload);
+    }
+    // An undecodable (θ, δ) frame was tampered in transit: retry. A
+    // decodable frame that fails to decrypt/verify is an ordinary
+    // non-member signal and is not retried.
+    let views = ex.round("phase3-full", &out_p3, &mut |_, _, p| decode_p3(p).is_ok())?;
+
+    // Build the public transcript (slot order) from the broadcast.
+    transcript.sid = slots[0].sid.clone();
+    for payload in &out_p3 {
+        let (theta, delta) = decode_p3(payload)?;
+        transcript.entries.push(TranscriptEntry { theta, delta });
+    }
+
+    // Verification (aborted slots are decoy senders; they verify
+    // nothing).
+    for (i, slot) in slots.iter().enumerate() {
+        let Actor::Member(member) = slot.actor else {
+            continue;
+        };
+        if aborts[i].is_some() {
+            continue;
+        }
+        let expected_t7 = if member.scheme().self_distinct() {
+            meter(&mut costs[i], || {
+                member.credential().common_t7(&sd_basis(slot))
+            })
+        } else {
+            None
+        };
+        let mut t6_seen: Vec<(usize, Ubig)> = Vec::new();
+        if let Some(t6) = &slot.own_t6 {
+            t6_seen.push((i, t6.clone()));
+        }
+        for (j, payload) in views[i].iter().enumerate() {
+            if j == i || !slot.delta_set.contains(&j) {
+                continue;
+            }
+            let Some(payload) = payload else {
+                continue;
+            };
+            let Ok((theta, delta_bytes)) = decode_p3(payload) else {
+                continue;
+            };
+            let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
+                continue;
+            };
+            let mut msg = delta_bytes.clone();
+            msg.extend_from_slice(&slot.sid);
+            let ok = meter(&mut costs[i], || {
+                member.credential().verify(
+                    &msg,
+                    &sig_bytes,
+                    expected_t7.as_ref(),
+                    &member.crl.tokens,
+                )
+            });
+            if let Some(t6) = ok {
+                verified[i].push(j);
+                if let Some(t6) = t6 {
+                    t6_seen.push((j, t6));
+                }
+            }
+        }
+        // Self-distinction: flag every slot whose T6 collides.
+        for (a_idx, (slot_a, t6_a)) in t6_seen.iter().enumerate() {
+            for (slot_b, t6_b) in t6_seen.iter().skip(a_idx + 1) {
+                if t6_a == t6_b {
+                    if !duplicates[i].contains(slot_a) {
+                        duplicates[i].push(*slot_a);
+                    }
+                    if !duplicates[i].contains(slot_b) {
+                        duplicates[i].push(*slot_b);
+                    }
+                }
+            }
+        }
+        duplicates[i].sort_unstable();
+    }
+    Ok((transcript, verified, duplicates))
+}
+
+/// Self-distinction basis: the concatenation of everything sent in Phases
+/// I and II, as this slot saw it (§8.2: "the concatenation of all messages
+/// sent by the handshake participants").
+pub(crate) fn sd_basis(slot: &SlotState<'_>) -> Vec<u8> {
+    let mut basis = b"gcd-sd-basis".to_vec();
+    basis.extend_from_slice(&slot.sid);
+    for part in slot.contributions.iter().chain(&slot.seen_tags) {
+        basis.extend_from_slice(&(part.len() as u64).to_be_bytes());
+        basis.extend_from_slice(part);
+    }
+    basis
+}
+
+fn phase3_payload(
+    slot: &mut SlotState<'_>,
+    group: &'static SchnorrGroup,
+    mimic: &SlotParams,
+    publish_real: bool,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<u8>, CoreError> {
+    // `publish_real` is only ever set for members (outsiders have nothing
+    // to publish); an outsider slot falls through to the decoy arm rather
+    // than panicking.
+    let (theta, delta_bytes) = if let (true, Actor::Member(member)) = (publish_real, slot.actor) {
+        let delta = cs::encrypt(group, &member.tracing_pk, slot.k_prime.as_bytes(), rng);
+        let delta_bytes = codec::encode_delta(group, &delta);
+        let mut msg = delta_bytes.clone();
+        msg.extend_from_slice(&slot.sid);
+        let basis = member.scheme().self_distinct().then(|| sd_basis(slot));
+        let (sig_bytes, t6) = member.credential().sign(&msg, basis.as_deref(), rng);
+        slot.own_t6 = t6;
+        let theta = aead::seal(&slot.k_prime, &sig_bytes, &slot.sid, rng);
+        (theta, delta_bytes)
+    } else {
+        // CASE 2: decoys drawn from the same ciphertext spaces (§7).
+        phase3_decoy(slot.actor, group, mimic, rng)
+    };
+    let mut w = crate::wire::Writer::new();
+    w.put_bytes(&theta);
+    w.put_bytes(&delta_bytes);
+    Ok(w.into_bytes())
+}
+
+pub(crate) fn decode_p3(bytes: &[u8]) -> Result<(Vec<u8>, Vec<u8>), CoreError> {
+    let mut r = crate::wire::Reader::new(bytes);
+    let theta = r.take_bytes()?;
+    let delta = r.take_bytes()?;
+    r.finish()?;
+    Ok((theta, delta))
+}
+
+/// The established session key: derived from `k'`, the session id and
+/// the accepted co-member set.
+pub(crate) fn derive_session_key(k_prime: &Key, sid: &[u8], delta: &[usize]) -> Key {
+    let mut ikm = k_prime.as_bytes().to_vec();
+    ikm.extend_from_slice(sid);
+    for &s in delta {
+        ikm.extend_from_slice(&(s as u64).to_be_bytes());
+    }
+    Key::derive(&ikm, "gcd-session-key")
+}

@@ -37,8 +37,33 @@
 //! # }
 //! ```
 //!
+//! # Module map
+//!
+//! The crate is organised around the compiler metaphor:
+//!
+//! * [`substrate`] — the three building-block **contracts**
+//!   ([`substrate::Gsig`]/[`substrate::GsigCredential`],
+//!   [`substrate::Cgkd`]/[`substrate::CgkdSlot`],
+//!   [`substrate::DgkaSlot`]) plus their concrete backends (KY, ACJT;
+//!   LKH, Subset-Difference, Star; BD, GDH.2, authenticated BD).
+//! * [`factory`] — the **only** module that dispatches on
+//!   [`SchemeKind`], [`config::CgkdChoice`] and [`config::DgkaChoice`]
+//!   to construct backends (enforced by the `shs-lint`
+//!   `factory-dispatch` rule).
+//! * [`config`] — the instantiation matrix itself: the three enums,
+//!   their `ALL` arrays, [`GroupConfig`] and [`HandshakeOptions`].
+//! * [`authority`] / [`member`] / [`bulletin`] — the group lifecycle:
+//!   `CreateGroup`, `AdmitMember`, `RemoveUser`, `Update`, `TraceUser`.
+//! * [`handshake`] — the phase-structured session engine: one submodule
+//!   per protocol phase (`phase1`–`phase3`), the generic
+//!   retry/metering scheduler (`engine`), and every decoy construction
+//!   (`decoy`).
+//! * [`codec`] / [`wire`] — fixed-width serialization; [`transcript`] —
+//!   the public handshake transcript and tracing outcomes; [`roles`] /
+//!   [`fixtures`] — test and experiment scaffolding.
+//!
 //! See `DESIGN.md` at the repository root for the full system inventory
-//! and the experiment index.
+//! (§10 specifies the substrate contracts) and the experiment index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,10 +72,12 @@ pub mod authority;
 pub mod bulletin;
 pub mod codec;
 pub mod config;
+pub mod factory;
 pub mod fixtures;
 pub mod handshake;
 pub mod member;
 pub mod roles;
+pub mod substrate;
 pub mod transcript;
 pub mod wire;
 

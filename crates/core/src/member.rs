@@ -1,84 +1,18 @@
-//! The member side of a group: credentials, CGKD state, CRL copy, and the
-//! `SHS.Update` operation.
+//! The member side of a group: credential, CGKD state, CRL copy, and the
+//! `SHS.Update` operation — all held behind the substrate trait layer,
+//! so a `Member` is backend-agnostic.
 
 use crate::config::{GroupConfig, SchemeKind};
+use crate::substrate::{CgkdSlot, GsigCredential};
 use crate::{codec, CoreError};
-use shs_cgkd::lkh::LkhMember;
-use shs_cgkd::sd::SdMember;
-use shs_cgkd::MemberState;
 use shs_crypto::{aead, Key};
 use shs_groups::cs;
 use shs_groups::schnorr::SchnorrGroup;
 use shs_gsig::crl::Crl;
 use shs_gsig::ky::MemberId;
 use shs_gsig::params::GsigParams;
-use shs_gsig::{acjt, ky};
-use std::sync::Arc;
 
-/// A member's group-signature credential (one variant per instantiation).
-#[derive(Clone)]
-pub enum Credential {
-    /// Kiayias–Yung credential (schemes 1 and 2).
-    Ky {
-        /// Shared group public key.
-        pk: Arc<ky::GroupPublicKey>,
-        /// This member's signing key.
-        key: ky::MemberKey,
-    },
-    /// Classic ACJT credential (scheme 1-classic).
-    Acjt {
-        /// Shared group public key.
-        pk: Arc<acjt::GroupPublicKey>,
-        /// This member's signing key.
-        key: acjt::MemberKey,
-    },
-}
-
-impl std::fmt::Debug for Credential {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Credential::Ky { key, .. } => write!(f, "Credential::Ky({})", key.id),
-            Credential::Acjt { key, .. } => write!(f, "Credential::Acjt({})", key.id),
-        }
-    }
-}
-
-impl Credential {
-    /// The member's pseudonymous identity.
-    pub fn id(&self) -> MemberId {
-        match self {
-            Credential::Ky { key, .. } => key.id,
-            Credential::Acjt { key, .. } => key.id,
-        }
-    }
-
-    /// The interval parameters of the credential's group.
-    pub fn params(&self) -> &GsigParams {
-        match self {
-            Credential::Ky { pk, .. } => &pk.params,
-            Credential::Acjt { pk, .. } => &pk.params,
-        }
-    }
-}
-
-/// A rekey broadcast from whichever CGKD backend the group runs.
-#[derive(Debug, Clone)]
-pub enum RekeyBroadcast {
-    /// LKH rekey items.
-    Lkh(shs_cgkd::lkh::LkhBroadcast),
-    /// Subset-Difference cover broadcast.
-    Sd(shs_cgkd::sd::SdBroadcast),
-}
-
-impl RekeyBroadcast {
-    /// The epoch this broadcast establishes.
-    pub fn epoch(&self) -> u64 {
-        match self {
-            RekeyBroadcast::Lkh(b) => b.epoch,
-            RekeyBroadcast::Sd(b) => b.epoch,
-        }
-    }
-}
+pub use crate::substrate::RekeyBroadcast;
 
 /// An encrypted group-state update posted on the bulletin board
 /// (`GCD.AdmitMember` / `GCD.RemoveUser` output; consumed by
@@ -90,39 +24,6 @@ pub struct GroupUpdate {
     /// GSIG state update (CRL delta), AEAD-encrypted under the **new**
     /// group key so revoked members cannot read it.
     pub payload_ct: Vec<u8>,
-}
-
-/// Member-side CGKD state, by backend.
-#[derive(Debug, Clone)]
-pub(crate) enum CgkdMember {
-    /// LKH path keys.
-    Lkh(LkhMember),
-    /// SD labels (stateless).
-    Sd(SdMember),
-}
-
-impl CgkdMember {
-    pub(crate) fn group_key(&self) -> &Key {
-        match self {
-            CgkdMember::Lkh(m) => m.group_key(),
-            CgkdMember::Sd(m) => m.group_key(),
-        }
-    }
-
-    pub(crate) fn epoch(&self) -> u64 {
-        match self {
-            CgkdMember::Lkh(m) => m.epoch(),
-            CgkdMember::Sd(m) => m.epoch(),
-        }
-    }
-
-    pub(crate) fn process(&mut self, rekey: &RekeyBroadcast) -> Result<(), shs_cgkd::CgkdError> {
-        match (self, rekey) {
-            (CgkdMember::Lkh(m), RekeyBroadcast::Lkh(b)) => m.process(b),
-            (CgkdMember::Sd(m), RekeyBroadcast::Sd(b)) => m.process(b),
-            _ => Err(shs_cgkd::CgkdError::CannotDecrypt),
-        }
-    }
 }
 
 /// Content of the encrypted update payload.
@@ -170,8 +71,8 @@ pub(crate) fn update_aad(epoch: u64) -> Vec<u8> {
 /// A group member: everything `U_i` holds (Fig. 1 of the paper).
 pub struct Member {
     pub(crate) config: GroupConfig,
-    pub(crate) cred: Credential,
-    pub(crate) cgkd: CgkdMember,
+    pub(crate) cred: Box<dyn GsigCredential>,
+    pub(crate) cgkd: Box<dyn CgkdSlot>,
     pub(crate) crl: Crl,
     pub(crate) tracing_group: &'static SchnorrGroup,
     pub(crate) tracing_pk: cs::PublicKey,
@@ -217,8 +118,8 @@ impl Member {
     }
 
     /// The credential (used by the handshake driver).
-    pub fn credential(&self) -> &Credential {
-        &self.cred
+    pub fn credential(&self) -> &dyn GsigCredential {
+        self.cred.as_ref()
     }
 
     /// `SHS.Update`: processes a bulletin-board update — runs
@@ -254,9 +155,6 @@ impl Member {
     /// Overwrites this member's group key with a leaked one —
     /// the receiving side of the E7b attack.
     pub fn adopt_leaked_key(&mut self, key: Key, epoch: u64) {
-        match &mut self.cgkd {
-            CgkdMember::Lkh(m) => m.force_group_key(key, epoch),
-            CgkdMember::Sd(m) => m.force_group_key(key, epoch),
-        }
+        self.cgkd.force_group_key(key, epoch);
     }
 }

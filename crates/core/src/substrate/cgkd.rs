@@ -1,0 +1,221 @@
+//! CGKD substrate: the centralized key-distribution contract.
+//!
+//! [`Cgkd`] is the group controller's end (`CGKD.{Create, Join,
+//! Leave}`, held by the [`crate::GroupAuthority`]) and [`CgkdSlot`] is
+//! one member's key state (`CGKD.Rekey`, carried inside
+//! [`crate::Member`]). The [`RekeyBroadcast`] that links them is an
+//! opaque envelope: members hand it back to their own backend and only
+//! the epoch number is public, so the bulletin-board and update-sealing
+//! logic stays backend-agnostic.
+//!
+//! Backends are constructed exclusively by
+//! [`crate::factory::cgkd_controller`].
+
+use rand::RngCore;
+use shs_cgkd::lkh::{LkhBroadcast, LkhController, LkhMember};
+use shs_cgkd::sd::{SdBroadcast, SdController, SdMember};
+use shs_cgkd::star::{StarBroadcast, StarController, StarMember};
+use shs_cgkd::{CgkdError, Controller, MemberState, UserId};
+use shs_crypto::Key;
+
+/// A rekey broadcast from whichever CGKD backend the group runs.
+///
+/// Opaque outside the substrate layer: protocols treat it as a sealed
+/// envelope whose only public attribute is the epoch it establishes.
+#[derive(Debug, Clone)]
+pub struct RekeyBroadcast {
+    pub(crate) body: RekeyBody,
+}
+
+/// Backend-specific broadcast payload.
+#[derive(Debug, Clone)]
+pub(crate) enum RekeyBody {
+    /// LKH rekey items.
+    Lkh(LkhBroadcast),
+    /// Subset-Difference cover broadcast.
+    Sd(SdBroadcast),
+    /// Star (pairwise-key) rekey items.
+    Star(StarBroadcast),
+}
+
+impl RekeyBroadcast {
+    /// The epoch this broadcast establishes.
+    pub fn epoch(&self) -> u64 {
+        match &self.body {
+            RekeyBody::Lkh(b) => b.epoch,
+            RekeyBody::Sd(b) => b.epoch,
+            RekeyBody::Star(b) => b.epoch,
+        }
+    }
+}
+
+/// The controller end of a centralized group key distribution scheme
+/// (`CGKD.{Join, Leave}` plus state queries).
+pub trait Cgkd: Send + Sync {
+    /// `CGKD.Join`: admits a user, returning their id, their member-side
+    /// key state, and the rekey broadcast existing members must process.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::Full`] when the tree/star is at capacity.
+    fn admit(
+        &mut self,
+        rng: &mut dyn RngCore,
+    ) -> Result<(UserId, Box<dyn CgkdSlot>, RekeyBroadcast), CgkdError>;
+
+    /// `CGKD.Leave`: evicts a user and rekeys the remaining members.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::UnknownMember`] for ids not currently in the group.
+    fn evict(&mut self, id: UserId, rng: &mut dyn RngCore) -> Result<RekeyBroadcast, CgkdError>;
+
+    /// Current group key (controller side).
+    fn group_key(&self) -> &Key;
+
+    /// Current epoch.
+    fn epoch(&self) -> u64;
+
+    /// Ids of current members.
+    fn members(&self) -> Vec<UserId>;
+}
+
+/// One member's key state (`CGKD.Rekey` and key queries).
+pub trait CgkdSlot: Send + Sync {
+    /// `CGKD.Rekey`: processes a rekey broadcast.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::CannotDecrypt`] when this member is excluded from
+    /// the broadcast (evicted members land here) or the envelope comes
+    /// from a different backend.
+    fn process(&mut self, rekey: &RekeyBroadcast) -> Result<(), CgkdError>;
+
+    /// This member's current group key `k_i`.
+    fn group_key(&self) -> &Key;
+
+    /// This member's view of the epoch.
+    fn epoch(&self) -> u64;
+
+    /// This member's CGKD user id.
+    fn id(&self) -> UserId;
+
+    /// Overwrites the group key without any rekey processing — the §3
+    /// attack model of experiment E7b (see
+    /// [`shs_cgkd::MemberState::force_group_key`]).
+    fn force_group_key(&mut self, key: Key, epoch: u64);
+
+    /// Clones the slot behind the trait object.
+    fn clone_slot(&self) -> Box<dyn CgkdSlot>;
+}
+
+impl Clone for Box<dyn CgkdSlot> {
+    fn clone(&self) -> Self {
+        self.clone_slot()
+    }
+}
+
+/// Generates the [`Cgkd`]/[`CgkdSlot`] wrapper pair for one backend.
+macro_rules! cgkd_backend {
+    ($(#[$cdoc:meta])* $ctrl_wrap:ident($ctrl:ty),
+     $(#[$mdoc:meta])* $slot_wrap:ident($member:ty),
+     $variant:ident) => {
+        $(#[$cdoc])*
+        pub(crate) struct $ctrl_wrap(pub(crate) $ctrl);
+
+        $(#[$mdoc])*
+        #[derive(Debug, Clone)]
+        pub(crate) struct $slot_wrap(pub(crate) $member);
+
+        impl Cgkd for $ctrl_wrap {
+            fn admit(
+                &mut self,
+                rng: &mut dyn RngCore,
+            ) -> Result<(UserId, Box<dyn CgkdSlot>, RekeyBroadcast), CgkdError> {
+                let (uid, welcome, rekey) = self.0.admit(rng)?;
+                let slot = Box::new($slot_wrap(self.0.member_from_welcome(welcome)));
+                let broadcast = RekeyBroadcast {
+                    body: RekeyBody::$variant(rekey),
+                };
+                Ok((uid, slot, broadcast))
+            }
+
+            fn evict(
+                &mut self,
+                id: UserId,
+                rng: &mut dyn RngCore,
+            ) -> Result<RekeyBroadcast, CgkdError> {
+                Ok(RekeyBroadcast {
+                    body: RekeyBody::$variant(self.0.evict(id, rng)?),
+                })
+            }
+
+            fn group_key(&self) -> &Key {
+                self.0.group_key()
+            }
+
+            fn epoch(&self) -> u64 {
+                self.0.epoch()
+            }
+
+            fn members(&self) -> Vec<UserId> {
+                self.0.members()
+            }
+        }
+
+        impl CgkdSlot for $slot_wrap {
+            fn process(&mut self, rekey: &RekeyBroadcast) -> Result<(), CgkdError> {
+                if let RekeyBody::$variant(b) = &rekey.body {
+                    self.0.process(b)
+                } else {
+                    Err(CgkdError::CannotDecrypt)
+                }
+            }
+
+            fn group_key(&self) -> &Key {
+                self.0.group_key()
+            }
+
+            fn epoch(&self) -> u64 {
+                self.0.epoch()
+            }
+
+            fn id(&self) -> UserId {
+                self.0.id()
+            }
+
+            fn force_group_key(&mut self, key: Key, epoch: u64) {
+                self.0.force_group_key(key, epoch);
+            }
+
+            fn clone_slot(&self) -> Box<dyn CgkdSlot> {
+                Box::new(self.clone())
+            }
+        }
+    };
+}
+
+cgkd_backend!(
+    /// Logical-key-hierarchy backend.
+    LkhCgkd(LkhController),
+    /// LKH member state (path keys).
+    LkhSlot(LkhMember),
+    Lkh
+);
+
+cgkd_backend!(
+    /// Subset-Difference backend.
+    SdCgkd(SdController),
+    /// SD member state (labels; stateless receiver).
+    SdSlot(SdMember),
+    Sd
+);
+
+cgkd_backend!(
+    /// Star (pairwise-key) backend — the paper's minimal `O(n)`-rekey
+    /// baseline.
+    StarCgkd(StarController),
+    /// Star member state (individual key + current group key).
+    StarSlot(StarMember),
+    Star
+);

@@ -257,6 +257,21 @@ impl<'g> Party<'g> {
         })
     }
 
+    /// Verifies one signed message against this party's session context
+    /// without consuming it.
+    ///
+    /// Returns `None` when the verdict cannot be decided yet: rounds 1
+    /// and 2 are signed over the session nonces, which this party only
+    /// learns by consuming round 0. Receivers use this to filter
+    /// retransmissions before feeding a round set to the consuming
+    /// methods.
+    pub fn verify_msg(&self, msg: &SignedMsg) -> Option<bool> {
+        if msg.round > 0 && self.nonces.is_none() {
+            return None;
+        }
+        Some(self.check(msg, msg.round).is_ok())
+    }
+
     /// Consumes round 2 and outputs the authenticated session key.
     ///
     /// # Errors

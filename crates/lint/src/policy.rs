@@ -23,18 +23,22 @@ pub enum Rule {
     PanicPath,
     /// Slice/array indexing (can panic) on a decoder path.
     IndexPath,
+    /// A `match`/`matches!` dispatch on a factory-owned configuration
+    /// enum outside the factory module.
+    FactoryDispatch,
     /// A malformed or unused `lint:allow` directive.
     AllowHygiene,
 }
 
 impl Rule {
     /// All rules.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::SecretDebug,
         Rule::SecretCmp,
         Rule::SecretFmt,
         Rule::PanicPath,
         Rule::IndexPath,
+        Rule::FactoryDispatch,
         Rule::AllowHygiene,
     ];
 
@@ -46,6 +50,7 @@ impl Rule {
             Rule::SecretFmt => "secret-fmt",
             Rule::PanicPath => "panic-path",
             Rule::IndexPath => "index-path",
+            Rule::FactoryDispatch => "factory-dispatch",
             Rule::AllowHygiene => "allow-hygiene",
         }
     }
@@ -75,6 +80,11 @@ pub struct Policy {
     pub panic_paths: Vec<String>,
     /// Files (suffix match) the index-path rule applies to.
     pub index_paths: Vec<String>,
+    /// Enum names only the factory module may `match` on.
+    pub factory_enums: Vec<String>,
+    /// Files (suffix match) exempt from the factory-dispatch rule —
+    /// the factory module(s) themselves.
+    pub factory_paths: Vec<String>,
     /// Directories under the policy root to scan.
     pub scan_roots: Vec<String>,
     /// Path substrings to exclude from scanning.
@@ -108,6 +118,8 @@ impl Policy {
             sink_macros: required("sinks.macros")?,
             panic_paths: list("rules.panic-path.paths"),
             index_paths: list("rules.index-path.paths"),
+            factory_enums: list("rules.factory-dispatch.enums"),
+            factory_paths: list("rules.factory-dispatch.paths"),
             scan_roots: {
                 let r = list("scan.roots");
                 if r.is_empty() {
@@ -128,6 +140,13 @@ impl Policy {
     /// Does the index-path rule apply to this file?
     pub fn index_rule_applies(&self, rel: &str) -> bool {
         path_listed(&self.index_paths, rel)
+    }
+
+    /// Does the factory-dispatch rule apply to this file? It applies
+    /// everywhere *except* the registered factory module(s), and only
+    /// when the policy names at least one factory-owned enum.
+    pub fn factory_rule_applies(&self, rel: &str) -> bool {
+        !self.factory_enums.is_empty() && !path_listed(&self.factory_paths, rel)
     }
 
     /// Is this file excluded from scanning entirely?

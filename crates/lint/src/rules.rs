@@ -30,6 +30,9 @@ pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     if policy.index_rule_applies(rel) {
         raw.extend(rule_index_path(rel, toks));
     }
+    if policy.factory_rule_applies(rel) {
+        raw.extend(rule_factory_dispatch(rel, toks, policy));
+    }
     raw.retain(|f| !in_test(f.line));
 
     // Apply allow directives; track which ones earned their keep.
@@ -480,6 +483,117 @@ fn rule_index_path(rel: &str, toks: &[Tok]) -> Vec<Finding> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// factory-dispatch
+// ---------------------------------------------------------------------------
+
+/// Flags `match` expressions and `matches!` invocations that dispatch on a
+/// factory-owned configuration enum (a `Enum::Variant` path appears in the
+/// expression) anywhere outside the registered factory module(s). Keeping
+/// all backend construction in one file is what lets a new instantiation
+/// be added by touching exactly one dispatch site.
+fn rule_factory_dispatch(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Finding> {
+    let is_enum = |i: usize| -> Option<String> {
+        let t = &toks[i];
+        (t.kind == TokKind::Ident
+            && policy.factory_enums.iter().any(|e| e == &t.text)
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("::"))
+        .then(|| t.text.clone())
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("match") {
+            // The match body is the first `{` outside any bracket group in
+            // the scrutinee; scan the body for `Enum::Variant` paths.
+            let mut j = i + 1;
+            let mut nest = 0usize;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is_punct("(") || tj.is_punct("[") {
+                    nest += 1;
+                } else if tj.is_punct(")") || tj.is_punct("]") {
+                    nest = nest.saturating_sub(1);
+                } else if tj.is_punct("{") && nest == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut hit: Option<String> = None;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is_punct("{") {
+                    depth += 1;
+                } else if tj.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if hit.is_none() {
+                    hit = is_enum(j);
+                }
+                j += 1;
+            }
+            if let Some(name) = hit {
+                out.push(Finding::new(
+                    rel,
+                    t.line,
+                    t.col,
+                    Rule::FactoryDispatch,
+                    format!(
+                        "`match` dispatches on `{name}` outside the factory module; \
+                         construct backends through the factory instead"
+                    ),
+                ));
+                // The whole expression is one finding; skip past it.
+                i = j;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        let is_matches_macro = t.is_ident("matches")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("!")
+            && toks[i + 2].is_punct("(");
+        if is_matches_macro {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            let mut hit: Option<String> = None;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                } else if hit.is_none() {
+                    hit = is_enum(j);
+                }
+                j += 1;
+            }
+            if let Some(name) = hit {
+                out.push(Finding::new(
+                    rel,
+                    t.line,
+                    t.col,
+                    Rule::FactoryDispatch,
+                    format!(
+                        "`matches!` dispatches on `{name}` outside the factory module; \
+                         construct backends through the factory instead"
+                    ),
+                ));
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Keywords that may directly precede `[` without it being an index
 /// expression (`in [..]`, `return [..]`, …).
 fn is_keyword(s: &str) -> bool {
@@ -589,6 +703,43 @@ paths = ["proto.rs"]
         // cfg(not(test)) is NOT exempt.
         let src3 = "#[cfg(not(test))]\nmod m {\n  fn f() { tag == x; }\n}";
         assert_eq!(findings("a.rs", src3), vec![(Rule::SecretCmp, 3)]);
+    }
+
+    #[test]
+    fn factory_dispatch_scoped_by_path() {
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+[rules.factory-dispatch]
+enums = ["SchemeKind"]
+paths = ["factory.rs"]
+"#,
+        )
+        .unwrap();
+        let hits = |rel: &str, src: &str| -> Vec<(Rule, u32)> {
+            lint_tokens(rel, &lex(src), &p)
+                .into_iter()
+                .map(|f| (f.rule, f.line))
+                .collect()
+        };
+        let m = "fn f(s: SchemeKind) -> u8 { match s { SchemeKind::A => 1, _ => 2 } }";
+        assert_eq!(hits("other.rs", m), vec![(Rule::FactoryDispatch, 1)]);
+        // The factory module itself is exempt.
+        assert!(hits("factory.rs", m).is_empty());
+        // matches! is also a dispatch.
+        let mm = "fn g(s: SchemeKind) -> bool { matches!(s, SchemeKind::A) }";
+        assert_eq!(hits("other.rs", mm), vec![(Rule::FactoryDispatch, 1)]);
+        // Construction and matches on other enums are fine.
+        assert!(hits("other.rs", "fn h() -> SchemeKind { SchemeKind::A }").is_empty());
+        assert!(hits(
+            "other.rs",
+            "fn k(o: Option<u8>) -> u8 { match o { Some(x) => x, None => 0 } }"
+        )
+        .is_empty());
     }
 
     #[test]

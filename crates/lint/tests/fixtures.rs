@@ -64,6 +64,17 @@ fn index_path_fixture_pair() {
 }
 
 #[test]
+fn factory_dispatch_fixture_pair() {
+    assert_eq!(
+        lint_one("bad/factory_dispatch.rs"),
+        vec![(Rule::FactoryDispatch, 9)]
+    );
+    // The good twin contains the same match but is registered as the
+    // factory module, so it is exempt.
+    assert_eq!(lint_one("good/factory_dispatch.rs"), vec![]);
+}
+
+#[test]
 fn allow_hygiene_fixture_pair() {
     // Missing reason, stale directive, unknown rule name — one finding
     // each; the suppressed secret-cmp on line 4 must NOT reappear.
@@ -81,8 +92,8 @@ fn allow_hygiene_fixture_pair() {
 #[test]
 fn fixture_workspace_totals() {
     let report = linter().lint_workspace().expect("fixture tree lints");
-    assert_eq!(report.files_scanned, 12, "one bad + one good file per rule");
-    assert_eq!(report.findings.len(), 9);
+    assert_eq!(report.files_scanned, 14, "one bad + one good file per rule");
+    assert_eq!(report.findings.len(), 10);
     // Every rule is represented by at least one finding.
     for rule in Rule::ALL {
         assert!(
@@ -131,7 +142,7 @@ fn binary_exits_nonzero_on_bad_fixtures_with_file_line_output() {
         stderr.contains("bad/secret_cmp.rs:4:"),
         "stderr lacks file:line finding:\n{stderr}"
     );
-    assert!(stderr.contains("9 finding(s)"), "{stderr}");
+    assert!(stderr.contains("10 finding(s)"), "{stderr}");
 }
 
 #[test]
@@ -144,6 +155,7 @@ fn binary_exits_zero_on_good_fixtures() {
         "secret_fmt",
         "panic_path",
         "index_path",
+        "factory_dispatch",
         "allow_hygiene",
     ] {
         cmd.arg(fixtures_root().join(format!("good/{name}.rs")));
@@ -171,7 +183,7 @@ fn binary_emits_json_report_on_stdout() {
     assert_eq!(out.status.code(), Some(1));
     let json = String::from_utf8_lossy(&out.stdout);
     assert!(json.contains("\"tool\": \"shs-lint\""), "{json}");
-    assert!(json.contains("\"finding_count\": 9"), "{json}");
+    assert!(json.contains("\"finding_count\": 10"), "{json}");
     assert!(json.contains("\"rule\": \"secret-debug\""), "{json}");
 }
 

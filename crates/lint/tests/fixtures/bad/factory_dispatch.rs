@@ -1,0 +1,13 @@
+//! BAD: dispatching on a factory-owned enum outside the factory module.
+
+pub enum SchemeKind {
+    One,
+    Two,
+}
+
+pub fn sig_len(scheme: &SchemeKind) -> usize {
+    match scheme {
+        SchemeKind::One => 32,
+        SchemeKind::Two => 64,
+    }
+}

@@ -1,0 +1,14 @@
+//! GOOD: this file is registered as the factory module, so it may
+//! dispatch on the configuration enums.
+
+pub enum SchemeKind {
+    One,
+    Two,
+}
+
+pub fn sig_len(scheme: &SchemeKind) -> usize {
+    match scheme {
+        SchemeKind::One => 32,
+        SchemeKind::Two => 64,
+    }
+}

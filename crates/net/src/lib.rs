@@ -50,8 +50,10 @@ pub mod hub;
 pub mod observe;
 pub mod sync;
 
+use serde::{Deserialize, Serialize};
+
 /// Delivery-order policy of the medium.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DeliveryPolicy {
     /// Messages of a round are delivered in slot order (synchronous
     /// model).

@@ -34,25 +34,21 @@ fn run_attack(scheme: SchemeKind, rng: &mut HmacDrbg) -> Result<(), CoreError> {
         "honest member's view: co-members at {:?}, signatures verified for {:?}",
         view.same_group_slots, view.verified_slots
     );
-    match scheme {
-        SchemeKind::Scheme1 => {
-            println!(
-                "  duplicates flagged: {:?} -> handshake accepted = {} (FOOLED: \
-                 it counted the insider twice)",
-                view.duplicate_slots, view.accepted
-            );
-            assert!(view.accepted);
-        }
-        SchemeKind::Scheme2SelfDistinct => {
-            println!(
-                "  duplicates flagged: {:?} -> handshake accepted = {} \
-                 (the common T7 exposed the duplicate T6)",
-                view.duplicate_slots, view.accepted
-            );
-            assert!(!view.accepted);
-            assert_eq!(view.duplicate_slots, vec![0, 2]);
-        }
-        SchemeKind::Scheme1Classic => unreachable!(),
+    if scheme.self_distinct() {
+        println!(
+            "  duplicates flagged: {:?} -> handshake accepted = {} \
+             (the common T7 exposed the duplicate T6)",
+            view.duplicate_slots, view.accepted
+        );
+        assert!(!view.accepted);
+        assert_eq!(view.duplicate_slots, vec![0, 2]);
+    } else {
+        println!(
+            "  duplicates flagged: {:?} -> handshake accepted = {} (FOOLED: \
+             it counted the insider twice)",
+            view.duplicate_slots, view.accepted
+        );
+        assert!(view.accepted);
     }
     println!();
     Ok(())

@@ -1,0 +1,220 @@
+//! Substrate-conformance harness (DESIGN.md §10): behavioral checks
+//! that every CGKD backend and every DGKA protocol constructed through
+//! `shs_core::factory` satisfies the `shs_core::substrate` contracts.
+//!
+//! The checks are written once against the trait objects and driven
+//! over the full registries (`CgkdChoice::ALL`, `DgkaChoice::ALL`) by
+//! `tests/substrate_conformance.rs`, so a new backend is conformance-
+//! tested the moment it is added to its `ALL` array and the factory.
+
+use rand::RngCore;
+use shs_core::config::{CgkdChoice, DgkaChoice};
+use shs_core::factory;
+use shs_core::handshake::AbortReason;
+use shs_core::substrate::Phase1Slot;
+use shs_crypto::Key;
+use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
+
+fn test_group() -> &'static SchnorrGroup {
+    SchnorrGroup::system_wide(SchnorrPreset::Test)
+}
+
+/// Exercises one CGKD backend end to end: admit/evict round-trips, key
+/// and epoch agreement between controller and slots, eviction security,
+/// foreign-envelope rejection, cloning, and the E7b key-forcing hook.
+pub fn check_cgkd(choice: CgkdChoice, rng: &mut dyn RngCore) {
+    let mut ctrl = factory::cgkd_controller(choice, 8, rng);
+    let mut slots: Vec<(shs_cgkd::UserId, Box<dyn shs_core::substrate::CgkdSlot>)> = Vec::new();
+    let mut uids = Vec::new();
+    for _ in 0..3 {
+        let (uid, mut slot, rekey) = ctrl.admit(rng).expect("admit within capacity");
+        for (_, s) in slots.iter_mut() {
+            s.process(&rekey)
+                .expect("existing member processes the join rekey");
+        }
+        slot.process(&rekey)
+            .expect("joiner processes its own join rekey");
+        assert_eq!(slot.id(), uid, "slot reports the uid it was admitted as");
+        slots.push((uid, slot));
+        uids.push(uid);
+        let members = ctrl.members();
+        for u in &uids {
+            assert!(members.contains(u), "controller roster lists {u:?}");
+        }
+        for (u, s) in &slots {
+            assert!(
+                s.group_key() == ctrl.group_key(),
+                "{choice:?}: member {u:?} disagrees with the controller key"
+            );
+            assert_eq!(s.epoch(), ctrl.epoch(), "epoch agreement for {u:?}");
+        }
+    }
+
+    // Eviction: remaining members rekey, the evicted member cannot.
+    let (evicted_uid, mut evicted) = slots.remove(1);
+    let rekey = ctrl.evict(evicted_uid, rng).expect("evict a known member");
+    for (u, s) in slots.iter_mut() {
+        s.process(&rekey)
+            .expect("remaining member processes the evict rekey");
+        assert!(
+            s.group_key() == ctrl.group_key(),
+            "{choice:?}: member {u:?} disagrees after eviction"
+        );
+    }
+    assert!(
+        evicted.process(&rekey).is_err(),
+        "{choice:?}: the evicted member decrypted the rekey that excludes it"
+    );
+    assert!(
+        !ctrl.members().contains(&evicted_uid),
+        "roster still lists the evicted member"
+    );
+    assert!(
+        ctrl.evict(evicted_uid, rng).is_err(),
+        "double-evict must fail structurally"
+    );
+
+    // Cloned slots stay in lockstep with the original.
+    let mut cloned = slots[0].1.clone();
+    let (_, _, rekey) = ctrl.admit(rng).expect("admit after evict");
+    cloned.process(&rekey).expect("clone processes the rekey");
+    slots[0]
+        .1
+        .process(&rekey)
+        .expect("original processes the rekey");
+    assert!(cloned.group_key() == slots[0].1.group_key());
+    assert_eq!(cloned.epoch(), slots[0].1.epoch());
+
+    // An envelope from a different backend is rejected, not misparsed.
+    let other = CgkdChoice::ALL
+        .into_iter()
+        .find(|c| *c != choice)
+        .expect("at least two backends registered");
+    let mut foreign_ctrl = factory::cgkd_controller(other, 4, rng);
+    let (_, _, foreign) = foreign_ctrl.admit(rng).expect("foreign admit");
+    assert!(
+        slots[0].1.process(&foreign).is_err(),
+        "{choice:?}: accepted a {other:?} envelope"
+    );
+
+    // E7b hook: forcing a key bypasses rekey processing entirely.
+    let leaked = Key::random(rng);
+    slots[0].1.force_group_key(leaked.clone(), 99);
+    assert!(slots[0].1.group_key() == &leaked);
+    assert_eq!(slots[0].1.epoch(), 99);
+}
+
+/// Exercises one DGKA protocol through the slot state machine: an
+/// honest lossless run must converge (same sid, same key, same recorded
+/// contributions, no abort), and a lossy run must abort with chaff of
+/// the honest wire shape (abort indistinguishability).
+pub fn check_dgka(choice: DgkaChoice, m: usize, rng: &mut dyn RngCore) {
+    let group = test_group();
+
+    // --- Honest, lossless run ---------------------------------------
+    let mut slots = factory::dgka_slots(choice, group, m, rng).expect("construct slots");
+    assert_eq!(slots.len(), m);
+    let rounds = slots[0].rounds();
+    assert!(rounds >= 1, "{choice:?}: at least one round");
+    assert!(
+        slots.iter().all(|s| s.rounds() == rounds),
+        "{choice:?}: slots disagree on the round count"
+    );
+    let labels: Vec<String> = (0..rounds).map(|t| slots[0].round_label(t)).collect();
+    for (t, label) in labels.iter().enumerate() {
+        assert!(
+            labels[..t].iter().all(|l| l != label),
+            "{choice:?}: duplicate round label `{label}`"
+        );
+        assert!(
+            slots.iter().all(|s| &s.round_label(t) == label),
+            "{choice:?}: slots disagree on the label of round {t}"
+        );
+    }
+    let mut round_lens = Vec::with_capacity(rounds);
+    for t in 0..rounds {
+        let payloads: Vec<Vec<u8>> = slots.iter_mut().map(|s| s.emit(t, rng)).collect();
+        let len = payloads[0].len();
+        assert!(
+            payloads.iter().all(|p| p.len() == len),
+            "{choice:?}: round {t} payload lengths differ (wire shape leaks the sender)"
+        );
+        round_lens.push(len);
+        for (to, s) in slots.iter().enumerate() {
+            for (from, p) in payloads.iter().enumerate() {
+                if from == to {
+                    continue;
+                }
+                assert!(
+                    s.validate(t, from, p),
+                    "{choice:?}: round {t}: slot {to} rejects an honest payload from {from}"
+                );
+            }
+        }
+        let view: Vec<Option<Vec<u8>>> = payloads.into_iter().map(Some).collect();
+        for s in slots.iter_mut() {
+            s.absorb(t, &view, None, rng);
+        }
+    }
+    let finished: Vec<(Phase1Slot, Option<AbortReason>)> =
+        slots.iter_mut().map(|s| s.finish(rng)).collect();
+    let first = &finished[0].0;
+    for (i, (p1, abort)) in finished.iter().enumerate() {
+        assert!(
+            abort.is_none(),
+            "{choice:?}: slot {i} aborted an honest run: {abort:?}"
+        );
+        assert!(
+            !p1.sid.is_empty(),
+            "{choice:?}: slot {i} derived an empty sid"
+        );
+        assert_eq!(
+            p1.sid, first.sid,
+            "{choice:?}: slot {i} derived a different sid"
+        );
+        assert!(
+            p1.k_star == first.k_star,
+            "{choice:?}: slot {i} derived a different key"
+        );
+        assert_eq!(
+            p1.contributions.len(),
+            m,
+            "{choice:?}: slot {i} records {} contributions for {m} slots",
+            p1.contributions.len()
+        );
+        assert_eq!(
+            p1.contributions, first.contributions,
+            "{choice:?}: slot {i} records different contributions"
+        );
+    }
+
+    // --- Lossy run: slot 0's round-0 broadcast is lost for everyone --
+    let mut slots = factory::dgka_slots(choice, group, m, rng).expect("construct slots");
+    for (t, &honest_len) in round_lens.iter().enumerate() {
+        let payloads: Vec<Vec<u8>> = slots.iter_mut().map(|s| s.emit(t, rng)).collect();
+        assert!(
+            payloads.iter().all(|p| p.len() == honest_len),
+            "{choice:?}: aborted slots must emit chaff of the honest round-{t} length"
+        );
+        let mut view: Vec<Option<Vec<u8>>> = payloads.into_iter().map(Some).collect();
+        let incomplete = (t == 0).then(|| {
+            view[0] = None;
+            AbortReason::KeyAgreement
+        });
+        for s in slots.iter_mut() {
+            s.absorb(t, &view, incomplete, rng);
+        }
+    }
+    for (i, s) in slots.iter_mut().enumerate() {
+        let (p1, abort) = s.finish(rng);
+        assert!(
+            abort.is_some(),
+            "{choice:?}: slot {i} completed although round 0 was incomplete"
+        );
+        assert_eq!(
+            p1.sid.len(),
+            first.sid.len(),
+            "{choice:?}: slot {i}'s decoy sid has a distinguishable length"
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared helpers for the integration tests.
 #![allow(dead_code)] // not every test binary uses every helper
 
+pub mod conformance;
+
 use rand::RngCore;
 use shs_core::fixtures;
 use shs_core::{Actor, GroupAuthority, Member, SchemeKind};

@@ -1,0 +1,30 @@
+//! Substrate conformance: every backend constructible through the
+//! factory satisfies the `shs_core::substrate` contracts. The harness
+//! lives in `tests/common/conformance.rs`; these tests drive it over
+//! the full registries, so adding a backend to an `ALL` array is enough
+//! to put it under contract.
+
+mod common;
+
+use common::{conformance, rng};
+use shs_core::config::{CgkdChoice, DgkaChoice};
+
+#[test]
+fn every_cgkd_backend_satisfies_the_contract() {
+    for choice in CgkdChoice::ALL {
+        conformance::check_cgkd(choice, &mut rng(&format!("cgkd-conformance-{choice:?}")));
+    }
+}
+
+#[test]
+fn every_dgka_protocol_satisfies_the_contract() {
+    for choice in DgkaChoice::ALL {
+        for m in [2, 3, 5] {
+            conformance::check_dgka(
+                choice,
+                m,
+                &mut rng(&format!("dgka-conformance-{choice:?}-{m}")),
+            );
+        }
+    }
+}
