@@ -1,0 +1,276 @@
+//! **Hot-path kernel benchmark** — measures the exponentiation
+//! acceleration layer against the naive kernels it replaces and records a
+//! persistent baseline in `BENCH_hot_paths.json` at the repository root
+//! (experiment E15 in `EXPERIMENTS.md`).
+//!
+//! Metrics (accelerated vs naive, same inputs):
+//!
+//! * `fixed_base_vs_modpow` — `FixedBase::pow` vs windowed `modpow` on a
+//!   long-lived base (the signing-path shape: secret exponents, so both
+//!   sides are constant-trace).
+//! * `multi_exp_vs_naive` — one Straus `multi_exp_vartime` vs a product
+//!   of independent exponentiations (the ACJT/KY verify-equation shape:
+//!   public data).
+//! * `vartime_modpow_vs_ct` — the explicitly-named vartime fast path vs
+//!   the constant-trace kernel on public data.
+//! * `crt_root_vs_plain` — issuance-style `e`-th root via the CRT context
+//!   vs a full-width `modpow`.
+//! * `handshake_parallel_vs_sequential` — an `m = 8` full handshake with
+//!   the phase-III worker pool on vs off (wall-clock only; bounded by the
+//!   machine's core count, ~1.0 on a single-core runner).
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin bench_hot_paths [-- --smoke] [-- --check]
+//! ```
+//!
+//! `--smoke` shrinks sizes/iterations for CI; `--check` exits non-zero if
+//! any accelerated kernel is slower than its naive counterpart (the
+//! parallel-handshake metric gets a single-core tolerance).
+
+use shs_bench::{group, rng, timed};
+use shs_bigint::{FixedBase, Int, Ubig};
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+use shs_groups::rsa::RsaGroup;
+use std::sync::Arc;
+
+struct Metric {
+    name: &'static str,
+    naive_s: f64,
+    accel_s: f64,
+    iters: u32,
+    /// `--check` floor for naive_s / accel_s.
+    floor: f64,
+}
+
+impl Metric {
+    fn speedup(&self) -> f64 {
+        if self.accel_s > 0.0 {
+            self.naive_s / self.accel_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--smoke" && *a != "--check" && *a != "--")
+    {
+        eprintln!("bench_hot_paths: unknown flag `{bad}` (use --smoke / --check)");
+        std::process::exit(2);
+    }
+
+    let modulus_bits: u32 = if smoke { 512 } else { 1024 };
+    let kernel_iters: u32 = if smoke { 15 } else { 150 };
+    let handshake_runs: u32 = if smoke { 1 } else { 3 };
+
+    let mut r = rng("bench-hot-paths");
+    let (rsa, secret) = RsaGroup::generate_deterministic(modulus_bits, b"bench-hot-paths-modulus");
+    let base = rsa.random_qr(&mut r);
+    let exps: Vec<Ubig> = (0..kernel_iters)
+        .map(|_| rsa.random_exponent(&mut r))
+        .collect();
+    let exp_bits = exps.iter().map(Ubig::bits).max().unwrap_or(1);
+
+    let mut metrics: Vec<Metric> = Vec::new();
+
+    // --- fixed-base table vs plain modpow (signing shape) ---------------
+    let fb = FixedBase::new(Arc::clone(rsa.ctx()), &base, exp_bits);
+    let (naive_s, _) = timed(|| {
+        for e in &exps {
+            std::hint::black_box(base.modpow(e, rsa.n()));
+        }
+    });
+    let (accel_s, _) = timed(|| {
+        for e in &exps {
+            std::hint::black_box(fb.pow(e));
+        }
+    });
+    metrics.push(Metric {
+        name: "fixed_base_vs_modpow",
+        naive_s,
+        accel_s,
+        iters: kernel_iters,
+        floor: 1.0,
+    });
+
+    // --- Straus multi-exp vs product of exponentiations (verify shape) --
+    let bases: Vec<Ubig> = (0..4).map(|_| rsa.random_qr(&mut r)).collect();
+    let term_exps: Vec<Vec<Int>> = (0..kernel_iters)
+        .map(|_| {
+            (0..4)
+                .map(|_| Int::from_ubig(rsa.random_exponent(&mut r)))
+                .collect()
+        })
+        .collect();
+    let (naive_s, _) = timed(|| {
+        for es in &term_exps {
+            let mut acc = Ubig::one();
+            for (b, e) in bases.iter().zip(es) {
+                acc = rsa.mul(&acc, &rsa.exp_vartime(b, e.magnitude()));
+            }
+            std::hint::black_box(acc);
+        }
+    });
+    let (accel_s, _) = timed(|| {
+        for es in &term_exps {
+            let terms: Vec<(&Ubig, &Int)> = bases.iter().zip(es).collect();
+            std::hint::black_box(rsa.multi_exp_vartime(&terms));
+        }
+    });
+    metrics.push(Metric {
+        name: "multi_exp_vs_naive",
+        naive_s,
+        accel_s,
+        iters: kernel_iters,
+        floor: 1.0,
+    });
+
+    // --- vartime modpow vs constant-trace modpow (public data) ----------
+    let ctx = rsa.ctx();
+    let (naive_s, _) = timed(|| {
+        for e in &exps {
+            std::hint::black_box(ctx.modpow(&base, e));
+        }
+    });
+    let (accel_s, _) = timed(|| {
+        for e in &exps {
+            std::hint::black_box(ctx.modpow_vartime(&base, e));
+        }
+    });
+    metrics.push(Metric {
+        name: "vartime_modpow_vs_ct",
+        naive_s,
+        accel_s,
+        iters: kernel_iters,
+        // Bonus metric (not in the acceptance set): direct table indexing
+        // vs the masked scan; small but real. Allow timing jitter.
+        floor: 0.9,
+    });
+
+    // --- CRT e-th root vs full-width modpow (issuance shape) ------------
+    let e_pub = Ubig::from_u64(65537);
+    let d = e_pub
+        .modinv(&secret.qr_order())
+        .expect("65537 is coprime to the QR group order");
+    let roots: Vec<Ubig> = (0..kernel_iters).map(|_| rsa.random_qr(&mut r)).collect();
+    let (naive_s, _) = timed(|| {
+        for x in &roots {
+            std::hint::black_box(x.modpow(&d, rsa.n()));
+        }
+    });
+    let (accel_s, _) = timed(|| {
+        for x in &roots {
+            std::hint::black_box(
+                secret
+                    .root(&rsa, x, &e_pub)
+                    .expect("QR elements have e-th roots"),
+            );
+        }
+    });
+    metrics.push(Metric {
+        name: "crt_root_vs_plain",
+        naive_s,
+        accel_s,
+        iters: kernel_iters,
+        floor: 1.0,
+    });
+
+    // --- m=8 handshake: parallel vs sequential phase-III verification ---
+    let m = 8;
+    let mut hr = rng("bench-hot-paths-handshake");
+    let (_, members) = group(SchemeKind::Scheme1, m, &mut hr);
+    let acts: Vec<Actor<'_>> = members.iter().map(Actor::Member).collect();
+    let mut run_handshakes = |parallel: bool| {
+        let opts = HandshakeOptions {
+            parallel_verify: parallel,
+            ..Default::default()
+        };
+        let (secs, _) = timed(|| {
+            for _ in 0..handshake_runs {
+                let result = shs_core::handshake::run_handshake(&acts, &opts, &mut hr)
+                    .expect("bench handshake completes");
+                assert!(
+                    result.outcomes.iter().all(|o| o.accepted),
+                    "bench handshake must fully succeed"
+                );
+            }
+        });
+        secs
+    };
+    let naive_s = run_handshakes(false);
+    let accel_s = run_handshakes(true);
+    metrics.push(Metric {
+        name: "handshake_parallel_vs_sequential",
+        naive_s,
+        accel_s,
+        iters: handshake_runs,
+        // Pure wall-clock metric: on a single-core runner the pool only
+        // adds scheduling overhead, so allow slightly below parity.
+        floor: 0.85,
+    });
+
+    // --- report ----------------------------------------------------------
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = render_json(&metrics, modulus_bits, smoke, workers);
+    println!("{json}");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hot_paths.json");
+    if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench_hot_paths: could not write {out_path}: {err}");
+        std::process::exit(2);
+    }
+
+    if check {
+        let mut failed = false;
+        for m in &metrics {
+            if m.speedup() < m.floor {
+                eprintln!(
+                    "bench_hot_paths: CHECK FAILED: {} speedup {:.2}x below floor {:.2}x",
+                    m.name,
+                    m.speedup(),
+                    m.floor
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_hot_paths: all {} metrics at or above their floors",
+            metrics.len()
+        );
+    }
+}
+
+/// Hand-rolled JSON: the offline build has no serde_json.
+fn render_json(metrics: &[Metric], modulus_bits: u32, smoke: bool, workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"hot_paths\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"modulus_bits\": {modulus_bits},\n"));
+    s.push_str(&format!("  \"available_parallelism\": {workers},\n"));
+    s.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"iters\": {}, \"naive_s\": {:.6}, \
+             \"accel_s\": {:.6}, \"speedup\": {:.3}, \"check_floor\": {:.2} }}{}\n",
+            m.name,
+            m.iters,
+            m.naive_s,
+            m.accel_s,
+            m.speedup(),
+            m.floor,
+            comma
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push('}');
+    s
+}

@@ -1,0 +1,208 @@
+//! CRT-accelerated exponentiation for callers that know the factorization
+//! `n = p·q` (the authority side of the RSA-based group signatures).
+//!
+//! Splitting `x^e mod pq` into `x^{e mod p−1} mod p` and `x^{e mod q−1}
+//! mod q` plus a Garner recombination replaces one full-width
+//! exponentiation with two half-width, quarter-length ones — the classic
+//! ~4× RSA private-key speedup.
+
+use crate::mont::MontCtx;
+use crate::{BigintError, Ubig};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Capacity of the process-wide [`CrtCtx::shared`] cache (one entry per
+/// live RSA trapdoor; a workspace rarely holds more than a couple).
+const SHARED_CACHE_CAP: usize = 8;
+
+fn shared_cache() -> &'static Mutex<Vec<Arc<CrtCtx>>> {
+    static CACHE: OnceLock<Mutex<Vec<Arc<CrtCtx>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A reusable CRT exponentiation context for a known factorization
+/// `n = p·q` with `p`, `q` **odd primes**.
+///
+/// Holds Montgomery contexts for both halves plus the Garner constant
+/// `q^{-1} mod p`, so each [`CrtCtx::modpow`] costs only the two
+/// half-width exponentiations.
+///
+/// The exponent reduction `e mod (p−1)` relies on Fermat's little
+/// theorem, so the result is only correct when `p` and `q` really are
+/// prime — which the authority generating them guarantees.
+#[derive(Debug)]
+pub struct CrtCtx {
+    p_ctx: Arc<MontCtx>,
+    q_ctx: Arc<MontCtx>,
+    /// `p − 1` and `q − 1` (Fermat exponent moduli).
+    p1: Ubig,
+    q1: Ubig,
+    /// `q^{-1} mod p` (Garner recombination constant).
+    qinv_p: Ubig,
+    /// `n = p·q`.
+    n: Ubig,
+}
+
+impl CrtCtx {
+    /// Builds a context for the factorization `n = p·q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::NotCoprime`] when `gcd(p, q) != 1` (the
+    /// Garner constant does not exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is even or < 3 (Montgomery preconditions).
+    pub fn new(p: &Ubig, q: &Ubig) -> Result<CrtCtx, BigintError> {
+        let qinv_p = crate::gcd::modinv(&q.rem(p), p).map_err(|_| BigintError::NotCoprime)?;
+        Ok(CrtCtx {
+            p_ctx: MontCtx::shared(p),
+            q_ctx: MontCtx::shared(q),
+            p1: p.sub_u64(1),
+            q1: q.sub_u64(1),
+            qinv_p,
+            n: p.mul(q),
+        })
+    }
+
+    /// Returns a shared, cached context for `(p, q)`, building it on a
+    /// miss. Same contract as [`CrtCtx::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::NotCoprime`] when `gcd(p, q) != 1`.
+    pub fn shared(p: &Ubig, q: &Ubig) -> Result<Arc<CrtCtx>, BigintError> {
+        let mut cache = shared_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = cache
+            .iter()
+            .position(|c| c.p_ctx.modulus() == p && c.q_ctx.modulus() == q)
+        {
+            let ctx = cache.remove(pos);
+            cache.push(Arc::clone(&ctx));
+            return Ok(ctx);
+        }
+        drop(cache);
+        let ctx = Arc::new(CrtCtx::new(p, q)?);
+        let mut cache = shared_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= SHARED_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// The recombined modulus `n = p·q`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// `base^exp mod p·q` via two half-width exponentiations and a Garner
+    /// recombination.
+    ///
+    /// Exponents are reduced mod `p−1` / `q−1` (Fermat), so the per-half
+    /// cost scales with the *reduced* exponent width. Correct for any
+    /// `base` (multiples of `p` or `q` are handled explicitly).
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        crate::counters::record_modexp();
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        let rp = self.half_pow(&self.p_ctx, &self.p1, base, exp);
+        let rq = self.half_pow(&self.q_ctx, &self.q1, base, exp);
+        // Garner: x = rq + q·((rp − rq)·q⁻¹ mod p)  —  x ≡ rp (p), rq (q).
+        let p = self.p_ctx.modulus();
+        let q = self.q_ctx.modulus();
+        let t = rp.subm(&rq.rem(p), p).mulm(&self.qinv_p, p);
+        rq.add(&q.mul(&t))
+    }
+
+    /// `base^exp mod h` for one half `h`, with the exponent reduced mod
+    /// `h − 1` (valid because `h` is prime).
+    fn half_pow(&self, ctx: &MontCtx, h1: &Ubig, base: &Ubig, exp: &Ubig) -> Ubig {
+        let b = base.rem(ctx.modulus());
+        if b.is_zero() {
+            // base ≡ 0 (mod h): the power is 0 for every exp > 0, a case
+            // Fermat reduction would get wrong when exp ≡ 0 (mod h−1).
+            return Ubig::zero();
+        }
+        let e = exp.rem(h1);
+        if e.is_zero() {
+            // exp > 0 and exp ≡ 0 (mod h−1): b^{h−1} ≡ 1 by Fermat.
+            return Ubig::one();
+        }
+        ctx.modpow(&b, &e)
+    }
+}
+
+impl Ubig {
+    /// `self^exp mod p·q` using the known factorization — see
+    /// [`CrtCtx::modpow`]. Builds (or fetches) a shared [`CrtCtx`].
+    ///
+    /// Records exactly one `modexp`, matching the plain [`Ubig::modpow`]
+    /// call it replaces, so experiment cost tables are unchanged by the
+    /// acceleration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigintError::NotCoprime`] when `gcd(p, q) != 1`.
+    pub fn modpow_crt(&self, exp: &Ubig, p: &Ubig, q: &Ubig) -> Result<Ubig, BigintError> {
+        Ok(CrtCtx::shared(p, q)?.modpow(self, exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_plain_modpow() {
+        let p = Ubig::from_u64(0xffff_fffb); // 2^32 − 5, prime
+        let q = Ubig::from_u64(0xffff_ffef); // 2^32 − 17, prime
+        let n = p.mul(&q);
+        let ctx = CrtCtx::new(&p, &q).unwrap();
+        for (b, e) in [
+            (Ubig::from_u64(2), Ubig::from_u64(10)),
+            (
+                Ubig::from_u64(31337),
+                Ubig::from_hex("123456789abcdef0").unwrap(),
+            ),
+            (n.add_u64(5), Ubig::from_u64(3)), // base > n
+            (Ubig::zero(), Ubig::from_u64(7)),
+            (Ubig::from_u64(7), Ubig::zero()),
+            (p.clone(), Ubig::from_u64(9)), // base ≡ 0 mod p
+        ] {
+            assert_eq!(ctx.modpow(&b, &e), b.modpow(&e, &n), "b={b:?} e={e:?}");
+        }
+    }
+
+    #[test]
+    fn exponent_multiple_of_order() {
+        let p = Ubig::from_u64(101);
+        let q = Ubig::from_u64(103);
+        let n = p.mul(&q);
+        let ctx = CrtCtx::new(&p, &q).unwrap();
+        // exp ≡ 0 mod p−1 (and mod q−1): Fermat edge case.
+        let e = Ubig::from_u64(100 * 102);
+        let b = Ubig::from_u64(7);
+        assert_eq!(ctx.modpow(&b, &e), b.modpow(&e, &n));
+    }
+
+    #[test]
+    fn shared_cache_roundtrip() {
+        let p = Ubig::from_u64(1_000_003);
+        let q = Ubig::from_u64(1_000_033);
+        let a = CrtCtx::shared(&p, &q).unwrap();
+        let b = CrtCtx::shared(&p, &q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let x = Ubig::from_u64(424_242);
+        let e = Ubig::from_u64(65_537);
+        assert_eq!(a.modpow(&x, &e), x.modpow(&e, a.modulus()));
+    }
+
+    #[test]
+    fn non_coprime_halves_rejected() {
+        let p = Ubig::from_u64(15);
+        let q = Ubig::from_u64(25);
+        assert!(matches!(CrtCtx::new(&p, &q), Err(BigintError::NotCoprime)));
+    }
+}

@@ -16,7 +16,14 @@
 //! * Schoolbook and Karatsuba multiplication ([`Ubig::mul`]).
 //! * Knuth Algorithm D division ([`Ubig::divrem`]).
 //! * Montgomery modular exponentiation with a fixed 4-bit window
-//!   ([`Ubig::modpow`], [`mont::MontCtx`]).
+//!   ([`Ubig::modpow`], [`mont::MontCtx`]), shared-context caching
+//!   ([`mont::MontCtx::shared`]), and an acceleration layer: fixed-base
+//!   precomputation tables ([`fixed_base::FixedBase`]), Straus/Shamir
+//!   simultaneous multi-exponentiation ([`mont::MontCtx::multi_exp`]) and
+//!   CRT-split exponentiation for known factorizations
+//!   ([`crt::CrtCtx`], [`Ubig::modpow_crt`]). Constant-trace kernels for
+//!   secret exponents; explicitly-named `*_vartime` fast paths for public
+//!   data, policed by the shs-lint `vartime-usage` rule.
 //! * Miller–Rabin primality testing and (safe-)prime generation
 //!   ([`prime`]).
 //! * Binary and extended GCD, modular inverse, Jacobi symbol, CRT
@@ -49,6 +56,8 @@ mod mul;
 mod ubig;
 
 pub mod counters;
+pub mod crt;
+pub mod fixed_base;
 pub mod gcd;
 pub mod jacobi;
 pub mod mont;
@@ -56,6 +65,8 @@ pub mod prime;
 pub mod rng;
 pub mod trace;
 
+pub use crt::CrtCtx;
+pub use fixed_base::FixedBase;
 pub use int::{Int, Sign};
 pub use ubig::Ubig;
 

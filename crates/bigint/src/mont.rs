@@ -1,10 +1,22 @@
 //! Montgomery modular arithmetic (CIOS reduction, Koç et al.) and
-//! fixed-window exponentiation.
+//! fixed-window exponentiation, plus the shared-context cache and the
+//! Straus/Shamir simultaneous multi-exponentiation kernels.
 
 use crate::Ubig;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Window width (bits) for fixed-window exponentiation.
-const WINDOW: u32 = 4;
+pub(crate) const WINDOW: u32 = 4;
+
+/// Capacity of the process-wide [`MontCtx::shared`] cache. A handshake
+/// workspace touches a handful of moduli (RSA n per scheme, Schnorr p/q,
+/// CRT halves); 16 covers every live modulus with room to spare.
+const SHARED_CACHE_CAP: usize = 16;
+
+fn shared_cache() -> &'static Mutex<Vec<Arc<MontCtx>>> {
+    static CACHE: OnceLock<Mutex<Vec<Arc<MontCtx>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
 
 /// A reusable Montgomery context for an odd modulus.
 ///
@@ -61,9 +73,42 @@ impl MontCtx {
         }
     }
 
+    /// Returns a shared, cached context for the given odd modulus.
+    ///
+    /// Contexts are expensive to build (one full division for `R mod n`,
+    /// another for `R² mod n`); callers that exponentiate repeatedly under
+    /// the same modulus — `Ubig::modpow`, Miller–Rabin rounds, group
+    /// wrappers — hit a process-wide MRU cache instead of rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or < 3 (on a cache miss; see [`MontCtx::new`]).
+    pub fn shared(n: &Ubig) -> Arc<MontCtx> {
+        let mut cache = shared_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = cache.iter().position(|c| c.n == *n) {
+            let ctx = cache.remove(pos);
+            cache.push(Arc::clone(&ctx));
+            return ctx;
+        }
+        drop(cache);
+        // Build outside the lock: context construction does divisions.
+        let ctx = Arc::new(MontCtx::new(n.clone()));
+        let mut cache = shared_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= SHARED_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(Arc::clone(&ctx));
+        ctx
+    }
+
     /// The modulus.
     pub fn modulus(&self) -> &Ubig {
         &self.n
+    }
+
+    /// `R mod n`, the Montgomery form of one.
+    pub(crate) fn one_mont(&self) -> &[u64] {
+        &self.r1
     }
 
     /// CIOS Montgomery multiplication of two k-limb Montgomery-form values.
@@ -72,7 +117,7 @@ impl MontCtx {
     /// never on the values of `a` or `b` (the final subtraction is always
     /// computed and selected by mask, not branched on).
     #[allow(clippy::needless_range_loop)] // textbook CIOS index arithmetic
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k;
         let n = &self.n_limbs;
         // 2k² limb multiplications: k per a·b[i] pass, k per reduction pass.
@@ -131,13 +176,13 @@ impl MontCtx {
         out
     }
 
-    fn to_mont(&self, x: &Ubig) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, x: &Ubig) -> Vec<u64> {
         let reduced = x.rem(&self.n);
         self.mont_mul(&pad(reduced.limbs(), self.k), &self.rr)
     }
 
     #[allow(clippy::wrong_self_convention)] // Montgomery-form terminology
-    fn from_mont(&self, x: &[u64]) -> Ubig {
+    pub(crate) fn from_mont(&self, x: &[u64]) -> Ubig {
         let mut one = vec![0u64; self.k];
         one[0] = 1;
         Ubig::from_limbs(self.mont_mul(x, &one))
@@ -165,17 +210,7 @@ impl MontCtx {
             return Ubig::one().rem(&self.n);
         }
         let base_m = self.to_mont(base);
-
-        // Precompute base^0..base^{2^WINDOW - 1} in Montgomery form.
-        let table_len = 1usize << WINDOW;
-        let mut table = Vec::with_capacity(table_len);
-        table.push(self.r1.clone());
-        table.push(base_m.clone());
-        for i in 2..table_len {
-            let prev: &Vec<u64> = &table[i - 1];
-            table.push(self.mont_mul(prev, &base_m));
-        }
-
+        let table = self.pow_table(&base_m);
         let bits = exp.bits();
         let windows = bits.div_ceil(WINDOW);
         let mut acc = self.r1.clone();
@@ -183,23 +218,143 @@ impl MontCtx {
             for _ in 0..WINDOW {
                 acc = self.mont_mul(&acc, &acc);
             }
-            let mut chunk = 0usize;
-            for b in (0..WINDOW).rev() {
-                let bit_idx = w * WINDOW + b;
-                let bit = bit_idx < bits && exp.bit(bit_idx);
-                chunk = (chunk << 1) | usize::from(bit);
-            }
-            let entry = select_entry(&table, chunk);
+            let entry = select_entry(&table, window_chunk(exp, bits, w));
             acc = self.mont_mul(&acc, &entry);
         }
         self.from_mont(&acc)
     }
+
+    /// Variable-time modular exponentiation for **public** data.
+    ///
+    /// Same 4-bit fixed window as [`MontCtx::modpow`], but the table entry
+    /// is fetched by direct index (no masked scan) and zero windows skip
+    /// their multiplication, so the operation trace depends on the exponent
+    /// *value*. Use only where base, exponent and result are all public —
+    /// signature/proof verification over broadcast data. The shs-lint
+    /// `vartime-usage` rule pins down the allowed call sites.
+    pub fn modpow_vartime(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        let table = self.pow_table(&base_m);
+        let bits = exp.bits();
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let chunk = window_chunk(exp, bits, w);
+            if chunk != 0 {
+                acc = self.mont_mul(&acc, &table[chunk]);
+                started = true;
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Constant-trace Straus/Shamir simultaneous multi-exponentiation:
+    /// `∏ baseᵢ^expᵢ mod n`.
+    ///
+    /// One shared squaring chain serves every term, so `t` terms of
+    /// `b`-bit exponents cost `b` squarings plus `t·⌈b/4⌉` masked-scan
+    /// multiplications — versus `t·b` squarings for `t` separate
+    /// [`MontCtx::modpow`] calls. Safe for secret exponents: each digit is
+    /// fetched with the same masked table scan as `modpow`, every window
+    /// multiplies (a zero digit multiplies by 1 in Montgomery form), and
+    /// all exponents are processed to the width of the *longest* one, so
+    /// the trace depends only on the term count, the modulus width and
+    /// `max(expᵢ.bits())`.
+    pub fn multi_exp(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        let Some(bits) = pairs.iter().map(|(_, e)| e.bits()).max() else {
+            return Ubig::one().rem(&self.n);
+        };
+        let tables: Vec<Vec<Vec<u64>>> = pairs
+            .iter()
+            .map(|(b, _)| self.pow_table(&self.to_mont(b)))
+            .collect();
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            for (table, (_, exp)) in tables.iter().zip(pairs) {
+                let entry = select_entry(table, window_chunk(exp, bits, w));
+                acc = self.mont_mul(&acc, &entry);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Variable-time Straus multi-exponentiation for **public** data:
+    /// `∏ baseᵢ^expᵢ mod n` with direct table indexing and zero digits
+    /// skipped. The workhorse of signature/ZK-proof verification, where
+    /// every operand arrived on the broadcast channel. The shs-lint
+    /// `vartime-usage` rule pins down the allowed call sites.
+    pub fn multi_exp_vartime(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        // Zero-exponent terms contribute a factor of one: drop them.
+        let live: Vec<&(&Ubig, &Ubig)> = pairs.iter().filter(|(_, e)| !e.is_zero()).collect();
+        let Some(bits) = live.iter().map(|(_, e)| e.bits()).max() else {
+            return Ubig::one().rem(&self.n);
+        };
+        let tables: Vec<Vec<Vec<u64>>> = live
+            .iter()
+            .map(|(b, _)| self.pow_table(&self.to_mont(b)))
+            .collect();
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            for (table, (_, exp)) in tables.iter().zip(&live) {
+                let chunk = window_chunk(exp, bits, w);
+                if chunk != 0 {
+                    acc = self.mont_mul(&acc, &table[chunk]);
+                    started = true;
+                }
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Precomputes `base^0 .. base^{2^WINDOW - 1}` in Montgomery form.
+    pub(crate) fn pow_table(&self, base_m: &[u64]) -> Vec<Vec<u64>> {
+        let table_len = 1usize << WINDOW;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(self.r1.clone());
+        table.push(base_m.to_vec());
+        for i in 2..table_len {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, base_m));
+        }
+        table
+    }
+}
+
+/// Extracts the 4-bit window `w` of `exp` (bits past `bits` read as zero).
+pub(crate) fn window_chunk(exp: &Ubig, bits: u32, w: u32) -> usize {
+    let mut chunk = 0usize;
+    for b in (0..WINDOW).rev() {
+        let bit_idx = w * WINDOW + b;
+        let bit = bit_idx < bits && exp.bit(bit_idx);
+        chunk = (chunk << 1) | usize::from(bit);
+    }
+    chunk
 }
 
 /// Masked constant-trace table lookup: reads every entry and keeps the
 /// selected one, so neither the branch predictor nor the data cache sees
 /// which window value the secret exponent produced.
-fn select_entry(table: &[Vec<u64>], idx: usize) -> Vec<u64> {
+pub(crate) fn select_entry(table: &[Vec<u64>], idx: usize) -> Vec<u64> {
     let mut out = vec![0u64; table[0].len()];
     for (i, entry) in table.iter().enumerate() {
         let mask = 0u64.wrapping_sub(u64::from(i == idx));
@@ -294,5 +449,58 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_modulus_rejected() {
         let _ = MontCtx::new(Ubig::from_u64(100));
+    }
+
+    #[test]
+    fn vartime_matches_ct() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = MontCtx::new(m.clone());
+        for (b, e) in [
+            (Ubig::from_u64(2), Ubig::zero()),
+            (Ubig::from_u64(2), Ubig::one()),
+            (Ubig::from_u64(31337), Ubig::from_u64(65537)),
+            (
+                Ubig::from_hex("deadbeefcafef00d").unwrap(),
+                // Interior zero window exercises the skip path.
+                Ubig::from_hex("a00000000000000b").unwrap(),
+            ),
+        ] {
+            assert_eq!(ctx.modpow_vartime(&b, &e), ctx.modpow(&b, &e));
+        }
+    }
+
+    #[test]
+    fn multi_exp_matches_product_of_modpows() {
+        let m = Ubig::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = MontCtx::new(m.clone());
+        let bases = [
+            Ubig::from_u64(2),
+            Ubig::from_u64(31337),
+            Ubig::from_hex("deadbeefcafef00d1234").unwrap(),
+        ];
+        let exps = [
+            Ubig::from_u64(65537),
+            Ubig::zero(),
+            Ubig::from_hex("fedcba9876543210fedcba9876543210ff").unwrap(),
+        ];
+        let pairs: Vec<(&Ubig, &Ubig)> = bases.iter().zip(exps.iter()).collect();
+        let naive = bases
+            .iter()
+            .zip(&exps)
+            .fold(Ubig::one(), |acc, (b, e)| acc.mulm(&ctx.modpow(b, e), &m));
+        assert_eq!(ctx.multi_exp(&pairs), naive);
+        assert_eq!(ctx.multi_exp_vartime(&pairs), naive);
+        // Empty product is one.
+        assert_eq!(ctx.multi_exp(&[]), Ubig::one());
+        assert_eq!(ctx.multi_exp_vartime(&[]), Ubig::one());
+    }
+
+    #[test]
+    fn shared_cache_returns_same_ctx() {
+        let m = Ubig::from_hex("abcdef123456789abcdef12345670001").unwrap();
+        let a = MontCtx::shared(&m);
+        let b = MontCtx::shared(&m);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.modulus(), &m);
     }
 }

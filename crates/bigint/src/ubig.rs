@@ -385,7 +385,10 @@ impl Ubig {
             return Ubig::zero();
         }
         if m.is_odd() {
-            let ctx = crate::mont::MontCtx::new(m.clone());
+            // Shared cache: repeated exponentiation under the same modulus
+            // (Miller–Rabin rounds, group operations) reuses one context
+            // instead of re-deriving R² and n′ every call.
+            let ctx = crate::mont::MontCtx::shared(m);
             return ctx.modpow(self, exp);
         }
         // Even modulus: plain square-and-multiply. Rare in this workspace

@@ -2,7 +2,19 @@
 //! workspace silently relies on.
 
 use proptest::prelude::*;
-use shs_bigint::{gcd, jacobi, Int, Ubig};
+use shs_bigint::mont::MontCtx;
+use shs_bigint::{gcd, jacobi, CrtCtx, FixedBase, Int, Ubig};
+
+/// Odd primes of assorted widths (single-limb through three-limb) for the
+/// CRT agreement property; `CrtCtx` requires genuinely prime halves.
+const TEST_PRIMES: &[&str] = &[
+    "65",                                               // 101
+    "fffffffb",                                         // 2^32 − 5
+    "1fffffffffffffff",                                 // 2^61 − 1 (Mersenne)
+    "48995b1ff16287e4e9c349e03602f8ad",                 // 127-bit
+    "8a368ce7dc570131f8e1daa7cbceabdf",                 // 128-bit
+    "94a0bccb8a476a87e49d681d51d87c6455fa1ab8458f1f19", // 192-bit
+];
 
 /// Strategy: a Ubig of up to `limbs` limbs.
 fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
@@ -212,5 +224,70 @@ proptest! {
     fn montgomery_matches_plain_reduction(a in ubig(4), b in ubig(4), m in odd_modulus(4)) {
         let ctx = shs_bigint::mont::MontCtx::new(m.clone());
         prop_assert_eq!(ctx.modmul(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    // ---- acceleration-layer kernels agree with plain modpow ----------
+
+    #[test]
+    fn vartime_modpow_matches_ct(base in ubig(4), e in ubig(5), m in odd_modulus(4)) {
+        // Exponents up to 5 limbs against 4-limb moduli: exponent > modulus
+        // is routinely exercised.
+        let ctx = MontCtx::new(m);
+        prop_assert_eq!(ctx.modpow_vartime(&base, &e), ctx.modpow(&base, &e));
+    }
+
+    #[test]
+    fn multi_exp_matches_modpow_product(
+        b1 in ubig(4), b2 in ubig(4), b3 in ubig(4),
+        e1 in ubig(5), e2 in ubig(1), e3 in ubig(3),
+        m in odd_modulus(4),
+    ) {
+        // Deliberately mixed exponent widths (including frequent zeros from
+        // the empty-limb case) so term padding to the longest width is hit.
+        let ctx = MontCtx::new(m.clone());
+        let pairs = [(&b1, &e1), (&b2, &e2), (&b3, &e3)];
+        let naive = ctx
+            .modpow(&b1, &e1)
+            .mulm(&ctx.modpow(&b2, &e2), &m)
+            .mulm(&ctx.modpow(&b3, &e3), &m);
+        prop_assert_eq!(ctx.multi_exp(&pairs), naive.clone());
+        prop_assert_eq!(ctx.multi_exp_vartime(&pairs), naive);
+    }
+
+    #[test]
+    fn fixed_base_matches_modpow(base in ubig(4), e in ubig(4), m in odd_modulus(4)) {
+        let ctx = MontCtx::shared(&m);
+        // Table sized for 3 limbs: 4-limb exponents exercise the (public
+        // width-class) fallback, smaller ones the table path; zero and one
+        // come from the empty-limb strategy case.
+        let fb = FixedBase::new(std::sync::Arc::clone(&ctx), &base, 192);
+        prop_assert_eq!(fb.pow(&e), ctx.modpow(&base, &e));
+        prop_assert_eq!(fb.pow_vartime(&e), ctx.modpow(&base, &e));
+    }
+
+    #[test]
+    fn crt_modpow_matches_plain(
+        pi in 0usize..6, qi in 0usize..6, base in ubig(7), e in ubig(7),
+    ) {
+        prop_assume!(pi != qi);
+        let p = Ubig::from_hex(TEST_PRIMES[pi]).unwrap();
+        let q = Ubig::from_hex(TEST_PRIMES[qi]).unwrap();
+        let n = p.mul(&q);
+        // base and e up to 7 limbs: both overflow every modulus in the list.
+        prop_assert_eq!(base.modpow_crt(&e, &p, &q).unwrap(), base.modpow(&e, &n));
+        // Edge exponents.
+        prop_assert_eq!(base.modpow_crt(&Ubig::zero(), &p, &q).unwrap(), Ubig::one().rem(&n));
+        prop_assert_eq!(base.modpow_crt(&Ubig::one(), &p, &q).unwrap(), base.rem(&n));
+    }
+
+    #[test]
+    fn crt_ctx_handles_prime_multiples(k in 1u64..500, e in ubig(2)) {
+        // base ≡ 0 (mod p): the Fermat shortcut must not misfire.
+        let p = Ubig::from_hex(TEST_PRIMES[1]).unwrap();
+        let q = Ubig::from_hex(TEST_PRIMES[2]).unwrap();
+        let n = p.mul(&q);
+        let base = p.mul(&Ubig::from_u64(k));
+        let ctx = CrtCtx::shared(&p, &q).unwrap();
+        prop_assert_eq!(ctx.modpow(&base, &e), base.modpow(&e, &n));
     }
 }

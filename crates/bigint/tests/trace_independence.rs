@@ -9,7 +9,7 @@
 //! `cargo test` (tier-1).
 
 use shs_bigint::mont::MontCtx;
-use shs_bigint::{trace, Ubig};
+use shs_bigint::{trace, FixedBase, Ubig};
 
 /// Deterministic xorshift64* limb source.
 struct Xs(u64);
@@ -150,6 +150,95 @@ fn mulm_arithmetic_trace_is_operand_independent() {
             "pair {i}: mulm arithmetic trace depends on operand values"
         );
     }
+}
+
+#[test]
+fn fixed_base_pow_trace_is_exponent_independent() {
+    let mut xs = Xs(0x7ab1_e5ca_7ab1_e5ca);
+    // The table is built once *outside* the captures: only the per-call
+    // masked scan + multiply chain is on trial.
+    for (i, bits) in [128u32, 192, 256, 256, 320, 512].into_iter().enumerate() {
+        let n = xs.modulus(8);
+        let ctx = MontCtx::shared(&n);
+        let base = xs.below(&n);
+        let fb = FixedBase::new(std::sync::Arc::clone(&ctx), &base, 512);
+        let e1 = xs.exact_bits(bits);
+        let e2 = xs.exact_bits(bits);
+        let (t1, r1) = trace::capture(|| fb.pow(&e1));
+        let (t2, r2) = trace::capture(|| fb.pow(&e2));
+        assert!(t1.total() > 0, "instrumentation recorded nothing");
+        assert_eq!(
+            t1, t2,
+            "pair {i}: FixedBase::pow trace depends on the {bits}-bit exponent value"
+        );
+        assert_eq!(r1, base.modpow(&e1, &n));
+        assert_eq!(r2, base.modpow(&e2, &n));
+    }
+}
+
+#[test]
+fn fixed_base_pow_trace_tracks_public_width_only() {
+    let mut xs = Xs(0x0f1b_a5e5_0f1b_a5e5);
+    let n = xs.modulus(8);
+    let ctx = MontCtx::shared(&n);
+    let base = xs.below(&n);
+    let fb = FixedBase::new(std::sync::Arc::clone(&ctx), &base, 512);
+    let (t_short, _) = trace::capture(|| fb.pow(&xs.exact_bits(128)));
+    let (t_long, _) = trace::capture(|| fb.pow(&xs.exact_bits(256)));
+    assert_ne!(t_short, t_long, "width change must be visible in the trace");
+}
+
+#[test]
+fn multi_exp_trace_is_exponent_independent() {
+    let mut xs = Xs(0x57a5_b007_57a5_b007);
+    // Same term count, same max width, different secret exponent values →
+    // identical traces. Straus shares one squaring chain, so the trace is a
+    // function of (term count, modulus width, max exponent width) only.
+    for (i, bits) in [192u32, 256, 384, 512].into_iter().enumerate() {
+        let n = xs.modulus(8);
+        let ctx = MontCtx::new(n.clone());
+        let bases: Vec<Ubig> = (0..3).map(|_| xs.below(&n)).collect();
+        let e1: Vec<Ubig> = (0..3).map(|_| xs.exact_bits(bits)).collect();
+        let e2: Vec<Ubig> = (0..3).map(|_| xs.exact_bits(bits)).collect();
+        let p1: Vec<(&Ubig, &Ubig)> = bases.iter().zip(e1.iter()).collect();
+        let p2: Vec<(&Ubig, &Ubig)> = bases.iter().zip(e2.iter()).collect();
+        let (t1, r1) = trace::capture(|| ctx.multi_exp(&p1));
+        let (t2, r2) = trace::capture(|| ctx.multi_exp(&p2));
+        assert!(t1.total() > 0, "instrumentation recorded nothing");
+        assert_eq!(
+            t1, t2,
+            "set {i}: multi_exp trace depends on {bits}-bit exponent values"
+        );
+        // Correctness of the traced runs.
+        let naive = |es: &[Ubig]| {
+            bases
+                .iter()
+                .zip(es)
+                .fold(Ubig::one(), |acc, (b, e)| acc.mulm(&b.modpow(e, &n), &n))
+        };
+        assert_eq!(r1, naive(&e1));
+        assert_eq!(r2, naive(&e2));
+    }
+}
+
+#[test]
+fn multi_exp_trace_only_sees_max_width() {
+    // Shorter co-exponents hide behind the longest one: swapping a short
+    // term's value (same max width overall) must not move the trace.
+    let mut xs = Xs(0xd00d_d00d_d00d_d00d);
+    let n = xs.modulus(8);
+    let ctx = MontCtx::new(n.clone());
+    let b1 = xs.below(&n);
+    let b2 = xs.below(&n);
+    let long = xs.exact_bits(512);
+    let short_a = xs.exact_bits(64);
+    let short_b = xs.exact_bits(200);
+    let (ta, _) = trace::capture(|| ctx.multi_exp(&[(&b1, &long), (&b2, &short_a)]));
+    let (tb, _) = trace::capture(|| ctx.multi_exp(&[(&b1, &long), (&b2, &short_b)]));
+    assert_eq!(
+        ta, tb,
+        "multi_exp trace leaks the width of a non-maximal exponent"
+    );
 }
 
 /// A knowingly-leaky square-and-multiply kernel: multiplies only on set

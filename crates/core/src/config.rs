@@ -277,6 +277,12 @@ pub struct HandshakeOptions {
     pub dgka: DgkaChoice,
     /// Retry/timeout budget on lossy media.
     pub budget: SessionBudget,
+    /// Verify co-members' Phase-III signatures on a scoped worker pool
+    /// (one job per slot). Results are merged in slot order, so the
+    /// transcript and per-slot costs are byte-identical either way; this
+    /// only trades wall-clock time. Disable to pin the engine to one
+    /// thread (e.g. under a deterministic profiler).
+    pub parallel_verify: bool,
 }
 
 impl Default for HandshakeOptions {
@@ -287,6 +293,7 @@ impl Default for HandshakeOptions {
             delivery: DeliveryPolicy::Synchronous,
             dgka: DgkaChoice::BurmesterDesmedt,
             budget: SessionBudget::default(),
+            parallel_verify: true,
         }
     }
 }
@@ -320,6 +327,7 @@ impl HandshakeOptions {
         w.put_u8(tag_of(&DgkaChoice::ALL, &self.dgka));
         w.put_u32(self.budget.max_exchanges);
         w.put_u32(self.budget.retries_per_round);
+        w.put_u8(u8::from(self.parallel_verify));
         w.into_bytes()
     }
 
@@ -348,6 +356,11 @@ impl HandshakeOptions {
             max_exchanges: r.take_u32()?,
             retries_per_round: r.take_u32()?,
         };
+        let parallel_verify = match r.take_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::BadTag),
+        };
         r.finish()?;
         Ok(HandshakeOptions {
             policy,
@@ -355,6 +368,7 @@ impl HandshakeOptions {
             delivery,
             dgka,
             budget,
+            parallel_verify,
         })
     }
 }
@@ -412,6 +426,7 @@ mod tests {
                             max_exchanges: 5,
                             retries_per_round: 1,
                         },
+                        parallel_verify: false,
                     };
                     let bytes = o.to_bytes();
                     assert_eq!(HandshakeOptions::from_bytes(&bytes), Ok(o));

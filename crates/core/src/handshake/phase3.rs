@@ -68,71 +68,98 @@ pub(crate) fn run(
     }
 
     // Verification (aborted slots are decoy senders; they verify
-    // nothing).
-    for (i, slot) in slots.iter().enumerate() {
+    // nothing). Each active member slot verifies its m−1 peer frames
+    // independently of every other slot, so the slots fan out onto the
+    // worker pool; results and modexp counts come back in slot order and
+    // the outcome is byte-identical to a sequential run.
+    let slots = &*slots;
+    let workers = crate::pool::verify_workers(m, opts.parallel_verify);
+    let per_slot = crate::pool::run_indexed(m, workers, |i| {
+        let slot = &slots[i];
         let Actor::Member(member) = slot.actor else {
-            continue;
+            return None;
         };
         if aborts[i].is_some() {
+            return None;
+        }
+        // The op counters are thread-local: measure on the worker and
+        // carry the delta home in the result.
+        let (counts, outcome) =
+            shs_bigint::counters::measure(|| verify_slot(slot, member, i, &views[i]));
+        Some((outcome, counts.modexp))
+    });
+    for (i, result) in per_slot.into_iter().enumerate() {
+        let Some(((v, d), modexp)) = result else {
             continue;
-        }
-        let expected_t7 = if member.scheme().self_distinct() {
-            meter(&mut costs[i], || {
-                member.credential().common_t7(&sd_basis(slot))
-            })
-        } else {
-            None
         };
-        let mut t6_seen: Vec<(usize, Ubig)> = Vec::new();
-        if let Some(t6) = &slot.own_t6 {
-            t6_seen.push((i, t6.clone()));
-        }
-        for (j, payload) in views[i].iter().enumerate() {
-            if j == i || !slot.delta_set.contains(&j) {
-                continue;
-            }
-            let Some(payload) = payload else {
-                continue;
-            };
-            let Ok((theta, delta_bytes)) = decode_p3(payload) else {
-                continue;
-            };
-            let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
-                continue;
-            };
-            let mut msg = delta_bytes.clone();
-            msg.extend_from_slice(&slot.sid);
-            let ok = meter(&mut costs[i], || {
-                member.credential().verify(
-                    &msg,
-                    &sig_bytes,
-                    expected_t7.as_ref(),
-                    &member.crl.tokens,
-                )
-            });
-            if let Some(t6) = ok {
-                verified[i].push(j);
-                if let Some(t6) = t6 {
-                    t6_seen.push((j, t6));
-                }
-            }
-        }
-        // Self-distinction: flag every slot whose T6 collides.
-        for (a_idx, (slot_a, t6_a)) in t6_seen.iter().enumerate() {
-            for (slot_b, t6_b) in t6_seen.iter().skip(a_idx + 1) {
-                if t6_a == t6_b {
-                    if !duplicates[i].contains(slot_a) {
-                        duplicates[i].push(*slot_a);
-                    }
-                    if !duplicates[i].contains(slot_b) {
-                        duplicates[i].push(*slot_b);
-                    }
-                }
-            }
-        }
-        duplicates[i].sort_unstable();
+        verified[i] = v;
+        duplicates[i] = d;
+        costs[i].modexp += modexp;
     }
     Ok((transcript, verified, duplicates))
+}
+
+/// One slot's Phase-III verification: checks every co-member frame in
+/// this slot's view and flags duplicate `T6` values (self-distinction).
+/// Returns `(verified, duplicates)` for the slot.
+fn verify_slot(
+    slot: &SlotState<'_>,
+    member: &crate::member::Member,
+    i: usize,
+    view: &[Option<Vec<u8>>],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut verified = Vec::new();
+    let mut duplicates = Vec::new();
+    let expected_t7 = member
+        .scheme()
+        .self_distinct()
+        .then(|| member.credential().common_t7(&sd_basis(slot)))
+        .flatten();
+    let mut t6_seen: Vec<(usize, Ubig)> = Vec::new();
+    if let Some(t6) = &slot.own_t6 {
+        t6_seen.push((i, t6.clone()));
+    }
+    for (j, payload) in view.iter().enumerate() {
+        if j == i || !slot.delta_set.contains(&j) {
+            continue;
+        }
+        let Some(payload) = payload else {
+            continue;
+        };
+        let Ok((theta, delta_bytes)) = decode_p3(payload) else {
+            continue;
+        };
+        let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
+            continue;
+        };
+        let mut msg = delta_bytes.clone();
+        msg.extend_from_slice(&slot.sid);
+        let ok =
+            member
+                .credential()
+                .verify(&msg, &sig_bytes, expected_t7.as_ref(), &member.crl.tokens);
+        if let Some(t6) = ok {
+            verified.push(j);
+            if let Some(t6) = t6 {
+                t6_seen.push((j, t6));
+            }
+        }
+    }
+    // Self-distinction: flag every slot whose T6 collides.
+    for (a_idx, (slot_a, t6_a)) in t6_seen.iter().enumerate() {
+        for (slot_b, t6_b) in t6_seen.iter().skip(a_idx + 1) {
+            if t6_a == t6_b {
+                if !duplicates.contains(slot_a) {
+                    duplicates.push(*slot_a);
+                }
+                if !duplicates.contains(slot_b) {
+                    duplicates.push(*slot_b);
+                }
+            }
+        }
+    }
+    duplicates.sort_unstable();
+    (verified, duplicates)
 }
 
 /// Self-distinction basis: the concatenation of everything sent in Phases

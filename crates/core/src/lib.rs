@@ -76,6 +76,7 @@ pub mod factory;
 pub mod fixtures;
 pub mod handshake;
 pub mod member;
+mod pool;
 pub mod roles;
 pub mod substrate;
 pub mod transcript;

@@ -1,0 +1,94 @@
+//! A minimal scoped worker pool for the handshake engine's
+//! embarrassingly-parallel steps (Phase III signature verification).
+//!
+//! The pool is deliberately tiny: `std::thread::scope` plus an atomic
+//! work index. Jobs are identified by index, pulled greedily by whichever
+//! worker is free, and the results are re-sorted by index before
+//! returning — so the output (and therefore every transcript derived
+//! from it) is byte-identical to a sequential run regardless of
+//! scheduling. Side-effect totals (operation counters) must travel in
+//! each job's return value: the counters in [`shs_bigint::counters`] are
+//! thread-local, so work done on a worker thread is invisible to the
+//! caller's counters until merged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job(0..jobs)` on up to `workers` scoped threads and returns the
+/// results in job-index order. With fewer than two workers or jobs the
+/// pool degenerates to a plain sequential loop on the calling thread —
+/// the parallel and sequential paths run the exact same closure.
+pub(crate) fn run_indexed<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(jobs) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = job(i);
+                done.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    done.sort_unstable_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, t)| t).collect()
+}
+
+/// The worker count to use for `jobs` parallel verifications: the
+/// machine's available parallelism, capped by the job count. Returns 1
+/// (sequential) when parallelism is unavailable or disabled.
+pub(crate) fn verify_workers(jobs: usize, enabled: bool) -> usize {
+    if !enabled {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(17, 4, |i| {
+            // Stagger completion so late indices often finish first.
+            std::thread::sleep(std::time::Duration::from_micros(((17 - i) * 50) as u64));
+            i * i
+        });
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| (i, i.wrapping_mul(0x9e37_79b9));
+        assert_eq!(run_indexed(9, 1, f), run_indexed(9, 4, f));
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn worker_count_caps_at_jobs_and_respects_disable() {
+        assert_eq!(verify_workers(8, false), 1);
+        assert_eq!(verify_workers(1, true), 1);
+        assert!(verify_workers(64, true) >= 1);
+    }
+}

@@ -8,14 +8,15 @@
 use crate::GroupError;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use shs_bigint::{gcd, jacobi, mont::MontCtx, prime, rng as brng, Int, Ubig};
+use shs_bigint::{crt::CrtCtx, gcd, jacobi, mont::MontCtx, prime, rng as brng, Int, Ubig};
 use shs_crypto::hkdf;
+use std::sync::Arc;
 
 /// The public side of a safe-RSA setting: the modulus `n`.
 #[derive(Debug, Clone)]
 pub struct RsaGroup {
     n: Ubig,
-    ctx: MontCtx,
+    ctx: Arc<MontCtx>,
 }
 
 /// Serializable form of [`RsaGroup`].
@@ -64,7 +65,7 @@ impl RsaGroup {
                 continue;
             }
             let group = RsaGroup {
-                ctx: MontCtx::new(n.clone()),
+                ctx: MontCtx::shared(&n),
                 n,
             };
             let secret = RsaSecret { p, q, p1, q1 };
@@ -80,10 +81,13 @@ impl RsaGroup {
         RsaGroup::generate(modulus_bits, &mut drbg)
     }
 
-    /// Rebuilds the public group from its parameters.
+    /// Rebuilds the public group from its parameters. The Montgomery
+    /// context comes from the process-wide cache, so round-tripping a group
+    /// through its params (done on every credential deserialization) no
+    /// longer re-derives R² and n′.
     pub fn from_params(params: RsaParams) -> RsaGroup {
         RsaGroup {
-            ctx: MontCtx::new(params.n.clone()),
+            ctx: MontCtx::shared(&params.n),
             n: params.n,
         }
     }
@@ -102,6 +106,50 @@ impl RsaGroup {
     pub fn exp(&self, base: &Ubig, e: &Ubig) -> Ubig {
         shs_bigint::counters::record_modexp();
         self.ctx.modpow(base, e)
+    }
+
+    /// The shared Montgomery context for `n` — handed to fixed-base table
+    /// builders so precomputation lives alongside the group.
+    pub fn ctx(&self) -> &Arc<MontCtx> {
+        &self.ctx
+    }
+
+    /// Variable-time `base^e mod n` for **public** operands (broadcast
+    /// signatures, proof transcripts). Counts as one modular
+    /// exponentiation, like [`RsaGroup::exp`].
+    pub fn exp_vartime(&self, base: &Ubig, e: &Ubig) -> Ubig {
+        shs_bigint::counters::record_modexp();
+        self.ctx.modpow_vartime(base, e)
+    }
+
+    /// Variable-time multi-exponentiation `∏ baseᵢ^{eᵢ} mod n` with signed
+    /// exponents, for **public** verification equations. Negative
+    /// exponents invert their base first (same contract as
+    /// [`RsaGroup::exp_signed`]). Counts one modular exponentiation per
+    /// term, so cost tables match the naive product it replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a base with a negative exponent is not invertible
+    /// (probability `~ 1/p'` — finding such a base factors `n`).
+    pub fn multi_exp_vartime(&self, terms: &[(&Ubig, &Int)]) -> Ubig {
+        for _ in terms {
+            shs_bigint::counters::record_modexp();
+        }
+        let inverted: Vec<(Ubig, Ubig)> = terms
+            .iter()
+            .map(|(b, e)| {
+                let base = if e.is_negative() {
+                    b.modinv(&self.n)
+                        .expect("non-invertible base would factor n")
+                } else {
+                    (*b).clone()
+                };
+                (base, e.magnitude().clone())
+            })
+            .collect();
+        let pairs: Vec<(&Ubig, &Ubig)> = inverted.iter().map(|(b, e)| (b, e)).collect();
+        self.ctx.multi_exp_vartime(&pairs)
     }
 
     /// Exponentiation with a signed exponent: `base^{-|e|}` is
@@ -212,7 +260,12 @@ impl RsaSecret {
         let d = e
             .modinv(&self.qr_order())
             .map_err(|_| GroupError::NotInvertible)?;
-        Ok(group.exp(x, &d))
+        // Authority-side: the factorization is in hand, so the full-width
+        // exponentiation splits into two half-width ones (CRT). Counts one
+        // modexp, exactly like the `group.exp` call it replaces.
+        let ctx = CrtCtx::shared(&self.p, &self.q).map_err(|_| GroupError::NotInvertible)?;
+        debug_assert_eq!(ctx.modulus(), group.n());
+        Ok(ctx.modpow(x, &d))
     }
 
     /// Samples a generator of the cyclic group `QR(n)`.
@@ -324,6 +377,35 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(s.is_qr(&a));
+    }
+
+    #[test]
+    fn vartime_kernels_match_ct() {
+        let (g, _s) = test_setting();
+        let mut rng = HmacDrbg::from_seed(b"t7");
+        let x = g.random_qr(&mut rng);
+        let y = g.random_qr(&mut rng);
+        let e1 = g.random_exponent(&mut rng);
+        let e2 = Int::from_i64(-12345);
+        assert_eq!(g.exp_vartime(&x, &e1), g.exp(&x, &e1));
+        let naive = g.mul(
+            &g.exp_signed(&x, &Int::from_ubig(e1.clone())),
+            &g.exp_signed(&y, &e2),
+        );
+        assert_eq!(
+            g.multi_exp_vartime(&[(&x, &Int::from_ubig(e1)), (&y, &e2)]),
+            naive
+        );
+    }
+
+    #[test]
+    fn crt_root_matches_plain_exp() {
+        let (g, s) = test_setting();
+        let mut rng = HmacDrbg::from_seed(b"t8");
+        let x = g.random_qr(&mut rng);
+        let e = Ubig::from_u64(65537);
+        let d = e.modinv(&s.qr_order()).unwrap();
+        assert_eq!(s.root(g, &x, &e).unwrap(), g.exp(&x, &d));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::params::GsigParams;
 use crate::proofs::{self, Transcript};
+use crate::tables::FixedBasePair;
 use crate::GsigError;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,16 @@ use shs_bigint::{rng as brng, Int, Ubig};
 use shs_groups::rsa::{RsaGroup, RsaParams, RsaSecret};
 
 pub use crate::ky::MemberId;
+
+/// Fixed-base tables for the four bases signing exponentiates with secret
+/// exponents; built on first use, shared by clones of the key.
+#[derive(Debug, Clone, Default)]
+struct SignTables {
+    a: FixedBasePair,
+    g: FixedBasePair,
+    h: FixedBasePair,
+    y: FixedBasePair,
+}
 
 /// The ACJT group public key `(n, a, a0, g, h, y)`.
 #[derive(Debug, Clone)]
@@ -39,6 +50,7 @@ pub struct GroupPublicKey {
     pub h: Ubig,
     /// Opening key `y = g^θ`.
     pub y: Ubig,
+    tables: SignTables,
 }
 
 /// Serializable form of [`GroupPublicKey`].
@@ -84,12 +96,64 @@ impl GroupPublicKey {
             g: p.g,
             h: p.h,
             y: p.y,
+            tables: SignTables::default(),
         }
     }
 
     /// The RSA group.
     pub fn rsa(&self) -> &RsaGroup {
         &self.rsa
+    }
+
+    /// Width bound for the fixed-base tables: the widest secret exponent a
+    /// signer ever raises a fixed base to is the `h'`-blind.
+    fn table_bits(&self) -> u32 {
+        self.params.blind_bits(self.params.h_bits())
+    }
+
+    /// `a^e` via the precomputed table (constant-trace).
+    fn pow_a(&self, e: &Int) -> Ubig {
+        self.tables
+            .a
+            .pow_signed(&self.rsa, &self.a, e, self.table_bits())
+    }
+
+    /// `g^e` via the precomputed table (constant-trace).
+    fn pow_g(&self, e: &Int) -> Ubig {
+        self.tables
+            .g
+            .pow_signed(&self.rsa, &self.g, e, self.table_bits())
+    }
+
+    /// `h^e` via the precomputed table (constant-trace).
+    fn pow_h(&self, e: &Int) -> Ubig {
+        self.tables
+            .h
+            .pow_signed(&self.rsa, &self.h, e, self.table_bits())
+    }
+
+    /// `y^e` via the precomputed table (constant-trace).
+    fn pow_y(&self, e: &Int) -> Ubig {
+        self.tables
+            .y
+            .pow_signed(&self.rsa, &self.y, e, self.table_bits())
+    }
+
+    /// Unsigned-exponent variants for the certificate-equation paths.
+    fn pow_a_u(&self, e: &Ubig) -> Ubig {
+        self.tables.a.pow(&self.rsa, &self.a, e, self.table_bits())
+    }
+
+    fn pow_g_u(&self, e: &Ubig) -> Ubig {
+        self.tables.g.pow(&self.rsa, &self.g, e, self.table_bits())
+    }
+
+    fn pow_h_u(&self, e: &Ubig) -> Ubig {
+        self.tables.h.pow(&self.rsa, &self.h, e, self.table_bits())
+    }
+
+    fn pow_y_u(&self, e: &Ubig) -> Ubig {
+        self.tables.y.pow(&self.rsa, &self.y, e, self.table_bits())
     }
 
     fn transcript_for(&self, message: &[u8], t: &[&Ubig; 3], b: &[Ubig; 4]) -> Transcript {
@@ -264,6 +328,7 @@ impl GroupManager {
             g,
             h,
             y,
+            tables: SignTables::default(),
         };
         GroupManager {
             pk,
@@ -359,9 +424,9 @@ pub fn start_join(
 ) -> (JoinSecret, JoinRequest) {
     let params = &pk.params;
     let x = params.sample_lambda(rng);
-    let commitment = pk.rsa.exp(&pk.a, &x);
+    let commitment = pk.pow_a_u(&x);
     let rho = proofs::sample_blind(params.blind_bits(params.lambda2), rng);
-    let big_b = pk.rsa.exp_signed(&pk.a, &rho);
+    let big_b = pk.pow_a(&rho);
     let mut t = Transcript::new("shs-gsig-acjt-join");
     t.append_ubig("n", pk.rsa.n());
     t.append_ubig("a", &pk.a);
@@ -385,10 +450,11 @@ fn verify_join_pok(pk: &GroupPublicKey, req: &JoinRequest) -> bool {
         return false;
     }
     let exp = proofs::shifted(&req.pok_s, &req.pok_c, params.lambda1);
-    let big_b = pk.rsa.mul(
-        &pk.rsa.exp_signed(&pk.a, &exp),
-        &pk.rsa.exp(&req.commitment, &req.pok_c),
-    );
+    // Every operand is public join-request data: one vartime multi-exp.
+    let big_b = pk.rsa.multi_exp_vartime(&[
+        (&pk.a, &exp),
+        (&req.commitment, &Int::from_ubig(req.pok_c.clone())),
+    ]);
     let mut t = Transcript::new("shs-gsig-acjt-join");
     t.append_ubig("n", pk.rsa.n());
     t.append_ubig("a", &pk.a);
@@ -412,7 +478,7 @@ pub fn finish_join(
         return Err(GsigError::JoinRejected);
     }
     let lhs = pk.rsa.exp(&resp.a_cert, &resp.e);
-    let rhs = pk.rsa.mul(&pk.a0, &pk.rsa.exp(&pk.a, &secret.x));
+    let rhs = pk.rsa.mul(&pk.a0, &pk.pow_a_u(&secret.x));
     if lhs != rhs {
         return Err(GsigError::JoinRejected);
     }
@@ -438,9 +504,11 @@ pub fn sign(
     let rsa = &pk.rsa;
 
     let w = brng::below(rng, &pow2(params.r_bits()));
-    let t1 = rsa.mul(&key.a_cert, &rsa.exp(&pk.y, &w));
-    let t2 = rsa.exp(&pk.g, &w);
-    let t3 = rsa.mul(&rsa.exp(&pk.g, &key.e), &rsa.exp(&pk.h, &w));
+    // Fixed public bases with secret exponents: precomputed constant-trace
+    // tables. Per-signature bases (T1, T2) stay on the plain kernel.
+    let t1 = rsa.mul(&key.a_cert, &pk.pow_y_u(&w));
+    let t2 = pk.pow_g_u(&w);
+    let t3 = rsa.mul(&pk.pow_g_u(&key.e), &pk.pow_h_u(&w));
     let h_prime = key.e.mul(&w);
 
     let rho_x = proofs::sample_blind(params.blind_bits(params.lambda2), rng);
@@ -450,20 +518,11 @@ pub fn sign(
 
     // B1 = g^{ρ_w}; B2 = g^{ρ_e} h^{ρ_w}; B3 = T2^{ρ_e} g^{-ρ_h};
     // B4 = a^{ρ_x} y^{ρ_h} T1^{-ρ_e}.
-    let b1 = rsa.exp_signed(&pk.g, &rho_w);
-    let b2 = rsa.mul(
-        &rsa.exp_signed(&pk.g, &rho_e),
-        &rsa.exp_signed(&pk.h, &rho_w),
-    );
-    let b3 = rsa.mul(
-        &rsa.exp_signed(&t2, &rho_e),
-        &rsa.exp_signed(&pk.g, &rho_h.neg()),
-    );
+    let b1 = pk.pow_g(&rho_w);
+    let b2 = rsa.mul(&pk.pow_g(&rho_e), &pk.pow_h(&rho_w));
+    let b3 = rsa.mul(&rsa.exp_signed(&t2, &rho_e), &pk.pow_g(&rho_h.neg()));
     let b4 = rsa.mul(
-        &rsa.mul(
-            &rsa.exp_signed(&pk.a, &rho_x),
-            &rsa.exp_signed(&pk.y, &rho_h),
-        ),
+        &rsa.mul(&pk.pow_a(&rho_x), &pk.pow_y(&rho_h)),
         &rsa.exp_signed(&t1, &rho_e.neg()),
     );
 
@@ -514,29 +573,19 @@ pub fn verify(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<()
     let e_e = proofs::shifted(&sig.s_e, c, params.gamma1);
     let e_x = proofs::shifted(&sig.s_x, c, params.lambda1);
 
-    let b1 = rsa.mul(&rsa.exp_signed(&pk.g, &sig.s_w), &rsa.exp(&sig.t2, c));
-    let b2 = rsa.mul(
-        &rsa.mul(
-            &rsa.exp_signed(&pk.g, &e_e),
-            &rsa.exp_signed(&pk.h, &sig.s_w),
-        ),
-        &rsa.exp(&sig.t3, c),
-    );
-    let b3 = rsa.mul(
-        &rsa.exp_signed(&sig.t2, &e_e),
-        &rsa.exp_signed(&pk.g, &sig.s_h.neg()),
-    );
-    let a0_inv_c = rsa.exp_signed(&pk.a0, &Int::from_ubig(c.clone()).neg());
-    let b4 = rsa.mul(
-        &rsa.mul(
-            &rsa.mul(
-                &rsa.exp_signed(&pk.a, &e_x),
-                &rsa.exp_signed(&pk.y, &sig.s_h),
-            ),
-            &rsa.exp_signed(&sig.t1, &e_e.neg()),
-        ),
-        &a0_inv_c,
-    );
+    // Verification operates on broadcast data only, so each B′ product is
+    // one vartime Straus multi-exp: shared squaring chain across the
+    // bases instead of one full ladder per base.
+    let c_int = Int::from_ubig(c.clone());
+    let b1 = rsa.multi_exp_vartime(&[(&pk.g, &sig.s_w), (&sig.t2, &c_int)]);
+    let b2 = rsa.multi_exp_vartime(&[(&pk.g, &e_e), (&pk.h, &sig.s_w), (&sig.t3, &c_int)]);
+    let b3 = rsa.multi_exp_vartime(&[(&sig.t2, &e_e), (&pk.g, &sig.s_h.neg())]);
+    let b4 = rsa.multi_exp_vartime(&[
+        (&pk.a, &e_x),
+        (&pk.y, &sig.s_h),
+        (&sig.t1, &e_e.neg()),
+        (&pk.a0, &c_int.neg()),
+    ]);
 
     let c_prime = pk
         .transcript_for(message, &[&sig.t1, &sig.t2, &sig.t3], &[b1, b2, b3, b4])

@@ -28,6 +28,7 @@
 
 use crate::params::GsigParams;
 use crate::proofs::{self, Transcript};
+use crate::tables::FixedBasePair;
 use crate::GsigError;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,18 @@ pub struct GroupPublicKey {
     pub h: Ubig,
     /// GM tracing key `y = g^θ`.
     pub y: Ubig,
+    tables: SignTables,
+}
+
+/// Fixed-base tables for the five bases signing exponentiates with secret
+/// exponents; built on first use, shared by clones of the key.
+#[derive(Debug, Clone, Default)]
+struct SignTables {
+    a: FixedBasePair,
+    b: FixedBasePair,
+    g: FixedBasePair,
+    h: FixedBasePair,
+    y: FixedBasePair,
 }
 
 /// Serializable form of [`GroupPublicKey`].
@@ -111,12 +124,71 @@ impl GroupPublicKey {
             g: p.g,
             h: p.h,
             y: p.y,
+            tables: SignTables::default(),
         }
     }
 
     /// The RSA group (for callers needing raw `QR(n)` operations).
     pub fn rsa(&self) -> &RsaGroup {
         &self.rsa
+    }
+
+    /// Width bound for the fixed-base tables: the widest secret exponent a
+    /// signer ever raises a fixed base to is the `h'`-blind.
+    fn table_bits(&self) -> u32 {
+        self.params.blind_bits(self.params.h_bits())
+    }
+
+    /// `a^e` via the precomputed table (constant-trace).
+    fn pow_a(&self, e: &Int) -> Ubig {
+        self.tables
+            .a
+            .pow_signed(&self.rsa, &self.a, e, self.table_bits())
+    }
+
+    /// `b^e` via the precomputed table (constant-trace).
+    fn pow_b(&self, e: &Int) -> Ubig {
+        self.tables
+            .b
+            .pow_signed(&self.rsa, &self.b, e, self.table_bits())
+    }
+
+    /// `g^e` via the precomputed table (constant-trace).
+    fn pow_g(&self, e: &Int) -> Ubig {
+        self.tables
+            .g
+            .pow_signed(&self.rsa, &self.g, e, self.table_bits())
+    }
+
+    /// `h^e` via the precomputed table (constant-trace).
+    fn pow_h(&self, e: &Int) -> Ubig {
+        self.tables
+            .h
+            .pow_signed(&self.rsa, &self.h, e, self.table_bits())
+    }
+
+    /// `y^e` via the precomputed table (constant-trace).
+    fn pow_y(&self, e: &Int) -> Ubig {
+        self.tables
+            .y
+            .pow_signed(&self.rsa, &self.y, e, self.table_bits())
+    }
+
+    /// Unsigned-exponent table variants.
+    fn pow_b_u(&self, e: &Ubig) -> Ubig {
+        self.tables.b.pow(&self.rsa, &self.b, e, self.table_bits())
+    }
+
+    fn pow_g_u(&self, e: &Ubig) -> Ubig {
+        self.tables.g.pow(&self.rsa, &self.g, e, self.table_bits())
+    }
+
+    fn pow_h_u(&self, e: &Ubig) -> Ubig {
+        self.tables.h.pow(&self.rsa, &self.h, e, self.table_bits())
+    }
+
+    fn pow_y_u(&self, e: &Ubig) -> Ubig {
+        self.tables.y.pow(&self.rsa, &self.y, e, self.table_bits())
     }
 
     /// Derives the common self-distinction base `T7` from session-unique
@@ -388,6 +460,7 @@ impl GroupManager {
             g,
             h,
             y,
+            tables: SignTables::default(),
         };
         GroupManager {
             pk,
@@ -552,14 +625,9 @@ pub fn verify_opening(
     let shield = rsa
         .div(&sig.tags.t1, &opening.a_cert)
         .map_err(|_| GsigError::InvalidProof)?;
-    let u1 = rsa.mul(
-        &rsa.exp_signed(&pk.g, &opening.proof.s),
-        &rsa.exp(&pk.y, &opening.proof.c),
-    );
-    let u2 = rsa.mul(
-        &rsa.exp_signed(&sig.tags.t2, &opening.proof.s),
-        &rsa.exp(&shield, &opening.proof.c),
-    );
+    let c_int = Int::from_ubig(opening.proof.c.clone());
+    let u1 = rsa.multi_exp_vartime(&[(&pk.g, &opening.proof.s), (&pk.y, &c_int)]);
+    let u2 = rsa.multi_exp_vartime(&[(&sig.tags.t2, &opening.proof.s), (&shield, &c_int)]);
     let c = opening_transcript(pk, sig, &opening.a_cert, &u1, &u2).challenge(params.k);
     if c == opening.proof.c {
         Ok(())
@@ -575,10 +643,10 @@ pub fn start_join(
 ) -> (JoinSecret, JoinRequest) {
     let params = &pk.params;
     let x_prime = params.sample_lambda(rng);
-    let commitment = pk.rsa.exp(&pk.b, &x_prime);
+    let commitment = pk.pow_b_u(&x_prime);
     // Schnorr PoK of x' in Λ on base b.
     let rho = proofs::sample_blind(params.blind_bits(params.lambda2), rng);
-    let big_b = pk.rsa.exp_signed(&pk.b, &rho);
+    let big_b = pk.pow_b(&rho);
     let mut t = Transcript::new("shs-gsig-join");
     t.append_ubig("n", pk.rsa.n());
     t.append_ubig("b", &pk.b);
@@ -601,12 +669,13 @@ fn verify_join_pok(pk: &GroupPublicKey, req: &JoinRequest) -> bool {
     if !proofs::response_in_range(&req.pok_s, params.blind_bits(params.lambda2)) {
         return false;
     }
-    // B' = b^{s - c·2^{λ1}} · C^c
+    // B' = b^{s - c·2^{λ1}} · C^c — public join-request data: one vartime
+    // multi-exp.
     let exp = proofs::shifted(&req.pok_s, &req.pok_c, params.lambda1);
-    let big_b = pk.rsa.mul(
-        &pk.rsa.exp_signed(&pk.b, &exp),
-        &pk.rsa.exp(&req.commitment, &req.pok_c),
-    );
+    let big_b = pk.rsa.multi_exp_vartime(&[
+        (&pk.b, &exp),
+        (&req.commitment, &Int::from_ubig(req.pok_c.clone())),
+    ]);
     let mut t = Transcript::new("shs-gsig-join");
     t.append_ubig("n", pk.rsa.n());
     t.append_ubig("b", &pk.b);
@@ -664,21 +733,24 @@ pub fn sign(
     let rsa = &pk.rsa;
     let two = |bits: u32| -> Ubig { pow2(bits) };
 
+    // Fixed public bases with secret exponents go through the precomputed
+    // constant-trace tables; per-signature bases (T1, T2, T5, T7) stay on
+    // the plain Montgomery kernel.
     let r = brng::below(rng, &two(params.r_bits()));
     let k1 = brng::below(rng, &two(params.r_bits()));
-    let t5 = rsa.exp(&pk.g, &k1);
+    let t5 = pk.pow_g_u(&k1);
     let t4 = rsa.exp(&t5, &key.x);
     let t7 = match basis {
         SignBasis::Random => {
             let k2 = brng::below(rng, &two(params.r_bits()));
-            rsa.exp(&pk.g, &k2)
+            pk.pow_g_u(&k2)
         }
         SignBasis::Common(bytes) => pk.common_t7(bytes),
     };
     let t6 = rsa.exp(&t7, &key.x_prime);
-    let t1 = rsa.mul(&key.a_cert, &rsa.exp(&pk.y, &r));
-    let t2 = rsa.exp(&pk.g, &r);
-    let t3 = rsa.mul(&rsa.exp(&pk.g, &key.e), &rsa.exp(&pk.h, &r));
+    let t1 = rsa.mul(&key.a_cert, &pk.pow_y_u(&r));
+    let t2 = pk.pow_g_u(&r);
+    let t3 = rsa.mul(&pk.pow_g_u(&key.e), &pk.pow_h_u(&r));
     let h_prime = key.e.mul(&r);
     let tags = Tags {
         t1,
@@ -698,24 +770,15 @@ pub fn sign(
     let rho_h = proofs::sample_blind(params.blind_bits(params.h_bits()), rng);
 
     // Commitments B1..B6.
-    let b1 = rsa.exp_signed(&pk.g, &rho_r);
-    let b2 = rsa.mul(
-        &rsa.exp_signed(&pk.g, &rho_e),
-        &rsa.exp_signed(&pk.h, &rho_r),
-    );
-    let b3 = rsa.mul(
-        &rsa.exp_signed(&tags.t2, &rho_e),
-        &rsa.exp_signed(&pk.g, &rho_h.neg()),
-    );
+    let b1 = pk.pow_g(&rho_r);
+    let b2 = rsa.mul(&pk.pow_g(&rho_e), &pk.pow_h(&rho_r));
+    let b3 = rsa.mul(&rsa.exp_signed(&tags.t2, &rho_e), &pk.pow_g(&rho_h.neg()));
     let b4 = rsa.exp_signed(&tags.t5, &rho_x);
     let b5 = rsa.exp_signed(&tags.t7, &rho_xp);
     let b6 = rsa.mul(
         &rsa.mul(
-            &rsa.mul(
-                &rsa.exp_signed(&pk.a, &rho_x),
-                &rsa.exp_signed(&pk.b, &rho_xp),
-            ),
-            &rsa.exp_signed(&pk.y, &rho_h),
+            &rsa.mul(&pk.pow_a(&rho_x), &pk.pow_b(&rho_xp)),
+            &pk.pow_y(&rho_h),
         ),
         &rsa.exp_signed(&tags.t1, &rho_e.neg()),
     );
@@ -783,43 +846,27 @@ pub fn verify(
     let e_x = proofs::shifted(&sig.s_x, c, params.lambda1);
     let e_xp = proofs::shifted(&sig.s_xp, c, params.lambda1);
 
+    // Every operand below is broadcast data, so each B′ product is one
+    // vartime Straus multi-exp (shared squaring chain across the bases).
+    let c_int = Int::from_ubig(c.clone());
     // B1' = g^{s_r} · T2^c
-    let b1 = rsa.mul(&rsa.exp_signed(&pk.g, &sig.s_r), &rsa.exp(&sig.tags.t2, c));
+    let b1 = rsa.multi_exp_vartime(&[(&pk.g, &sig.s_r), (&sig.tags.t2, &c_int)]);
     // B2' = g^{E_e} · h^{s_r} · T3^c
-    let b2 = rsa.mul(
-        &rsa.mul(
-            &rsa.exp_signed(&pk.g, &e_e),
-            &rsa.exp_signed(&pk.h, &sig.s_r),
-        ),
-        &rsa.exp(&sig.tags.t3, c),
-    );
+    let b2 = rsa.multi_exp_vartime(&[(&pk.g, &e_e), (&pk.h, &sig.s_r), (&sig.tags.t3, &c_int)]);
     // B3' = T2^{E_e} · g^{-s_h}
-    let b3 = rsa.mul(
-        &rsa.exp_signed(&sig.tags.t2, &e_e),
-        &rsa.exp_signed(&pk.g, &sig.s_h.neg()),
-    );
+    let b3 = rsa.multi_exp_vartime(&[(&sig.tags.t2, &e_e), (&pk.g, &sig.s_h.neg())]);
     // B4' = T5^{E_x} · T4^c
-    let b4 = rsa.mul(
-        &rsa.exp_signed(&sig.tags.t5, &e_x),
-        &rsa.exp(&sig.tags.t4, c),
-    );
+    let b4 = rsa.multi_exp_vartime(&[(&sig.tags.t5, &e_x), (&sig.tags.t4, &c_int)]);
     // B5' = T7^{E_xp} · T6^c
-    let b5 = rsa.mul(
-        &rsa.exp_signed(&sig.tags.t7, &e_xp),
-        &rsa.exp(&sig.tags.t6, c),
-    );
+    let b5 = rsa.multi_exp_vartime(&[(&sig.tags.t7, &e_xp), (&sig.tags.t6, &c_int)]);
     // B6' = a^{E_x} · b^{E_xp} · y^{s_h} · T1^{-E_e} · a0^{-c}
-    let a0_inv_c = rsa.exp_signed(&pk.a0, &Int::from_ubig(c.clone()).neg());
-    let b6 = rsa.mul(
-        &rsa.mul(
-            &rsa.mul(&rsa.exp_signed(&pk.a, &e_x), &rsa.exp_signed(&pk.b, &e_xp)),
-            &rsa.mul(
-                &rsa.exp_signed(&pk.y, &sig.s_h),
-                &rsa.exp_signed(&sig.tags.t1, &e_e.neg()),
-            ),
-        ),
-        &a0_inv_c,
-    );
+    let b6 = rsa.multi_exp_vartime(&[
+        (&pk.a, &e_x),
+        (&pk.b, &e_xp),
+        (&pk.y, &sig.s_h),
+        (&sig.tags.t1, &e_e.neg()),
+        (&pk.a0, &c_int.neg()),
+    ]);
 
     let c_prime = pk
         .transcript_for(message, &sig.tags, &[b1, b2, b3, b4, b5, b6])
@@ -910,12 +957,13 @@ pub fn verify_claim(pk: &GroupPublicKey, sig: &Signature, claim: &Claim) -> Resu
     if !proofs::response_in_range(&claim.s, params.blind_bits(params.lambda2)) {
         return Err(GsigError::InvalidProof);
     }
-    // B' = T7^{s - c·2^{λ1}} · T6^c
+    // B' = T7^{s - c·2^{λ1}} · T6^c — public claim data: one vartime
+    // multi-exp.
     let exp = proofs::shifted(&claim.s, &claim.c, params.lambda1);
-    let big_b = pk.rsa.mul(
-        &pk.rsa.exp_signed(&sig.tags.t7, &exp),
-        &pk.rsa.exp(&sig.tags.t6, &claim.c),
-    );
+    let big_b = pk.rsa.multi_exp_vartime(&[
+        (&sig.tags.t7, &exp),
+        (&sig.tags.t6, &Int::from_ubig(claim.c.clone())),
+    ]);
     if claim_transcript(pk, sig, &big_b).challenge(params.k) == claim.c {
         Ok(())
     } else {

@@ -30,6 +30,7 @@ pub mod fixtures;
 pub mod ky;
 pub mod params;
 pub mod proofs;
+mod tables;
 
 /// Errors produced by the group-signature schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

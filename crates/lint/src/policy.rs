@@ -26,19 +26,23 @@ pub enum Rule {
     /// A `match`/`matches!` dispatch on a factory-owned configuration
     /// enum outside the factory module.
     FactoryDispatch,
+    /// A variable-time exponentiation kernel called outside the
+    /// allowlisted public-data verification sites.
+    VartimeUsage,
     /// A malformed or unused `lint:allow` directive.
     AllowHygiene,
 }
 
 impl Rule {
     /// All rules.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::SecretDebug,
         Rule::SecretCmp,
         Rule::SecretFmt,
         Rule::PanicPath,
         Rule::IndexPath,
         Rule::FactoryDispatch,
+        Rule::VartimeUsage,
         Rule::AllowHygiene,
     ];
 
@@ -51,6 +55,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::IndexPath => "index-path",
             Rule::FactoryDispatch => "factory-dispatch",
+            Rule::VartimeUsage => "vartime-usage",
             Rule::AllowHygiene => "allow-hygiene",
         }
     }
@@ -85,6 +90,12 @@ pub struct Policy {
     /// Files (suffix match) exempt from the factory-dispatch rule —
     /// the factory module(s) themselves.
     pub factory_paths: Vec<String>,
+    /// Function names that are variable-time kernels (their trace leaks
+    /// the exponent); callable only from `vartime_paths`.
+    pub vartime_fns: Vec<String>,
+    /// Files (suffix match) exempt from the vartime-usage rule — the
+    /// kernel definitions and the vetted public-data verification sites.
+    pub vartime_paths: Vec<String>,
     /// Directories under the policy root to scan.
     pub scan_roots: Vec<String>,
     /// Path substrings to exclude from scanning.
@@ -120,6 +131,8 @@ impl Policy {
             index_paths: list("rules.index-path.paths"),
             factory_enums: list("rules.factory-dispatch.enums"),
             factory_paths: list("rules.factory-dispatch.paths"),
+            vartime_fns: list("rules.vartime-usage.fns"),
+            vartime_paths: list("rules.vartime-usage.paths"),
             scan_roots: {
                 let r = list("scan.roots");
                 if r.is_empty() {
@@ -147,6 +160,13 @@ impl Policy {
     /// when the policy names at least one factory-owned enum.
     pub fn factory_rule_applies(&self, rel: &str) -> bool {
         !self.factory_enums.is_empty() && !path_listed(&self.factory_paths, rel)
+    }
+
+    /// Does the vartime-usage rule apply to this file? It applies
+    /// everywhere *except* the allowlisted kernel/verification files,
+    /// and only when the policy names at least one vartime function.
+    pub fn vartime_rule_applies(&self, rel: &str) -> bool {
+        !self.vartime_fns.is_empty() && !path_listed(&self.vartime_paths, rel)
     }
 
     /// Is this file excluded from scanning entirely?

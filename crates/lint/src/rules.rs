@@ -33,6 +33,9 @@ pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     if policy.factory_rule_applies(rel) {
         raw.extend(rule_factory_dispatch(rel, toks, policy));
     }
+    if policy.vartime_rule_applies(rel) {
+        raw.extend(rule_vartime_usage(rel, toks, policy));
+    }
     raw.retain(|f| !in_test(f.line));
 
     // Apply allow directives; track which ones earned their keep.
@@ -594,6 +597,46 @@ fn rule_factory_dispatch(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Findin
     out
 }
 
+// ---------------------------------------------------------------------------
+// vartime-usage
+// ---------------------------------------------------------------------------
+
+/// Flags calls to registered variable-time exponentiation kernels
+/// (`modpow_vartime`, `multi_exp_vartime`, …) anywhere outside the
+/// allowlisted files. The vartime kernels' memory trace depends on the
+/// exponent, so they are only safe on broadcast/public data — the
+/// constant-trace kernels' definitions and the vetted verification
+/// modules are allowlisted in the policy; everything else must use the
+/// constant-trace kernels.
+fn rule_vartime_usage(rel: &str, toks: &[Tok], policy: &Policy) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !policy.vartime_fns.iter().any(|f| f == &t.text) {
+            continue;
+        }
+        // A call: `name(` — not a definition (`fn name(`) and not a bare
+        // mention in a path or doc.
+        let is_call = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        let is_def = i > 0 && toks[i - 1].is_ident("fn");
+        if is_call && !is_def {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                t.col,
+                Rule::VartimeUsage,
+                format!(
+                    "variable-time kernel `{}` called outside the allowlisted \
+                     public-data verification sites; use the constant-trace \
+                     kernel, or add this file to rules.vartime-usage.paths \
+                     with a review",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Keywords that may directly precede `[` without it being an index
 /// expression (`in [..]`, `return [..]`, …).
 fn is_keyword(s: &str) -> bool {
@@ -740,6 +783,40 @@ paths = ["factory.rs"]
             "fn k(o: Option<u8>) -> u8 { match o { Some(x) => x, None => 0 } }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn vartime_usage_scoped_by_path() {
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+[rules.vartime-usage]
+fns = ["modpow_vartime", "multi_exp_vartime"]
+paths = ["verify.rs"]
+"#,
+        )
+        .unwrap();
+        let hits = |rel: &str, src: &str| -> Vec<(Rule, u32)> {
+            lint_tokens(rel, &lex(src), &p)
+                .into_iter()
+                .map(|f| (f.rule, f.line))
+                .collect()
+        };
+        let call = "fn f() { let y = ctx.modpow_vartime(&b, &e); }";
+        assert_eq!(hits("sign.rs", call), vec![(Rule::VartimeUsage, 1)]);
+        // The allowlisted verification module is exempt.
+        assert!(hits("verify.rs", call).is_empty());
+        // Definitions of the kernel are not calls.
+        let def = "pub fn modpow_vartime(e: &U) -> U { e.clone() }";
+        assert!(hits("mont.rs", def).is_empty());
+        // Mentions without a call (doc paths, imports) are fine.
+        assert!(hits("sign.rs", "use mont::modpow_vartime;").is_empty());
+        // Constant-time kernels are never flagged.
+        assert!(hits("sign.rs", "fn f() { let y = ctx.modpow(&b, &e); }").is_empty());
     }
 
     #[test]

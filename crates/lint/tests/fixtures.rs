@@ -75,6 +75,17 @@ fn factory_dispatch_fixture_pair() {
 }
 
 #[test]
+fn vartime_usage_fixture_pair() {
+    assert_eq!(
+        lint_one("bad/vartime_usage.rs"),
+        vec![(Rule::VartimeUsage, 5)]
+    );
+    // The good twin calls the same kernel but is a registered
+    // verification site (and defines the kernel, which is not a call).
+    assert_eq!(lint_one("good/vartime_usage.rs"), vec![]);
+}
+
+#[test]
 fn allow_hygiene_fixture_pair() {
     // Missing reason, stale directive, unknown rule name — one finding
     // each; the suppressed secret-cmp on line 4 must NOT reappear.
@@ -92,8 +103,8 @@ fn allow_hygiene_fixture_pair() {
 #[test]
 fn fixture_workspace_totals() {
     let report = linter().lint_workspace().expect("fixture tree lints");
-    assert_eq!(report.files_scanned, 14, "one bad + one good file per rule");
-    assert_eq!(report.findings.len(), 10);
+    assert_eq!(report.files_scanned, 16, "one bad + one good file per rule");
+    assert_eq!(report.findings.len(), 11);
     // Every rule is represented by at least one finding.
     for rule in Rule::ALL {
         assert!(
@@ -142,7 +153,7 @@ fn binary_exits_nonzero_on_bad_fixtures_with_file_line_output() {
         stderr.contains("bad/secret_cmp.rs:4:"),
         "stderr lacks file:line finding:\n{stderr}"
     );
-    assert!(stderr.contains("10 finding(s)"), "{stderr}");
+    assert!(stderr.contains("11 finding(s)"), "{stderr}");
 }
 
 #[test]
@@ -156,6 +167,7 @@ fn binary_exits_zero_on_good_fixtures() {
         "panic_path",
         "index_path",
         "factory_dispatch",
+        "vartime_usage",
         "allow_hygiene",
     ] {
         cmd.arg(fixtures_root().join(format!("good/{name}.rs")));
@@ -183,7 +195,7 @@ fn binary_emits_json_report_on_stdout() {
     assert_eq!(out.status.code(), Some(1));
     let json = String::from_utf8_lossy(&out.stdout);
     assert!(json.contains("\"tool\": \"shs-lint\""), "{json}");
-    assert!(json.contains("\"finding_count\": 10"), "{json}");
+    assert!(json.contains("\"finding_count\": 11"), "{json}");
     assert!(json.contains("\"rule\": \"secret-debug\""), "{json}");
 }
 

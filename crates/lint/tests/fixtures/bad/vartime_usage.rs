@@ -1,0 +1,6 @@
+//! BAD: calls a variable-time exponentiation kernel from a signing path
+//! (secret exponent) — the trace would leak the member key.
+
+fn sign(ctx: &Ctx, base: &U, secret_e: &U) -> U {
+    ctx.modpow_vartime(base, secret_e)
+}

@@ -1,0 +1,11 @@
+//! GOOD twin: this file is registered in `rules.vartime-usage.paths` as a
+//! public-data verification site, so the same call is allowed — and the
+//! kernel definition itself is never a finding.
+
+pub fn modpow_vartime(base: &U, e: &U) -> U {
+    base.pow(e)
+}
+
+fn verify(ctx: &Ctx, base: &U, public_e: &U) -> U {
+    ctx.modpow_vartime(base, public_e)
+}

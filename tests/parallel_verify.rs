@@ -1,0 +1,117 @@
+//! Parallel Phase-III verification must be a pure wall-clock
+//! optimisation: with `parallel_verify` on, every observable output of a
+//! session — transcript bytes, per-slot outcomes, per-slot operation
+//! counts — must be byte-identical to the sequential engine, on clean
+//! *and* faulty media.
+
+mod common;
+
+use common::{actors, group, rng};
+use shs_core::handshake::run_handshake_with_net;
+use shs_core::{HandshakeOptions, SchemeKind, SessionResult};
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::sync::BroadcastNet;
+use shs_net::DeliveryPolicy;
+
+/// Runs one session from scratch (fresh deterministic rng, fresh group,
+/// fresh medium) so the only varying input is the `parallel_verify` flag.
+fn run_once(
+    label: &str,
+    scheme: SchemeKind,
+    m: usize,
+    plan: Option<FaultPlan>,
+    parallel: bool,
+) -> SessionResult {
+    let mut r = rng(label);
+    let (_, members) = group(scheme, m, &mut r);
+    let acts = actors(&members);
+    let mut net = BroadcastNet::new(m, DeliveryPolicy::Synchronous);
+    if let Some(plan) = plan {
+        net.set_fault_plan(plan);
+    }
+    let opts = HandshakeOptions {
+        parallel_verify: parallel,
+        ..Default::default()
+    };
+    run_handshake_with_net(&acts, &opts, &mut net, &mut r).expect("session terminates")
+}
+
+/// Asserts the two engines produced identical observables.
+fn assert_identical(name: &str, seq: &SessionResult, par: &SessionResult) {
+    assert_eq!(
+        seq.transcript, par.transcript,
+        "{name}: transcripts must be byte-identical"
+    );
+    assert_eq!(seq.outcomes, par.outcomes, "{name}: outcomes must match");
+    assert_eq!(
+        seq.costs, par.costs,
+        "{name}: per-slot op counts must match (worker-thread counters merged)"
+    );
+    assert_eq!(
+        seq.stats.exchanges, par.stats.exchanges,
+        "{name}: exchange accounting must match"
+    );
+}
+
+/// Clean media, every scheme (including self-distinction, whose common-T7
+/// derivation also runs on the workers).
+#[test]
+fn parallel_verification_is_deterministic_on_clean_media() {
+    for scheme in SchemeKind::ALL {
+        let name = format!("par-clean-{scheme:?}");
+        let seq = run_once(&name, scheme, 4, None, false);
+        let par = run_once(&name, scheme, 4, None, true);
+        assert!(
+            seq.outcomes.iter().all(|o| o.accepted),
+            "{name}: clean co-member session succeeds"
+        );
+        assert_identical(&name, &seq, &par);
+    }
+}
+
+/// A named, repeatable fault schedule.
+type PlanMaker = fn() -> FaultPlan;
+
+/// The existing fault matrix: parallel verification must not change any
+/// structured outcome produced under lossy or malicious delivery.
+#[test]
+fn parallel_verification_is_deterministic_under_faults() {
+    let matrix: Vec<(&str, PlanMaker)> = vec![
+        ("drop", || {
+            FaultPlan::new(71).with(FaultRule::drop().from(1).to(0))
+        }),
+        ("corrupt", || {
+            FaultPlan::new(72).with(FaultRule::corrupt(3).in_round("dgka-r1").from(1).to(0))
+        }),
+        ("duplicate", || {
+            FaultPlan::new(73).with(FaultRule::duplicate().from(2))
+        }),
+        ("crash-stop", || {
+            FaultPlan::new(74).with(FaultRule::crash_stop(2, 1))
+        }),
+        ("chaos", || {
+            FaultPlan::new(75)
+                .with(FaultRule::drop().with_probability(0.3))
+                .with(FaultRule::corrupt(1).with_probability(0.2))
+                .with(FaultRule::duplicate().with_probability(0.2))
+        }),
+    ];
+    for (fault, plan) in matrix {
+        let name = format!("par-fault-{fault}");
+        let seq = run_once(
+            &name,
+            SchemeKind::Scheme2SelfDistinct,
+            3,
+            Some(plan()),
+            false,
+        );
+        let par = run_once(
+            &name,
+            SchemeKind::Scheme2SelfDistinct,
+            3,
+            Some(plan()),
+            true,
+        );
+        assert_identical(&name, &seq, &par);
+    }
+}
