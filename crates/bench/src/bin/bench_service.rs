@@ -1,0 +1,204 @@
+//! **Service benchmark** — throughput and latency baseline of the
+//! multi-session handshake service (`shs_net::serve` + the
+//! `shs_core::service::HandshakeJob` adapter), recorded persistently in
+//! `BENCH_service.json` at the repository root (experiment E16 in
+//! `EXPERIMENTS.md`).
+//!
+//! Scenarios (fixed seeds, deterministic fault schedules):
+//!
+//! * `clean_throughput` — a batch of fault-free 3-member sessions pushed
+//!   through the worker pool: sessions/second plus mean/p50/p95
+//!   admission-to-terminal latency.
+//! * `crash_recovery` — every session's first attempt crash-stops one
+//!   slot, forcing liveness analysis, survivor re-formation and a
+//!   backoff'd retry: the price of surviving a crashy fleet.
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin bench_service [-- --smoke] [-- --check]
+//! ```
+//!
+//! `--smoke` shrinks the batch for CI; `--check` exits non-zero unless
+//! every session terminated in its expected class with zero registry
+//! leaks and zero illegal lifecycle transitions (deterministic
+//! correctness gates — wall-clock numbers are recorded, never gated).
+
+use shs_bench::{group, rng, timed};
+use shs_core::service::HandshakeJob;
+use shs_core::{HandshakeOptions, SchemeKind};
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::serve::{Service, ServiceConfig, SessionSpec, TerminalClass};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Scenario {
+    name: &'static str,
+    sessions: u32,
+    workers: usize,
+    wall_s: f64,
+    throughput_sps: f64,
+    latency_mean_ms: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    attempts: u64,
+    reformations: u64,
+    ok: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn run_scenario(name: &'static str, sessions: u32, workers: usize, crashy: bool) -> Scenario {
+    let mut r = rng(&format!("bench-service-{name}"));
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let pool = Arc::new(members);
+    let svc = Service::start(ServiceConfig {
+        workers,
+        queue_capacity: sessions as usize + 1,
+        default_deadline: Duration::from_secs(300),
+        default_max_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+        seed: 0xbe9c4,
+    });
+    let mut ids = Vec::new();
+    let (wall_s, _) = timed(|| {
+        for i in 0..sessions {
+            let job = HandshakeJob::new(
+                Arc::clone(&pool),
+                3,
+                HandshakeOptions::default(),
+                &format!("bench-{name}-{i}"),
+            )
+            .with_plans(move |ctx| {
+                (crashy && ctx.attempt == 0)
+                    .then(|| FaultPlan::new(u64::from(i)).with(FaultRule::crash_stop(2, 1)))
+            });
+            let sub = svc.submit(SessionSpec::new(Box::new(job)));
+            assert!(sub.queued(), "bench queue sized to hold the whole batch");
+            ids.push(sub.id());
+        }
+        assert!(
+            svc.wait_idle(Duration::from_secs(600)),
+            "bench batch settles"
+        );
+    });
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut ok = true;
+    for id in &ids {
+        let e = svc.entry(*id).expect("bench entry");
+        ok &= e.class == Some(TerminalClass::Accepted);
+        if let Some(l) = e.latency() {
+            latencies_ms.push(l.as_secs_f64() * 1e3);
+        }
+    }
+    let stats = svc.stats();
+    ok &= stats.illegal_transitions == 0 && svc.leaks().is_empty();
+    ok &= svc.shutdown(Duration::from_secs(30)).clean();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    Scenario {
+        name,
+        sessions,
+        workers,
+        wall_s,
+        throughput_sps: f64::from(sessions) / wall_s.max(1e-9),
+        latency_mean_ms: mean,
+        latency_p50_ms: percentile(&latencies_ms, 0.50),
+        latency_p95_ms: percentile(&latencies_ms, 0.95),
+        attempts: stats.attempts,
+        reformations: stats.reformations,
+        ok,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--smoke" && *a != "--check" && *a != "--")
+    {
+        eprintln!("bench_service: unknown flag `{bad}` (use --smoke / --check)");
+        std::process::exit(2);
+    }
+
+    let batch: u32 = if smoke { 8 } else { 32 };
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+
+    let scenarios = vec![
+        run_scenario("clean_throughput", batch, workers, false),
+        run_scenario("crash_recovery", batch, workers, true),
+    ];
+
+    let json = render_json(&scenarios, smoke, workers);
+    println!("{json}");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench_service: could not write {out_path}: {err}");
+        std::process::exit(2);
+    }
+
+    if check {
+        let mut failed = false;
+        for s in &scenarios {
+            if !s.ok {
+                eprintln!(
+                    "bench_service: CHECK FAILED: scenario {} left sessions \
+                     unaccepted, leaked, or took illegal transitions",
+                    s.name
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_service: all {} scenarios clean (every session accepted, \
+             zero leaks, zero illegal transitions)",
+            scenarios.len()
+        );
+    }
+}
+
+/// Hand-rolled JSON: the offline build has no serde_json.
+fn render_json(scenarios: &[Scenario], smoke: bool, workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"service\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"sessions\": {}, \"workers\": {}, \
+             \"wall_s\": {:.6}, \"throughput_sps\": {:.3}, \
+             \"latency_mean_ms\": {:.3}, \"latency_p50_ms\": {:.3}, \
+             \"latency_p95_ms\": {:.3}, \"attempts\": {}, \
+             \"reformations\": {}, \"ok\": {} }}{}\n",
+            sc.name,
+            sc.sessions,
+            sc.workers,
+            sc.wall_s,
+            sc.throughput_sps,
+            sc.latency_mean_ms,
+            sc.latency_p50_ms,
+            sc.latency_p95_ms,
+            sc.attempts,
+            sc.reformations,
+            sc.ok,
+            comma
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push('}');
+    s
+}

@@ -78,6 +78,7 @@ pub mod handshake;
 pub mod member;
 mod pool;
 pub mod roles;
+pub mod service;
 pub mod substrate;
 pub mod transcript;
 pub mod wire;

@@ -14,18 +14,65 @@
 //! survive such a medium should use the deadline-based receives
 //! ([`PartyHandle::recv_timeout`], [`PartyHandle::collect_round_within`])
 //! instead of the blocking ones — a blocking [`PartyHandle::recv`] on a
-//! lossy medium can wait forever.
+//! lossy medium can sit out its full (generous) deadline.
+//!
+//! # Flow control
+//!
+//! All channels are **bounded**, sized by [`HubConfig`]: a flooding
+//! sender blocks once the hub's inbox is at capacity (backpressure)
+//! instead of growing an unbounded buffer, and the hub's reorder buffer
+//! is capped at the same size. Deliveries to a party whose inbox stays
+//! full past [`HubConfig::delivery_patience`] are dropped and tallied in
+//! [`crate::observe::FaultCounters::backpressure_dropped`] — the hub
+//! never blocks forever on a stalled receiver, so a slow party cannot
+//! deadlock the medium. With the default capacities a protocol-shaped
+//! session (every party sends once per round and drains its inbox) never
+//! triggers either mechanism.
 
 use crate::fault::FaultPlan;
 use crate::observe::TrafficLog;
 use crate::NetError;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Flow-control configuration of the threaded hub.
+///
+/// The defaults are sized so that the bounded channels are invisible to
+/// well-behaved protocol sessions: a session of `m` parties and `r`
+/// rounds keeps at most `m` messages per inbox in flight per round, far
+/// under [`HubConfig::channel_capacity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Capacity of every channel (party → hub and hub → party) and cap
+    /// of the hub's internal reorder buffer. A sender whose channel is
+    /// full blocks until the consumer drains — backpressure, not
+    /// buffering without limit.
+    pub channel_capacity: usize,
+    /// How long the hub keeps retrying delivery into a full party inbox
+    /// before dropping the message (tallied as `backpressure_dropped`).
+    /// This bounds the damage of a stalled receiver; the retry-based
+    /// session runtime recovers dropped deliveries like any other loss.
+    pub delivery_patience: Duration,
+    /// Deadline of the *blocking* [`PartyHandle::recv`]: generous enough
+    /// that it never fires on a guaranteed-delivery medium, but a party
+    /// stranded by a dead hub gets an error instead of hanging forever.
+    pub recv_deadline: Duration,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            channel_capacity: 1024,
+            delivery_patience: Duration::from_millis(500),
+            recv_deadline: Duration::from_secs(30),
+        }
+    }
+}
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -39,6 +86,7 @@ struct Wire {
 pub struct PartyHandle {
     slot: usize,
     slots: usize,
+    recv_deadline: Duration,
     to_hub: Sender<Wire>,
     from_hub: Receiver<Wire>,
 }
@@ -60,7 +108,9 @@ impl PartyHandle {
         self.slots
     }
 
-    /// Broadcasts a payload under a round label.
+    /// Broadcasts a payload under a round label. Blocks while the hub's
+    /// bounded inbox is at capacity (backpressure); a send to a hub that
+    /// already shut down is silently discarded, matching radio semantics.
     pub fn broadcast(&self, round: &str, payload: Vec<u8>) {
         let _ = self.to_hub.send(Wire {
             from_slot: self.slot,
@@ -69,14 +119,17 @@ impl PartyHandle {
         });
     }
 
-    /// Blocks until the next delivery: `(from_slot, round, payload)`.
+    /// Blocks for the next delivery `(from_slot, round, payload)`, up to
+    /// the configured [`HubConfig::recv_deadline`].
     ///
-    /// Only safe on a guaranteed-delivery medium; under a fault plan use
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the hub is gone,
+    /// [`NetError::Timeout`] if nothing arrived within the (generous)
+    /// deadline — on a lossy medium prefer the explicitly-budgeted
     /// [`PartyHandle::recv_timeout`].
-    pub fn recv(&self) -> (usize, String, Vec<u8>) {
-        // lint:allow(panic-path) reason="documented blocking API, valid only on a guaranteed-delivery medium; fault-tolerant callers use recv_timeout"
-        let w = self.from_hub.recv().expect("hub alive while parties run");
-        (w.from_slot, w.round, w.payload)
+    pub fn recv(&self) -> Result<(usize, String, Vec<u8>), NetError> {
+        self.recv_timeout(self.recv_deadline)
     }
 
     /// Blocks for the next delivery up to `timeout`.
@@ -93,26 +146,33 @@ impl PartyHandle {
         }
     }
 
-    /// Collects one message per *other* slot for the given round,
-    /// buffering out-of-round arrivals is the caller's job in fully
-    /// general protocols; for the round-structured handshake protocols a
-    /// simple filter suffices because every party sends exactly once per
-    /// round.
-    pub fn collect_round(&self, round: &str) -> Vec<(usize, Vec<u8>)> {
+    /// Collects one message per slot for the given round. Buffering
+    /// out-of-round arrivals is the caller's job in fully general
+    /// protocols; for the round-structured handshake protocols a simple
+    /// filter suffices because every party sends exactly once per round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartyHandle::recv`] errors: a guaranteed-delivery
+    /// medium never produces them while the hub lives, but a dropped hub
+    /// yields [`NetError::Disconnected`] instead of a panic.
+    pub fn collect_round(&self, round: &str) -> Result<Vec<(usize, Vec<u8>)>, NetError> {
         let mut got: Vec<Option<Vec<u8>>> = vec![None; self.slots];
         let mut count = 0;
         while count < self.slots {
-            let (from, r, payload) = self.recv();
+            let (from, r, payload) = self.recv()?;
             if r == round && got[from].is_none() {
                 got[from] = Some(payload);
                 count += 1;
             }
         }
-        got.into_iter()
+        // The count loop above established completeness, so the filter
+        // never discards anything.
+        Ok(got
+            .into_iter()
             .enumerate()
-            // lint:allow(panic-path) reason="completeness is established by the count loop above; unreachable on a guaranteed-delivery medium"
-            .map(|(slot, p)| (slot, p.expect("all slots collected")))
-            .collect()
+            .filter_map(|(slot, p)| p.map(|payload| (slot, payload)))
+            .collect())
     }
 
     /// Collects up to one message per slot for the given round, giving up
@@ -162,8 +222,27 @@ where
     run_session_with_faults(m, seed, FaultPlan::new(seed), bodies)
 }
 
-/// [`run_session`] over a faulty medium: the hub consults `plan` on every
-/// relay. The final [`TrafficLog`] carries the plan's fault counters.
+/// [`run_session`] over a faulty medium with default flow control.
+///
+/// # Panics
+///
+/// Panics if a party thread panics.
+pub fn run_session_with_faults<T, F>(
+    m: usize,
+    seed: u64,
+    plan: FaultPlan,
+    bodies: Vec<F>,
+) -> (Vec<T>, TrafficLog)
+where
+    T: Send + 'static,
+    F: FnOnce(PartyHandle) -> T + Send + 'static,
+{
+    run_session_with_config(m, seed, plan, HubConfig::default(), bodies)
+}
+
+/// [`run_session`] over a faulty medium with explicit [`HubConfig`] flow
+/// control: the hub consults `plan` on every relay. The final
+/// [`TrafficLog`] carries the plan's fault counters.
 ///
 /// The crash-stop clock here is **per sender**: a `CrashStop { slot,
 /// after_round }` rule silences `slot` once it has broadcast
@@ -175,10 +254,11 @@ where
 /// # Panics
 ///
 /// Panics if a party thread panics.
-pub fn run_session_with_faults<T, F>(
+pub fn run_session_with_config<T, F>(
     m: usize,
     seed: u64,
     mut plan: FaultPlan,
+    config: HubConfig,
     bodies: Vec<F>,
 ) -> (Vec<T>, TrafficLog)
 where
@@ -187,15 +267,16 @@ where
 {
     // lint:allow(panic-path) reason="public API precondition documented under # Panics; harness configuration, not wire data"
     assert_eq!(bodies.len(), m, "one body per slot");
-    let (to_hub, hub_in) = unbounded::<Wire>();
+    let (to_hub, hub_in) = bounded::<Wire>(config.channel_capacity);
     let mut party_txs = Vec::with_capacity(m);
     let mut handles = Vec::with_capacity(m);
     for slot in 0..m {
-        let (tx, rx) = unbounded::<Wire>();
+        let (tx, rx) = bounded::<Wire>(config.channel_capacity);
         party_txs.push(tx);
         handles.push(PartyHandle {
             slot,
             slots: m,
+            recv_deadline: config.recv_deadline,
             to_hub: to_hub.clone(),
             from_hub: rx,
         });
@@ -208,7 +289,33 @@ where
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pending: Vec<Wire> = Vec::new();
         let mut sent_by: Vec<u64> = vec![0; m];
-        let relay = |w: Wire, plan: &mut FaultPlan, sent_by: &mut Vec<u64>, rng: &mut StdRng| {
+        let mut bp_dropped: u64 = 0;
+        // Push one delivery into a party inbox, waiting out transient
+        // fullness up to the configured patience; a stubbornly full (or
+        // disconnected) inbox loses the message instead of wedging the
+        // hub.
+        let deliver = |tx: &Sender<Wire>, mut w: Wire, bp_dropped: &mut u64| {
+            let deadline = Instant::now() + config.delivery_patience;
+            loop {
+                match tx.try_send(w) {
+                    Ok(()) => return,
+                    Err(TrySendError::Disconnected(_)) => return,
+                    Err(TrySendError::Full(back)) => {
+                        if Instant::now() >= deadline {
+                            *bp_dropped += 1;
+                            return;
+                        }
+                        w = back;
+                        thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
+        };
+        let relay = |w: Wire,
+                     plan: &mut FaultPlan,
+                     sent_by: &mut Vec<u64>,
+                     bp_dropped: &mut u64,
+                     rng: &mut StdRng| {
             // Crash-stop: the sender dies after its `after_round`-th
             // broadcast; later messages never reach the wire or the log.
             if let Some(after) = plan.crash_budget(w.from_slot) {
@@ -228,46 +335,61 @@ where
             }
             for d in due {
                 if let Some(tx) = party_txs.get(d.to_slot) {
-                    let _ = tx.send(Wire {
-                        from_slot: d.from_slot,
-                        round: w.round.clone(),
-                        payload: d.payload,
-                    });
+                    deliver(
+                        tx,
+                        Wire {
+                            from_slot: d.from_slot,
+                            round: w.round.clone(),
+                            payload: d.payload,
+                        },
+                        bp_dropped,
+                    );
                 }
             }
             for (to_slot, tx) in party_txs.iter().enumerate() {
                 for copy in plan.deliver(&w.round, w.from_slot, to_slot, w.payload.clone()) {
-                    let _ = tx.send(Wire {
-                        from_slot: w.from_slot,
-                        round: w.round.clone(),
-                        payload: copy,
-                    });
+                    deliver(
+                        tx,
+                        Wire {
+                            from_slot: w.from_slot,
+                            round: w.round.clone(),
+                            payload: copy,
+                        },
+                        bp_dropped,
+                    );
                 }
             }
         };
         loop {
             // Drain what's available; block for at least one if the
-            // buffer is empty.
+            // buffer is empty. The reorder buffer is capped so that a
+            // flood blocks at the bounded channel (backpressure) instead
+            // of ballooning the buffer.
             if pending.is_empty() {
                 match hub_in.recv() {
                     Ok(w) => pending.push(w),
                     Err(_) => break,
                 }
             }
-            while let Ok(w) = hub_in.try_recv() {
-                pending.push(w);
+            while pending.len() < config.channel_capacity {
+                match hub_in.try_recv() {
+                    Ok(w) => pending.push(w),
+                    Err(_) => break,
+                }
             }
             // Deliver a random pending message to all parties (in
             // adversarial order relative to other messages).
             let idx = rng.gen_range(0..pending.len());
             let w = pending.swap_remove(idx);
-            relay(w, &mut plan, &mut sent_by, &mut rng);
+            relay(w, &mut plan, &mut sent_by, &mut bp_dropped, &mut rng);
         }
         // Flush anything left after senders disconnected.
         while let Some(w) = pending.pop() {
-            relay(w, &mut plan, &mut sent_by, &mut rng);
+            relay(w, &mut plan, &mut sent_by, &mut bp_dropped, &mut rng);
         }
-        hub_log.lock().set_faults(plan.counters().clone());
+        let mut counters = plan.counters().clone();
+        counters.backpressure_dropped = bp_dropped;
+        hub_log.lock().set_faults(counters);
     });
 
     let threads: Vec<thread::JoinHandle<T>> = handles
@@ -299,7 +421,7 @@ mod tests {
             .map(|_| {
                 move |h: PartyHandle| {
                     h.broadcast("hello", vec![h.slot() as u8]);
-                    let round = h.collect_round("hello");
+                    let round = h.collect_round("hello").expect("guaranteed delivery");
                     round.iter().map(|(s, p)| (*s, p[0])).collect::<Vec<_>>()
                 }
             })
@@ -319,10 +441,10 @@ mod tests {
             .map(|_| {
                 move |h: PartyHandle| {
                     h.broadcast("r1", vec![h.slot() as u8]);
-                    let r1 = h.collect_round("r1");
+                    let r1 = h.collect_round("r1").expect("guaranteed delivery");
                     let sum: u8 = r1.iter().map(|(_, p)| p[0]).sum();
                     h.broadcast("r2", vec![sum]);
-                    let r2 = h.collect_round("r2");
+                    let r2 = h.collect_round("r2").expect("guaranteed delivery");
                     r2.iter().map(|(_, p)| p[0]).collect::<Vec<u8>>()
                 }
             })
@@ -344,8 +466,12 @@ mod tests {
                 .map(|_| {
                     move |h: PartyHandle| {
                         h.broadcast("x", vec![h.slot() as u8 + 10]);
-                        let mut vals: Vec<u8> =
-                            h.collect_round("x").iter().map(|(_, p)| p[0]).collect();
+                        let mut vals: Vec<u8> = h
+                            .collect_round("x")
+                            .expect("guaranteed delivery")
+                            .iter()
+                            .map(|(_, p)| p[0])
+                            .collect();
                         vals.sort();
                         vals
                     }
@@ -428,5 +554,70 @@ mod tests {
         let (outputs, log) = run_session_with_faults(m, 2, plan, bodies);
         assert_eq!(outputs, vec![m, m], "first copy wins, extras discarded");
         assert!(log.faults().duplicated >= 1);
+    }
+
+    #[test]
+    fn recv_reports_disconnected_hub_instead_of_panicking() {
+        // A party whose recv outlives the hub gets a structured error.
+        let m = 2;
+        let bodies: Vec<_> = (0..m)
+            .map(|_| {
+                move |h: PartyHandle| {
+                    // No broadcasts at all: nothing will ever arrive, and
+                    // the deadline-based receive reports that structurally
+                    // instead of blocking forever or panicking.
+                    h.recv_timeout(Duration::from_millis(200))
+                }
+            })
+            .collect();
+        let (outputs, _) = run_session(m, 8, bodies);
+        for out in outputs {
+            assert!(matches!(
+                out,
+                Err(NetError::Timeout) | Err(NetError::Disconnected)
+            ));
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_applies_backpressure_without_deadlock() {
+        // Capacity 1 with a slow reader: the hub must neither wedge nor
+        // buffer without limit; anything it sheds is tallied.
+        let config = HubConfig {
+            channel_capacity: 1,
+            delivery_patience: Duration::from_millis(50),
+            recv_deadline: Duration::from_secs(5),
+        };
+        let m = 2;
+        let burst = 64usize;
+        let bodies: Vec<_> = (0..m)
+            .map(|slot: usize| {
+                move |h: PartyHandle| {
+                    if slot == 0 {
+                        for i in 0..burst {
+                            h.broadcast("flood", vec![i as u8]);
+                        }
+                        0usize
+                    } else {
+                        // Slow consumer: drain with pauses.
+                        let mut got = 0usize;
+                        while let Ok(_msg) = h.recv_timeout(Duration::from_millis(300)) {
+                            got += 1;
+                            thread::sleep(Duration::from_millis(1));
+                        }
+                        got
+                    }
+                }
+            })
+            .collect();
+        let (outputs, log) = run_session_with_config(m, 6, FaultPlan::new(6), config, bodies);
+        // Every flooded message was either delivered or accounted as a
+        // backpressure drop — none vanished silently.
+        let delivered = outputs[1];
+        let dropped = log.faults().backpressure_dropped as usize;
+        // Slot 0 also receives its own echoes, which nobody drains; those
+        // echoes are the main source of backpressure drops here.
+        assert!(delivered + dropped >= burst, "{delivered} + {dropped}");
+        assert_eq!(log.len(), burst, "the wire saw every broadcast");
     }
 }

@@ -14,6 +14,10 @@
 //!   variant where each party runs on its own thread and messages are
 //!   delivered through channels in adversarially perturbed order. Used by
 //!   the E10 model-agnosticism experiment.
+//! * [`serve::Service`] — a long-lived multi-session service on top:
+//!   session lifecycle registry, bounded-queue admission control with
+//!   decoy-traffic load shedding, survivor re-formation after aborts,
+//!   and graceful draining shutdown.
 //!
 //! Payloads are opaque bytes: everything a protocol puts on the wire goes
 //! through here, so the observer API sees precisely what a real
@@ -48,6 +52,7 @@
 pub mod fault;
 pub mod hub;
 pub mod observe;
+pub mod serve;
 pub mod sync;
 
 use serde::{Deserialize, Serialize};

@@ -41,6 +41,10 @@ pub struct FaultCounters {
     pub crash_silenced: u64,
     /// Deliveries cut by a network partition.
     pub partitioned: u64,
+    /// Deliveries the threaded hub shed because a receiver's bounded
+    /// inbox stayed full past its delivery patience (flow control, not
+    /// an injected fault — but still a loss the runtime must absorb).
+    pub backpressure_dropped: u64,
 }
 
 impl FaultCounters {
@@ -53,6 +57,7 @@ impl FaultCounters {
             + self.delayed
             + self.crash_silenced
             + self.partitioned
+            + self.backpressure_dropped
     }
 }
 

@@ -1,0 +1,474 @@
+//! The session registry: one entry per submitted session, with an
+//! explicit lifecycle state machine.
+//!
+//! Every session moves through
+//!
+//! ```text
+//! Gathering ──► Running ──► Completed   (Accepted | Rejected)
+//!     │            │   ╲
+//!     │            │    ► Aborted      (Exhausted | DeadlineExceeded |
+//!     │            ▼              TooFewSurvivors | Drained)
+//!     │        Draining ──► Completed | Aborted
+//!     └──► Aborted (Shed | Drained)
+//! ```
+//!
+//! and *only* through those edges: [`SessionRegistry::transition`]
+//! rejects every other move and counts it, so a chaos soak can assert
+//! that no session ever took an illegal shortcut. Terminal entries stay
+//! in the registry (with their per-attempt records) until explicitly
+//! evicted — the leak check is "every entry is terminal", not "the map
+//! is empty".
+
+use super::session::AttemptRecord;
+use crate::observe::TrafficLog;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Registry-unique session identifier.
+pub type SessionId = u64;
+
+/// Lifecycle state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted and queued; no worker has picked it up yet.
+    Gathering,
+    /// A worker is executing attempts.
+    Running,
+    /// Still executing, but the service is shutting down: the current
+    /// attempt finishes, no further re-formation retries are scheduled.
+    Draining,
+    /// Terminal: the protocol ran to completion (successfully or as an
+    /// ordinary failure — both are completions, not aborts).
+    Completed,
+    /// Terminal: the session was turned away or gave up.
+    Aborted,
+}
+
+impl SessionState {
+    /// Is this a terminal state?
+    pub fn terminal(self) -> bool {
+        matches!(self, SessionState::Completed | SessionState::Aborted)
+    }
+}
+
+/// Why a session reached its terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalClass {
+    /// Completed with the job reporting success (full or partial
+    /// handshake, per the job's policy).
+    Accepted,
+    /// Completed as an ordinary protocol failure (e.g. membership
+    /// mismatch) — a completion, not an abort.
+    Rejected,
+    /// Turned away by admission control; a decoy traffic shape was
+    /// emitted so outsiders cannot tell shedding from a served session.
+    Shed,
+    /// Aborted: the attempt/re-formation budget ran out.
+    Exhausted,
+    /// Aborted: the per-session deadline passed.
+    DeadlineExceeded,
+    /// Aborted: fewer than two live slots remained, so no re-formed
+    /// session is possible (a handshake needs `m ≥ 2`).
+    TooFewSurvivors,
+    /// Aborted because the service shut down before (or while) the
+    /// session could finish.
+    Drained,
+}
+
+impl TerminalClass {
+    /// The terminal [`SessionState`] this class belongs to.
+    pub fn state(self) -> SessionState {
+        match self {
+            TerminalClass::Accepted | TerminalClass::Rejected => SessionState::Completed,
+            _ => SessionState::Aborted,
+        }
+    }
+}
+
+impl std::fmt::Display for TerminalClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TerminalClass::Accepted => "accepted",
+            TerminalClass::Rejected => "rejected",
+            TerminalClass::Shed => "shed",
+            TerminalClass::Exhausted => "exhausted",
+            TerminalClass::DeadlineExceeded => "deadline-exceeded",
+            TerminalClass::TooFewSurvivors => "too-few-survivors",
+            TerminalClass::Drained => "drained",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Error from an attempted registry operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The session id is not in the registry.
+    UnknownSession,
+    /// The requested lifecycle edge does not exist.
+    IllegalTransition {
+        /// State the session was in.
+        from: SessionState,
+        /// State the caller asked for.
+        to: SessionState,
+    },
+    /// A terminal state was requested without a class, or a class whose
+    /// terminal state disagrees with the requested state.
+    ClassMismatch,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownSession => write!(f, "unknown session id"),
+            RegistryError::IllegalTransition { from, to } => {
+                write!(f, "illegal lifecycle transition {from:?} -> {to:?}")
+            }
+            RegistryError::ClassMismatch => write!(f, "terminal class/state mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registry entry: lifecycle, deadline, and the full attempt
+/// history (roster, verdict, liveness, traffic) of a session.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    /// Registry-unique id.
+    pub id: SessionId,
+    /// Current lifecycle state.
+    pub state: SessionState,
+    /// Terminal classification, set exactly when `state` is terminal.
+    pub class: Option<TerminalClass>,
+    /// Size of the originally requested roster.
+    pub roster_len: usize,
+    /// Per-attempt records, in attempt order.
+    pub attempts: Vec<AttemptRecord>,
+    /// How many times the roster was re-formed to the survivor set.
+    pub reformations: u32,
+    /// Decoy traffic emitted if this session was shed (admission
+    /// control): shaped like an ordinary session so shedding is
+    /// unobservable to outsiders.
+    pub decoy_traffic: Option<TrafficLog>,
+    /// When the session was admitted.
+    pub queued_at: Instant,
+    /// When a worker first picked it up.
+    pub started_at: Option<Instant>,
+    /// When it reached a terminal state.
+    pub finished_at: Option<Instant>,
+    /// Absolute per-session deadline.
+    pub deadline: Instant,
+}
+
+impl SessionEntry {
+    /// Queue + execution latency, if the session already terminated.
+    pub fn latency(&self) -> Option<std::time::Duration> {
+        self.finished_at.map(|f| f.duration_since(self.queued_at))
+    }
+}
+
+/// Aggregate registry counters (derived, cheap to snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions ever admitted (including shed ones).
+    pub submitted: u64,
+    /// Entries not yet in a terminal state.
+    pub active: u64,
+    /// Entries in [`SessionState::Completed`].
+    pub completed: u64,
+    /// Entries in [`SessionState::Aborted`] (including shed).
+    pub aborted: u64,
+    /// Entries classified [`TerminalClass::Shed`].
+    pub shed: u64,
+    /// Total attempts recorded across all sessions.
+    pub attempts: u64,
+    /// Total survivor re-formations across all sessions.
+    pub reformations: u64,
+    /// Illegal lifecycle transitions that were requested (and refused).
+    pub illegal_transitions: u64,
+}
+
+/// The session registry (interior mutability is the caller's concern;
+/// the service wraps it in a mutex).
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    entries: BTreeMap<SessionId, SessionEntry>,
+    next_id: SessionId,
+    illegal_transitions: u64,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Admits a new session in [`SessionState::Gathering`], returning
+    /// its id.
+    pub fn admit(&mut self, roster_len: usize, deadline: Instant) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = Instant::now();
+        self.entries.insert(
+            id,
+            SessionEntry {
+                id,
+                state: SessionState::Gathering,
+                class: None,
+                roster_len,
+                attempts: Vec::new(),
+                reformations: 0,
+                decoy_traffic: None,
+                queued_at: now,
+                started_at: None,
+                finished_at: None,
+                deadline,
+            },
+        );
+        id
+    }
+
+    /// Moves a session along a lifecycle edge. Terminal targets require
+    /// a [`TerminalClass`] whose own terminal state matches; illegal
+    /// edges are refused and counted.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownSession`], [`RegistryError::ClassMismatch`]
+    /// or [`RegistryError::IllegalTransition`].
+    pub fn transition(
+        &mut self,
+        id: SessionId,
+        to: SessionState,
+        class: Option<TerminalClass>,
+    ) -> Result<(), RegistryError> {
+        let entry = match self.entries.get_mut(&id) {
+            Some(e) => e,
+            None => return Err(RegistryError::UnknownSession),
+        };
+        if to.terminal() != class.is_some() || class.is_some_and(|c| c.state() != to) {
+            return Err(RegistryError::ClassMismatch);
+        }
+        let legal = matches!(
+            (entry.state, to),
+            (SessionState::Gathering, SessionState::Running)
+                | (SessionState::Gathering, SessionState::Aborted)
+                | (SessionState::Running, SessionState::Draining)
+                | (SessionState::Running, SessionState::Completed)
+                | (SessionState::Running, SessionState::Aborted)
+                | (SessionState::Draining, SessionState::Completed)
+                | (SessionState::Draining, SessionState::Aborted)
+        );
+        if !legal {
+            self.illegal_transitions += 1;
+            return Err(RegistryError::IllegalTransition {
+                from: entry.state,
+                to,
+            });
+        }
+        let now = Instant::now();
+        if to == SessionState::Running {
+            entry.started_at = Some(now);
+        }
+        if to.terminal() {
+            entry.finished_at = Some(now);
+            entry.class = class;
+        }
+        entry.state = to;
+        Ok(())
+    }
+
+    /// Appends an attempt record to a session's history.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownSession`].
+    pub fn record_attempt(
+        &mut self,
+        id: SessionId,
+        record: AttemptRecord,
+    ) -> Result<(), RegistryError> {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.attempts.push(record);
+                Ok(())
+            }
+            None => Err(RegistryError::UnknownSession),
+        }
+    }
+
+    /// Counts one survivor re-formation on a session.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownSession`].
+    pub fn note_reformation(&mut self, id: SessionId) -> Result<(), RegistryError> {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.reformations += 1;
+                Ok(())
+            }
+            None => Err(RegistryError::UnknownSession),
+        }
+    }
+
+    /// Attaches the decoy traffic emitted for a shed session.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownSession`].
+    pub fn set_decoy_traffic(
+        &mut self,
+        id: SessionId,
+        traffic: TrafficLog,
+    ) -> Result<(), RegistryError> {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.decoy_traffic = Some(traffic);
+                Ok(())
+            }
+            None => Err(RegistryError::UnknownSession),
+        }
+    }
+
+    /// A clone of one entry.
+    pub fn entry(&self, id: SessionId) -> Option<SessionEntry> {
+        self.entries.get(&id).cloned()
+    }
+
+    /// The per-session deadline, if the session exists.
+    pub fn deadline(&self, id: SessionId) -> Option<Instant> {
+        self.entries.get(&id).map(|e| e.deadline)
+    }
+
+    /// Clones every entry, in id order.
+    pub fn snapshot(&self) -> Vec<SessionEntry> {
+        self.entries.values().cloned().collect()
+    }
+
+    /// Ids of every non-terminal session — the leak check: after a full
+    /// drain this must be empty.
+    pub fn leaks(&self) -> Vec<SessionId> {
+        self.entries
+            .values()
+            .filter(|e| !e.state.terminal())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Number of non-terminal sessions.
+    pub fn active(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| !e.state.terminal())
+            .count()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RegistryStats {
+        let mut s = RegistryStats {
+            submitted: self.next_id,
+            illegal_transitions: self.illegal_transitions,
+            ..RegistryStats::default()
+        };
+        for e in self.entries.values() {
+            match e.state {
+                SessionState::Completed => s.completed += 1,
+                SessionState::Aborted => s.aborted += 1,
+                _ => s.active += 1,
+            }
+            if e.class == Some(TerminalClass::Shed) {
+                s.shed += 1;
+            }
+            s.attempts += e.attempts.len() as u64;
+            s.reformations += u64::from(e.reformations);
+        }
+        s
+    }
+
+    /// Removes terminal entries (a long-lived deployment would do this
+    /// periodically; tests keep them for inspection). Returns how many
+    /// were evicted.
+    pub fn evict_terminal(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !e.state.terminal());
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut r = SessionRegistry::new();
+        let id = r.admit(3, soon());
+        assert_eq!(r.active(), 1);
+        r.transition(id, SessionState::Running, None).unwrap();
+        r.transition(id, SessionState::Completed, Some(TerminalClass::Accepted))
+            .unwrap();
+        assert_eq!(r.active(), 0);
+        assert!(r.leaks().is_empty());
+        let e = r.entry(id).unwrap();
+        assert_eq!(e.class, Some(TerminalClass::Accepted));
+        assert!(e.latency().is_some());
+    }
+
+    #[test]
+    fn illegal_edges_are_refused_and_counted() {
+        let mut r = SessionRegistry::new();
+        let id = r.admit(2, soon());
+        // Gathering -> Completed is not an edge.
+        let err = r
+            .transition(id, SessionState::Completed, Some(TerminalClass::Accepted))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::IllegalTransition { .. }));
+        // Terminal without class / class mismatch.
+        assert_eq!(
+            r.transition(id, SessionState::Aborted, None),
+            Err(RegistryError::ClassMismatch)
+        );
+        assert_eq!(
+            r.transition(id, SessionState::Aborted, Some(TerminalClass::Accepted)),
+            Err(RegistryError::ClassMismatch)
+        );
+        // Terminal is sticky.
+        r.transition(id, SessionState::Aborted, Some(TerminalClass::Shed))
+            .unwrap();
+        assert!(r.transition(id, SessionState::Running, None).is_err());
+        assert_eq!(r.stats().illegal_transitions, 2);
+        assert_eq!(r.stats().shed, 1);
+    }
+
+    #[test]
+    fn drain_edges() {
+        let mut r = SessionRegistry::new();
+        let id = r.admit(4, soon());
+        r.transition(id, SessionState::Running, None).unwrap();
+        r.transition(id, SessionState::Draining, None).unwrap();
+        r.transition(id, SessionState::Aborted, Some(TerminalClass::Drained))
+            .unwrap();
+        assert!(r.leaks().is_empty());
+    }
+
+    #[test]
+    fn eviction_keeps_live_sessions() {
+        let mut r = SessionRegistry::new();
+        let a = r.admit(2, soon());
+        let b = r.admit(2, soon());
+        r.transition(a, SessionState::Running, None).unwrap();
+        r.transition(a, SessionState::Completed, Some(TerminalClass::Rejected))
+            .unwrap();
+        assert_eq!(r.evict_terminal(), 1);
+        assert!(r.entry(a).is_none());
+        assert!(r.entry(b).is_some());
+        assert_eq!(r.stats().submitted, 2);
+    }
+}

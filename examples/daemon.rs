@@ -1,0 +1,135 @@
+//! Daemon: run the long-lived multi-session handshake service.
+//!
+//! Starts a [`shs_net::serve::Service`], submits a small fleet of
+//! sessions — clean ones, one whose slot crash-stops mid-handshake (the
+//! service re-forms it among the survivors and retries), and one mixed
+//! session that completes as an ordinary rejection — then drains the
+//! service gracefully and prints the registry's account of what
+//! happened.
+//!
+//! ```sh
+//! cargo run --example daemon
+//! ```
+
+use shs_core::service::{HandshakeJob, Participant, SuccessPolicy};
+use shs_core::{CoreError, HandshakeOptions, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::serve::{Service, ServiceConfig, SessionSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = HmacDrbg::from_seed(b"daemon-example");
+
+    // Two groups: sessions within group A succeed, a mixed A/B session
+    // is an ordinary failure (completed, rejected — not an abort).
+    println!("Creating two groups...");
+    let (_, a_members) = shs_core::fixtures::group_with_members(SchemeKind::Scheme1, 3, &mut rng)?;
+    let (_, b_members) = shs_core::fixtures::group_with_members(SchemeKind::Scheme1, 2, &mut rng)?;
+    let mut pool = a_members;
+    pool.extend(b_members);
+    let pool = Arc::new(pool); // slots 0..3 = group A, 3..5 = group B
+
+    // The service: 2 workers, a bounded queue (admission control sheds
+    // with decoy traffic beyond it), per-session deadline and retry
+    // budget, graceful drain on shutdown.
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        ..ServiceConfig::default()
+    });
+
+    println!("Submitting sessions...");
+    // Two clean co-member sessions.
+    for i in 0..2 {
+        let job = HandshakeJob::new(
+            Arc::clone(&pool),
+            3,
+            HandshakeOptions::default(),
+            &format!("daemon-clean-{i}"),
+        );
+        svc.submit(SessionSpec::new(Box::new(job)));
+    }
+    // A session whose slot 2 crash-stops on the first attempt: the
+    // service sees the silence in the traffic log, re-forms the session
+    // among the two live survivors (§7 partial success) and retries.
+    let crashy = svc.submit(SessionSpec::new(Box::new(
+        HandshakeJob::new(
+            Arc::clone(&pool),
+            3,
+            HandshakeOptions::default(),
+            "daemon-crashy",
+        )
+        .with_plans(|ctx| {
+            (ctx.attempt == 0).then(|| FaultPlan::new(7).with(FaultRule::crash_stop(2, 1)))
+        }),
+    )));
+    // A mixed session judged under full-handshake policy: a completed
+    // rejection, indistinguishable on the wire from the successes.
+    let mixed = svc.submit(SessionSpec::new(Box::new(
+        HandshakeJob::new(
+            Arc::clone(&pool),
+            0,
+            HandshakeOptions::default(),
+            "daemon-mixed",
+        )
+        .with_slots(vec![
+            Participant::Member(0),
+            Participant::Member(1),
+            Participant::Member(3),
+            Participant::Member(4),
+        ])
+        .with_policy(SuccessPolicy::FullOnly),
+    )));
+
+    assert!(
+        svc.wait_idle(Duration::from_secs(120)),
+        "all sessions settle"
+    );
+
+    println!("\nRegistry after the batch:");
+    for e in svc.snapshot() {
+        let class = e.class.map_or_else(|| "-".to_string(), |c| c.to_string());
+        let latency = e.latency().map_or_else(
+            || "-".to_string(),
+            |l| format!("{:.1} ms", l.as_secs_f64() * 1e3),
+        );
+        println!(
+            "  session {:>2}: {:<9} attempts={} reformations={} latency={}",
+            e.id,
+            class,
+            e.attempts.len(),
+            e.reformations,
+            latency
+        );
+    }
+
+    let crashy_entry = svc.entry(crashy.id()).expect("crashy entry");
+    println!(
+        "\nThe crashy session re-formed {} time(s); final roster {:?}.",
+        crashy_entry.reformations,
+        crashy_entry
+            .attempts
+            .last()
+            .map(|a| a.roster.clone())
+            .unwrap_or_default()
+    );
+    let mixed_entry = svc.entry(mixed.id()).expect("mixed entry");
+    println!(
+        "The mixed session completed as `{}` — a rejection is a completion, not an abort.",
+        mixed_entry
+            .class
+            .map_or_else(String::new, |c| c.to_string())
+    );
+
+    let report = svc.shutdown(Duration::from_secs(30));
+    println!(
+        "\nDrained: {} swept from queue, {} finished in grace, {} leaked ({}).",
+        report.swept_from_queue,
+        report.finished_in_grace,
+        report.leaked,
+        if report.clean() { "clean" } else { "LEAKY" }
+    );
+    Ok(())
+}

@@ -1,8 +1,10 @@
 //! Offline stand-in for `crossbeam`, backed by `std::sync::mpsc`.
 //!
-//! Only the `channel::unbounded` MPSC surface the workspace uses is
-//! provided. `std`'s channels are MPSC rather than MPMC, which matches
-//! every use site here (each receiver has a single owner thread).
+//! Only the `channel` MPSC surface the workspace uses is provided:
+//! [`channel::unbounded`] and [`channel::bounded`] constructors plus
+//! blocking, non-blocking and deadline receives. `std`'s channels are
+//! MPSC rather than MPMC, which matches every use site here (each
+//! receiver has a single owner thread, or is shared behind a mutex).
 
 #![forbid(unsafe_code)]
 
@@ -14,6 +16,15 @@ pub mod channel {
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +48,26 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Sending half of an unbounded channel.
+    /// One sending half: unbounded channels enqueue without limit,
+    /// bounded ones block (or report `Full` from `try_send`) at capacity.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -48,13 +76,31 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; fails only if every receiver is dropped.
+        /// Enqueues a message, blocking while a bounded channel is at
+        /// capacity; fails only if every receiver is dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.0 {
+                Tx::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+
+        /// Enqueues a message without blocking: a bounded channel at
+        /// capacity reports [`TrySendError::Full`] immediately.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(tx) => tx
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+                Tx::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+            }
         }
     }
 
-    /// Receiving half of an unbounded channel.
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
@@ -84,7 +130,15 @@ pub mod channel {
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded MPSC channel holding at most `cap` messages;
+    /// further sends block (or fail from `try_send`) until the receiver
+    /// drains. `cap = 0` is a rendezvous channel, as in real crossbeam.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -103,6 +157,30 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(1)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn bounded_reports_full_without_blocking() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn bounded_send_unblocks_when_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(10).unwrap();
+            let t = std::thread::spawn(move || tx.send(11));
+            assert_eq!(rx.recv(), Ok(10));
+            assert_eq!(rx.recv(), Ok(11));
+            t.join().unwrap().unwrap();
         }
     }
 }

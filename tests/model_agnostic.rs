@@ -93,6 +93,7 @@ fn threaded_async_hub_reaches_agreement() {
                 h.broadcast("bd-r1", encode(&r1.sender, &r1.z));
                 let round1: Vec<bd::Round1> = h
                     .collect_round("bd-r1")
+                    .expect("guaranteed delivery")
                     .into_iter()
                     .map(|(_, p)| decode_r1(&p))
                     .collect();
@@ -100,6 +101,7 @@ fn threaded_async_hub_reaches_agreement() {
                 h.broadcast("bd-r2", encode(&r2.sender, &r2.x));
                 let round2: Vec<bd::Round2> = h
                     .collect_round("bd-r2")
+                    .expect("guaranteed delivery")
                     .into_iter()
                     .map(|(_, p)| decode_r2(&p))
                     .collect();
