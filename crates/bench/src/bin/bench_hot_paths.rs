@@ -255,6 +255,7 @@ fn render_json(metrics: &[Metric], modulus_bits: u32, smoke: bool, workers: usiz
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"modulus_bits\": {modulus_bits},\n"));
     s.push_str(&format!("  \"available_parallelism\": {workers},\n"));
+    s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
     s.push_str("  \"metrics\": [\n");
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 < metrics.len() { "," } else { "" };

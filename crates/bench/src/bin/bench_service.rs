@@ -175,6 +175,7 @@ fn render_json(scenarios: &[Scenario], smoke: bool, workers: usize) -> String {
     s.push_str("  \"benchmark\": \"service\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };

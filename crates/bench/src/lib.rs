@@ -48,6 +48,36 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), out)
 }
 
+/// The CPU model the benchmark ran on, from `/proc/cpuinfo` where
+/// available, `"unknown"` elsewhere — numbers without the host they
+/// were measured on are not comparable across baselines.
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A `"host"` JSON object fragment (hand-rolled; the offline build has
+/// no serde_json) recording where the numbers came from: CPU model,
+/// logical CPU count, OS, and the worker count the harness used.
+pub fn host_json(workers: usize) -> String {
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "{{ \"cpu_model\": \"{}\", \"cpus\": {}, \"os\": \"{}\", \"workers\": {} }}",
+        cpu_model().replace('"', "'"),
+        cpus,
+        std::env::consts::OS,
+        workers
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

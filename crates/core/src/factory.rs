@@ -73,11 +73,29 @@ pub fn dgka_slots(
 ) -> Result<Vec<Box<dyn DgkaSlot>>, CoreError> {
     let mut slots: Vec<Box<dyn DgkaSlot>> = Vec::with_capacity(m);
     for i in 0..m {
-        slots.push(match choice {
-            DgkaChoice::BurmesterDesmedt => Box::new(BdSlot::new(group, m, i)),
-            DgkaChoice::Gdh2 => Box::new(GdhSlot::new(group, m, i, rng)?),
-            DgkaChoice::AuthenticatedBd => Box::new(AkeSlot::new(group, m, i)),
-        });
+        slots.push(dgka_slot(choice, group, m, i, rng)?);
     }
     Ok(slots)
+}
+
+/// A single [`DgkaSlot`] for slot `i` of an `m`-party session — the
+/// distributed counterpart of [`dgka_slots`], for drivers where each
+/// party constructs only its own state machine.
+///
+/// # Errors
+///
+/// [`CoreError::Dgka`] when the protocol rejects the parameters
+/// (`m < 2`).
+pub fn dgka_slot(
+    choice: DgkaChoice,
+    group: &'static SchnorrGroup,
+    m: usize,
+    i: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Box<dyn DgkaSlot>, CoreError> {
+    Ok(match choice {
+        DgkaChoice::BurmesterDesmedt => Box::new(BdSlot::new(group, m, i)),
+        DgkaChoice::Gdh2 => Box::new(GdhSlot::new(group, m, i, rng)?),
+        DgkaChoice::AuthenticatedBd => Box::new(AkeSlot::new(group, m, i)),
+    })
 }

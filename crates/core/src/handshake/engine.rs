@@ -14,7 +14,7 @@ use crate::substrate::dgka::{DgkaSlot, Phase1Slot};
 use crate::CoreError;
 use rand::RngCore;
 use shs_bigint::counters;
-use shs_net::sync::BroadcastNet;
+use shs_net::Medium;
 
 /// Meters `f`'s modular-exponentiation count into `costs`.
 pub(crate) fn meter<T>(costs: &mut SlotCosts, f: impl FnOnce() -> T) -> T {
@@ -33,16 +33,16 @@ pub(crate) fn note_send(costs: &mut SlotCosts, payload: &[u8]) {
 /// (all slots retransmitting together, which keeps the per-slot wire
 /// shape uniform) while some receiver still lacks a *valid* copy of some
 /// sender's message and budget remains.
-pub(crate) struct Exchanger<'n, 'a> {
-    pub(crate) net: &'n mut BroadcastNet<'a>,
+pub(crate) struct Exchanger<'n> {
+    pub(crate) net: &'n mut dyn Medium,
     budget: SessionBudget,
     pub(crate) exchanges: u32,
     pub(crate) retries: u32,
     pub(crate) exhausted: bool,
 }
 
-impl<'n, 'a> Exchanger<'n, 'a> {
-    pub(crate) fn new(net: &'n mut BroadcastNet<'a>, budget: SessionBudget) -> Exchanger<'n, 'a> {
+impl<'n> Exchanger<'n> {
+    pub(crate) fn new(net: &'n mut dyn Medium, budget: SessionBudget) -> Exchanger<'n> {
         Exchanger {
             net,
             budget,
@@ -116,7 +116,7 @@ impl<'n, 'a> Exchanger<'n, 'a> {
 /// Network errors from the underlying exchange are propagated.
 pub(crate) fn run_phase1(
     slots: &mut [Box<dyn DgkaSlot>],
-    ex: &mut Exchanger<'_, '_>,
+    ex: &mut Exchanger<'_>,
     costs: &mut [SlotCosts],
     rng: &mut dyn RngCore,
 ) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {

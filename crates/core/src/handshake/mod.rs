@@ -43,6 +43,7 @@
 
 pub(crate) mod decoy;
 pub(crate) mod engine;
+pub mod party;
 mod phase1;
 mod phase2;
 mod phase3;
@@ -58,6 +59,7 @@ use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
 use shs_gsig::params::{GsigParams, GsigPreset};
 use shs_net::observe::TrafficLog;
 use shs_net::sync::BroadcastNet;
+use shs_net::Medium;
 
 /// A participant slot in a handshake session.
 pub enum Actor<'a> {
@@ -165,6 +167,15 @@ pub struct SessionStats {
     /// [`crate::config::SessionBudget::max_exchanges`] with messages
     /// still missing?
     pub budget_exhausted: bool,
+    /// Frames the medium shed because a receiver stopped draining
+    /// (previously absorbed silently by the transport; surfaced here so
+    /// operators can see backpressure loss per session).
+    pub backpressure_dropped: u64,
+    /// Successful transport re-attachments after lost connections
+    /// (always zero on in-process media).
+    pub reconnects: u64,
+    /// Read/write deadlines that expired on live transport connections.
+    pub deadline_timeouts: u64,
 }
 
 /// Everything a handshake session produced.
@@ -229,7 +240,7 @@ pub fn run_handshake(
 pub fn run_handshake_with_net(
     actors: &[Actor<'_>],
     opts: &HandshakeOptions,
-    net: &mut BroadcastNet<'_>,
+    net: &mut dyn Medium,
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<SessionResult, CoreError> {
     let mut rng = rng;
@@ -262,57 +273,88 @@ pub fn run_handshake_with_net(
     }
 
     // ---- Outcomes -------------------------------------------------------
+    // A crash-stopped slot never finished the session regardless of what
+    // the local simulation computed for it: mark it aborted. The medium
+    // reports both injected crash-stops and real dead connections.
+    for crashed in ex.net.crashed_slots() {
+        if crashed < m {
+            aborts[crashed] = Some(AbortReason::Crashed);
+        }
+    }
+    let traffic = ex.net.traffic_snapshot();
+    let transport = ex.net.transport_counters();
     let stats = SessionStats {
         exchanges: ex.exchanges,
         retries: ex.retries,
         budget_exhausted: ex.exhausted,
+        backpressure_dropped: traffic.faults().backpressure_dropped,
+        reconnects: transport.reconnects,
+        deadline_timeouts: transport.deadline_timeouts,
     };
-    // A crash-stopped slot never finished the session regardless of what
-    // the local simulation computed for it: mark it aborted.
-    if let Some(plan) = ex.net.fault_plan() {
-        for crashed in plan.crashed_slots(m) {
-            aborts[crashed] = Some(AbortReason::Crashed);
-        }
-    }
     let mut outcomes = Vec::with_capacity(m);
     for (i, slot) in slots.iter().enumerate() {
-        let ok = aborts[i].is_none();
-        let is_member = ok && matches!(slot.actor, Actor::Member(_));
-        let delta = slot.delta_set.clone();
-        let mut verified_i = verified[i].clone();
-        if is_member {
-            verified_i.push(i); // own signature trivially verified
-        }
-        verified_i.sort_unstable();
-        let all_delta_verified = opts.policy == TracePolicy::PreliminaryOnly
-            || delta.iter().all(|j| verified_i.contains(j));
-        let clean = duplicates[i].is_empty();
-        let accepted = is_member && delta.len() == m && all_delta_verified && clean;
-        let partial_ok =
-            is_member && opts.partial_success && delta.len() >= 2 && all_delta_verified && clean;
-        let session_key = if accepted || partial_ok {
-            Some(phase3::derive_session_key(&slot.k_prime, &slot.sid, &delta))
-        } else {
-            None
-        };
-        outcomes.push(Outcome {
-            slot: i,
-            accepted,
-            same_group_slots: delta,
-            verified_slots: verified_i,
-            duplicate_slots: duplicates[i].clone(),
-            session_key,
-            abort: aborts[i],
-        });
+        outcomes.push(resolve_outcome(
+            i,
+            slot,
+            aborts[i],
+            &verified[i],
+            &duplicates[i],
+            opts,
+            m,
+        ));
     }
 
     Ok(SessionResult {
         outcomes,
         transcript,
-        traffic: ex.net.traffic().clone(),
+        traffic,
         costs,
         stats,
     })
+}
+
+/// Folds one slot's phase results into its [`Outcome`] — the acceptance
+/// logic of `Handshake(∆)` plus the partial-success extension, shared by
+/// the lockstep driver above and the per-party driver
+/// ([`crate::handshake::party`]), which must agree byte-for-byte on what
+/// "accepted" means.
+pub(crate) fn resolve_outcome(
+    i: usize,
+    slot: &SlotState<'_>,
+    abort: Option<AbortReason>,
+    verified_base: &[usize],
+    duplicates_i: &[usize],
+    opts: &HandshakeOptions,
+    m: usize,
+) -> Outcome {
+    let ok = abort.is_none();
+    let is_member = ok && matches!(slot.actor, Actor::Member(_));
+    let delta = slot.delta_set.clone();
+    let mut verified_i = verified_base.to_vec();
+    if is_member {
+        verified_i.push(i); // own signature trivially verified
+    }
+    verified_i.sort_unstable();
+    let all_delta_verified =
+        opts.policy == TracePolicy::PreliminaryOnly || delta.iter().all(|j| verified_i.contains(j));
+    let clean = duplicates_i.is_empty();
+    let accepted = is_member && delta.len() == m && all_delta_verified && clean;
+    let partial_ok =
+        is_member && opts.partial_success && delta.len() >= 2 && all_delta_verified && clean;
+    let session_key = if accepted || partial_ok {
+        Some(phase3::derive_session_key(&slot.k_prime, &slot.sid, &delta))
+    } else {
+        None
+    };
+    Outcome {
+        slot: i,
+        accepted,
+        same_group_slots: delta,
+        verified_slots: verified_i,
+        duplicate_slots: duplicates_i.to_vec(),
+        session_key,
+        abort,
+    }
 }
 
 fn session_group(actors: &[Actor<'_>]) -> &'static SchnorrGroup {

@@ -22,7 +22,7 @@ pub(crate) fn run(
     dgka: DgkaChoice,
     group: &'static SchnorrGroup,
     m: usize,
-    ex: &mut Exchanger<'_, '_>,
+    ex: &mut Exchanger<'_>,
     costs: &mut [SlotCosts],
     rng: &mut dyn RngCore,
 ) -> Result<Vec<(Phase1Slot, Option<AbortReason>)>, CoreError> {

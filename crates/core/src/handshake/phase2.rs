@@ -28,7 +28,7 @@ pub(crate) fn phase2_tag(k_prime: &Key, sid: &[u8], contribution: &[u8], slot: u
 /// Network errors from the exchange are propagated.
 pub(crate) fn run(
     slots: &mut [SlotState<'_>],
-    ex: &mut Exchanger<'_, '_>,
+    ex: &mut Exchanger<'_>,
     costs: &mut [SlotCosts],
 ) -> Result<(), CoreError> {
     let m = slots.len();

@@ -29,7 +29,7 @@ pub(crate) fn run(
     group: &'static SchnorrGroup,
     mimic: &SlotParams,
     opts: &HandshakeOptions,
-    ex: &mut Exchanger<'_, '_>,
+    ex: &mut Exchanger<'_>,
     costs: &mut [SlotCosts],
     rng: &mut dyn RngCore,
 ) -> Result<(HandshakeTranscript, Vec<Vec<usize>>, Vec<Vec<usize>>), CoreError> {
@@ -102,7 +102,7 @@ pub(crate) fn run(
 /// One slot's Phase-III verification: checks every co-member frame in
 /// this slot's view and flags duplicate `T6` values (self-distinction).
 /// Returns `(verified, duplicates)` for the slot.
-fn verify_slot(
+pub(crate) fn verify_slot(
     slot: &SlotState<'_>,
     member: &crate::member::Member,
     i: usize,
@@ -175,7 +175,7 @@ pub(crate) fn sd_basis(slot: &SlotState<'_>) -> Vec<u8> {
     basis
 }
 
-fn phase3_payload(
+pub(crate) fn phase3_payload(
     slot: &mut SlotState<'_>,
     group: &'static SchnorrGroup,
     mimic: &SlotParams,

@@ -31,7 +31,7 @@
 
 use crate::fault::FaultPlan;
 use crate::observe::TrafficLog;
-use crate::NetError;
+use crate::{NetError, PartyLink};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -201,6 +201,59 @@ impl PartyHandle {
             }
         }
         got
+    }
+}
+
+impl PartyLink for PartyHandle {
+    fn slot(&self) -> usize {
+        PartyHandle::slot(self)
+    }
+
+    fn slots(&self) -> usize {
+        PartyHandle::slots(self)
+    }
+
+    fn broadcast(&mut self, round: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        PartyHandle::broadcast(self, round, payload);
+        Ok(())
+    }
+
+    /// Like [`PartyHandle::collect_round_within`], but with the caller's
+    /// validity filter so corrupted copies do not displace a later valid
+    /// retransmission (first-*valid*-copy-wins, as in the lockstep
+    /// engine).
+    fn collect(
+        &mut self,
+        round: &str,
+        timeout: Duration,
+        valid: &mut dyn FnMut(usize, &[u8]) -> bool,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut got: Vec<Option<Vec<u8>>> = vec![None; self.slots];
+        let mut count = 0;
+        while count < self.slots {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_timeout(left) {
+                Ok((from, r, payload)) => {
+                    if r == round
+                        && from < self.slots
+                        && got.get(from).is_some_and(Option::is_none)
+                        && valid(from, &payload)
+                    {
+                        if let Some(cell) = got.get_mut(from) {
+                            *cell = Some(payload);
+                            count += 1;
+                        }
+                    }
+                }
+                Err(NetError::Timeout) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(got)
     }
 }
 

@@ -54,8 +54,10 @@ pub mod hub;
 pub mod observe;
 pub mod serve;
 pub mod sync;
+pub mod tcp;
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Delivery-order policy of the medium.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +86,14 @@ pub enum NetError {
     Timeout,
     /// The peer side of a channel disappeared mid-session.
     Disconnected,
+    /// A wire frame failed to decode (see [`tcp::frame::FrameError`]).
+    /// Fires before any allocation for the offending frame body.
+    Frame(tcp::frame::FrameError),
+    /// The connection supervisor exhausted its reconnect attempt budget.
+    ConnectFailed,
+    /// The remote end refused the attachment (slot taken, session full,
+    /// or a protocol-version mismatch during the hello exchange).
+    Refused,
 }
 
 impl std::fmt::Display for NetError {
@@ -93,8 +103,119 @@ impl std::fmt::Display for NetError {
             NetError::IncompleteRound => write!(f, "round message set incomplete"),
             NetError::Timeout => write!(f, "receive deadline exceeded"),
             NetError::Disconnected => write!(f, "peer channel disconnected"),
+            NetError::Frame(e) => write!(f, "wire frame: {e}"),
+            NetError::ConnectFailed => write!(f, "reconnect attempt budget exhausted"),
+            NetError::Refused => write!(f, "remote refused attachment"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// Transport-level robustness counters a medium accumulates alongside
+/// the fault tallies in [`observe::FaultCounters`]. In-process media
+/// report zeros; the TCP transport counts real socket events so the
+/// hardened runtime's session accounting
+/// (`shs-core`'s `SessionStats`) can surface them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportCounters {
+    /// Successful re-attachments after a lost connection (each one cost
+    /// at least one backoff sleep).
+    pub reconnects: u64,
+    /// Read or write deadlines that expired on a live connection.
+    pub deadline_timeouts: u64,
+    /// Heartbeat frames sent to keep an idle connection observable.
+    pub heartbeats: u64,
+}
+
+impl TransportCounters {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.reconnects += other.reconnects;
+        self.deadline_timeouts += other.deadline_timeouts;
+        self.heartbeats += other.heartbeats;
+    }
+}
+
+/// A lockstep broadcast medium the handshake engine can drive: all
+/// slots' payloads go in together, all inboxes come back together.
+///
+/// [`sync::BroadcastNet`] implements this in-process;
+/// [`tcp::TcpSession`] implements it over real sockets through a frame
+/// relay. The engine only sees this trait, so the session budget, decoy
+/// machinery and retransmission logic are byte-identical on both.
+pub trait Medium {
+    /// Number of party slots.
+    fn slots(&self) -> usize;
+
+    /// Performs one broadcast exchange under `round`: `outgoing[i]` is
+    /// slot `i`'s payload, the result's entry `i` is slot `i`'s inbox
+    /// (own echo included, as on a radio medium).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::IncompleteRound`] unless exactly one payload per slot
+    /// is supplied; transports add their I/O error classes.
+    fn exchange(
+        &mut self,
+        round: &str,
+        outgoing: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<sync::Received>>, NetError>;
+
+    /// A snapshot of the eavesdropper's traffic log so far.
+    fn traffic_snapshot(&self) -> observe::TrafficLog;
+
+    /// Slots known to have crash-stopped (fault injection or a real
+    /// dead connection) as of now.
+    fn crashed_slots(&self) -> Vec<usize>;
+
+    /// Transport robustness counters (zero for in-process media).
+    fn transport_counters(&self) -> TransportCounters {
+        TransportCounters::default()
+    }
+}
+
+/// One party's endpoint on a broadcast medium, for drivers where each
+/// party runs in its own thread or OS process (the distributed
+/// counterpart of [`Medium`], which holds all slots in one place).
+///
+/// [`hub::PartyHandle`] implements this over in-process channels (the
+/// test seam); [`tcp::TcpParty`] implements it over a framed TCP
+/// connection to a relay.
+pub trait PartyLink {
+    /// This party's anonymous slot.
+    fn slot(&self) -> usize;
+
+    /// Number of slots in the session.
+    fn slots(&self) -> usize;
+
+    /// Broadcasts `payload` under `round` to every slot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors ([`NetError::Disconnected`] after the reconnect
+    /// budget, write timeouts) are propagated.
+    fn broadcast(&mut self, round: &str, payload: Vec<u8>) -> Result<(), NetError>;
+
+    /// Collects one exchange of `round`: entry `j` is the first copy of
+    /// slot `j`'s payload that satisfied `valid` (`None` where nothing
+    /// valid arrived before the deadline). Out-of-round arrivals and
+    /// invalid copies are discarded, matching the lockstep engine's
+    /// first-valid-copy-wins rule.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the medium is gone for good; a
+    /// mere quiet deadline returns an incomplete view instead.
+    fn collect(
+        &mut self,
+        round: &str,
+        timeout: Duration,
+        valid: &mut dyn FnMut(usize, &[u8]) -> bool,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError>;
+
+    /// Transport robustness counters (zero for in-process links).
+    fn transport_counters(&self) -> TransportCounters {
+        TransportCounters::default()
+    }
+}

@@ -22,6 +22,10 @@ pub struct DrainReport {
     /// Sessions still non-terminal when the grace period expired
     /// (registry leaks — the chaos soak asserts this is zero).
     pub leaked: u64,
+    /// Messages lost to backpressure across every attempt the registry
+    /// recorded over the service's lifetime — so an operator reading the
+    /// shutdown report sees load shedding, not just lifecycle counts.
+    pub backpressure_dropped: u64,
     /// How long the drain took.
     pub elapsed: Duration,
 }

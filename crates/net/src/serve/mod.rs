@@ -282,6 +282,7 @@ impl Service {
             swept_from_queue: swept,
             finished_in_grace: running_at_drain.saturating_sub(leaked),
             leaked,
+            backpressure_dropped: self.registry.lock().stats().backpressure_dropped,
             elapsed: start.elapsed(),
         }
     }

@@ -187,6 +187,9 @@ pub struct RegistryStats {
     pub reformations: u64,
     /// Illegal lifecycle transitions that were requested (and refused).
     pub illegal_transitions: u64,
+    /// Messages lost to backpressure across every recorded attempt
+    /// (bounded-queue sheds in the hub, outbox sheds at the TCP relay).
+    pub backpressure_dropped: u64,
 }
 
 /// The session registry (interior mutability is the caller's concern;
@@ -383,6 +386,11 @@ impl SessionRegistry {
             }
             s.attempts += e.attempts.len() as u64;
             s.reformations += u64::from(e.reformations);
+            s.backpressure_dropped += e
+                .attempts
+                .iter()
+                .map(|a| a.traffic.faults().backpressure_dropped)
+                .sum::<u64>();
         }
         s
     }

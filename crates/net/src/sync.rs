@@ -11,7 +11,7 @@
 
 use crate::fault::FaultPlan;
 use crate::observe::TrafficLog;
-use crate::{DeliveryPolicy, NetError};
+use crate::{DeliveryPolicy, Medium, NetError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,6 +190,30 @@ impl<'a> BroadcastNet<'a> {
             self.log.set_faults(plan.counters().clone());
         }
         Ok(inboxes)
+    }
+}
+
+impl Medium for BroadcastNet<'_> {
+    fn slots(&self) -> usize {
+        BroadcastNet::slots(self)
+    }
+
+    fn exchange(
+        &mut self,
+        round: &str,
+        outgoing: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<Received>>, NetError> {
+        BroadcastNet::exchange(self, round, outgoing)
+    }
+
+    fn traffic_snapshot(&self) -> TrafficLog {
+        self.log.clone()
+    }
+
+    fn crashed_slots(&self) -> Vec<usize> {
+        self.fault_plan
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.crashed_slots(self.slots))
     }
 }
 

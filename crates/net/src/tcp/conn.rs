@@ -1,0 +1,295 @@
+//! A framed TCP connection with read/write deadlines.
+//!
+//! [`FramedConn`] wraps one `TcpStream` in the frame codec of
+//! [`crate::tcp::frame`] and maps every socket failure onto the
+//! structured [`NetError`] classes the handshake runtime already
+//! understands:
+//!
+//! * a read/write deadline expiring on a live socket →
+//!   [`NetError::Timeout`] (counted in
+//!   [`crate::TransportCounters::deadline_timeouts`]),
+//! * EOF or a reset peer → [`NetError::Disconnected`],
+//! * a malformed frame → [`NetError::Frame`] with the codec's reason.
+//!
+//! The drivers map these onward: a timeout is an incomplete round
+//! (retransmission budget), a disconnect beyond the reconnect budget
+//! becomes a structured abort — never a hang, never a panic.
+
+use crate::tcp::frame::{self, Frame, HEADER_LEN};
+use crate::{NetError, TransportCounters};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Deadline configuration of one framed connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnConfig {
+    /// Deadline of one blocking frame read (also the idle-detection
+    /// window: a peer silent for this long with no heartbeat is
+    /// considered gone by readers that choose to treat it so).
+    pub read_deadline: Duration,
+    /// Deadline of one frame write (a peer that stops draining its
+    /// receive window for this long is treated as stalled).
+    pub write_deadline: Duration,
+    /// How long [`FramedConn::goodbye`] waits for the peer's remaining
+    /// frames (and its own `Bye`) before giving up the drain.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ConnConfig {
+    fn default() -> ConnConfig {
+        ConnConfig {
+            read_deadline: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One framed, deadline-supervised TCP connection.
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: TcpStream,
+    config: ConnConfig,
+    counters: TransportCounters,
+}
+
+impl FramedConn {
+    /// Wraps `stream`, arming its read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the socket rejects configuration
+    /// (it is already dead).
+    pub fn new(stream: TcpStream, config: ConnConfig) -> Result<FramedConn, NetError> {
+        stream
+            .set_read_timeout(Some(config.read_deadline))
+            .map_err(|_| NetError::Disconnected)?;
+        stream
+            .set_write_timeout(Some(config.write_deadline))
+            .map_err(|_| NetError::Disconnected)?;
+        stream
+            .set_nodelay(true)
+            .map_err(|_| NetError::Disconnected)?;
+        Ok(FramedConn {
+            stream,
+            config,
+            counters: TransportCounters::default(),
+        })
+    }
+
+    /// The deadline configuration this connection was armed with.
+    pub fn config(&self) -> ConnConfig {
+        self.config
+    }
+
+    /// Robustness counters accumulated so far.
+    pub fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+
+    /// Clones the underlying socket (e.g. to split reading and writing
+    /// across threads). The clone shares deadlines but counts its own
+    /// transport events.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the socket cannot be duplicated.
+    pub fn try_clone(&self) -> Result<FramedConn, NetError> {
+        let stream = self
+            .stream
+            .try_clone()
+            .map_err(|_| NetError::Disconnected)?;
+        Ok(FramedConn {
+            stream,
+            config: self.config,
+            counters: TransportCounters::default(),
+        })
+    }
+
+    /// Sends one frame within the write deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on a stalled peer, otherwise
+    /// [`NetError::Disconnected`].
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode();
+        match self.stream.write_all(&bytes) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.map_io(&e)),
+        }
+    }
+
+    /// Sends a [`Frame::Heartbeat`], counting it.
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedConn::send`].
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.counters.heartbeats += 1;
+        self.send(&Frame::Heartbeat)
+    }
+
+    /// Receives one frame within the configured read deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline expires,
+    /// [`NetError::Disconnected`] on EOF/reset, [`NetError::Frame`] on a
+    /// malformed frame (the stream is then desynchronized and should be
+    /// abandoned).
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        self.recv_within(self.config.read_deadline)
+    }
+
+    /// Receives one frame within `timeout` (restores the configured
+    /// deadline afterwards).
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedConn::recv`].
+    pub fn recv_within(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+        // A zero timeout would mean "block forever" to the socket API;
+        // clamp to the shortest real deadline instead.
+        let timeout = timeout.max(Duration::from_millis(1));
+        let _ = self.stream.set_read_timeout(Some(timeout));
+        let out = self.recv_inner();
+        let _ = self
+            .stream
+            .set_read_timeout(Some(self.config.read_deadline));
+        out
+    }
+
+    fn recv_inner(&mut self) -> Result<Frame, NetError> {
+        let mut header = [0u8; HEADER_LEN];
+        self.read_exact_mapped(&mut header)?;
+        let h = frame::decode_header(&header).map_err(NetError::Frame)?;
+        // The header's length bound has been validated, so this
+        // allocation is capped at MAX_BODY_LEN.
+        let mut body = vec![0u8; h.len as usize];
+        self.read_exact_mapped(&mut body)?;
+        frame::decode_body(h.ftype, &body).map_err(NetError::Frame)
+    }
+
+    fn read_exact_mapped(&mut self, buf: &mut [u8]) -> Result<(), NetError> {
+        match self.stream.read_exact(buf) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.map_io(&e)),
+        }
+    }
+
+    fn map_io(&mut self, e: &std::io::Error) -> NetError {
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                self.counters.deadline_timeouts += 1;
+                NetError::Timeout
+            }
+            _ => NetError::Disconnected,
+        }
+    }
+
+    /// Graceful half-close: sends [`Frame::Bye`], shuts down the write
+    /// half, then drains the read half (bounded by the drain deadline)
+    /// so in-flight deliveries and the peer's own `Bye` are consumed
+    /// rather than resetting the connection. Errors are swallowed — the
+    /// connection is being abandoned either way.
+    pub fn goodbye(mut self) {
+        let _ = self.send(&Frame::Bye);
+        let _ = self.stream.shutdown(Shutdown::Write);
+        let deadline = Instant::now() + self.config.drain_deadline;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_within(left) {
+                Ok(Frame::Bye) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Hard shutdown of both halves (supervisor teardown on errors).
+    pub fn abort(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair(config: ConnConfig) -> (FramedConn, FramedConn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        let client = client.join().unwrap();
+        (
+            FramedConn::new(server, config).unwrap(),
+            FramedConn::new(client, config).unwrap(),
+        )
+    }
+
+    #[test]
+    fn frames_cross_the_socket() {
+        let (mut a, mut b) = pair(ConnConfig::default());
+        a.send(&Frame::Broadcast {
+            round: "r1".to_string(),
+            from_slot: 2,
+            payload: vec![9; 100],
+        })
+        .unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(
+            got,
+            Frame::Broadcast {
+                round: "r1".to_string(),
+                from_slot: 2,
+                payload: vec![9; 100],
+            }
+        );
+    }
+
+    #[test]
+    fn read_deadline_maps_to_timeout_and_is_counted() {
+        let config = ConnConfig {
+            read_deadline: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let (_a, mut b) = pair(config);
+        assert_eq!(b.recv().unwrap_err(), NetError::Timeout);
+        assert_eq!(b.counters().deadline_timeouts, 1);
+    }
+
+    #[test]
+    fn eof_maps_to_disconnected() {
+        let (a, mut b) = pair(ConnConfig {
+            drain_deadline: Duration::from_millis(50),
+            ..Default::default()
+        });
+        a.goodbye();
+        assert_eq!(b.recv().unwrap(), Frame::Bye);
+        assert_eq!(b.recv().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn garbage_on_the_wire_is_a_structured_frame_error() {
+        let (mut a, mut b) = pair(ConnConfig::default());
+        // Write raw garbage past the codec.
+        a.stream.write_all(b"XXGARBAGE").unwrap();
+        assert!(matches!(b.recv().unwrap_err(), NetError::Frame(_)));
+    }
+
+    #[test]
+    fn heartbeats_count() {
+        let (mut a, mut b) = pair(ConnConfig::default());
+        a.ping().unwrap();
+        assert_eq!(b.recv().unwrap(), Frame::Heartbeat);
+        assert_eq!(a.counters().heartbeats, 1);
+    }
+}

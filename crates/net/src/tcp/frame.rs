@@ -1,0 +1,448 @@
+//! The versioned, length-framed wire codec of the TCP transport.
+//!
+//! Every frame is `MAGIC ‖ version ‖ type ‖ len₃₂ ‖ body` — an 8-byte
+//! header followed by `len` body bytes. The header is validated (magic,
+//! version, type, length bound) **before any allocation for the body**,
+//! so an adversarial length prefix cannot balloon memory, and every
+//! decode failure is a structured [`FrameError`], never a panic: this
+//! file sits on the `index-path`/`panic-path` lints and uses checked
+//! access exclusively.
+//!
+//! Body layouts (all integers big-endian):
+//!
+//! * `Hello` — `version:u8 ‖ want_slot:u32` (`want_slot = u32::MAX`
+//!   means "any free slot").
+//! * `Welcome` — `slot:u32 ‖ slots:u32`.
+//! * `Broadcast` — `label_len:u16 ‖ label ‖ from_slot:u32 ‖
+//!   payload_len:u32 ‖ payload`.
+//! * `RoundEnd` — `label_len:u16 ‖ label`.
+//! * `Heartbeat`, `Bye` — empty bodies.
+
+use std::fmt;
+
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = *b"SH";
+
+/// Wire-protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes: magic (2) + version (1) + type (1) + len (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame body. Handshake payloads are a few KiB even at
+/// production parameters; anything above this is an attack or a
+/// desynchronized stream, rejected before allocation.
+pub const MAX_BODY_LEN: u32 = 1 << 20;
+
+/// Round labels are short protocol constants; a longer one is garbage.
+const MAX_LABEL_LEN: usize = 64;
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_WELCOME: u8 = 2;
+const TYPE_BROADCAST: u8 = 3;
+const TYPE_ROUND_END: u8 = 4;
+const TYPE_HEARTBEAT: u8 = 5;
+const TYPE_BYE: u8 = 6;
+
+/// Structured decode failures of the frame codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic,
+    /// The header named a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The header named an unknown frame type.
+    UnknownType {
+        /// The type byte received.
+        got: u8,
+    },
+    /// The length prefix exceeded [`MAX_BODY_LEN`]; rejected before any
+    /// body allocation.
+    Oversize {
+        /// The claimed body length.
+        len: u32,
+    },
+    /// The bytes ended before the structure did.
+    Truncated,
+    /// The body had bytes left over after its structure was consumed.
+    TrailingBytes,
+    /// A round label was over-long or not valid UTF-8.
+    BadLabel,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got} (speaking {VERSION})")
+            }
+            FrameError::UnknownType { got } => write!(f, "unknown frame type {got}"),
+            FrameError::Oversize { len } => {
+                write!(f, "frame body of {len} bytes exceeds cap {MAX_BODY_LEN}")
+            }
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::TrailingBytes => write!(f, "frame body has trailing bytes"),
+            FrameError::BadLabel => write!(f, "malformed round label"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One frame of the TCP transport protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → relay: request attachment.
+    Hello {
+        /// The client's protocol version.
+        version: u8,
+        /// Requested slot, or `u32::MAX` for any free one.
+        want_slot: u32,
+    },
+    /// Relay → client: attachment granted.
+    Welcome {
+        /// The assigned slot.
+        slot: u32,
+        /// Total slots in the session.
+        slots: u32,
+    },
+    /// A broadcast payload (client → relay: own send; relay → client:
+    /// a delivery attributed to `from_slot`).
+    Broadcast {
+        /// Round label.
+        round: String,
+        /// Sender slot.
+        from_slot: u32,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Relay → client: the current exchange of `round` is complete.
+    RoundEnd {
+        /// Round label.
+        round: String,
+    },
+    /// Keep-alive; carries nothing and is never forwarded.
+    Heartbeat,
+    /// Graceful half-close: the sender is done transmitting.
+    Bye,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TYPE_HELLO,
+            Frame::Welcome { .. } => TYPE_WELCOME,
+            Frame::Broadcast { .. } => TYPE_BROADCAST,
+            Frame::RoundEnd { .. } => TYPE_ROUND_END,
+            Frame::Heartbeat => TYPE_HEARTBEAT,
+            Frame::Bye => TYPE_BYE,
+        }
+    }
+
+    /// Encodes the frame as header + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.type_byte());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Frame::Hello { version, want_slot } => {
+                b.push(*version);
+                b.extend_from_slice(&want_slot.to_be_bytes());
+            }
+            Frame::Welcome { slot, slots } => {
+                b.extend_from_slice(&slot.to_be_bytes());
+                b.extend_from_slice(&slots.to_be_bytes());
+            }
+            Frame::Broadcast {
+                round,
+                from_slot,
+                payload,
+            } => {
+                b.extend_from_slice(&(round.len() as u16).to_be_bytes());
+                b.extend_from_slice(round.as_bytes());
+                b.extend_from_slice(&from_slot.to_be_bytes());
+                b.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                b.extend_from_slice(payload);
+            }
+            Frame::RoundEnd { round } => {
+                b.extend_from_slice(&(round.len() as u16).to_be_bytes());
+                b.extend_from_slice(round.as_bytes());
+            }
+            Frame::Heartbeat | Frame::Bye => {}
+        }
+        b
+    }
+}
+
+/// A decoded header: the frame type byte and the body length. The
+/// version and length bound have already been checked, so the caller
+/// may allocate `len` bytes for the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Validated frame type byte.
+    pub ftype: u8,
+    /// Body length (≤ [`MAX_BODY_LEN`]).
+    pub len: u32,
+}
+
+/// Validates an 8-byte header: magic, version, known type, length cap.
+/// Rejecting the length here is what guarantees no oversize allocation
+/// ever happens downstream.
+///
+/// # Errors
+///
+/// Every malformed header maps to a specific [`FrameError`].
+pub fn decode_header(bytes: &[u8]) -> Result<Header, FrameError> {
+    let mut c = Cursor::new(bytes);
+    let magic0 = c.take_u8()?;
+    let magic1 = c.take_u8()?;
+    if [magic0, magic1] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = c.take_u8()?;
+    if version != VERSION {
+        return Err(FrameError::UnsupportedVersion { got: version });
+    }
+    let ftype = c.take_u8()?;
+    if !(TYPE_HELLO..=TYPE_BYE).contains(&ftype) {
+        return Err(FrameError::UnknownType { got: ftype });
+    }
+    let len = c.take_u32()?;
+    if len > MAX_BODY_LEN {
+        return Err(FrameError::Oversize { len });
+    }
+    Ok(Header { ftype, len })
+}
+
+/// Decodes a frame body whose header already validated as `ftype`.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] / [`FrameError::TrailingBytes`] /
+/// [`FrameError::BadLabel`] on malformed bodies.
+pub fn decode_body(ftype: u8, body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor::new(body);
+    let frame = match ftype {
+        TYPE_HELLO => Frame::Hello {
+            version: c.take_u8()?,
+            want_slot: c.take_u32()?,
+        },
+        TYPE_WELCOME => Frame::Welcome {
+            slot: c.take_u32()?,
+            slots: c.take_u32()?,
+        },
+        TYPE_BROADCAST => {
+            let round = c.take_label()?;
+            let from_slot = c.take_u32()?;
+            let payload_len = c.take_u32()?;
+            if payload_len > MAX_BODY_LEN {
+                return Err(FrameError::Oversize { len: payload_len });
+            }
+            let payload = c.take(payload_len as usize)?.to_vec();
+            Frame::Broadcast {
+                round,
+                from_slot,
+                payload,
+            }
+        }
+        TYPE_ROUND_END => Frame::RoundEnd {
+            round: c.take_label()?,
+        },
+        TYPE_HEARTBEAT => Frame::Heartbeat,
+        TYPE_BYE => Frame::Bye,
+        got => return Err(FrameError::UnknownType { got }),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one whole frame from the front of `bytes`, returning it and
+/// the number of bytes consumed. Streaming readers should use
+/// [`decode_header`] + [`decode_body`] instead so the body read is
+/// bounded *before* buffering; this entry point serves parsers that
+/// already hold the bytes (tests, fuzzing).
+///
+/// # Errors
+///
+/// See [`decode_header`] and [`decode_body`].
+pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+    let header = decode_header(bytes)?;
+    let total = HEADER_LEN + header.len as usize;
+    let body = bytes.get(HEADER_LEN..total).ok_or(FrameError::Truncated)?;
+    Ok((decode_body(header.ftype, body)?, total))
+}
+
+/// A checked byte cursor: every access is bounds-checked and returns
+/// [`FrameError::Truncated`] instead of panicking.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(FrameError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, FrameError> {
+        self.take(1)?.first().copied().ok_or(FrameError::Truncated)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, FrameError> {
+        let raw = self.take(2)?;
+        let arr: [u8; 2] = raw.try_into().map_err(|_| FrameError::Truncated)?;
+        Ok(u16::from_be_bytes(arr))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, FrameError> {
+        let raw = self.take(4)?;
+        let arr: [u8; 4] = raw.try_into().map_err(|_| FrameError::Truncated)?;
+        Ok(u32::from_be_bytes(arr))
+    }
+
+    fn take_label(&mut self) -> Result<String, FrameError> {
+        let len = self.take_u16()? as usize;
+        if len > MAX_LABEL_LEN {
+            return Err(FrameError::BadLabel);
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::BadLabel)
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = f.encode();
+        let (back, used) = decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        roundtrip(Frame::Hello {
+            version: VERSION,
+            want_slot: u32::MAX,
+        });
+        roundtrip(Frame::Welcome { slot: 2, slots: 3 });
+        roundtrip(Frame::Broadcast {
+            round: "dgka-r1".to_string(),
+            from_slot: 1,
+            payload: vec![0xAB; 300],
+        });
+        roundtrip(Frame::RoundEnd {
+            round: "phase2-mac".to_string(),
+        });
+        roundtrip(Frame::Heartbeat);
+        roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Frame::Heartbeat.encode();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes).unwrap_err(), FrameError::BadMagic);
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let mut bytes = Frame::Heartbeat.encode();
+        bytes[2] = VERSION + 1;
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            FrameError::UnsupportedVersion { got: VERSION + 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = Frame::Heartbeat.encode();
+        bytes[3] = 0x77;
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            FrameError::UnknownType { got: 0x77 }
+        );
+    }
+
+    #[test]
+    fn oversize_length_rejected_in_header() {
+        let mut bytes = Frame::Heartbeat.encode();
+        bytes[4..8].copy_from_slice(&(MAX_BODY_LEN + 1).to_be_bytes());
+        assert_eq!(
+            decode_header(&bytes).unwrap_err(),
+            FrameError::Oversize {
+                len: MAX_BODY_LEN + 1
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_structured() {
+        let bytes = Frame::Broadcast {
+            round: "r".to_string(),
+            from_slot: 0,
+            payload: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u16.to_be_bytes()); // empty label
+        body.push(0xFF); // junk
+        assert_eq!(
+            decode_body(TYPE_ROUND_END, &body).unwrap_err(),
+            FrameError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn overlong_label_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&(MAX_LABEL_LEN as u16 + 1).to_be_bytes());
+        body.extend_from_slice(&[b'a'; MAX_LABEL_LEN + 1]);
+        assert_eq!(
+            decode_body(TYPE_ROUND_END, &body).unwrap_err(),
+            FrameError::BadLabel
+        );
+    }
+}

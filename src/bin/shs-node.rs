@@ -1,0 +1,446 @@
+//! `shs-node` — a supervised secret-handshake node over framed TCP.
+//!
+//! One node is one party of a GCD handshake session on a real network.
+//! A *listening* node additionally hosts the broadcast relay that
+//! bridges every party's framed connection into lockstep exchanges
+//! (`--relay-only` hosts the relay without playing a party). Identity
+//! is deterministic: the node regenerates its whole group from
+//! `group_seed`, so any two nodes configured with the same seed hold
+//! credentials of the same group — and nodes with different seeds are
+//! strangers whose handshake fails ordinarily.
+//!
+//! ```text
+//! shs-node init --config a.conf --group-seed demo --group-size 2 \
+//!     --member-index 0 --listen 127.0.0.1:7777
+//! shs-node init --config b.conf --group-seed demo --group-size 2 \
+//!     --member-index 1 --peer 127.0.0.1:7777
+//! shs-node run --config a.conf --report a.json   # terminal 1
+//! shs-node run --config b.conf --report b.json   # terminal 2
+//! ```
+//!
+//! The listening node prints `listening on ADDR` once the relay is
+//! bound (scripts parse this to learn the ephemeral port). `--chaos
+//! KIND:ROUND:FROM:TO` installs a fault rule at the relay's framing
+//! boundary, e.g. `--chaos corrupt:dgka-r1:1:0`. The report JSON never
+//! contains secrets — only a derived fingerprint so two reports can be
+//! compared for key agreement.
+
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::party::run_party;
+use shs_core::{fixtures, Actor, HandshakeOptions, Member, SchemeKind};
+use shs_crypto::drbg::HmacDrbg;
+use shs_crypto::Key;
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::tcp::{RelayConfig, RelayHandle, SupervisorConfig, TcpParty};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("shs-node: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    }
+}
+
+const USAGE: &str = "\
+shs-node — a secret-handshake node over framed TCP
+
+USAGE:
+  shs-node init --config PATH [--group-seed SEED] [--scheme KIND]
+                [--group-size N] [--member-index I] [--slots M]
+                [--listen ADDR | --peer ADDR]
+  shs-node run  --config PATH [--listen ADDR | --peer ADDR]
+                [--report PATH] [--chaos KIND:ROUND:FROM:TO]
+                [--relay-only]
+
+SCHEMES: scheme1 (default), scheme1-classic, scheme2
+CHAOS KINDS: drop, corrupt, truncate, duplicate, delay";
+
+/// The node's durable configuration (a `key = value` file).
+#[derive(Debug, Clone)]
+struct Config {
+    group_seed: String,
+    scheme: String,
+    group_size: usize,
+    member_index: usize,
+    slots: usize,
+    listen: Option<String>,
+    peer: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            group_seed: "shs-demo".to_string(),
+            scheme: "scheme1".to_string(),
+            group_size: 2,
+            member_index: 0,
+            slots: 2,
+            listen: None,
+            peer: None,
+        }
+    }
+}
+
+impl Config {
+    fn render(&self) -> String {
+        let mut out = String::from("# shs-node identity and session configuration\n");
+        let _ = writeln!(out, "group_seed = {}", self.group_seed);
+        let _ = writeln!(out, "scheme = {}", self.scheme);
+        let _ = writeln!(out, "group_size = {}", self.group_size);
+        let _ = writeln!(out, "member_index = {}", self.member_index);
+        let _ = writeln!(out, "slots = {}", self.slots);
+        if let Some(l) = &self.listen {
+            let _ = writeln!(out, "listen = {l}");
+        }
+        if let Some(p) = &self.peer {
+            let _ = writeln!(out, "peer = {p}");
+        }
+        out
+    }
+
+    fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("config line {}: expected `key = value`", no + 1))?;
+            let (key, value) = (key.trim(), value.trim().to_string());
+            match key {
+                "group_seed" => cfg.group_seed = value,
+                "scheme" => cfg.scheme = value,
+                "group_size" => cfg.group_size = parse_num(key, &value)?,
+                "member_index" => cfg.member_index = parse_num(key, &value)?,
+                "slots" => cfg.slots = parse_num(key, &value)?,
+                "listen" => cfg.listen = Some(value),
+                "peer" => cfg.peer = Some(value),
+                other => return Err(format!("config line {}: unknown key `{other}`", no + 1)),
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn scheme_kind(&self) -> Result<SchemeKind, String> {
+        // lint:allow(factory-dispatch) reason="CLI string-to-enum parsing; backends are still constructed through the factory"
+        match self.scheme.as_str() {
+            "scheme1" => Ok(SchemeKind::Scheme1),
+            "scheme1-classic" => Ok(SchemeKind::Scheme1Classic),
+            "scheme2" => Ok(SchemeKind::Scheme2SelfDistinct),
+            other => Err(format!("unknown scheme `{other}`")),
+        }
+    }
+
+    /// Deterministically regenerates this node's member credential from
+    /// the group seed: same seed, same group, anywhere.
+    fn member(&self) -> Result<Member, String> {
+        let scheme = self.scheme_kind()?;
+        let mut seed = b"shs-node-identity:".to_vec();
+        seed.extend_from_slice(self.group_seed.as_bytes());
+        let mut rng = HmacDrbg::from_seed(&seed);
+        let (_, mut members) = fixtures::group_with_members(scheme, self.group_size, &mut rng)
+            .map_err(|e| format!("group generation: {e}"))?;
+        if self.member_index >= members.len() {
+            return Err(format!(
+                "member_index {} out of range for group_size {}",
+                self.member_index, self.group_size
+            ));
+        }
+        Ok(members.swap_remove(self.member_index))
+    }
+}
+
+fn parse_num(key: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("config: `{key}` must be a number, got `{value}`"))
+}
+
+/// The run-scoped flags that live outside the durable [`Config`].
+#[derive(Default)]
+struct RunFlags {
+    config_path: Option<String>,
+    report: Option<String>,
+    relay_only: bool,
+    chaos: Option<String>,
+}
+
+/// Applies `--key value` style overrides shared by init and run.
+fn apply_flags(cfg: &mut Config, args: &[String]) -> Result<RunFlags, String> {
+    let mut flags = RunFlags::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--config" => flags.config_path = Some(take()?),
+            "--group-seed" => cfg.group_seed = take()?,
+            "--scheme" => cfg.scheme = take()?,
+            "--group-size" => cfg.group_size = parse_num("group-size", &take()?)?,
+            "--member-index" => cfg.member_index = parse_num("member-index", &take()?)?,
+            "--slots" => cfg.slots = parse_num("slots", &take()?)?,
+            "--listen" => cfg.listen = Some(take()?),
+            "--peer" => cfg.peer = Some(take()?),
+            "--report" => flags.report = Some(take()?),
+            "--chaos" => flags.chaos = Some(take()?),
+            "--relay-only" => flags.relay_only = true,
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(flags)
+}
+
+/// `init`: write a config file with the provided identity.
+fn cmd_init(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = Config::default();
+    let flags = apply_flags(&mut cfg, args)?;
+    let path = flags.config_path.ok_or("init needs --config PATH")?;
+    cfg.scheme_kind()?; // validate early
+    if cfg.listen.is_some() && cfg.peer.is_some() {
+        return Err("choose one of --listen or --peer".to_string());
+    }
+    std::fs::write(&path, cfg.render()).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses `KIND:ROUND:FROM:TO` into a relay-side fault plan.
+fn parse_chaos(spec: &str, seed_text: &str) -> Result<FaultPlan, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, round, from, to] = parts.as_slice() else {
+        return Err(format!("--chaos `{spec}`: expected KIND:ROUND:FROM:TO"));
+    };
+    let from: usize = from
+        .parse()
+        .map_err(|_| format!("--chaos: bad FROM `{from}`"))?;
+    let to: usize = to.parse().map_err(|_| format!("--chaos: bad TO `{to}`"))?;
+    let rule = match *kind {
+        "drop" => FaultRule::drop(),
+        "corrupt" => FaultRule::corrupt(5),
+        "truncate" => FaultRule::truncate(),
+        "duplicate" => FaultRule::duplicate(),
+        "delay" => FaultRule::delay(1),
+        other => return Err(format!("--chaos: unknown kind `{other}`")),
+    };
+    // Deterministic seed from the textual config, so reruns reproduce.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in seed_text.bytes().chain(spec.bytes()) {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    Ok(FaultPlan::new(seed).with(rule.in_round(round).from(from).to(to)))
+}
+
+/// `run`: host the relay and/or play one party.
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    // Parse twice: once to find --config, then overrides on top of it.
+    let mut probe = Config::default();
+    let first = apply_flags(&mut probe, args)?;
+    let mut cfg = match &first.config_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+            Config::parse(&text)?
+        }
+        None => Config::default(),
+    };
+    let flags = apply_flags(&mut cfg, args)?;
+    let RunFlags {
+        config_path: _,
+        report,
+        relay_only,
+        chaos,
+    } = flags;
+
+    let relay = match &cfg.listen {
+        Some(addr) => {
+            let plan = match &chaos {
+                Some(spec) => Some(parse_chaos(spec, &cfg.group_seed)?),
+                None => None,
+            };
+            let relay = RelayHandle::bind(addr.as_str(), RelayConfig::new(cfg.slots), plan)
+                .map_err(|e| format!("bind relay on {addr}: {e}"))?;
+            println!("listening on {}", relay.addr());
+            let _ = std::io::stdout().flush();
+            Some(relay)
+        }
+        None => {
+            if chaos.is_some() {
+                return Err("--chaos needs --listen (faults live at the relay)".to_string());
+            }
+            None
+        }
+    };
+
+    let party_report = if relay_only {
+        None
+    } else {
+        let member = cfg.member()?;
+        let target = match (&relay, &cfg.peer) {
+            (Some(r), None) => r.addr(),
+            (None, Some(peer)) => peer
+                .parse()
+                .map_err(|_| format!("bad peer address `{peer}`"))?,
+            (Some(_), Some(_)) => return Err("choose one of listen or peer".to_string()),
+            (None, None) => return Err("run needs listen, peer, or --relay-only".to_string()),
+        };
+        let sup = SupervisorConfig {
+            seed: cfg.member_index as u64,
+            ..SupervisorConfig::default()
+        };
+        let mut link =
+            TcpParty::attach(target, sup, None).map_err(|e| format!("attach to {target}: {e}"))?;
+        let opts = HandshakeOptions {
+            dgka: DgkaChoice::BurmesterDesmedt,
+            ..HandshakeOptions::default()
+        };
+        let mut rng = session_rng(&cfg);
+        let out = run_party(
+            &Actor::Member(&member),
+            &opts,
+            &mut link,
+            Duration::from_secs(10),
+            &mut rng,
+        )
+        .map_err(|e| format!("handshake: {e}"))?;
+        link.finish();
+        Some(out)
+    };
+
+    // Let in-flight frames settle, then snapshot the relay's view.
+    let relay_json = relay.as_ref().map(|r| {
+        r.wait_done(Duration::from_secs(15));
+        render_relay(r)
+    });
+    let json = render_report(&cfg, party_report.as_ref(), relay_json.as_deref());
+    match &report {
+        Some(p) => std::fs::write(p, &json).map_err(|e| format!("write {p}: {e}"))?,
+        None => println!("{json}"),
+    }
+    if let Some(r) = relay {
+        r.shutdown();
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-node session randomness: distinct per member so decoys and
+/// ephemeral exponents differ across nodes even with a shared seed.
+fn session_rng(cfg: &Config) -> HmacDrbg {
+    let mut seed = b"shs-node-session:".to_vec();
+    seed.extend_from_slice(cfg.group_seed.as_bytes());
+    seed.extend_from_slice(&(cfg.member_index as u64).to_be_bytes());
+    seed.extend_from_slice(&std::process::id().to_be_bytes());
+    HmacDrbg::from_seed(&seed)
+}
+
+/// A non-secret fingerprint of the established key: two reports agree
+/// on it iff the parties derived the same session key.
+fn fingerprint(key: &Key) -> String {
+    let fp = Key::derive(key.as_bytes(), "shs-node-fingerprint");
+    let mut hex = String::new();
+    for b in fp.as_bytes().iter().take(8) {
+        let _ = write!(hex, "{b:02x}");
+    }
+    hex
+}
+
+fn render_relay(relay: &RelayHandle) -> String {
+    let log = relay.traffic();
+    let mut out = String::from("{\"records\": [");
+    for (i, rec) in log.records().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"round\": \"{}\", \"slot\": {}, \"len\": {}}}",
+            if i > 0 { ", " } else { "" },
+            rec.round,
+            rec.from_slot,
+            rec.payload.len()
+        );
+    }
+    let _ = write!(out, "], \"crashed\": {:?}", relay.crashed_slots());
+    let f = log.faults();
+    let _ = write!(
+        out,
+        ", \"faults\": {{\"dropped\": {}, \"corrupted\": {}, \"truncated\": {}, \
+         \"duplicated\": {}, \"delayed\": {}, \"backpressure_dropped\": {}}}}}",
+        f.dropped, f.corrupted, f.truncated, f.duplicated, f.delayed, f.backpressure_dropped
+    );
+    out
+}
+
+fn render_report(
+    cfg: &Config,
+    party: Option<&shs_core::PartyOutcome>,
+    relay: Option<&str>,
+) -> String {
+    let role = match (&cfg.listen, party.is_some()) {
+        (Some(_), true) => "listen",
+        (Some(_), false) => "relay",
+        (None, _) => "peer",
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"role\": \"{role}\",");
+    if let Some(p) = party {
+        let o = &p.outcome;
+        let _ = writeln!(out, "  \"slot\": {},", o.slot);
+        let _ = writeln!(out, "  \"accepted\": {},", o.accepted);
+        let _ = writeln!(out, "  \"partial\": {},", o.partial_accepted());
+        match &o.abort {
+            Some(a) => {
+                let _ = writeln!(out, "  \"abort\": \"{a}\",");
+            }
+            None => {
+                let _ = writeln!(out, "  \"abort\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"delta\": {:?},", o.same_group_slots);
+        match &o.session_key {
+            Some(key) => {
+                let _ = writeln!(out, "  \"key_fingerprint\": \"{}\",", fingerprint(key));
+            }
+            None => {
+                let _ = writeln!(out, "  \"key_fingerprint\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"exchanges\": {},", p.stats.exchanges);
+        let _ = writeln!(out, "  \"retries\": {},", p.stats.retries);
+        let _ = writeln!(out, "  \"reconnects\": {},", p.stats.reconnects);
+        let _ = writeln!(
+            out,
+            "  \"deadline_timeouts\": {},",
+            p.stats.deadline_timeouts
+        );
+    }
+    match relay {
+        Some(r) => {
+            let _ = writeln!(out, "  \"relay\": {r}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"relay\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}

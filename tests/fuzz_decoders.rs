@@ -12,6 +12,7 @@ use shs_groups::schnorr::{SchnorrGroup, SchnorrPreset};
 use shs_gsig::crl::CrlDelta;
 use shs_gsig::ky::{MemberId, RevocationToken};
 use shs_gsig::params::{GsigParams, GsigPreset};
+use shs_net::tcp::frame::{self, Frame, FrameError};
 
 fn params() -> GsigParams {
     GsigParams::preset(GsigPreset::Test)
@@ -38,6 +39,30 @@ fn valid_crl_bytes(p: &GsigParams) -> Vec<u8> {
         ],
     };
     codec::encode_crl_delta(p, &delta)
+}
+
+/// Honestly-encoded TCP transport frames of every kind, to mutate.
+fn valid_frames() -> Vec<Vec<u8>> {
+    vec![
+        Frame::Hello {
+            version: frame::VERSION,
+            want_slot: u32::MAX,
+        }
+        .encode(),
+        Frame::Welcome { slot: 1, slots: 3 }.encode(),
+        Frame::Broadcast {
+            round: "dgka-r1".to_string(),
+            from_slot: 2,
+            payload: vec![0xC3; 96],
+        }
+        .encode(),
+        Frame::RoundEnd {
+            round: "phase3-full".to_string(),
+        }
+        .encode(),
+        Frame::Heartbeat.encode(),
+        Frame::Bye.encode(),
+    ]
 }
 
 /// A small, honestly-encoded tracing ciphertext to mutate.
@@ -153,6 +178,77 @@ proptest! {
         bytes.extend(vec![0u8; tail.min(7)]);
         let mut r = Reader::new(&bytes);
         prop_assert!(r.take_bytes().is_err());
+    }
+
+    // ---- TCP transport frame codec --------------------------------------
+
+    /// Arbitrary bytes into the frame decoder: never a panic, and an
+    /// accepted decode must re-encode to exactly the bytes consumed
+    /// (the codec is canonical).
+    #[test]
+    fn frame_arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok((f, used)) = frame::decode(&bytes) {
+            prop_assert_eq!(f.encode(), bytes[..used].to_vec());
+        }
+    }
+
+    /// Every strict prefix of every valid frame kind is rejected as
+    /// `Truncated` — truncation is always detectable and structured.
+    #[test]
+    fn frame_truncations_are_structured(cut in 0usize..512) {
+        for full in valid_frames() {
+            if cut < full.len() {
+                prop_assert_eq!(
+                    frame::decode(&full[..cut]).unwrap_err(),
+                    FrameError::Truncated
+                );
+            }
+        }
+    }
+
+    /// An adversarial length prefix above the body cap is rejected *in
+    /// the header*, before any body allocation, however large the claim
+    /// and whatever garbage follows.
+    #[test]
+    fn frame_oversize_length_rejected_before_allocation(
+        excess in 1u32..=(u32::MAX - frame::MAX_BODY_LEN),
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let len = frame::MAX_BODY_LEN + excess;
+        let mut bytes = Frame::Heartbeat.encode();
+        bytes[4..8].copy_from_slice(&len.to_be_bytes());
+        bytes.extend(tail);
+        prop_assert_eq!(
+            frame::decode_header(&bytes).unwrap_err(),
+            FrameError::Oversize { len }
+        );
+    }
+
+    /// A version byte this build does not speak is a clean structured
+    /// error naming the offending version, for every frame kind.
+    #[test]
+    fn frame_version_mismatch_is_structured(version in any::<u8>()) {
+        prop_assume!(version != frame::VERSION);
+        for mut bytes in valid_frames() {
+            bytes[2] = version;
+            prop_assert_eq!(
+                frame::decode(&bytes).unwrap_err(),
+                FrameError::UnsupportedVersion { got: version }
+            );
+        }
+    }
+
+    /// Random double bit flips across valid frames: decode terminates
+    /// with Ok or a typed error, never a panic or a phantom allocation.
+    #[test]
+    fn frame_bit_flips_never_panic(bit in 0usize..4096, extra in any::<u8>()) {
+        for mut bytes in valid_frames() {
+            let nbits = bytes.len() * 8;
+            bytes[(bit % nbits) / 8] ^= 1 << (bit % 8);
+            let second = (bit.wrapping_mul(37) + extra as usize) % nbits;
+            bytes[second / 8] ^= 1 << (second % 8);
+            let _ = frame::decode(&bytes);
+        }
     }
 }
 

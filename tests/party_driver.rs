@@ -1,0 +1,144 @@
+//! The per-party driver seam: `run_party` over in-process links and
+//! over real TCP must agree with the lockstep driver's acceptance
+//! logic (they share the phase code, so disagreement would mean the
+//! exchange loops diverged).
+
+mod common;
+
+use std::time::Duration;
+
+use common::{group, rng};
+use shs_core::handshake::party::run_party;
+use shs_core::{Actor, HandshakeOptions, SchemeKind};
+use shs_net::hub::run_session;
+use shs_net::tcp::{RelayConfig, RelayHandle, SupervisorConfig, TcpParty};
+
+const COLLECT: Duration = Duration::from_secs(5);
+
+/// Three co-members, each on its own thread behind a hub link: everyone
+/// accepts and derives the same session key — exactly what the lockstep
+/// driver concludes for the same configuration.
+#[test]
+fn hub_parties_agree_with_lockstep_acceptance() {
+    let mut r = rng("party-hub-accept");
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let opts = HandshakeOptions::default();
+    let bodies: Vec<_> = members
+        .into_iter()
+        .enumerate()
+        .map(|(i, member)| {
+            move |mut link: shs_net::hub::PartyHandle| {
+                let mut r = rng(&format!("party-hub-accept-{i}"));
+                run_party(&Actor::Member(&member), &opts, &mut link, COLLECT, &mut r)
+                    .expect("party completes")
+            }
+        })
+        .collect();
+    let (results, traffic) = run_session(3, 7, bodies);
+    let keys: Vec<_> = results
+        .iter()
+        .map(|p| p.outcome.session_key.clone().expect("keyed"))
+        .collect();
+    for (i, p) in results.iter().enumerate() {
+        assert!(p.outcome.accepted, "slot {i} accepts");
+        assert_eq!(p.outcome.slot, i);
+        assert_eq!(p.outcome.same_group_slots, vec![0, 1, 2]);
+        assert_eq!(p.outcome.verified_slots, vec![0, 1, 2]);
+        assert!(p.outcome.abort.is_none());
+        assert_eq!(keys[i], keys[0], "slot {i} derived the group key");
+        assert!(p.stats.exchanges > 0);
+    }
+    assert!(!traffic.is_empty(), "the eavesdropper saw the session");
+}
+
+/// Mixed groups over party links: an ordinary failure — completions
+/// without keys, not aborts — matching the lockstep semantics.
+#[test]
+fn hub_parties_fail_ordinarily_across_groups() {
+    let mut r = rng("party-hub-mixed");
+    let (_, mut ours) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, mut foreign) = group(SchemeKind::Scheme1, 1, &mut r);
+    let mut members = Vec::new();
+    members.append(&mut ours);
+    members.append(&mut foreign);
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let bodies: Vec<_> = members
+        .into_iter()
+        .enumerate()
+        .map(|(i, member)| {
+            move |mut link: shs_net::hub::PartyHandle| {
+                let mut r = rng(&format!("party-hub-mixed-{i}"));
+                run_party(&Actor::Member(&member), &opts, &mut link, COLLECT, &mut r)
+                    .expect("party completes")
+            }
+        })
+        .collect();
+    let (results, _) = run_session(3, 8, bodies);
+    for (i, p) in results.iter().enumerate() {
+        assert!(!p.outcome.accepted, "slot {i} rejects");
+        assert!(p.outcome.session_key.is_none());
+        assert!(
+            p.outcome.abort.is_none(),
+            "an ordinary failure is a completion, not an abort"
+        );
+    }
+    // The co-members still found each other in Phase II.
+    assert_eq!(results[0].outcome.same_group_slots, vec![0, 1]);
+    assert_eq!(results[1].outcome.same_group_slots, vec![0, 1]);
+    assert_eq!(results[2].outcome.same_group_slots, vec![2]);
+}
+
+/// Two co-members, two real TCP connections through a relay: the full
+/// handshake completes across the wire with a shared key.
+#[test]
+fn tcp_parties_complete_a_real_network_handshake() {
+    let mut r = rng("party-tcp-accept");
+    let (_, members) = group(SchemeKind::Scheme1, 2, &mut r);
+    let opts = HandshakeOptions::default();
+    let relay = RelayHandle::bind(
+        "127.0.0.1:0",
+        RelayConfig {
+            gather_deadline: Duration::from_secs(10),
+            ..RelayConfig::new(2)
+        },
+        None,
+    )
+    .expect("bind relay");
+    let addr = relay.addr();
+    let workers: Vec<_> = members
+        .into_iter()
+        .enumerate()
+        .map(|(i, member)| {
+            std::thread::spawn(move || {
+                let sup = SupervisorConfig {
+                    seed: i as u64,
+                    ..SupervisorConfig::default()
+                };
+                let mut link = TcpParty::attach(addr, sup, Some(i)).expect("attach");
+                let mut r = rng(&format!("party-tcp-accept-{i}"));
+                let out = run_party(&Actor::Member(&member), &opts, &mut link, COLLECT, &mut r)
+                    .expect("party completes");
+                link.finish();
+                out
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let keys: Vec<_> = results
+        .iter()
+        .map(|p| p.outcome.session_key.clone().expect("keyed"))
+        .collect();
+    for (i, p) in results.iter().enumerate() {
+        assert!(p.outcome.accepted, "slot {i} accepts over TCP");
+        assert_eq!(p.outcome.same_group_slots, vec![0, 1]);
+        assert!(p.outcome.abort.is_none());
+        assert_eq!(keys[i], keys[0]);
+    }
+    assert!(relay.wait_done(Duration::from_secs(5)), "relay drained");
+    let log = relay.traffic();
+    assert!(!log.is_empty(), "relay-side eavesdropper saw the session");
+    relay.shutdown();
+}

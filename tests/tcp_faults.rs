@@ -1,0 +1,325 @@
+//! The fault matrix over real TCP on loopback.
+//!
+//! Same experiments as `tests/faults.rs`, but the medium is
+//! [`TcpSession`]: every byte crosses the kernel's TCP stack through the
+//! frame relay, and the `FaultPlan` is injected at the *framing
+//! boundary* (frames in flight between relay and sockets) instead of
+//! inside an in-process vector shuffle. The handshake engine, budgets,
+//! decoys and abort taxonomy are byte-for-byte the same code — this
+//! suite proves the transport swap preserves every fault-tolerance and
+//! unobservability property.
+//!
+//! The chaos soak at the end writes `target/tcp_chaos_report.json` (the
+//! CI `tcp-chaos` job uploads it as an artifact).
+
+mod common;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use common::{actors, group, rng};
+use shs_core::config::DgkaChoice;
+use shs_core::handshake::run_handshake_with_net;
+use shs_core::{AbortReason, Actor, HandshakeOptions, SchemeKind};
+use shs_net::fault::{FaultPlan, FaultRule};
+use shs_net::observe::TrafficLog;
+use shs_net::tcp::TcpSession;
+
+/// One handshake with all slots driven over loopback TCP through a
+/// fault-injecting relay.
+fn run_faulty_tcp(
+    label: &str,
+    plan: FaultPlan,
+    opts: &HandshakeOptions,
+) -> shs_core::SessionResult {
+    let mut r = rng(label);
+    let (_, members) = group(SchemeKind::Scheme1, 3, &mut r);
+    let acts = actors(&members);
+    let mut net = TcpSession::over_loopback(3, Some(plan)).expect("loopback relay");
+    let result = run_handshake_with_net(&acts, opts, &mut net, &mut r)
+        .expect("faulty TCP medium still yields a structured result");
+    net.finish();
+    result
+}
+
+/// The acceptance matrix of `tests/faults.rs`, unchanged, over TCP.
+#[test]
+fn tcp_fault_matrix_terminates_with_structured_outcomes() {
+    let matrix: Vec<(&str, FaultPlan)> = vec![
+        (
+            "drop-unbounded",
+            FaultPlan::new(11).with(FaultRule::drop().from(1).to(0)),
+        ),
+        (
+            "duplicate",
+            FaultPlan::new(12).with(FaultRule::duplicate().from(2)),
+        ),
+        (
+            "corrupt",
+            FaultPlan::new(13).with(FaultRule::corrupt(3).in_round("dgka-r1").from(1).to(0)),
+        ),
+        (
+            "truncate",
+            FaultPlan::new(14).with(FaultRule::truncate().in_round("dgka-r2").from(0).to(2)),
+        ),
+        (
+            "delay",
+            FaultPlan::new(15).with(FaultRule::delay(1).from(1).to(0).at_most(2)),
+        ),
+        (
+            "crash-stop",
+            FaultPlan::new(16).with(FaultRule::crash_stop(2, 1)),
+        ),
+        (
+            "partition",
+            FaultPlan::new(17).with(FaultRule::partition(1)),
+        ),
+        (
+            "chaos",
+            FaultPlan::new(18)
+                .with(FaultRule::drop().with_probability(0.3))
+                .with(FaultRule::corrupt(1).with_probability(0.2))
+                .with(FaultRule::duplicate().with_probability(0.2)),
+        ),
+    ];
+    let opts = HandshakeOptions::default();
+    for (name, plan) in matrix {
+        let result = run_faulty_tcp(&format!("tcp-fault-matrix-{name}"), plan, &opts);
+        assert!(
+            result.stats.exchanges <= opts.budget.max_exchanges,
+            "{name}: stayed within the exchange budget"
+        );
+        for (slot, outcome) in result.outcomes.iter().enumerate() {
+            if outcome.abort.is_some() {
+                assert!(
+                    !outcome.accepted && outcome.session_key.is_none(),
+                    "{name}: aborted slot {slot} keeps no key"
+                );
+            }
+        }
+    }
+}
+
+/// Recoverable faults still fully succeed over the real wire, at the
+/// cost of retransmissions — with the same fault accounting.
+#[test]
+fn tcp_recoverable_faults_complete_after_retry() {
+    let opts = HandshakeOptions::default();
+
+    let dropped = run_faulty_tcp(
+        "tcp-fault-recover-drop",
+        FaultPlan::new(21).with(
+            FaultRule::drop()
+                .in_round("dgka-r1")
+                .from(1)
+                .to(0)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(
+        dropped.outcomes.iter().all(|o| o.accepted),
+        "drop recovered over TCP"
+    );
+    assert!(dropped.stats.retries > 0, "recovery was not free");
+    assert_eq!(dropped.traffic.faults().dropped, 1);
+
+    let delayed = run_faulty_tcp(
+        "tcp-fault-recover-delay",
+        FaultPlan::new(22).with(
+            FaultRule::delay(1)
+                .in_round("dgka-r2")
+                .from(2)
+                .to(1)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(
+        delayed.outcomes.iter().all(|o| o.accepted),
+        "delay recovered over TCP"
+    );
+    assert!(delayed.stats.retries > 0);
+    assert_eq!(delayed.traffic.faults().delayed, 1);
+
+    let duplicated = run_faulty_tcp(
+        "tcp-fault-recover-duplicate",
+        FaultPlan::new(23).with(FaultRule::duplicate()),
+        &opts,
+    );
+    assert!(duplicated.outcomes.iter().all(|o| o.accepted));
+    assert_eq!(
+        duplicated.stats.retries, 0,
+        "duplicates never trigger retransmission"
+    );
+    assert!(duplicated.traffic.faults().duplicated > 0);
+}
+
+/// The GDH.2 upflow chain recovers from a dropped chain link over TCP.
+#[test]
+fn tcp_gdh_chain_recovers_from_dropped_upflow() {
+    let opts = HandshakeOptions {
+        dgka: DgkaChoice::Gdh2,
+        ..Default::default()
+    };
+    let result = run_faulty_tcp(
+        "tcp-fault-gdh-drop",
+        FaultPlan::new(31).with(
+            FaultRule::drop()
+                .in_round("dgka-gdh-0")
+                .from(0)
+                .to(1)
+                .at_most(1),
+        ),
+        &opts,
+    );
+    assert!(result.outcomes.iter().all(|o| o.accepted));
+    assert!(result.stats.retries > 0);
+}
+
+/// Crash-stop semantics survive the transport swap: the crashed slot is
+/// reported, survivors abort structurally.
+#[test]
+fn tcp_crash_stop_is_reported_and_survivors_terminate() {
+    let result = run_faulty_tcp(
+        "tcp-fault-crash",
+        FaultPlan::new(41).with(FaultRule::crash_stop(2, 1)),
+        &HandshakeOptions::default(),
+    );
+    assert_eq!(result.outcomes[2].abort, Some(AbortReason::Crashed));
+    for outcome in &result.outcomes {
+        assert!(!outcome.accepted);
+        assert!(outcome.abort.is_some(), "everyone aborts, nobody hangs");
+    }
+    assert!(result.traffic.faults().crash_silenced > 0);
+}
+
+/// A total partition over TCP aborts within the exchange budget.
+#[test]
+fn tcp_partition_aborts_within_budget() {
+    let opts = HandshakeOptions::default();
+    let result = run_faulty_tcp(
+        "tcp-fault-partition",
+        FaultPlan::new(51).with(FaultRule::partition(1)),
+        &opts,
+    );
+    for outcome in &result.outcomes {
+        assert!(!outcome.accepted);
+        assert!(outcome.abort.is_some());
+    }
+    assert!(result.stats.exchanges <= opts.budget.max_exchanges);
+    assert!(result.traffic.faults().partitioned > 0);
+}
+
+/// Per-round deduplicated wire shape (see `tests/faults.rs`).
+fn per_round_shape(log: &TrafficLog) -> BTreeMap<String, BTreeSet<(usize, usize)>> {
+    let mut by_round: BTreeMap<String, BTreeSet<(usize, usize)>> = BTreeMap::new();
+    for rec in log.records() {
+        by_round
+            .entry(rec.round.clone())
+            .or_default()
+            .insert((rec.from_slot, rec.payload.len()));
+    }
+    by_round
+}
+
+/// Unobservability over the real wire: what the relay's eavesdropper
+/// position records for a fault-induced abort is shape-identical to an
+/// ordinary failed handshake between members of different groups.
+#[test]
+fn tcp_aborted_session_is_shape_identical_to_ordinary_failure() {
+    // Ordinary failure over TCP: 2 + 1 members of different groups.
+    let mut r = rng("tcp-fault-shape-ordinary");
+    let (_, ours) = group(SchemeKind::Scheme1, 2, &mut r);
+    let (_, foreign) = group(SchemeKind::Scheme1, 1, &mut r);
+    let mixed = [
+        Actor::Member(&ours[0]),
+        Actor::Member(&ours[1]),
+        Actor::Member(&foreign[0]),
+    ];
+    let opts = HandshakeOptions {
+        partial_success: false,
+        ..Default::default()
+    };
+    let mut plain_net = TcpSession::over_loopback(3, None).expect("loopback relay");
+    let ordinary = run_handshake_with_net(&mixed, &opts, &mut plain_net, &mut r).unwrap();
+    plain_net.finish();
+    assert!(ordinary.outcomes.iter().all(|o| !o.accepted));
+    assert!(ordinary.outcomes.iter().all(|o| o.abort.is_none()));
+
+    // Aborted session over TCP: co-members plus persistent corruption.
+    let aborted = run_faulty_tcp(
+        "tcp-fault-shape-aborted",
+        FaultPlan::new(61).with(FaultRule::corrupt(5).in_round("dgka-r1").from(1).to(0)),
+        &opts,
+    );
+    assert!(aborted.outcomes.iter().any(|o| o.abort.is_some()));
+    assert!(aborted.outcomes.iter().all(|o| !o.accepted));
+
+    assert_eq!(
+        per_round_shape(&ordinary.traffic),
+        per_round_shape(&aborted.traffic),
+        "an eavesdropper on the wire cannot tell a quiet abort from an ordinary failure"
+    );
+
+    // Uniform retransmission on the real wire too.
+    let mut seen: BTreeMap<(String, usize), BTreeSet<usize>> = BTreeMap::new();
+    for rec in aborted.traffic.records() {
+        seen.entry((rec.round.clone(), rec.from_slot))
+            .or_default()
+            .insert(rec.payload.len());
+    }
+    for ((round, slot), lens) in seen {
+        assert_eq!(
+            lens.len(),
+            1,
+            "slot {slot} changed its {round} payload size across retransmissions"
+        );
+    }
+}
+
+/// Chaos soak: randomized fault schedules over loopback TCP. Every run
+/// must terminate structurally; the per-run report goes to
+/// `target/tcp_chaos_report.json` for the CI artifact.
+#[test]
+fn tcp_chaos_soak_writes_report() {
+    let opts = HandshakeOptions::default();
+    let mut runs = Vec::new();
+    for seed in 70u64..76 {
+        let plan = FaultPlan::new(seed)
+            .with(FaultRule::drop().with_probability(0.25))
+            .with(FaultRule::corrupt(1).with_probability(0.15))
+            .with(FaultRule::duplicate().with_probability(0.15))
+            .with(FaultRule::delay(1).with_probability(0.1));
+        let result = run_faulty_tcp(&format!("tcp-chaos-soak-{seed}"), plan, &opts);
+        assert!(result.stats.exchanges <= opts.budget.max_exchanges);
+        let accepted = result.outcomes.iter().filter(|o| o.accepted).count();
+        let aborted = result.outcomes.iter().filter(|o| o.abort.is_some()).count();
+        runs.push((seed, accepted, aborted, result));
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"tcp-chaos-soak\",\n  \"runs\": [\n");
+    for (i, (seed, accepted, aborted, result)) in runs.iter().enumerate() {
+        let f = result.traffic.faults();
+        let _ = writeln!(
+            json,
+            "    {{\"seed\": {seed}, \"accepted\": {accepted}, \"aborted\": {aborted}, \
+             \"exchanges\": {}, \"retries\": {}, \"dropped\": {}, \"corrupted\": {}, \
+             \"duplicated\": {}, \"delayed\": {}, \"backpressure_dropped\": {}}}{}",
+            result.stats.exchanges,
+            result.stats.retries,
+            f.dropped,
+            f.corrupted,
+            f.duplicated,
+            f.delayed,
+            result.stats.backpressure_dropped,
+            if i + 1 < runs.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new("target").join("tcp_chaos_report.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, json).expect("write chaos soak report");
+}

@@ -1,0 +1,226 @@
+//! Multi-process integration tests for the `shs-node` daemon: two OS
+//! processes, a real TCP connection between them, and the relay's
+//! wire-shape log as the eavesdropper.
+//!
+//! The binding claim (ISSUE acceptance criterion): a session in which
+//! one party *quietly aborts* produces per-round wire shape identical
+//! to a session that merely *fails ordinarily* (strangers from
+//! different groups). The relay records every (round, slot, length)
+//! triple, so the comparison is exact.
+
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_shs-node");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shs-node-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Spawns a listening node, parses the bound address off its stdout.
+fn spawn_listener(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn listener");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("listener exited before announcing its address")
+            .expect("read listener stdout");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+    // Keep draining stdout in the background so the child never blocks
+    // on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// Waits for a child with a hard deadline; kills and fails on overrun.
+fn wait_within(mut child: Child, what: &str, limit: Duration) {
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if start.elapsed() > limit => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("{what} did not exit within {limit:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Minimal field extraction from the node's report JSON (the format is
+/// ours, written by `render_report` — no general parser needed).
+fn field<'j>(json: &'j str, key: &str) -> &'j str {
+    let pat = format!("\"{key}\": ");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("report missing {key}: {json}"));
+    let rest = &json[at + pat.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim()
+}
+
+/// The per-round deduplicated wire shape: the set of (round, slot,
+/// length) triples the relay observed. Retransmissions collapse, so two
+/// sessions with the same shape are indistinguishable to an observer
+/// who sees *what* was sent, not how often the loss recovery fired.
+fn wire_shape(report: &str) -> BTreeSet<(String, usize, usize)> {
+    let mut shape = BTreeSet::new();
+    for rec in report.split("{\"round\": \"").skip(1) {
+        let round = rec.split('"').next().expect("round label").to_string();
+        let slot: usize = rec
+            .split("\"slot\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("slot");
+        let len: usize = rec
+            .split("\"len\": ")
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("len");
+        shape.insert((round, slot, len));
+    }
+    assert!(!shape.is_empty(), "relay saw no traffic: {report}");
+    shape
+}
+
+/// Runs a two-node session: the listener hosts the relay and plays one
+/// party, the peer process dials in. Returns (listener report, peer
+/// report).
+fn run_pair(dir: &Path, peer_seed: &str, chaos: Option<&str>) -> (String, String) {
+    let a_report = dir.join("a.json");
+    let b_report = dir.join("b.json");
+    let mut a_args = vec![
+        "run",
+        "--group-seed",
+        "pair-seed",
+        "--group-size",
+        "2",
+        "--member-index",
+        "0",
+        "--listen",
+        "127.0.0.1:0",
+    ];
+    if let Some(spec) = chaos {
+        a_args.extend(["--chaos", spec]);
+    }
+    let a_report_s = a_report.to_str().expect("utf8 path").to_string();
+    a_args.extend(["--report", &a_report_s]);
+    let (a, addr) = spawn_listener(&a_args);
+
+    let status = Command::new(BIN)
+        .args([
+            "run",
+            "--group-seed",
+            peer_seed,
+            "--group-size",
+            "2",
+            "--member-index",
+            "1",
+            "--peer",
+            &addr,
+            "--report",
+            b_report.to_str().expect("utf8 path"),
+        ])
+        .status()
+        .expect("spawn peer");
+    assert!(status.success(), "peer exited with {status}");
+    wait_within(a, "listener", Duration::from_secs(60));
+
+    (
+        std::fs::read_to_string(&a_report).expect("listener report"),
+        std::fs::read_to_string(&b_report).expect("peer report"),
+    )
+}
+
+/// Two processes with the same group seed complete a full handshake:
+/// both accept and their key fingerprints agree — key agreement proven
+/// across a process boundary without comparing any secret.
+#[test]
+fn two_processes_complete_a_handshake() {
+    let dir = scratch("accept");
+    let (a, b) = run_pair(&dir, "pair-seed", None);
+    assert_eq!(field(&a, "accepted"), "true", "listener accepts: {a}");
+    assert_eq!(field(&b, "accepted"), "true", "peer accepts: {b}");
+    let fp_a = field(&a, "key_fingerprint");
+    let fp_b = field(&b, "key_fingerprint");
+    assert_ne!(fp_a, "null");
+    assert_eq!(fp_a, fp_b, "both processes derived the same session key");
+    // The two processes took the two distinct seats.
+    let slots: BTreeSet<&str> = [field(&a, "slot"), field(&b, "slot")].into();
+    assert_eq!(slots, BTreeSet::from(["0", "1"]));
+}
+
+/// Strangers (different group seeds) fail *ordinarily*: both run the
+/// protocol to completion, neither aborts, neither gets a key.
+#[test]
+fn strangers_fail_ordinarily() {
+    let dir = scratch("strangers");
+    let (a, b) = run_pair(&dir, "other-seed", None);
+    for (who, report) in [("listener", &a), ("peer", &b)] {
+        assert_eq!(field(report, "accepted"), "false", "{who}: {report}");
+        assert_eq!(field(report, "key_fingerprint"), "null", "{who}: {report}");
+        assert_eq!(
+            field(report, "abort"),
+            "null",
+            "{who} completed ordinarily, no abort: {report}"
+        );
+    }
+}
+
+/// The acceptance criterion: a chaos-induced quiet abort is
+/// wire-indistinguishable from an ordinary failure. One run injects a
+/// persistent drop at the relay's framing boundary (forcing one party
+/// to abort Phase I and ride out the session on chaff and decoys); the
+/// other runs strangers who simply fail. The relay's per-round deduped
+/// (round, slot, length) shapes must be identical.
+#[test]
+fn abort_is_shape_identical_to_ordinary_failure_across_processes() {
+    let fail_dir = scratch("shape-fail");
+    let abort_dir = scratch("shape-abort");
+
+    let (fail_a, _) = run_pair(&fail_dir, "other-seed", None);
+    let (abort_a, abort_b) = run_pair(&abort_dir, "pair-seed", Some("drop:dgka-r1:1:0"));
+
+    // The drop starves slot 0's Phase-I view: that party aborts quietly.
+    // Its counterpart completes an ordinary failure. Nobody gets a key.
+    let aborts: Vec<&str> = [&abort_a, &abort_b]
+        .iter()
+        .map(|r| field(r, "abort"))
+        .collect();
+    assert!(
+        aborts.iter().any(|a| *a != "null"),
+        "the starved party aborted: {abort_a} / {abort_b}"
+    );
+    for (who, report) in [("listener", &abort_a), ("peer", &abort_b)] {
+        assert_eq!(field(report, "accepted"), "false", "{who}: {report}");
+        assert_eq!(field(report, "key_fingerprint"), "null", "{who}: {report}");
+    }
+
+    // The binding claim: identical per-round wire shape.
+    assert_eq!(
+        wire_shape(&fail_a),
+        wire_shape(&abort_a),
+        "abort traffic must be shape-identical to ordinary failure on the wire"
+    );
+}
