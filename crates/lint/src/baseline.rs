@@ -1,0 +1,368 @@
+//! Committed findings baseline and CI ratchet.
+//!
+//! The analysis pass compares its findings against a committed
+//! `lint-baseline.json` keyed by `(rule, file)` counts. The comparison is
+//! strict in both directions: **new** findings fail CI (no regressions),
+//! and **fewer** findings also fail until the baseline is re-written with
+//! `--write-baseline` (the floor ratchets down and stays down). The
+//! workspace baseline is kept at zero entries; the mechanism exists so a
+//! future true-positive burn-down can land in stages without masking
+//! regressions in the meantime.
+
+use crate::report::Report;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `(rule, file)` → expected finding count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), u64>,
+}
+
+/// Outcome of a ratchet comparison.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// `(rule, file)` keys with more findings than the baseline allows.
+    pub regressions: Vec<String>,
+    /// Keys with fewer findings than baselined — run `--write-baseline`.
+    pub improvements: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Does the report match the baseline exactly?
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a report's findings.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in &report.findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parses a committed baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything outside the shape `to_json` writes.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let v = json::parse(src)?;
+        let entries = v
+            .get("entries")
+            .and_then(json::Value::as_array)
+            .ok_or("lint-baseline: missing `entries` array")?;
+        let mut counts = BTreeMap::new();
+        for e in entries {
+            let rule = e
+                .get("rule")
+                .and_then(json::Value::as_str)
+                .ok_or("lint-baseline: entry missing `rule`")?;
+            let file = e
+                .get("file")
+                .and_then(json::Value::as_str)
+                .ok_or("lint-baseline: entry missing `file`")?;
+            let count = e
+                .get("count")
+                .and_then(json::Value::as_u64)
+                .ok_or("lint-baseline: entry missing `count`")?;
+            counts.insert((rule.to_string(), file.to_string()), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes in the shape `parse` reads.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, ((rule, file), count)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{rule}\", \"file\": \"{file}\", \"count\": {count}}}"
+            ));
+        }
+        if !self.counts.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Strict two-way comparison against a report.
+    pub fn compare(&self, report: &Report) -> BaselineDiff {
+        let actual = Baseline::from_report(report).counts;
+        let mut diff = BaselineDiff::default();
+        for (key, n) in &actual {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            if *n > base {
+                diff.regressions.push(format!(
+                    "{} in {}: {} finding(s), baseline {}",
+                    key.0, key.1, n, base
+                ));
+            }
+        }
+        for (key, base) in &self.counts {
+            let n = actual.get(key).copied().unwrap_or(0);
+            if n < *base {
+                diff.improvements.push(format!(
+                    "{} in {}: {} finding(s), baseline {} — re-run with --write-baseline to ratchet down",
+                    key.0, key.1, n, base
+                ));
+            }
+        }
+        diff
+    }
+}
+
+/// A minimal JSON reader for the baseline file (the workspace is
+/// dependency-free by policy). Supports objects, arrays, strings with
+/// the escapes our writer emits, unsigned integers, and literals.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Object.
+        Obj(Vec<(String, Value)>),
+        /// Array.
+        Arr(Vec<Value>),
+        /// String.
+        Str(String),
+        /// Number (integer-valued).
+        Num(i64),
+        /// `true`/`false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Array view.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// String view.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Non-negative integer view.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut pos = 0;
+        let v = value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("lint-baseline: trailing data at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(c: &[char], pos: &mut usize) {
+        while *pos < c.len() && c[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(c: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
+        skip_ws(c, pos);
+        if c.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("lint-baseline: expected `{ch}` at offset {pos}"))
+        }
+    }
+
+    fn value(c: &[char], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(c, pos);
+                if c.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(c, pos);
+                    let key = match value(c, pos)? {
+                        Value::Str(s) => s,
+                        _ => return Err("lint-baseline: object key must be a string".into()),
+                    };
+                    expect(c, pos, ':')?;
+                    fields.push((key, value(c, pos)?));
+                    skip_ws(c, pos);
+                    match c.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some('}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("lint-baseline: bad object at offset {pos}")),
+                    }
+                }
+            }
+            Some('[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(c, pos);
+                if c.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(c, pos)?);
+                    skip_ws(c, pos);
+                    match c.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some(']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("lint-baseline: bad array at offset {pos}")),
+                    }
+                }
+            }
+            Some('"') => {
+                *pos += 1;
+                let mut s = String::new();
+                while let Some(&ch) = c.get(*pos) {
+                    *pos += 1;
+                    match ch {
+                        '"' => return Ok(Value::Str(s)),
+                        '\\' => {
+                            let esc = c.get(*pos).copied().ok_or("lint-baseline: bad escape")?;
+                            *pos += 1;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                }
+                Err("lint-baseline: unterminated string".into())
+            }
+            Some(d) if d.is_ascii_digit() || *d == '-' => {
+                let start = *pos;
+                *pos += 1;
+                while c.get(*pos).is_some_and(|ch| ch.is_ascii_digit()) {
+                    *pos += 1;
+                }
+                c[start..*pos]
+                    .iter()
+                    .collect::<String>()
+                    .parse::<i64>()
+                    .map(Value::Num)
+                    .map_err(|_| "lint-baseline: bad number".into())
+            }
+            _ => {
+                for (lit, v) in [
+                    ("true", Value::Bool(true)),
+                    ("false", Value::Bool(false)),
+                    ("null", Value::Null),
+                ] {
+                    if c[*pos..].starts_with(&lit.chars().collect::<Vec<_>>()[..]) {
+                        *pos += lit.len();
+                        return Ok(v);
+                    }
+                }
+                Err(format!(
+                    "lint-baseline: unexpected character at offset {pos}"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Rule;
+    use crate::report::Finding;
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            files_scanned: 1,
+            ..Report::default()
+        }
+    }
+
+    fn f(rule: Rule, file: &str) -> Finding {
+        Finding::new(file, 1, 1, rule, "m".into())
+    }
+
+    #[test]
+    fn roundtrip_and_exact_match() {
+        let r = report(vec![
+            f(Rule::SecretTaint, "a.rs"),
+            f(Rule::SecretTaint, "a.rs"),
+            f(Rule::LockOrder, "b.rs"),
+        ]);
+        let base = Baseline::from_report(&r);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        assert!(parsed.compare(&r).ok());
+    }
+
+    #[test]
+    fn new_finding_is_a_regression() {
+        let base = Baseline::parse("{\"version\": 1, \"entries\": []}").unwrap();
+        let diff = base.compare(&report(vec![f(Rule::SecretTaint, "a.rs")]));
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].contains("secret-taint"));
+    }
+
+    #[test]
+    fn fixed_finding_demands_ratchet() {
+        let base = Baseline::parse(
+            "{\"entries\": [{\"rule\": \"lock-order\", \"file\": \"b.rs\", \"count\": 2}]}",
+        )
+        .unwrap();
+        let diff = base.compare(&report(vec![f(Rule::LockOrder, "b.rs")]));
+        assert!(diff.regressions.is_empty());
+        assert_eq!(diff.improvements.len(), 1);
+        assert!(diff.improvements[0].contains("--write-baseline"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"entries\": [{\"rule\": 3}]}").is_err());
+        assert!(Baseline::parse("[]").is_err());
+    }
+}

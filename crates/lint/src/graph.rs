@@ -1,0 +1,225 @@
+//! Workspace call graph over the recovered [`crate::syntax`] layer.
+//!
+//! Calls resolve **by name** with two precision aids: same-file
+//! definitions win over cross-file ones, and a path qualifier
+//! (`codec::encode_delta`) narrows cross-file candidates to files whose
+//! stem matches the qualifier (`codec.rs`). A name with several remaining
+//! candidates is *ambiguous* and treated as unresolved — the analyses
+//! then fall back to conservative effects rather than following a wrong
+//! edge. Resolution counts feed the analyzer self-stats so parser
+//! regressions stay visible (ISSUE 7).
+
+use crate::syntax::{FileSyntax, FnDef};
+use std::collections::BTreeMap;
+
+/// Identifies one function: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// How one call site resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Unique target.
+    Resolved(FnId),
+    /// Several same-name candidates; not followed.
+    Ambiguous,
+    /// No workspace definition (external/shimmed callee).
+    Unknown,
+}
+
+/// Aggregate resolution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Total call sites considered.
+    pub calls: usize,
+    /// Calls with a unique workspace target.
+    pub resolved: usize,
+    /// Calls with several candidates (not followed).
+    pub ambiguous: usize,
+    /// Calls with no workspace definition.
+    pub unknown: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// fn name → definitions carrying that name.
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// Per-(file, fn, call) resolution, same shape as the syntax layer.
+    resolutions: Vec<Vec<Vec<Resolution>>>,
+    /// Aggregate stats.
+    pub stats: GraphStats,
+}
+
+impl CallGraph {
+    /// Builds the graph and resolves every call site in `files`.
+    /// Test-gated functions neither define targets nor contribute calls.
+    pub fn build(files: &[FileSyntax]) -> CallGraph {
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ni, f) in file.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                by_name.entry(f.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        let mut graph = CallGraph {
+            by_name,
+            resolutions: Vec::with_capacity(files.len()),
+            stats: GraphStats::default(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            let mut file_res = Vec::with_capacity(file.fns.len());
+            for f in &file.fns {
+                let mut fn_res = Vec::with_capacity(f.calls.len());
+                for call in &f.calls {
+                    let r = if f.in_test {
+                        Resolution::Unknown
+                    } else {
+                        graph.resolve_one(files, fi, &call.callee, call.qual.as_deref())
+                    };
+                    if !f.in_test {
+                        graph.stats.calls += 1;
+                        match r {
+                            Resolution::Resolved(_) => graph.stats.resolved += 1,
+                            Resolution::Ambiguous => graph.stats.ambiguous += 1,
+                            Resolution::Unknown => graph.stats.unknown += 1,
+                        }
+                    }
+                    fn_res.push(r);
+                }
+                file_res.push(fn_res);
+            }
+            graph.resolutions.push(file_res);
+        }
+        graph
+    }
+
+    /// The resolution of call `ci` in fn `ni` of file `fi`.
+    pub fn resolution(&self, id: FnId, ci: usize) -> Resolution {
+        self.resolutions[id.0][id.1][ci]
+    }
+
+    /// The resolved target, if unique.
+    pub fn target(&self, id: FnId, ci: usize) -> Option<FnId> {
+        match self.resolution(id, ci) {
+            Resolution::Resolved(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// All definitions of `name` (any file).
+    pub fn defs_named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn resolve_one(
+        &self,
+        files: &[FileSyntax],
+        from_file: usize,
+        callee: &str,
+        qual: Option<&str>,
+    ) -> Resolution {
+        let Some(cands) = self.by_name.get(callee) else {
+            return Resolution::Unknown;
+        };
+        // Same-file candidates shadow cross-file ones.
+        let local: Vec<FnId> = cands.iter().copied().filter(|c| c.0 == from_file).collect();
+        if local.len() == 1 {
+            return Resolution::Resolved(local[0]);
+        }
+        if local.len() > 1 {
+            return Resolution::Ambiguous;
+        }
+        // A `mod::fn` qualifier narrows to files whose stem matches.
+        if let Some(q) = qual {
+            let matched: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|c| file_stem(&files[c.0].rel) == q)
+                .collect();
+            if matched.len() == 1 {
+                return Resolution::Resolved(matched[0]);
+            }
+            if matched.len() > 1 {
+                return Resolution::Ambiguous;
+            }
+        }
+        if cands.len() == 1 {
+            return Resolution::Resolved(cands[0]);
+        }
+        Resolution::Ambiguous
+    }
+}
+
+/// `crates/core/src/codec.rs` → `codec`.
+fn file_stem(rel: &str) -> &str {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    base.strip_suffix(".rs").unwrap_or(base)
+}
+
+/// Convenience: the [`FnDef`] for an id.
+pub fn fn_def(files: &[FileSyntax], id: FnId) -> &FnDef {
+    &files[id.0].fns[id.1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::parse_file;
+
+    fn build(sources: &[(&str, &str)]) -> (Vec<FileSyntax>, CallGraph) {
+        let files: Vec<FileSyntax> = sources
+            .iter()
+            .map(|(rel, src)| parse_file(rel, &lex(src)))
+            .collect();
+        let graph = CallGraph::build(&files);
+        (files, graph)
+    }
+
+    #[test]
+    fn same_file_wins_over_cross_file() {
+        let (files, g) = build(&[
+            ("a.rs", "fn helper() {}\nfn f() { helper(); }"),
+            ("b.rs", "fn helper() {}"),
+        ]);
+        let f_id: FnId = (0, 1);
+        let target = g.target(f_id, 0).expect("resolved");
+        assert_eq!(target.0, 0, "same-file helper chosen");
+        assert_eq!(fn_def(&files, target).name, "helper");
+        assert_eq!(g.stats.resolved, 1);
+    }
+
+    #[test]
+    fn qualifier_narrows_cross_file_candidates() {
+        let (_, g) = build(&[
+            ("main.rs", "fn f() { codec::encode(); }"),
+            ("codec.rs", "pub fn encode() {}"),
+            ("frame.rs", "pub fn encode() {}"),
+        ]);
+        let target = g.target((0, 0), 0).expect("qualifier resolves");
+        assert_eq!(target.0, 1, "codec.rs chosen via qualifier");
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_counted() {
+        let (_, g) = build(&[
+            ("main.rs", "fn f() { encode(); missing(); }"),
+            ("codec.rs", "pub fn encode() {}"),
+            ("frame.rs", "pub fn encode() {}"),
+        ]);
+        assert_eq!(g.resolution((0, 0), 0), Resolution::Ambiguous);
+        assert_eq!(g.resolution((0, 0), 1), Resolution::Unknown);
+        assert_eq!(g.stats.ambiguous, 1);
+        assert_eq!(g.stats.unknown, 1);
+    }
+
+    #[test]
+    fn test_fns_are_invisible() {
+        let (_, g) = build(&[
+            ("a.rs", "fn f() { helper(); }"),
+            ("b.rs", "#[cfg(test)]\nmod t { fn helper() {} }"),
+        ]);
+        assert_eq!(g.resolution((0, 0), 0), Resolution::Unknown);
+    }
+}

@@ -1,15 +1,25 @@
 //! `shs-lint` CLI.
 //!
 //! ```text
-//! shs-lint --workspace                  # lint everything under the policy root
+//! shs-lint --workspace                  # both passes, everything under the policy root
 //! shs-lint path/to/file.rs …           # lint specific files
+//! shs-lint --workspace --tokens-only   # fast token rules only
+//! shs-lint --workspace --analysis-only --baseline lint-baseline.json
+//! shs-lint --workspace --write-baseline lint-baseline.json
 //! shs-lint --workspace --json report.json
 //! shs-lint --workspace --policy other-policy.toml
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! With `--baseline`, findings are ratcheted against the committed file:
+//! the run fails on **new** findings and also on **fixed** findings until
+//! the baseline is re-written (the floor only moves down). Without it, any
+//! finding fails.
+//!
+//! Exit codes: `0` clean, `1` findings/ratchet mismatch, `2` usage or I/O
+//! error.
 
-use shs_lint::Linter;
+use shs_lint::baseline::Baseline;
+use shs_lint::{Linter, Mode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,12 +28,17 @@ struct Args {
     policy: Option<PathBuf>,
     json: Option<PathBuf>,
     quiet: bool,
+    mode: Mode,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: shs-lint [--workspace] [--policy <lint-policy.toml>] \
-     [--json <out.json|->] [--quiet] [files…]"
+     [--tokens-only | --analysis-only] [--baseline <lint-baseline.json>] \
+     [--write-baseline <lint-baseline.json>] [--json <out.json|->] \
+     [--quiet] [files…]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         policy: None,
         json: None,
         quiet: false,
+        mode: Mode::Full,
+        baseline: None,
+        write_baseline: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -46,6 +64,28 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(PathBuf::from(
                     it.next().ok_or("--json needs a path argument (or `-`)")?,
+                ))
+            }
+            "--tokens-only" => {
+                if args.mode == Mode::Analysis {
+                    return Err("--tokens-only conflicts with --analysis-only".to_string());
+                }
+                args.mode = Mode::Tokens;
+            }
+            "--analysis-only" => {
+                if args.mode == Mode::Tokens {
+                    return Err("--analysis-only conflicts with --tokens-only".to_string());
+                }
+                args.mode = Mode::Analysis;
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a path argument")?,
+                ))
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a path argument")?,
                 ))
             }
             "--quiet" | "-q" => args.quiet = true,
@@ -88,7 +128,7 @@ fn run() -> Result<bool, String> {
     };
     let linter = Linter::from_policy_file(&policy_path)?;
     let report = if args.workspace {
-        linter.lint_workspace()?
+        linter.lint_workspace_mode(args.mode)?
     } else {
         // Make explicit paths absolute so root-stripping yields stable
         // relative names.
@@ -103,7 +143,7 @@ fn run() -> Result<bool, String> {
                 }
             })
             .collect();
-        linter.lint_files(&files)?
+        linter.lint_files_mode(&files, args.mode)?
     };
 
     if !args.quiet {
@@ -115,6 +155,21 @@ fn run() -> Result<bool, String> {
             report.files_scanned,
             report.findings.len()
         );
+        if let Some(a) = &report.analysis {
+            eprintln!(
+                "shs-lint: analysis: {} fns in {} files, {}/{} calls resolved \
+                 ({} ambiguous, {} external), {} taint seeds, {} lock events, {} ms",
+                a.fns_parsed,
+                a.files_parsed,
+                a.calls_resolved,
+                a.calls_total,
+                a.calls_ambiguous,
+                a.calls_unresolved,
+                a.taint_seeds,
+                a.lock_events,
+                a.elapsed_ms
+            );
+        }
     }
     if let Some(json_path) = &args.json {
         let body = report.to_json();
@@ -124,6 +179,29 @@ fn run() -> Result<bool, String> {
             std::fs::write(json_path, body)
                 .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
         }
+    }
+    if let Some(path) = &args.write_baseline {
+        let body = Baseline::from_report(&report).to_json();
+        std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if !args.quiet {
+            eprintln!("shs-lint: baseline written to {}", path.display());
+        }
+        return Ok(true);
+    }
+    if let Some(path) = &args.baseline {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let base = Baseline::parse(&src)?;
+        let diff = base.compare(&report);
+        if !args.quiet {
+            for r in &diff.regressions {
+                eprintln!("shs-lint: ratchet regression: {r}");
+            }
+            for i in &diff.improvements {
+                eprintln!("shs-lint: ratchet improvement: {i}");
+            }
+        }
+        return Ok(diff.ok());
     }
     Ok(report.clean())
 }

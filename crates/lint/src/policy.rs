@@ -29,13 +29,22 @@ pub enum Rule {
     /// A variable-time exponentiation kernel called outside the
     /// allowlisted public-data verification sites.
     VartimeUsage,
+    /// Interprocedural: a policy-seeded secret value reaching a vartime
+    /// kernel, a format/panic sink, or a raw wire-encode path.
+    SecretTaint,
+    /// Interprocedural: a cycle (or recursive acquisition) in the global
+    /// mutex acquisition graph.
+    LockOrder,
+    /// Interprocedural: a blocking channel `send`/`recv` (directly or via
+    /// a callee) while holding a mutex guard.
+    SendUnderLock,
     /// A malformed or unused `lint:allow` directive.
     AllowHygiene,
 }
 
 impl Rule {
     /// All rules.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::SecretDebug,
         Rule::SecretCmp,
         Rule::SecretFmt,
@@ -43,6 +52,9 @@ impl Rule {
         Rule::IndexPath,
         Rule::FactoryDispatch,
         Rule::VartimeUsage,
+        Rule::SecretTaint,
+        Rule::LockOrder,
+        Rule::SendUnderLock,
         Rule::AllowHygiene,
     ];
 
@@ -56,6 +68,9 @@ impl Rule {
             Rule::IndexPath => "index-path",
             Rule::FactoryDispatch => "factory-dispatch",
             Rule::VartimeUsage => "vartime-usage",
+            Rule::SecretTaint => "secret-taint",
+            Rule::LockOrder => "lock-order",
+            Rule::SendUnderLock => "send-under-lock",
             Rule::AllowHygiene => "allow-hygiene",
         }
     }
@@ -63,6 +78,17 @@ impl Rule {
     /// Parses a rule name.
     pub fn from_name(s: &str) -> Option<Rule> {
         Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// Is this rule produced by the interprocedural analysis pass (as
+    /// opposed to the fast token pass)? Allow-hygiene accounting uses
+    /// this to avoid calling a directive stale in a run where the rule
+    /// it suppresses never executed.
+    pub fn is_analysis(self) -> bool {
+        matches!(
+            self,
+            Rule::SecretTaint | Rule::LockOrder | Rule::SendUnderLock
+        )
     }
 }
 
@@ -96,6 +122,30 @@ pub struct Policy {
     /// Files (suffix match) exempt from the vartime-usage rule — the
     /// kernel definitions and the vetted public-data verification sites.
     pub vartime_paths: Vec<String>,
+    /// Function names whose outputs are declassified for the taint
+    /// analysis: keyed one-way primitives (`seal`, `encrypt`, `finalize`)
+    /// whose outputs are published by protocol design, plus structural
+    /// sanitizers (`len`, `is_empty`).
+    pub taint_declassify: Vec<String>,
+    /// Types the taint analysis seeds as secret *material* (strong
+    /// taint). Defaults to `secret_types`; a workspace policy narrows
+    /// this when the secret list includes container types (a group
+    /// manager holds factors, but its public key is public).
+    pub taint_seed_types: Vec<String>,
+    /// Macro names the taint analysis treats as format sinks. Defaults
+    /// to `sink_macros`; a workspace policy narrows this to the macros
+    /// that actually print values (bare `assert!` stringifies the
+    /// condition *expression*, not its value).
+    pub taint_fmt_sinks: Vec<String>,
+    /// Function names that write raw bytes onto the wire (`put_*`,
+    /// frame encoders) — a taint sink class.
+    pub wire_sink_fns: Vec<String>,
+    /// Files (glob/suffix match) exempt from the wire-encode sink: the
+    /// registered decoy and AEAD-bound construction sites.
+    pub wire_allow_paths: Vec<String>,
+    /// Files (glob/suffix match) the lock-order and send-under-lock
+    /// analyses apply to.
+    pub lock_paths: Vec<String>,
     /// Directories under the policy root to scan.
     pub scan_roots: Vec<String>,
     /// Path substrings to exclude from scanning.
@@ -133,6 +183,12 @@ impl Policy {
             factory_paths: list("rules.factory-dispatch.paths"),
             vartime_fns: list("rules.vartime-usage.fns"),
             vartime_paths: list("rules.vartime-usage.paths"),
+            taint_declassify: list("taint.declassify"),
+            taint_seed_types: list("taint.seed-types"),
+            taint_fmt_sinks: list("taint.fmt-sinks"),
+            wire_sink_fns: list("taint.wire-sinks"),
+            wire_allow_paths: list("taint.wire-allow-paths"),
+            lock_paths: list("rules.lock-order.paths"),
             scan_roots: {
                 let r = list("scan.roots");
                 if r.is_empty() {
@@ -169,17 +225,89 @@ impl Policy {
         !self.vartime_fns.is_empty() && !path_listed(&self.vartime_paths, rel)
     }
 
+    /// The taint seed-type list: `taint.seed-types` when written,
+    /// otherwise all of `secret.types`.
+    pub fn taint_seed_types(&self) -> &[String] {
+        if self.taint_seed_types.is_empty() {
+            &self.secret_types
+        } else {
+            &self.taint_seed_types
+        }
+    }
+
+    /// The taint format-sink macro list: `taint.fmt-sinks` when written,
+    /// otherwise all of `sinks.macros`.
+    pub fn taint_fmt_sinks(&self) -> &[String] {
+        if self.taint_fmt_sinks.is_empty() {
+            &self.sink_macros
+        } else {
+            &self.taint_fmt_sinks
+        }
+    }
+
+    /// Is this file exempt from the wire-encode taint sink — a registered
+    /// decoy/AEAD construction site?
+    pub fn wire_sink_exempt(&self, rel: &str) -> bool {
+        path_listed(&self.wire_allow_paths, rel)
+    }
+
+    /// Do the lock-order/send-under-lock analyses apply to this file?
+    pub fn lock_rule_applies(&self, rel: &str) -> bool {
+        path_listed(&self.lock_paths, rel)
+    }
+
     /// Is this file excluded from scanning entirely?
     pub fn excluded(&self, rel: &str) -> bool {
         self.scan_exclude.iter().any(|e| rel.contains(e.as_str()))
     }
 }
 
-/// A path matches a policy list by exact or suffix match, so workspace
-/// policies can use full relative paths while fixture policies can name
-/// bare file names.
+/// A path matches a policy list by exact match, suffix match, or glob
+/// (`*` matches within one path segment, `**` across segments), so
+/// workspace policies can cover whole modules (`crates/core/src/handshake/*`)
+/// while fixture policies can still name bare file names.
 fn path_listed(list: &[String], rel: &str) -> bool {
-    list.iter().any(|p| rel == p || rel.ends_with(p.as_str()))
+    list.iter().any(|p| {
+        if p.contains('*') {
+            glob_match(p, rel)
+        } else {
+            rel == p.as_str() || rel.ends_with(p.as_str())
+        }
+    })
+}
+
+/// Minimal glob matcher: `*` matches any run of non-`/` characters, `**`
+/// matches any run including `/`. No character classes or `?`.
+fn glob_match(pattern: &str, path: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let s: Vec<char> = path.chars().collect();
+    glob_rec(&p, 0, &s, 0)
+}
+
+fn glob_rec(p: &[char], mut pi: usize, s: &[char], mut si: usize) -> bool {
+    while pi < p.len() {
+        if p[pi] == '*' {
+            let deep = pi + 1 < p.len() && p[pi + 1] == '*';
+            let rest = if deep { pi + 2 } else { pi + 1 };
+            // Try every split point, longest-suffix last.
+            let mut k = si;
+            loop {
+                if glob_rec(p, rest, s, k) {
+                    return true;
+                }
+                if k >= s.len() || (!deep && s[k] == '/') {
+                    return false;
+                }
+                k += 1;
+            }
+        }
+        if si >= s.len() || p[pi] != s[si] {
+            return false;
+        }
+        pi += 1;
+        si += 1;
+    }
+    si == s.len()
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -332,6 +460,72 @@ exclude = ["shims/", "tests/"]
         assert!(Policy::parse("key value").is_err());
         assert!(Policy::parse("[sec\nk = 1").is_err());
         assert!(Policy::parse("k = [1, 2]").is_err());
+    }
+
+    #[test]
+    fn glob_paths_match_whole_modules() {
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["format"]
+[rules.panic-path]
+paths = ["crates/core/src/handshake/*", "crates/net/src/**"]
+"#,
+        )
+        .unwrap();
+        assert!(p.panic_rule_applies("crates/core/src/handshake/phase2.rs"));
+        assert!(
+            !p.panic_rule_applies("crates/core/src/handshake/deep/x.rs"),
+            "single `*` must not cross a path segment"
+        );
+        assert!(p.panic_rule_applies("crates/net/src/tcp/frame.rs"));
+        assert!(!p.panic_rule_applies("crates/core/src/codec.rs"));
+    }
+
+    #[test]
+    fn glob_star_mid_pattern() {
+        assert!(glob_match(
+            "crates/*/src/pool.rs",
+            "crates/core/src/pool.rs"
+        ));
+        assert!(!glob_match(
+            "crates/*/src/pool.rs",
+            "crates/a/b/src/pool.rs"
+        ));
+        assert!(glob_match("**/bin/*.rs", "crates/bench/src/bin/b.rs"));
+        assert!(glob_match("a*c", "abc"));
+        assert!(!glob_match("a*c", "ab"));
+    }
+
+    #[test]
+    fn lock_and_wire_sections_parse() {
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["format"]
+[taint]
+declassify = ["seal"]
+wire-sinks = ["put_bytes"]
+wire-allow-paths = ["decoy.rs"]
+[rules.lock-order]
+paths = ["crates/net/src/serve/*"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.taint_declassify, vec!["seal"]);
+        assert!(p.wire_sink_exempt("crates/core/src/decoy.rs"));
+        // Defaults: seed types fall back to secret.types, fmt sinks to
+        // sinks.macros.
+        assert_eq!(p.taint_seed_types(), ["Key".to_string()]);
+        assert_eq!(p.taint_fmt_sinks(), ["format".to_string()]);
+        assert!(p.lock_rule_applies("crates/net/src/serve/mod.rs"));
+        assert!(!p.lock_rule_applies("crates/core/src/pool.rs"));
     }
 
     #[test]

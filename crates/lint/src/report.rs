@@ -38,6 +38,38 @@ impl Finding {
     }
 }
 
+/// Analyzer self-stats — parser/resolver coverage counters surfaced in
+/// the JSON report so a syntax-layer regression (fns silently dropped,
+/// calls going unresolved) is visible in CI diffs, not just in weaker
+/// findings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Files run through the syntax layer.
+    pub files_parsed: usize,
+    /// Function items recovered.
+    pub fns_parsed: usize,
+    /// Call sites considered by the call graph.
+    pub calls_total: usize,
+    /// Calls with a unique workspace target.
+    pub calls_resolved: usize,
+    /// Calls with several same-name candidates (not followed).
+    pub calls_ambiguous: usize,
+    /// Calls with no workspace definition.
+    pub calls_unresolved: usize,
+    /// Policy-seeded secret values.
+    pub taint_seeds: usize,
+    /// Functions carrying taint at fixpoint.
+    pub tainted_fns: usize,
+    /// Files inside the lock-analysis scope.
+    pub lock_files: usize,
+    /// Mutex/channel events replayed.
+    pub lock_events: usize,
+    /// Acquisition edges in the global lock graph.
+    pub lock_edges: usize,
+    /// Wall-clock time of the analysis pass, milliseconds.
+    pub elapsed_ms: u64,
+}
+
 /// A whole lint run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -45,6 +77,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Self-stats of the analysis pass, when it ran.
+    pub analysis: Option<AnalysisStats>,
 }
 
 impl Report {
@@ -61,6 +95,28 @@ impl Report {
         s.push_str("  \"version\": 1,\n");
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        if let Some(a) = &self.analysis {
+            s.push_str("  \"analysis\": {\n");
+            s.push_str(&format!("    \"files_parsed\": {},\n", a.files_parsed));
+            s.push_str(&format!("    \"fns_parsed\": {},\n", a.fns_parsed));
+            s.push_str(&format!("    \"calls_total\": {},\n", a.calls_total));
+            s.push_str(&format!("    \"calls_resolved\": {},\n", a.calls_resolved));
+            s.push_str(&format!(
+                "    \"calls_ambiguous\": {},\n",
+                a.calls_ambiguous
+            ));
+            s.push_str(&format!(
+                "    \"calls_unresolved\": {},\n",
+                a.calls_unresolved
+            ));
+            s.push_str(&format!("    \"taint_seeds\": {},\n", a.taint_seeds));
+            s.push_str(&format!("    \"tainted_fns\": {},\n", a.tainted_fns));
+            s.push_str(&format!("    \"lock_files\": {},\n", a.lock_files));
+            s.push_str(&format!("    \"lock_events\": {},\n", a.lock_events));
+            s.push_str(&format!("    \"lock_edges\": {},\n", a.lock_edges));
+            s.push_str(&format!("    \"elapsed_ms\": {}\n", a.elapsed_ms));
+            s.push_str("  },\n");
+        }
         s.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -113,11 +169,33 @@ mod tests {
                 Rule::SecretCmp,
                 "`==` with \"quotes\"".to_string(),
             )],
+            analysis: None,
         };
         let j = r.to_json();
         assert!(j.contains("\"files_scanned\": 2"));
         assert!(j.contains("\"rule\": \"secret-cmp\""));
         assert!(j.contains("\\\"quotes\\\""));
+        assert!(!j.contains("\"analysis\""));
+    }
+
+    #[test]
+    fn analysis_stats_serialized() {
+        let r = Report {
+            files_scanned: 1,
+            findings: Vec::new(),
+            analysis: Some(AnalysisStats {
+                files_parsed: 60,
+                fns_parsed: 400,
+                calls_total: 900,
+                calls_resolved: 700,
+                calls_ambiguous: 50,
+                calls_unresolved: 150,
+                ..AnalysisStats::default()
+            }),
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"fns_parsed\": 400"));
+        assert!(j.contains("\"calls_unresolved\": 150"));
     }
 
     #[test]

@@ -10,12 +10,22 @@
 use crate::lexer::{AllowDirective, Lexed, Tok, TokKind};
 use crate::policy::{Policy, Rule};
 use crate::report::Finding;
+use crate::Mode;
 
-/// Runs every applicable rule over one file.
+/// Runs every applicable token rule over one file and applies allow
+/// directives — the single-file entry point (the workspace pipeline runs
+/// [`token_findings`] and [`finalize`] separately so interprocedural
+/// findings share the allow machinery).
 ///
 /// `rel` is the policy-root-relative path used for path-scoped rules and
 /// for reporting.
 pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
+    finalize(rel, lexed, token_findings(rel, lexed, policy), Mode::Tokens)
+}
+
+/// Raw findings from the fast token rules, test regions already
+/// filtered, allow directives **not** yet applied.
+pub fn token_findings(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     let toks = &lexed.toks;
     let test_lines = test_regions(toks);
     let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
@@ -37,14 +47,34 @@ pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
         raw.extend(rule_vartime_usage(rel, toks, policy));
     }
     raw.retain(|f| !in_test(f.line));
+    raw
+}
 
-    // Apply allow directives; track which ones earned their keep.
-    let mut used = vec![false; lexed.allows.len()];
+/// Applies the file's allow directives to `raw` (token and analysis
+/// findings alike) and appends allow-hygiene findings. Accounting is
+/// per named rule: a directive listing several rules must suppress at
+/// least one finding of **each**, or the idle names are themselves
+/// findings — this is what lets a policy-rule upgrade surface every
+/// allow it made stale.
+///
+/// `mode` says which passes produced `raw`: hygiene belongs to the token
+/// pass (an `--analysis-only` run emits none), and a rule name is only
+/// held to the "must suppress something" standard in a run where that
+/// rule actually executed — otherwise a split CI job would call every
+/// other-pass directive stale.
+pub fn finalize(rel: &str, lexed: &Lexed, mut raw: Vec<Finding>, mode: Mode) -> Vec<Finding> {
+    let test_lines = test_regions(&lexed.toks);
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+
+    // Which rule names of each directive actually suppressed a finding.
+    let mut used: Vec<Vec<&str>> = vec![Vec::new(); lexed.allows.len()];
     raw.retain(|f| {
         let mut suppressed = false;
         for (i, a) in lexed.allows.iter().enumerate() {
             if allow_covers(a, f) {
-                used[i] = true;
+                if !used[i].contains(&f.rule.name()) {
+                    used[i].push(f.rule.name());
+                }
                 suppressed = true;
             }
         }
@@ -52,41 +82,70 @@ pub fn lint_tokens(rel: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     });
 
     // Allow-directive hygiene: every exception must carry a reason, name
-    // real rules, and actually suppress something.
-    for (i, a) in lexed.allows.iter().enumerate() {
-        if in_test(a.line) {
-            continue;
-        }
-        if !a.has_reason {
-            raw.push(Finding::new(
-                rel,
-                a.line,
-                1,
-                Rule::AllowHygiene,
-                "lint:allow directive without a reason=\"…\" justification".to_string(),
-            ));
-            continue;
-        }
-        for r in &a.rules {
-            if Rule::from_name(r).is_none() {
+    // real rules, and actually suppress something under each named rule.
+    // Hygiene itself is a token rule; in an `--analysis-only` run the
+    // token job owns these findings, so none are emitted here.
+    if mode.tokens() {
+        // A rule name is only held to the suppress-something standard if
+        // the pass producing that rule ran (in `--tokens-only`, a
+        // directive for `secret-taint` cannot be proven stale).
+        let checkable =
+            |r: &str| Rule::from_name(r).is_some_and(|rule| !rule.is_analysis() || mode.analysis());
+        for (i, a) in lexed.allows.iter().enumerate() {
+            if in_test(a.line) {
+                continue;
+            }
+            if !a.has_reason {
                 raw.push(Finding::new(
                     rel,
                     a.line,
                     1,
                     Rule::AllowHygiene,
-                    format!("lint:allow names unknown rule `{r}`"),
+                    "lint:allow directive without a reason=\"…\" justification".to_string(),
                 ));
+                continue;
             }
-        }
-        if !used[i] && a.rules.iter().all(|r| Rule::from_name(r).is_some()) {
-            raw.push(Finding::new(
-                rel,
-                a.line,
-                1,
-                Rule::AllowHygiene,
-                "unused lint:allow directive (suppresses nothing on this or the next line)"
-                    .to_string(),
-            ));
+            let mut all_known = true;
+            for r in &a.rules {
+                if Rule::from_name(r).is_none() {
+                    all_known = false;
+                    raw.push(Finding::new(
+                        rel,
+                        a.line,
+                        1,
+                        Rule::AllowHygiene,
+                        format!("lint:allow names unknown rule `{r}`"),
+                    ));
+                }
+            }
+            if !all_known {
+                continue;
+            }
+            if used[i].is_empty() && a.rules.iter().all(|r| checkable(r)) {
+                raw.push(Finding::new(
+                    rel,
+                    a.line,
+                    1,
+                    Rule::AllowHygiene,
+                    "unused lint:allow directive (suppresses nothing on this or the next line)"
+                        .to_string(),
+                ));
+            } else {
+                for r in &a.rules {
+                    if checkable(r) && !used[i].contains(&r.as_str()) {
+                        raw.push(Finding::new(
+                            rel,
+                            a.line,
+                            1,
+                            Rule::AllowHygiene,
+                            format!(
+                                "lint:allow lists `{r}` but suppresses no `{r}` finding \
+                                 on this or the next line; drop the stale rule name"
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -103,8 +162,9 @@ fn allow_covers(a: &AllowDirective, f: &Finding) -> bool {
 // Test-region detection
 // ---------------------------------------------------------------------------
 
-/// Line ranges of items gated by `#[cfg(test)]` / `#[test]`.
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+/// Line ranges of items gated by `#[cfg(test)]` / `#[test]` (also used
+/// by the syntax layer to exempt test fns from the analyses).
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -840,5 +900,14 @@ paths = ["verify.rs"]
         // Unknown rule name.
         let src3 = "fn f() {} // lint:allow(secret-compare) reason=\"typo\"";
         assert_eq!(findings("a.rs", src3), vec![(Rule::AllowHygiene, 1)]);
+    }
+
+    #[test]
+    fn multi_rule_allow_with_stale_name_flagged() {
+        // secret-cmp earns its keep; secret-fmt suppresses nothing and is
+        // itself a finding.
+        let src = "fn f() { tag == x; } // lint:allow(secret-cmp,secret-fmt) reason=\"cmp vetted\"";
+        let hits = findings("a.rs", src);
+        assert_eq!(hits, vec![(Rule::AllowHygiene, 1)], "{hits:?}");
     }
 }

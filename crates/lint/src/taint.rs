@@ -1,0 +1,723 @@
+//! Interprocedural secret-taint dataflow (rule `secret-taint`).
+//!
+//! Taint is seeded from the written policy — parameters, bindings, and
+//! `impl` receivers of registered secret-material types, and values
+//! named by a registered secret identifier — and propagated
+//! context-insensitively over the workspace call graph: through `let`
+//! bindings, through call arguments into callee parameters, and back out
+//! of calls whose return values carry taint.
+//!
+//! The lattice has two tainted levels. A value is **strong** when it *is*
+//! secret material: a seed, an alias of one, or the result of a call
+//! whose return chain is secret-typed. It is **weak** when it was merely
+//! *derived* from secret material through computation (a masked exponent,
+//! a roster sampled from a secret-seeded DRBG). The distinction is what
+//! each sink class cares about:
+//!
+//! 1. *vartime* — the registered variable-time kernels flag **any**
+//!    taint: a blinded or derived exponent still drives the
+//!    square-multiply trace;
+//! 2. *fmt* — format/print/panic macros flag **strong** taint only
+//!    (printing a value derived from a secret is normal protocol
+//!    output; printing the secret itself never is). Bodies of manual
+//!    `fn fmt` impls are exempt — they are the redaction point the
+//!    `secret-debug` rule forces into existence, and the site-local
+//!    `secret-fmt` token rule still patrols them;
+//! 3. *wire* — raw wire-encode functions flag **strong** taint outside
+//!    the registered decoy/AEAD construction paths.
+//!
+//! Keyed one-way primitives (`seal`, `encrypt`, HMAC `finalize`, …) are
+//! registered **declassifiers**: their outputs are published by protocol
+//! design, so a call to one yields a clean value. The soundness caveats
+//! of this model are written down in DESIGN.md §14.
+
+use crate::graph::{CallGraph, FnId, Resolution};
+use crate::policy::{Policy, Rule};
+use crate::report::Finding;
+use crate::syntax::{Call, ExprInfo, FileSyntax, FnDef};
+use std::collections::BTreeMap;
+
+/// Taint-analysis self-stats for the JSON report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaintStats {
+    /// Values seeded tainted from the policy.
+    pub seeds: usize,
+    /// Functions holding at least one tainted value at fixpoint.
+    pub tainted_fns: usize,
+    /// Global fixpoint iterations until stable.
+    pub iterations: usize,
+}
+
+/// How tainted a value is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Strength {
+    /// Derived from secret material through computation.
+    Weak,
+    /// Is secret material (seed, alias, or secret-typed return).
+    Strong,
+}
+
+type Taint = (Strength, String);
+
+/// Per-function taint state.
+#[derive(Debug, Default, Clone)]
+struct FnTaint {
+    /// Tainted value names → (strength, provenance).
+    values: BTreeMap<String, Taint>,
+    /// Tainted call results (index into `FnDef::calls`).
+    call_results: BTreeMap<usize, Taint>,
+    /// Parameters tainted from call sites.
+    param_in: BTreeMap<String, Taint>,
+    /// Taint carried by the function's return value.
+    returns_taint: Option<Taint>,
+    /// The return taint comes from a secret return *type* (a keygen/
+    /// derive producing secret material no matter the inputs), as
+    /// opposed to data-flow from the fn's own inputs.
+    returns_ty_seeded: bool,
+}
+
+impl FnTaint {
+    /// Inserts keeping the stronger of old and new.
+    fn upgrade<K: Ord>(map: &mut BTreeMap<K, Taint>, key: K, t: Taint) -> bool {
+        match map.get(&key) {
+            Some((s, _)) if *s >= t.0 => false,
+            _ => {
+                map.insert(key, t);
+                true
+            }
+        }
+    }
+}
+
+/// Runs the analysis; returns findings plus self-stats.
+pub fn analyze(
+    files: &[FileSyntax],
+    graph: &CallGraph,
+    policy: &Policy,
+) -> (Vec<Finding>, TaintStats) {
+    let mut ids: Vec<FnId> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, f) in file.fns.iter().enumerate() {
+            if !f.in_test {
+                ids.push((fi, ni));
+            }
+        }
+    }
+    let mut state: BTreeMap<FnId, FnTaint> =
+        ids.iter().map(|id| (*id, FnTaint::default())).collect();
+    let mut stats = TaintStats::default();
+
+    // Global fixpoint: local propagation + cross-fn param/return effects.
+    const MAX_ITERS: usize = 40;
+    for iter in 0..MAX_ITERS {
+        stats.iterations = iter + 1;
+        let mut changed = false;
+        for &id in &ids {
+            let before = snapshot(&state[&id]);
+            propagate_local(files, id, graph, policy, &mut state);
+            if snapshot(&state[&id]) != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    stats.seeds = ids
+        .iter()
+        .map(|id| seed_count(crate::graph::fn_def(files, *id), policy))
+        .sum();
+    stats.tainted_fns = ids
+        .iter()
+        .filter(|id| !state[id].values.is_empty() || !state[id].call_results.is_empty())
+        .count();
+
+    // Sink pass.
+    let mut findings = Vec::new();
+    for &id in &ids {
+        let def = crate::graph::fn_def(files, id);
+        let rel = &files[id.0].rel;
+        let st = &state[&id];
+        sink_pass(def, rel, st, policy, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    (findings, stats)
+}
+
+/// A comparable snapshot of one fn's taint state (for fixpoint detection).
+type TaintShape = (
+    Vec<(String, Strength)>,
+    Vec<(usize, Strength)>,
+    Vec<(String, Strength)>,
+    Option<(Strength, bool)>,
+);
+
+fn snapshot(t: &FnTaint) -> TaintShape {
+    (
+        t.values.iter().map(|(k, (s, _))| (k.clone(), *s)).collect(),
+        t.call_results.iter().map(|(k, (s, _))| (*k, *s)).collect(),
+        t.param_in
+            .iter()
+            .map(|(k, (s, _))| (k.clone(), *s))
+            .collect(),
+        t.returns_taint
+            .as_ref()
+            .map(|(s, _)| (*s, t.returns_ty_seeded)),
+    )
+}
+
+/// Number of policy-seeded values in one fn (stats only).
+fn seed_count(def: &FnDef, policy: &Policy) -> usize {
+    let mut n = 0;
+    for p in &def.params {
+        if param_seed(def, p.name.as_str(), &p.ty_idents, policy).is_some() {
+            n += 1;
+        }
+    }
+    for b in &def.bindings {
+        for name in &b.names {
+            if binding_seed(name, &b.ty_idents, policy).is_some() {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn is_seed_type(policy: &Policy, idents: &[String]) -> Option<String> {
+    idents
+        .iter()
+        .find(|t| policy.taint_seed_types().iter().any(|s| s == *t))
+        .cloned()
+}
+
+fn param_seed(def: &FnDef, name: &str, ty: &[String], policy: &Policy) -> Option<String> {
+    if name == "self" {
+        let st = def.self_ty.as_deref()?;
+        if policy.taint_seed_types().iter().any(|s| s == st) {
+            return Some(format!("receiver of secret type `{st}`"));
+        }
+        return None;
+    }
+    if let Some(t) = is_seed_type(policy, ty) {
+        return Some(format!("parameter of secret type `{t}`"));
+    }
+    if policy.secret_idents.iter().any(|s| s == name) {
+        return Some("parameter named as a registered secret".to_string());
+    }
+    None
+}
+
+fn binding_seed(name: &str, ty: &[String], policy: &Policy) -> Option<String> {
+    if let Some(t) = is_seed_type(policy, ty) {
+        return Some(format!("binding of secret type `{t}`"));
+    }
+    if policy.secret_idents.iter().any(|s| s == name) {
+        return Some("binding named as a registered secret".to_string());
+    }
+    None
+}
+
+/// The strongest tainted value or nested call result in `e`, as
+/// (offending name, strength, provenance).
+fn expr_taint(e: &ExprInfo, st: &FnTaint, def: &FnDef) -> Option<(String, Strength, String)> {
+    let mut best: Option<(String, Strength, String)> = None;
+    let mut consider = |name: String, t: &Taint| {
+        if best.as_ref().is_none_or(|(_, s, _)| *s < t.0) {
+            best = Some((name, t.0, t.1.clone()));
+        }
+    };
+    for id in &e.idents {
+        if let Some(t) = st.values.get(id) {
+            consider(id.clone(), t);
+        }
+    }
+    for ci in &e.call_ids {
+        if let Some(t) = st.call_results.get(ci) {
+            consider(format!("{}(..)", def.calls[*ci].callee), t);
+        }
+    }
+    best
+}
+
+/// One round of local propagation for `id`, updating `state` in place
+/// (including callee param taint, which is why the whole map is passed).
+fn propagate_local(
+    files: &[FileSyntax],
+    id: FnId,
+    graph: &CallGraph,
+    policy: &Policy,
+    state: &mut BTreeMap<FnId, FnTaint>,
+) {
+    let def = crate::graph::fn_def(files, id);
+    // Seeds.
+    let mut st = state[&id].clone();
+    for p in &def.params {
+        if let Some(why) = param_seed(def, &p.name, &p.ty_idents, policy) {
+            FnTaint::upgrade(&mut st.values, p.name.clone(), (Strength::Strong, why));
+        }
+    }
+    for (name, t) in st.param_in.clone() {
+        FnTaint::upgrade(&mut st.values, name, t);
+    }
+    for b in &def.bindings {
+        for name in &b.names {
+            if let Some(why) = binding_seed(name, &b.ty_idents, policy) {
+                FnTaint::upgrade(&mut st.values, name.clone(), (Strength::Strong, why));
+            }
+        }
+    }
+
+    // Inner fixpoint over bindings and call results (flow-insensitive).
+    loop {
+        let mut changed = false;
+        for (ci, call) in def.calls.iter().enumerate() {
+            if policy.taint_declassify.iter().any(|d| d == &call.callee) {
+                continue; // declassifier results are clean by policy
+            }
+            let input = expr_taint(&call.recv, &st, def)
+                .or_else(|| call.args.iter().find_map(|a| expr_taint(a, &st, def)));
+            let result_taint: Option<Taint> = match graph.resolution(id, ci) {
+                Resolution::Resolved(target) => {
+                    // Push taint into callee params.
+                    push_args(files, def, call, target, &st, state);
+                    let ty_seeded = state[&target].returns_ty_seeded;
+                    state[&target].returns_taint.clone().and_then(|(s, why)| {
+                        // A data-flow return ("returns its receiver's
+                        // contents") only carries taint when *this*
+                        // call site feeds it tainted input, capped at
+                        // that input's strength — name-based method
+                        // resolution would otherwise mark e.g. every
+                        // `x.as_ref()` with the strength of the one
+                        // secret impl of `as_ref`. Secret-typed
+                        // returns (keygens) taint unconditionally.
+                        let s = if ty_seeded || !call.is_method {
+                            s
+                        } else {
+                            s.min(input.as_ref().map(|(_, s, _)| *s)?)
+                        };
+                        Some((s, format!("result of `{}` ({why})", call.callee)))
+                    })
+                }
+                _ => input.as_ref().map(|(v, _, _)| {
+                    (
+                        Strength::Weak,
+                        format!("result of external `{}` over tainted `{v}`", call.callee),
+                    )
+                }),
+            };
+            if let Some(t) = result_taint {
+                changed |= FnTaint::upgrade(&mut st.call_results, ci, t);
+            }
+        }
+        for b in &def.bindings {
+            // A binding whose whole RHS is one call takes that call's
+            // result taint: the arguments were *consumed* by the call,
+            // not mixed into the binding. Declassifier results are clean
+            // even if secrets flow in (ciphertext/tag outputs).
+            let taint = if let Some(pc) = b.primary_call {
+                let callee = &def.calls[pc].callee;
+                if policy.taint_declassify.iter().any(|d| d == callee) {
+                    continue;
+                }
+                st.call_results
+                    .get(&pc)
+                    .map(|(s, _)| (*s, format!("derived from tainted `{callee}(..)`")))
+            } else {
+                // Otherwise strength survives only a pure alias
+                // (`let a = k;`); any mixing demotes to Weak.
+                expr_taint(&b.rhs, &st, def).map(|(v, s, _)| {
+                    let pure_alias = b.rhs.call_ids.is_empty() && b.rhs.idents.len() == 1;
+                    let s = if pure_alias { s } else { Strength::Weak };
+                    (s, format!("derived from tainted `{v}`"))
+                })
+            };
+            if let Some((s, why)) = taint {
+                for name in &b.names {
+                    changed |= FnTaint::upgrade(&mut st.values, name.clone(), (s, why.clone()));
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Return taint. Strength survives a secret-typed return, a pure
+    // alias (`return k;`) or a pure call result; a mixed expression is a
+    // derivation and demotes to Weak, same as bindings.
+    let ret = if let Some(t) = is_seed_type(policy, &def.ret_ty_idents) {
+        st.returns_ty_seeded = true;
+        Some((Strength::Strong, format!("returns secret type `{t}`")))
+    } else {
+        def.returns.iter().find_map(|r| {
+            expr_taint(r, &st, def).map(|(v, s, _)| {
+                let pure_alias = r.call_ids.is_empty() && r.idents.len() == 1;
+                let pure_call = r.idents.is_empty() && r.call_ids.len() == 1;
+                let s = if pure_alias || pure_call {
+                    s
+                } else {
+                    Strength::Weak
+                };
+                (s, format!("returns value derived from tainted `{v}`"))
+            })
+        })
+    };
+    if let Some(t) = ret {
+        if st.returns_taint.as_ref().is_none_or(|(s, _)| *s < t.0) {
+            st.returns_taint = Some(t);
+        }
+    }
+    state.insert(id, st);
+}
+
+/// Maps tainted call arguments onto callee parameter names.
+fn push_args(
+    files: &[FileSyntax],
+    def: &FnDef,
+    call: &Call,
+    target: FnId,
+    st: &FnTaint,
+    state: &mut BTreeMap<FnId, FnTaint>,
+) {
+    let tdef = crate::graph::fn_def(files, target);
+    let Some(cur) = state.get(&target) else {
+        return;
+    };
+    let mut tgt = cur.clone();
+    let mut changed = false;
+    // Strength survives only a pure alias argument (`f(k)`, `f(&k)`); a
+    // projection or computation (`f(&self.pk)`, `f(k.mask())`) is a
+    // derivation and demotes to Weak — a secret *container*'s public
+    // field is not the secret itself.
+    let arg_taint = |e: &ExprInfo| {
+        expr_taint(e, st, def).map(|(v, s, why)| {
+            let pure_alias = e.call_ids.is_empty() && e.idents.len() == 1;
+            (v, if pure_alias { s } else { Strength::Weak }, why)
+        })
+    };
+    let has_self = tdef
+        .params
+        .first()
+        .map(|p| p.name == "self")
+        .unwrap_or(false);
+    if call.is_method && has_self {
+        if let Some((v, s, why)) = arg_taint(&call.recv) {
+            changed |= FnTaint::upgrade(
+                &mut tgt.param_in,
+                "self".to_string(),
+                (
+                    s,
+                    format!("receiver tainted at call site via `{v}` ({why})"),
+                ),
+            );
+        }
+    }
+    // Positional args: for `recv.m(a, b)` arg i lands on param i+1 (past
+    // `self`); for path calls (`Type::m(s, a)`) args map directly.
+    let offset = usize::from(call.is_method && has_self);
+    for (i, arg) in call.args.iter().enumerate() {
+        let Some(p) = tdef.params.get(i + offset) else {
+            continue;
+        };
+        if let Some((v, s, why)) = arg_taint(arg) {
+            changed |= FnTaint::upgrade(
+                &mut tgt.param_in,
+                p.name.clone(),
+                (s, format!("tainted at call site via `{v}` ({why})")),
+            );
+        }
+    }
+    if changed {
+        state.insert(target, tgt);
+    }
+}
+
+/// Checks every sink in one fn against the fixpoint taint state.
+fn sink_pass(def: &FnDef, rel: &str, st: &FnTaint, policy: &Policy, out: &mut Vec<Finding>) {
+    // 1. vartime kernels. Only the *arguments* are sinks — the operand
+    // trace leaks base/exponent, while the receiver is the group/modulus
+    // context, which is public-key material. In the policy-vetted vartime
+    // files (verify sites, kernel wrappers, benches — audited to
+    // exponentiate only public or freshly-derived data) strong taint
+    // alone is a finding; everywhere else any taint flags, and the
+    // site-local vartime-usage token rule independently bans the call
+    // outright.
+    let vetted = !policy.vartime_rule_applies(rel);
+    for call in &def.calls {
+        if !policy.vartime_fns.iter().any(|f| f == &call.callee) {
+            continue;
+        }
+        let hit = call.args.iter().find_map(|a| expr_taint(a, st, def));
+        if let Some((v, s, why)) = hit {
+            if vetted && s != Strength::Strong {
+                continue;
+            }
+            out.push(Finding::new(
+                rel,
+                call.line,
+                call.col,
+                Rule::SecretTaint,
+                format!(
+                    "tainted value `{v}` ({why}) reaches variable-time kernel \
+                     `{}`; its operand trace would leak the secret — route \
+                     through the constant-trace kernel",
+                    call.callee
+                ),
+            ));
+        }
+    }
+    // 2. format/print/panic sink macros: strong taint only, and not
+    // inside the mandated redacting `fn fmt` impls.
+    let in_fmt_impl = def.name == "fmt" && def.params.first().is_some_and(|p| p.name == "self");
+    if !in_fmt_impl {
+        for m in &def.macros {
+            if !policy.taint_fmt_sinks().iter().any(|s| s == &m.name) {
+                continue;
+            }
+            if let Some((v, Strength::Strong, why)) = expr_taint(&m.args, st, def) {
+                out.push(Finding::new(
+                    rel,
+                    m.line,
+                    m.col,
+                    Rule::SecretTaint,
+                    format!(
+                        "secret value `{v}` ({why}) flows into `{}!` sink; \
+                         redact it or break the dataflow",
+                        m.name
+                    ),
+                ));
+            }
+        }
+    }
+    // 3. raw wire-encode sinks (outside registered decoy/AEAD-bound
+    // paths): strong taint only.
+    if !policy.wire_sink_exempt(rel) {
+        for call in &def.calls {
+            if !policy.wire_sink_fns.iter().any(|f| f == &call.callee) {
+                continue;
+            }
+            if let Some((v, Strength::Strong, why)) =
+                call.args.iter().find_map(|a| expr_taint(a, st, def))
+            {
+                out.push(Finding::new(
+                    rel,
+                    call.line,
+                    call.col,
+                    Rule::SecretTaint,
+                    format!(
+                        "secret value `{v}` ({why}) reaches wire-encode sink \
+                         `{}`; secrets may only reach the wire through the \
+                         registered AEAD/decoy construction sites",
+                        call.callee
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::parse_file;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println", "format"]
+[rules.vartime-usage]
+fns = ["modpow_vartime"]
+paths = []
+[taint]
+declassify = ["seal", "finalize", "len"]
+wire-sinks = ["put_bytes"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn run(sources: &[(&str, &str)]) -> Vec<(String, u32)> {
+        let files: Vec<FileSyntax> = sources
+            .iter()
+            .map(|(rel, src)| parse_file(rel, &lex(src)))
+            .collect();
+        let graph = CallGraph::build(&files);
+        let (findings, _) = analyze(&files, &graph, &policy());
+        findings.into_iter().map(|f| (f.file, f.line)).collect()
+    }
+
+    #[test]
+    fn direct_secret_into_vartime_flagged() {
+        let hits = run(&[(
+            "a.rs",
+            "fn f(k_prime: &U) { let y = ctx.modpow_vartime(&b, k_prime); }",
+        )]);
+        assert_eq!(hits, vec![("a.rs".to_string(), 1)]);
+    }
+
+    #[test]
+    fn taint_through_helper_call_flagged() {
+        // The secret flows through `mask` into the kernel — the PR-2
+        // site-local rule missed exactly this shape.
+        let src = "fn mask(e: &U) -> U { e.add(1) }\n\
+                   fn f(k_prime: &U) {\n\
+                       let e = mask(k_prime);\n\
+                       let y = ctx.modpow_vartime(&b, &e);\n\
+                   }";
+        let hits = run(&[("a.rs", src)]);
+        assert_eq!(hits, vec![("a.rs".to_string(), 4)]);
+    }
+
+    #[test]
+    fn taint_through_return_flagged() {
+        // The callee *returns* a secret-typed value; the caller's sink use
+        // of the result is the finding.
+        let src = "fn derive() -> Key { secret_key() }\n\
+                   fn f() {\n\
+                       let k = derive();\n\
+                       println!(\"{:?}\", k);\n\
+                   }";
+        let hits = run(&[("a.rs", src)]);
+        assert_eq!(hits, vec![("a.rs".to_string(), 4)]);
+    }
+
+    #[test]
+    fn derived_value_into_fmt_is_clean_but_vartime_is_not() {
+        // `masked` is only *derived* from the secret: printing it is the
+        // protocol's own business, but exponentiating with it variable-time
+        // still leaks through the operand trace.
+        let src = "fn f(k_prime: &U) {\n\
+                       let masked = blind(k_prime, r);\n\
+                       println!(\"{:?}\", masked);\n\
+                       let y = ctx.modpow_vartime(&b, &masked);\n\
+                   }";
+        let hits = run(&[("a.rs", src)]);
+        assert_eq!(hits, vec![("a.rs".to_string(), 4)]);
+    }
+
+    #[test]
+    fn alias_keeps_strength() {
+        let src = "fn f(k_prime: &U) {\n\
+                       let alias = k_prime;\n\
+                       println!(\"{:?}\", alias);\n\
+                   }";
+        let hits = run(&[("a.rs", src)]);
+        assert_eq!(hits, vec![("a.rs".to_string(), 3)]);
+    }
+
+    #[test]
+    fn declassifier_cuts_the_flow() {
+        let src = "fn f(k: Key) {\n\
+                       let tag = mac.update(&k).finalize();\n\
+                       println!(\"{:?}\", tag);\n\
+                   }";
+        assert!(run(&[("a.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn redacting_fmt_impl_is_exempt() {
+        let src = "impl Key {\n\
+                       fn fmt(&self, f: &mut F) -> R {\n\
+                           write!(f, \"Key({} bytes)\", self.body.len())\n\
+                       }\n\
+                   }";
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["write"]
+"#,
+        )
+        .unwrap();
+        let files = vec![parse_file("a.rs", &lex(src))];
+        let graph = CallGraph::build(&files);
+        assert!(analyze(&files, &graph, &p).0.is_empty());
+    }
+
+    #[test]
+    fn wire_sink_flagged_and_exempt_path_clean() {
+        let src = "fn f(k: Key, w: &mut W) { w.put_bytes(&k); }";
+        assert_eq!(run(&[("a.rs", src)]), vec![("a.rs".to_string(), 1)]);
+        // Registered AEAD-bound path: exempt.
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+[taint]
+wire-sinks = ["put_bytes"]
+wire-allow-paths = ["decoy.rs"]
+"#,
+        )
+        .unwrap();
+        let files = vec![parse_file("decoy.rs", &lex(src))];
+        let graph = CallGraph::build(&files);
+        let (findings, _) = analyze(&files, &graph, &p);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn cross_file_taint_via_params() {
+        let hits = run(&[
+            (
+                "kernel_user.rs",
+                "pub fn leak(e: &U) { let y = ctx.modpow_vartime(&b, e); }",
+            ),
+            ("caller.rs", "fn go(k_prime: &U) { leak(k_prime); }"),
+        ]);
+        assert_eq!(hits, vec![("kernel_user.rs".to_string(), 1)]);
+    }
+
+    #[test]
+    fn narrowed_seed_types_shrink_the_frontier() {
+        // `Manager` is a registered secret type (its Debug must redact)
+        // but not seed material, so its derived public key is clean.
+        let p = Policy::parse(
+            r#"
+[secret]
+types = ["Key", "Manager"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+[taint]
+seed-types = ["Key"]
+"#,
+        )
+        .unwrap();
+        let src = "impl Manager { fn show(&self) { println!(\"{:?}\", self.pk); } }";
+        let files = vec![parse_file("a.rs", &lex(src))];
+        let graph = CallGraph::build(&files);
+        assert!(analyze(&files, &graph, &p).0.is_empty());
+        // Without the narrowing, the same code is a finding.
+        let p2 = Policy::parse(
+            r#"
+[secret]
+types = ["Key", "Manager"]
+idents = ["k_prime"]
+[sinks]
+macros = ["println"]
+"#,
+        )
+        .unwrap();
+        let files2 = vec![parse_file("a.rs", &lex(src))];
+        let graph2 = CallGraph::build(&files2);
+        assert_eq!(analyze(&files2, &graph2, &p2).0.len(), 1);
+    }
+
+    #[test]
+    fn public_data_stays_clean() {
+        let src = "fn verify(sig: &Sig) { let y = ctx.modpow_vartime(&sig.a, &sig.e); }";
+        assert!(run(&[("a.rs", src)]).is_empty());
+    }
+}

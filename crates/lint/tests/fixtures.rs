@@ -86,6 +86,43 @@ fn vartime_usage_fixture_pair() {
 }
 
 #[test]
+fn taint_through_call_fixture_pair() {
+    // The bad twin is a *vetted* vartime file (the token rule is silent);
+    // only interprocedural taint catches the secret exponent arriving
+    // through the helper.
+    assert_eq!(lint_one("bad/taint_call.rs"), vec![(Rule::SecretTaint, 15)]);
+    assert_eq!(lint_one("good/taint_call.rs"), vec![]);
+}
+
+#[test]
+fn taint_through_return_fixture_pair() {
+    assert_eq!(
+        lint_one("bad/taint_return.rs"),
+        vec![(Rule::SecretTaint, 12)]
+    );
+    assert_eq!(lint_one("good/taint_return.rs"), vec![]);
+}
+
+#[test]
+fn lock_cycle_fixture_pair() {
+    let findings = lint_one("bad/lock_cycle.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].0, Rule::LockOrder);
+    assert_eq!(lint_one("good/lock_cycle.rs"), vec![]);
+}
+
+#[test]
+fn send_under_lock_fixture_pair() {
+    // Direct send under the guard, plus the transitive variant through
+    // `notify`.
+    assert_eq!(
+        lint_one("bad/send_under_lock.rs"),
+        vec![(Rule::SendUnderLock, 8), (Rule::SendUnderLock, 18)]
+    );
+    assert_eq!(lint_one("good/send_under_lock.rs"), vec![]);
+}
+
+#[test]
 fn allow_hygiene_fixture_pair() {
     // Missing reason, stale directive, unknown rule name — one finding
     // each; the suppressed secret-cmp on line 4 must NOT reappear.
@@ -103,8 +140,8 @@ fn allow_hygiene_fixture_pair() {
 #[test]
 fn fixture_workspace_totals() {
     let report = linter().lint_workspace().expect("fixture tree lints");
-    assert_eq!(report.files_scanned, 16, "one bad + one good file per rule");
-    assert_eq!(report.findings.len(), 11);
+    assert_eq!(report.files_scanned, 24, "one bad + one good file per rule");
+    assert_eq!(report.findings.len(), 16);
     // Every rule is represented by at least one finding.
     for rule in Rule::ALL {
         assert!(
@@ -153,7 +190,7 @@ fn binary_exits_nonzero_on_bad_fixtures_with_file_line_output() {
         stderr.contains("bad/secret_cmp.rs:4:"),
         "stderr lacks file:line finding:\n{stderr}"
     );
-    assert!(stderr.contains("11 finding(s)"), "{stderr}");
+    assert!(stderr.contains("16 finding(s)"), "{stderr}");
 }
 
 #[test]
@@ -195,7 +232,7 @@ fn binary_emits_json_report_on_stdout() {
     assert_eq!(out.status.code(), Some(1));
     let json = String::from_utf8_lossy(&out.stdout);
     assert!(json.contains("\"tool\": \"shs-lint\""), "{json}");
-    assert!(json.contains("\"finding_count\": 11"), "{json}");
+    assert!(json.contains("\"finding_count\": 16"), "{json}");
     assert!(json.contains("\"rule\": \"secret-debug\""), "{json}");
 }
 

@@ -1,0 +1,17 @@
+//! BAD: two paths acquire the same two mutexes in opposite orders — the
+//! classic inconsistent-order deadlock. Each function is individually
+//! fine; only the global acquisition graph shows the cycle.
+
+impl Router {
+    fn route(&self) {
+        let table = self.table.lock();
+        let peers = self.peers.lock();
+        table.forward(&peers);
+    }
+
+    fn reshape(&self) {
+        let peers = self.peers.lock();
+        let table = self.table.lock();
+        peers.rebalance(&table);
+    }
+}

@@ -1,0 +1,20 @@
+//! BAD: a blocking `send` on a bounded channel while a mutex guard is
+//! live — backpressure deadlocks against the lock. The second fn shows
+//! the transitive variant: the send hides behind a helper call.
+
+impl Dispatcher {
+    fn enqueue(&self, m: Frame) {
+        let reg = self.registry.lock();
+        self.to_workers.send(m);
+        reg.note_enqueued();
+    }
+
+    fn notify(&self, m: Frame) {
+        self.to_workers.send(m);
+    }
+
+    fn enqueue_via_helper(&self, m: Frame) {
+        let reg = self.registry.lock();
+        self.notify(m);
+    }
+}

@@ -1,0 +1,16 @@
+//! BAD: this file is a registered vartime verification site, so the
+//! site-local `vartime-usage` token rule trusts every kernel call in it —
+//! but a secret exponent slips through the `exponent_of` helper into the
+//! variable-time kernel, which only the interprocedural taint analysis
+//! sees.
+
+struct Verifier;
+
+fn exponent_of(k_prime: &Ubig) -> &Ubig {
+    k_prime
+}
+
+fn check(v: &Verifier, k_prime: &Ubig, base: &Ubig, ctx: &Mont) -> Ubig {
+    let e = exponent_of(k_prime);
+    ctx.modpow_vartime(base, e)
+}

@@ -1,0 +1,13 @@
+//! BAD: `derive_group_key` returns secret-typed material; the caller
+//! prints the returned value. No registered secret *identifier* appears
+//! at the sink, so the site-local `secret-fmt` token rule is blind —
+//! only return-taint propagation connects the dots.
+
+fn derive_group_key(seed: &[u8]) -> Key {
+    Key::from_seed(seed)
+}
+
+fn announce(seed: &[u8]) {
+    let k = derive_group_key(seed);
+    println!("fresh key: {:?}", k);
+}

@@ -1,0 +1,16 @@
+//! GOOD twin: both paths follow the single global order (`table` before
+//! `peers`), so the acquisition graph is acyclic.
+
+impl Router {
+    fn route(&self) {
+        let table = self.table.lock();
+        let peers = self.peers.lock();
+        table.forward(&peers);
+    }
+
+    fn reshape(&self) {
+        let table = self.table.lock();
+        let peers = self.peers.lock();
+        peers.rebalance(&table);
+    }
+}

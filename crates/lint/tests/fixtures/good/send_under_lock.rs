@@ -1,0 +1,24 @@
+//! GOOD twin: the guard is dropped (or scoped out) before the blocking
+//! send, and non-blocking `try_send` is fine even under the lock.
+
+impl Dispatcher {
+    fn enqueue(&self, m: Frame) {
+        {
+            let reg = self.registry.lock();
+            reg.note_enqueued();
+        }
+        self.to_workers.send(m);
+    }
+
+    fn enqueue_explicit_drop(&self, m: Frame) {
+        let reg = self.registry.lock();
+        drop(reg);
+        self.to_workers.send(m);
+    }
+
+    fn enqueue_bounded(&self, m: Frame) {
+        let reg = self.registry.lock();
+        let _ = self.to_workers.try_send(m);
+        reg.note_enqueued();
+    }
+}

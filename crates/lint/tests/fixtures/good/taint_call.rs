@@ -1,0 +1,19 @@
+//! GOOD twin: the same registered verification site, exponentiating only
+//! public signature data — plus a *blinded* (derived, weak-taint) value,
+//! which a vetted vartime site may exponentiate by design.
+
+struct Verifier;
+
+fn normalize(sig_e: &Ubig) -> &Ubig {
+    sig_e
+}
+
+fn check(v: &Verifier, sig_e: &Ubig, base: &Ubig, ctx: &Mont) -> Ubig {
+    let e = normalize(sig_e);
+    ctx.modpow_vartime(base, e)
+}
+
+fn check_blinded(k_prime: &Ubig, r: &Ubig, base: &Ubig, ctx: &Mont) -> Ubig {
+    let blinded = blind(k_prime, r);
+    ctx.modpow_vartime(base, &blinded)
+}

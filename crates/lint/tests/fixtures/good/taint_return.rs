@@ -1,0 +1,13 @@
+//! GOOD twin: the same secret-typed return, but the printed value went
+//! through a registered declassifier (`seal` — AEAD output is wire data
+//! by design), so the flow is cut.
+
+fn derive_group_key(seed: &[u8]) -> Key {
+    Key::from_seed(seed)
+}
+
+fn announce(seed: &[u8], payload: &[u8]) {
+    let k = derive_group_key(seed);
+    let sealed = k.seal(payload);
+    println!("ciphertext: {:?}", sealed);
+}

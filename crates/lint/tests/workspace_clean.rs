@@ -2,19 +2,29 @@
 //! clean. This is the tier-1 guarantee that the secret-hygiene pass stays
 //! green; any new violation fails `cargo test` with the exact findings.
 
-use shs_lint::Linter;
-use std::path::Path;
+use shs_lint::baseline::Baseline;
+use shs_lint::{Linter, Mode};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-#[test]
-fn workspace_is_lint_clean_under_the_shipped_policy() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root exists")
-        .to_path_buf();
-    let linter =
-        Linter::from_policy_file(&root.join("lint-policy.toml")).expect("workspace policy parses");
-    let report = linter.lint_workspace().expect("workspace lints");
+        .to_path_buf()
+}
+
+fn workspace_linter() -> Linter {
+    Linter::from_policy_file(&workspace_root().join("lint-policy.toml"))
+        .expect("workspace policy parses")
+}
+
+#[test]
+fn workspace_is_lint_clean_under_the_shipped_policy() {
+    let report = workspace_linter()
+        .lint_workspace()
+        .expect("workspace lints");
     assert!(
         report.files_scanned > 50,
         "suspiciously few files scanned ({}); scan roots misconfigured?",
@@ -26,5 +36,46 @@ fn workspace_is_lint_clean_under_the_shipped_policy() {
         "workspace has {} secret-hygiene finding(s):\n{}",
         rendered.len(),
         rendered.join("\n")
+    );
+}
+
+/// Exact-finding snapshot: the analysis pass alone, ratcheted against the
+/// committed `lint-baseline.json`, matches in both directions — and stays
+/// inside the ISSUE 7 latency budget so pre-commit runs remain cheap.
+#[test]
+fn analysis_pass_matches_committed_baseline_within_budget() {
+    let root = workspace_root();
+    let linter = workspace_linter();
+    let t0 = Instant::now();
+    let report = linter
+        .lint_workspace_mode(Mode::Analysis)
+        .expect("workspace lints");
+    let elapsed = t0.elapsed();
+
+    let base_src = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("committed lint-baseline.json present");
+    let base = Baseline::parse(&base_src).expect("committed baseline parses");
+    let diff = base.compare(&report);
+    assert!(
+        diff.ok(),
+        "analysis findings drifted from lint-baseline.json\nregressions: {:?}\nimprovements: {:?}",
+        diff.regressions,
+        diff.improvements
+    );
+
+    let stats = report.analysis.expect("analysis pass ran");
+    assert!(
+        stats.fns_parsed > 1000,
+        "suspiciously few fns parsed ({}); syntax layer regressed?",
+        stats.fns_parsed
+    );
+    assert!(
+        stats.calls_resolved > 1000,
+        "suspiciously few calls resolved ({}); call graph regressed?",
+        stats.calls_resolved
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "analysis pass took {elapsed:?}, over the 10 s budget"
     );
 }

@@ -461,6 +461,7 @@ impl CoreState {
     fn publish(&self, shared: &Mutex<Shared>, done: bool) {
         let mut sh = shared.lock();
         sh.log = self.log.clone();
+        // lint:allow(lock-order) reason="crashed() reaches FaultPlan::crashed_slots, which holds no lock; the analyzer's name-based resolution lands on RelayHandle::crashed_slots (which locks shared) instead"
         sh.crashed = self.crashed();
         sh.done = done;
     }
