@@ -1,0 +1,302 @@
+//! **Membership-scale benchmark** — drives each CGKD backend to large
+//! group sizes through the batched `apply_epoch` path and records a
+//! persistent baseline in `BENCH_scale.json` at the repository root
+//! (experiment E18 in `EXPERIMENTS.md`).
+//!
+//! Per backend and group size `n`, three numbers:
+//!
+//! * `build_s` — wall clock from an empty controller to `n` members
+//!   (batched join windows for LKH/SD, sequential admits for Star).
+//! * `epoch_ms` — one mixed churn window at full size: evict one member
+//!   and admit one replacement, a single epoch broadcast on the arena
+//!   backends. Items/bytes of that broadcast ride along.
+//! * `sync_ms` — a single member processing that window's broadcast(s):
+//!   the stale-member catch-up cost for one missed epoch.
+//!
+//! LKH sweeps to a million members; SD stops at 100k (provisioning a
+//! joiner is O(log² n) GGM labels and SD leaves are never reused); the
+//! flat Star backend stops at 2048 (every epoch is O(n) by design —
+//! included as the baseline the tree schemes beat).
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin bench_scale [-- --smoke] [-- --check]
+//! ```
+//!
+//! `--smoke` shrinks the sweep for CI; `--check` exits non-zero if the
+//! largest LKH size does not keep both `epoch_ms` and `sync_ms` under
+//! 100 ms (the headline acceptance: million-member churn in bounded
+//! time).
+
+use shs_bench::{rng, timed};
+use shs_cgkd::lkh::LkhController;
+use shs_cgkd::sd::SdController;
+use shs_cgkd::star::StarController;
+use shs_cgkd::{Controller, MemberState};
+
+/// One (backend, size) measurement.
+struct Row {
+    backend: &'static str,
+    n: usize,
+    build_s: f64,
+    epoch_ms: f64,
+    epoch_items: usize,
+    epoch_bytes: usize,
+    sync_ms: f64,
+}
+
+/// `--check` ceiling for the churn-window and sync costs, milliseconds.
+const CHECK_CEILING_MS: f64 = 100.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--smoke" && *a != "--check" && *a != "--")
+    {
+        eprintln!("bench_scale: unknown flag `{bad}` (use --smoke / --check)");
+        std::process::exit(2);
+    }
+
+    let lkh_sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let sd_sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let star_sizes: &[usize] = if smoke { &[256] } else { &[512, 2_048] };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in lkh_sizes {
+        rows.push(lkh_row(n));
+        eprintln!("bench_scale: lkh n={n} done");
+    }
+    for &n in sd_sizes {
+        rows.push(sd_row(n));
+        eprintln!("bench_scale: sd n={n} done");
+    }
+    for &n in star_sizes {
+        rows.push(star_row(n));
+        eprintln!("bench_scale: star n={n} done");
+    }
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = render_json(&rows, smoke, workers);
+    println!("{json}");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench_scale: could not write {out_path}: {err}");
+        std::process::exit(2);
+    }
+
+    if check {
+        // The acceptance gate rides on the largest LKH size in the sweep;
+        // the smaller rows get the same ceiling for free.
+        let mut failed = false;
+        for r in &rows {
+            for (what, ms) in [("epoch", r.epoch_ms), ("sync", r.sync_ms)] {
+                if ms >= CHECK_CEILING_MS {
+                    eprintln!(
+                        "bench_scale: CHECK FAILED: {} n={} {what} {ms:.2} ms \
+                         at or above the {CHECK_CEILING_MS:.0} ms ceiling",
+                        r.backend, r.n
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_scale: all {} rows under the {CHECK_CEILING_MS:.0} ms churn/sync ceiling",
+            rows.len()
+        );
+    }
+}
+
+/// LKH: one batched build window to `n`, then a one-evict-one-join
+/// window at full size. The probe member joins in the build window and
+/// processes every later broadcast like a real receiver.
+fn lkh_row(n: usize) -> Row {
+    let mut r = rng(&format!("bench-scale-lkh-{n}"));
+    let mut ctrl = LkhController::new(n as u32, &mut r);
+    let (build_s, (probe, leaver)) = timed(|| {
+        let (welcomes, broadcast) = ctrl
+            .apply_epoch(n, &[], &mut r)
+            .expect("build window within capacity");
+        let (_, first) = welcomes.first().cloned().expect("n >= 1 joiners");
+        // The leaver must not be the probe: evict the last joiner.
+        let leaver = welcomes.last().map(|(uid, _)| *uid).expect("n >= 1");
+        let mut probe = ctrl.member_from_welcome(first);
+        probe
+            .process(&broadcast)
+            .expect("probe processes its own build window");
+        (probe, leaver)
+    });
+    let mut probe = probe;
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+
+    let (epoch_s, broadcast) = timed(|| {
+        let (_, broadcast) = ctrl
+            .apply_epoch(1, &[leaver], &mut r)
+            .expect("churn window at full size");
+        broadcast
+    });
+    let stats = LkhController::stats(&broadcast);
+    let (sync_s, _) = timed(|| {
+        probe
+            .process(&broadcast)
+            .expect("probe survives the churn window");
+    });
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+    Row {
+        backend: "lkh",
+        n,
+        build_s,
+        epoch_ms: epoch_s * 1e3,
+        epoch_items: stats.items,
+        epoch_bytes: stats.bytes,
+        sync_ms: sync_s * 1e3,
+    }
+}
+
+/// SD: chunked build windows (each joiner's welcome is an O(log² n)
+/// label arena, so welcomes are dropped per chunk to bound memory),
+/// then the same one-evict-one-join window. Capacity leaves headroom
+/// because SD never reuses a leaf.
+fn sd_row(n: usize) -> Row {
+    let mut r = rng(&format!("bench-scale-sd-{n}"));
+    let mut ctrl = SdController::new(n as u32 + 8, &mut r);
+    let chunk = 8_192;
+    let (build_s, (probe, leaver)) = timed(|| {
+        let mut probe = None;
+        let mut leaver = None;
+        let mut remaining = n;
+        while remaining > 0 {
+            let joins = remaining.min(chunk);
+            let (welcomes, broadcast) = ctrl
+                .apply_epoch(joins, &[], &mut r)
+                .expect("build chunk within capacity");
+            if probe.is_none() {
+                let (_, first) = welcomes.first().cloned().expect("joins >= 1");
+                probe = Some(ctrl.member_from_welcome(first));
+            }
+            leaver = welcomes.last().map(|(uid, _)| *uid).or(leaver);
+            if let Some(p) = probe.as_mut() {
+                p.process(&broadcast).expect("probe follows each chunk");
+            }
+            remaining -= joins;
+        }
+        (probe.expect("n >= 1"), leaver.expect("n >= 1"))
+    });
+    let mut probe = probe;
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+
+    let (epoch_s, broadcast) = timed(|| {
+        let (_, broadcast) = ctrl
+            .apply_epoch(1, &[leaver], &mut r)
+            .expect("churn window at full size");
+        broadcast
+    });
+    let stats = SdController::stats(&broadcast);
+    // SD receivers are stateless: the probe jumps straight to the newest
+    // broadcast regardless of how many epochs it slept through.
+    let (sync_s, _) = timed(|| {
+        probe
+            .process(&broadcast)
+            .expect("probe survives the churn window");
+    });
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+    Row {
+        backend: "sd",
+        n,
+        build_s,
+        epoch_ms: epoch_s * 1e3,
+        epoch_items: stats.items,
+        epoch_bytes: stats.bytes,
+        sync_ms: sync_s * 1e3,
+    }
+}
+
+/// Star: the O(n)-per-epoch baseline. Built by sequential admits (each
+/// one a full-group rekey), churned the same way — there is no cheaper
+/// batched form, which is exactly the point of the comparison.
+fn star_row(n: usize) -> Row {
+    let mut r = rng(&format!("bench-scale-star-{n}"));
+    let mut ctrl = StarController::new(n as u32, &mut r);
+    let (build_s, (probe_welcome, probe_join, leaver)) = timed(|| {
+        let mut leaver = None;
+        for _ in 0..n - 1 {
+            let (uid, _, _) = ctrl.admit(&mut r).expect("admit within capacity");
+            leaver = Some(uid);
+        }
+        // The probe is the last joiner, so it is exactly current when
+        // the churn window lands (Star members are strict-sequence
+        // receivers and cannot skip epochs).
+        let (_, welcome, join) = ctrl.admit(&mut r).expect("probe admit");
+        (welcome, join, leaver.expect("n >= 2"))
+    });
+    let mut probe = ctrl.member_from_welcome(probe_welcome);
+    probe
+        .process(&probe_join)
+        .expect("probe processes its own join");
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+
+    // The churn window: evict + admit, two O(n) broadcasts on Star.
+    let (epoch_s, (b_evict, b_join)) = timed(|| {
+        let b_evict = ctrl.evict(leaver, &mut r).expect("churn evict");
+        let (_, _, b_join) = ctrl.admit(&mut r).expect("churn admit");
+        (b_evict, b_join)
+    });
+    let s1 = StarController::stats(&b_evict);
+    let s2 = StarController::stats(&b_join);
+    let (sync_s, _) = timed(|| {
+        probe.process(&b_evict).expect("probe survives the evict");
+        probe.process(&b_join).expect("probe follows the join");
+    });
+    let in_sync = probe.group_key().ct_eq(Controller::group_key(&ctrl));
+    assert!(in_sync, "probe out of sync with the controller");
+    Row {
+        backend: "star",
+        n,
+        build_s,
+        epoch_ms: epoch_s * 1e3,
+        epoch_items: s1.items + s2.items,
+        epoch_bytes: s1.bytes + s2.bytes,
+        sync_ms: sync_s * 1e3,
+    }
+}
+
+/// Hand-rolled JSON: the offline build has no serde_json.
+fn render_json(rows: &[Row], smoke: bool, workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"scale\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"check_ceiling_ms\": {CHECK_CEILING_MS:.1},\n"));
+    s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"backend\": \"{}\", \"n\": {}, \"build_s\": {:.4}, \
+             \"epoch_ms\": {:.4}, \"epoch_items\": {}, \"epoch_bytes\": {}, \
+             \"sync_ms\": {:.4} }}{}\n",
+            r.backend, r.n, r.build_s, r.epoch_ms, r.epoch_items, r.epoch_bytes, r.sync_ms, comma
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push('}');
+    s
+}

@@ -26,6 +26,7 @@
 pub mod lkh;
 pub mod sd;
 pub mod star;
+pub mod tree;
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};

@@ -4,13 +4,26 @@
 //! keys), and rekey items are AEAD-encrypted.
 //!
 //! Rekeying a join or leave touches one leaf-to-root path, so broadcasts
-//! carry `O(log n)` items — the property measured in experiment E4.
+//! carry `O(log n)` items — the property measured in experiment E4. A
+//! whole churn *epoch* of joins and leaves can be batched through
+//! [`LkhController::apply_epoch`], which rekeys the **union** of the
+//! affected paths exactly once (Wong–Gouda–Lam batched rekeying): a
+//! window of `k` changes costs `O(k log n)` items total instead of `k`
+//! separate broadcasts re-rekeying shared ancestors `k` times.
+//!
+//! Node keys live in a flat arena (`Vec<Option<Key>>`) indexed by heap
+//! position, and every tree walk is iterative, so the controller scales
+//! to million-leaf trees: no per-node hashing, no recursion, no pointer
+//! chasing. Members store only their root path (indexed by depth) and
+//! [`LkhMember::process`] decodes a batched broadcast in O(changes on
+//! its path), not O(broadcast).
 
+use crate::tree;
 use crate::{BroadcastStats, CgkdError, Controller, MemberState, UserId};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use shs_crypto::{aead, Key};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 /// One encrypted rekey item: the new key of `node`, encrypted under the
 /// key of `under` (a child of `node`).
@@ -24,12 +37,15 @@ pub struct RekeyItem {
     pub ct: Vec<u8>,
 }
 
-/// A rekey broadcast: all items for one membership change.
+/// A rekey broadcast: all items for one membership change (or one whole
+/// batched epoch).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LkhBroadcast {
     /// Epoch this broadcast moves the group *to*.
     pub epoch: u64,
-    /// Encrypted rekey items (node keys bottom-up).
+    /// Encrypted rekey items, deepest node first: a key may be encrypted
+    /// under a child key that is itself replaced in the same epoch, and
+    /// the deepest-first order lets receivers decode in one pass.
     pub items: Vec<RekeyItem>,
 }
 
@@ -50,14 +66,22 @@ pub struct LkhWelcome {
 }
 
 /// The group controller's LKH state.
+///
+/// Node keys are stored in a flat arena indexed by heap position — node
+/// `v`'s key is `keys[v]` — so a million-leaf tree is two contiguous
+/// allocations, not a hash map per level.
 pub struct LkhController {
     capacity: u32,
-    /// Keys of occupied tree nodes (`1` is the root).
-    keys: HashMap<u32, Key>,
+    /// Arena of node keys indexed by heap position (`1` is the root;
+    /// index 0 is unused). `None` marks empty subtrees.
+    keys: Vec<Option<Key>>,
     /// Number of members in each node's subtree.
     occupancy: Vec<u32>,
     leaf_of: HashMap<UserId, u32>,
-    free_leaves: BTreeSet<u32>,
+    /// Leaves freed by evictions, reused LIFO before fresh ones.
+    free: Vec<u32>,
+    /// Next never-assigned leaf (`capacity..2*capacity` cursor).
+    next_fresh: u32,
     group_key: Key,
     epoch: u64,
     next_id: u64,
@@ -75,36 +99,16 @@ impl std::fmt::Debug for LkhController {
     }
 }
 
-/// Member-side LKH state: the keys along its leaf-to-root path.
+/// Member-side LKH state: the keys along its leaf-to-root path, stored
+/// as a depth-indexed arena (`path_keys[d]` is the key of the path node
+/// at depth `d`; the last entry is the leaf key).
 #[derive(Debug, Clone)]
 pub struct LkhMember {
     id: UserId,
     leaf: u32,
-    keys: HashMap<u32, Key>,
+    path_keys: Vec<Option<Key>>,
     group_key: Key,
     epoch: u64,
-}
-
-fn parent(node: u32) -> u32 {
-    node / 2
-}
-
-fn children(node: u32) -> (u32, u32) {
-    (2 * node, 2 * node + 1)
-}
-
-/// Nodes from `leaf` (exclusive) up to and including the root.
-fn path_up(leaf: u32) -> Vec<u32> {
-    let mut path = Vec::new();
-    let mut v = parent(leaf);
-    while v >= 1 {
-        path.push(v);
-        if v == 1 {
-            break;
-        }
-        v = parent(v);
-    }
-    path
 }
 
 impl LkhController {
@@ -114,21 +118,78 @@ impl LkhController {
         let capacity = capacity.max(2).next_power_of_two();
         LkhController {
             capacity,
-            keys: HashMap::new(),
+            keys: vec![None; (2 * capacity) as usize],
             occupancy: vec![0; (2 * capacity) as usize],
             leaf_of: HashMap::new(),
-            free_leaves: (capacity..2 * capacity).collect(),
+            free: Vec::new(),
+            next_fresh: capacity,
             group_key: Key::random(rng),
             epoch: 0,
             next_id: 0,
         }
     }
 
-    fn rekey_path(&mut self, leaf: u32, rng: &mut dyn RngCore) -> Vec<RekeyItem> {
+    fn alloc_leaf(&mut self) -> Option<u32> {
+        if let Some(leaf) = self.free.pop() {
+            return Some(leaf);
+        }
+        if self.next_fresh < 2 * self.capacity {
+            let leaf = self.next_fresh;
+            self.next_fresh += 1;
+            return Some(leaf);
+        }
+        None
+    }
+
+    /// Installs a member at `leaf` with a fresh leaf key; returns the key.
+    fn occupy_leaf(&mut self, leaf: u32, rng: &mut dyn RngCore) -> Key {
+        let leaf_key = Key::random(rng);
+        self.keys[leaf as usize] = Some(leaf_key.clone());
+        self.occupancy[leaf as usize] = 1;
+        let mut v = tree::parent(leaf);
+        while v >= 1 {
+            self.occupancy[v as usize] += 1;
+            v = tree::parent(v);
+        }
+        leaf_key
+    }
+
+    /// Clears `leaf` and decrements subtree occupancy along its path.
+    fn vacate_leaf(&mut self, leaf: u32) {
+        self.keys[leaf as usize] = None;
+        self.occupancy[leaf as usize] = 0;
+        let mut v = tree::parent(leaf);
+        while v >= 1 {
+            self.occupancy[v as usize] -= 1;
+            v = tree::parent(v);
+        }
+        self.free.push(leaf);
+    }
+
+    /// Rekeys the union of the strict-ancestor paths of `affected`
+    /// leaves, deepest node first, emitting one item per occupied child.
+    /// Items for a node are encrypted under the *current* arena child
+    /// keys — children deeper in the union have already been refreshed
+    /// when their parent is processed, which is exactly the
+    /// Wong–Gouda–Lam batched-rekey invariant.
+    fn rekey_union(&mut self, affected: &[u32], rng: &mut dyn RngCore) -> Vec<RekeyItem> {
+        // Union of strict ancestors, deepest first (heap index order is
+        // monotone in depth).
+        let mut nodes: Vec<u32> = Vec::new();
+        for &leaf in affected {
+            let mut v = tree::parent(leaf);
+            while v >= 1 {
+                nodes.push(v);
+                v = tree::parent(v);
+            }
+        }
+        nodes.sort_unstable_by(|a, b| b.cmp(a));
+        nodes.dedup();
+
         let mut items = Vec::new();
-        for v in path_up(leaf) {
+        for v in nodes {
             if self.occupancy[v as usize] == 0 {
-                self.keys.remove(&v);
+                self.keys[v as usize] = None;
                 continue;
             }
             let new_key = if v == 1 {
@@ -138,10 +199,10 @@ impl LkhController {
             } else {
                 Key::random(rng)
             };
-            let (l, r) = children(v);
+            let (l, r) = tree::children(v);
             for c in [l, r] {
                 if self.occupancy[c as usize] > 0 {
-                    if let Some(child_key) = self.keys.get(&c) {
+                    if let Some(child_key) = &self.keys[c as usize] {
                         let aad = format!("lkh-rekey:{}:{}:{}", self.epoch + 1, v, c);
                         items.push(RekeyItem {
                             node: v,
@@ -151,9 +212,98 @@ impl LkhController {
                     }
                 }
             }
-            self.keys.insert(v, new_key);
+            self.keys[v as usize] = Some(new_key);
         }
         items
+    }
+
+    /// Batched epoch rekey: evicts `leaves`, admits `joins` members, and
+    /// rekeys the union of all affected paths **once**, producing one
+    /// broadcast and one epoch bump for the whole churn window.
+    ///
+    /// Freed leaves are reused by joins within the same epoch, so
+    /// evict-then-rejoin in one window is well-defined. Welcomes carry
+    /// the pre-epoch number: joiners process the returned broadcast like
+    /// everyone else. An empty window (`joins == 0`, no leaves) is a
+    /// no-op that returns an empty broadcast at the current epoch, which
+    /// must not be distributed.
+    ///
+    /// The call validates up front and mutates nothing on error.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::UnknownMember`] for unknown or duplicated leaver
+    /// ids; [`CgkdError::Full`] when the post-epoch membership would
+    /// exceed capacity.
+    pub fn apply_epoch(
+        &mut self,
+        joins: usize,
+        leaves: &[UserId],
+        rng: &mut dyn RngCore,
+    ) -> Result<(Vec<(UserId, LkhWelcome)>, LkhBroadcast), CgkdError> {
+        if joins == 0 && leaves.is_empty() {
+            return Ok((
+                Vec::new(),
+                LkhBroadcast {
+                    epoch: self.epoch,
+                    items: Vec::new(),
+                },
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for id in leaves {
+            if !self.leaf_of.contains_key(id) || !seen.insert(*id) {
+                return Err(CgkdError::UnknownMember);
+            }
+        }
+        if self.leaf_of.len() - leaves.len() + joins > self.capacity as usize {
+            return Err(CgkdError::Full);
+        }
+
+        let mut affected: Vec<u32> = Vec::with_capacity(leaves.len() + joins);
+        for id in leaves {
+            if let Some(leaf) = self.leaf_of.remove(id) {
+                self.vacate_leaf(leaf);
+                affected.push(leaf);
+            }
+        }
+        let mut joined = Vec::with_capacity(joins);
+        for _ in 0..joins {
+            let Some(leaf) = self.alloc_leaf() else {
+                return Err(CgkdError::Full); // unreachable after the check
+            };
+            let id = UserId(self.next_id);
+            self.next_id += 1;
+            self.leaf_of.insert(id, leaf);
+            let leaf_key = self.occupy_leaf(leaf, rng);
+            affected.push(leaf);
+            joined.push((
+                id,
+                LkhWelcome {
+                    id,
+                    leaf,
+                    leaf_key,
+                    epoch: self.epoch,
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let items = self.rekey_union(&affected, rng);
+        if self.leaf_of.is_empty() {
+            // Group emptied: nobody left to key; refresh the stored key
+            // so the old one is never reused.
+            self.group_key = Key::random(rng);
+        }
+        self.epoch += 1;
+        Ok((
+            joined,
+            LkhBroadcast {
+                epoch: self.epoch,
+                items,
+            },
+        ))
     }
 }
 
@@ -166,18 +316,11 @@ impl Controller for LkhController {
         &mut self,
         rng: &mut dyn RngCore,
     ) -> Result<(UserId, LkhWelcome, LkhBroadcast), CgkdError> {
-        let leaf = *self.free_leaves.iter().next().ok_or(CgkdError::Full)?;
-        self.free_leaves.remove(&leaf);
+        let leaf = self.alloc_leaf().ok_or(CgkdError::Full)?;
         let id = UserId(self.next_id);
         self.next_id += 1;
         self.leaf_of.insert(id, leaf);
-
-        let leaf_key = Key::random(rng);
-        self.keys.insert(leaf, leaf_key.clone());
-        self.occupancy[leaf as usize] = 1;
-        for v in path_up(leaf) {
-            self.occupancy[v as usize] += 1;
-        }
+        let leaf_key = self.occupy_leaf(leaf, rng);
 
         let welcome = LkhWelcome {
             id,
@@ -186,7 +329,7 @@ impl Controller for LkhController {
             epoch: self.epoch,
             capacity: self.capacity,
         };
-        let items = self.rekey_path(leaf, rng);
+        let items = self.rekey_union(&[leaf], rng);
         self.epoch += 1;
         Ok((
             id,
@@ -200,13 +343,8 @@ impl Controller for LkhController {
 
     fn evict(&mut self, id: UserId, rng: &mut dyn RngCore) -> Result<LkhBroadcast, CgkdError> {
         let leaf = self.leaf_of.remove(&id).ok_or(CgkdError::UnknownMember)?;
-        self.keys.remove(&leaf);
-        self.occupancy[leaf as usize] = 0;
-        for v in path_up(leaf) {
-            self.occupancy[v as usize] -= 1;
-        }
-        self.free_leaves.insert(leaf);
-        let items = self.rekey_path(leaf, rng);
+        self.vacate_leaf(leaf);
+        let items = self.rekey_union(&[leaf], rng);
         if self.leaf_of.is_empty() {
             // Group emptied: nobody left to key; refresh the stored key so
             // the old one is never reused.
@@ -220,12 +358,13 @@ impl Controller for LkhController {
     }
 
     fn member_from_welcome(&self, welcome: LkhWelcome) -> LkhMember {
-        let mut keys = HashMap::new();
-        keys.insert(welcome.leaf, welcome.leaf_key.clone());
+        let d = tree::depth(welcome.leaf) as usize;
+        let mut path_keys = vec![None; d + 1];
+        path_keys[d] = Some(welcome.leaf_key.clone());
         LkhMember {
             id: welcome.id,
             leaf: welcome.leaf,
-            keys,
+            path_keys,
             // Placeholder until the join broadcast is processed.
             group_key: welcome.leaf_key,
             epoch: welcome.epoch,
@@ -261,43 +400,53 @@ impl MemberState for LkhMember {
         if broadcast.epoch != self.epoch + 1 {
             return Err(CgkdError::EpochMismatch);
         }
-        let my_path: BTreeSet<u32> = path_up(self.leaf).into_iter().collect();
-        // Fixpoint decryption: items may arrive in any order.
-        let mut learned: HashMap<u32, Key> = HashMap::new();
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for item in &broadcast.items {
-                if !my_path.contains(&item.node) || learned.contains_key(&item.node) {
+        // Of a batched broadcast's items, at most 2·depth sit on our
+        // path (one per occupied child of each ancestor): collect those,
+        // order deepest first, decode in a single pass. O(changes), not
+        // O(items²) fixpointing.
+        let mut mine: Vec<&RekeyItem> = broadcast
+            .items
+            .iter()
+            .filter(|it| it.node != self.leaf && tree::is_ancestor_or_self(it.node, self.leaf))
+            .collect();
+        let touches_us = !mine.is_empty();
+        mine.sort_unstable_by_key(|it| std::cmp::Reverse(it.node));
+
+        let mut staged: Vec<Option<Key>> = vec![None; self.path_keys.len()];
+        for item in mine {
+            let nd = tree::depth(item.node) as usize;
+            if staged[nd].is_some() {
+                continue; // this node's new key is already decoded
+            }
+            if !tree::is_ancestor_or_self(item.under, self.leaf) {
+                continue; // encrypted to the sibling subtree
+            }
+            let ud = tree::depth(item.under) as usize;
+            let under_key = match staged[ud].as_ref().or(self.path_keys[ud].as_ref()) {
+                Some(k) => k.clone(),
+                None => continue,
+            };
+            let aad = format!("lkh-rekey:{}:{}:{}", broadcast.epoch, item.node, item.under);
+            if let Ok(pt) = aead::open(&under_key, &item.ct, aad.as_bytes()) {
+                if pt.len() != 32 {
                     continue;
                 }
-                let under_key = learned
-                    .get(&item.under)
-                    .or_else(|| self.keys.get(&item.under))
-                    .cloned();
-                let Some(under_key) = under_key else { continue };
-                let aad = format!("lkh-rekey:{}:{}:{}", broadcast.epoch, item.node, item.under);
-                if let Ok(pt) = aead::open(&under_key, &item.ct, aad.as_bytes()) {
-                    let mut kb = [0u8; 32];
-                    if pt.len() != 32 {
-                        continue;
-                    }
-                    kb.copy_from_slice(&pt);
-                    learned.insert(item.node, Key::from_bytes(kb));
-                    progress = true;
-                }
+                let mut kb = [0u8; 32];
+                kb.copy_from_slice(&pt);
+                staged[nd] = Some(Key::from_bytes(kb));
             }
         }
         // A broadcast that touches our path must yield the new root key;
         // one that doesn't touch it at all leaves the epoch bump only.
-        let touches_us = broadcast.items.iter().any(|i| my_path.contains(&i.node));
         if touches_us {
-            let Some(root) = learned.get(&1) else {
+            let Some(root) = staged[0].clone() else {
                 return Err(CgkdError::CannotDecrypt);
             };
-            self.group_key = root.clone();
-            for (node, key) in learned {
-                self.keys.insert(node, key);
+            self.group_key = root;
+            for (d, learned) in staged.into_iter().enumerate() {
+                if learned.is_some() {
+                    self.path_keys[d] = learned;
+                }
             }
         }
         self.epoch = broadcast.epoch;
@@ -487,5 +636,86 @@ mod tests {
         gc.evict(members[0].id(), &mut r).unwrap();
         assert_ne!(gc.group_key(), &before);
         assert!(gc.members().is_empty());
+    }
+
+    #[test]
+    fn batched_epoch_is_one_broadcast() {
+        let mut r = rng();
+        let (mut gc, mut members) = build(8, &mut r);
+        let victims = [members[0].id(), members[3].id()];
+        let (joined, b) = gc.apply_epoch(3, &victims, &mut r).unwrap();
+        assert_eq!(joined.len(), 3);
+        assert_eq!(b.epoch, gc.epoch());
+        // Survivors follow with one process() call; victims cannot.
+        let mut survivors = Vec::new();
+        for m in members.drain(..) {
+            let mut m = m;
+            if victims.contains(&m.id()) {
+                assert_eq!(m.process(&b), Err(CgkdError::CannotDecrypt));
+            } else {
+                m.process(&b).unwrap();
+                assert_eq!(m.group_key(), gc.group_key());
+                survivors.push(m);
+            }
+        }
+        // Joiners bootstrap from welcome + the same broadcast.
+        for (_, w) in joined {
+            let mut j = gc.member_from_welcome(w);
+            j.process(&b).unwrap();
+            assert_eq!(j.group_key(), gc.group_key());
+        }
+        assert_eq!(gc.members().len(), 9);
+    }
+
+    #[test]
+    fn batched_epoch_compresses_shared_paths() {
+        let mut r = rng();
+        let mut gc = LkhController::new(64, &mut r);
+        let (joined, b) = gc.apply_epoch(64, &[], &mut r).unwrap();
+        assert_eq!(joined.len(), 64);
+        // A full 64-leaf build in one epoch: the union of all paths is
+        // every internal node, 2 items each = 126 items, versus
+        // 64 separate admits which emit ~64·log items.
+        let stats = LkhController::stats(&b);
+        assert_eq!(stats.items, 126);
+    }
+
+    #[test]
+    fn batched_epoch_validates_atomically() {
+        let mut r = rng();
+        let (mut gc, members) = build(4, &mut r);
+        let epoch_before = gc.epoch();
+        // Unknown leaver: nothing changes.
+        assert_eq!(
+            gc.apply_epoch(1, &[UserId(999)], &mut r).err(),
+            Some(CgkdError::UnknownMember)
+        );
+        // Duplicate leaver: nothing changes.
+        let dup = [members[0].id(), members[0].id()];
+        assert_eq!(
+            gc.apply_epoch(0, &dup, &mut r).err(),
+            Some(CgkdError::UnknownMember)
+        );
+        // Over capacity (16): nothing changes.
+        assert_eq!(gc.apply_epoch(13, &[], &mut r).err(), Some(CgkdError::Full));
+        assert_eq!(gc.epoch(), epoch_before);
+        assert_eq!(gc.members().len(), 4);
+        // Exactly at capacity works, and an eviction makes room in the
+        // same window (evict one + join 13 = 16).
+        let (_, _) = gc.apply_epoch(13, &[members[1].id()], &mut r).unwrap();
+        assert_eq!(gc.members().len(), 16);
+    }
+
+    #[test]
+    fn empty_epoch_is_a_noop() {
+        let mut r = rng();
+        let (mut gc, _members) = build(3, &mut r);
+        let epoch = gc.epoch();
+        let key = gc.group_key().clone();
+        let (joined, b) = gc.apply_epoch(0, &[], &mut r).unwrap();
+        assert!(joined.is_empty());
+        assert!(b.items.is_empty());
+        assert_eq!(b.epoch, epoch);
+        assert_eq!(gc.group_key(), &key);
     }
 }

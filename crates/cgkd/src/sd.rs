@@ -13,11 +13,12 @@
 //! ancestor, emitting at most two subsets per merge; a cover of at most
 //! `2r - 1` subsets for `r` revocations.
 
+use crate::tree::{ancestor_at, depth, is_ancestor_or_self, lca};
 use crate::{BroadcastStats, CgkdError, Controller, MemberState, UserId};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use shs_crypto::{aead, hmac, Key};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// GGM derivations from a label.
 fn ggm_left(label: &[u8; 32]) -> [u8; 32] {
@@ -30,32 +31,69 @@ fn ggm_key(label: &[u8; 32]) -> Key {
     Key::from_bytes(hmac::mac(label, b"sd-ggm-key"))
 }
 
-fn depth(node: u32) -> u32 {
-    31 - node.leading_zeros()
+/// A member's provisioned labels, stored as a flat depth-pair arena.
+///
+/// For a member at leaf depth `D`, the label `LABEL_i(s)` it holds is
+/// uniquely named by `(depth(i), depth(s))` — `i` is the path ancestor
+/// at its depth and `s` is the sibling of the path node at *its* depth —
+/// so the `D(D+1)/2` labels live in a `(D+1)²` slot array with no
+/// hashing, and lookup during broadcast decryption is two subtractions
+/// and an index.
+#[derive(Clone)]
+pub struct LabelArena {
+    depth: u32,
+    slots: Vec<Option<[u8; 32]>>,
 }
 
-/// The ancestor of `u` at depth `d` (requires `d <= depth(u)`).
-fn ancestor_at(u: u32, d: u32) -> u32 {
-    u >> (depth(u) - d)
+impl LabelArena {
+    fn new(depth: u32) -> LabelArena {
+        let side = depth as usize + 1;
+        LabelArena {
+            depth,
+            slots: vec![None; side * side],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, di: u32, ds: u32) -> usize {
+        di as usize * (self.depth as usize + 1) + ds as usize
+    }
+
+    fn set(&mut self, di: u32, ds: u32, label: [u8; 32]) {
+        let idx = self.idx(di, ds);
+        self.slots[idx] = Some(label);
+    }
+
+    /// The label `LABEL_i(s)` for the ancestor at depth `di` and the
+    /// path-sibling at depth `ds`, if provisioned.
+    pub fn get(&self, di: u32, ds: u32) -> Option<&[u8; 32]> {
+        if di > self.depth || ds > self.depth {
+            return None;
+        }
+        self.slots[self.idx(di, ds)].as_ref()
+    }
+
+    /// Number of provisioned labels.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no labels are provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
 }
 
-fn is_ancestor_or_self(a: u32, u: u32) -> bool {
-    depth(a) <= depth(u) && ancestor_at(u, depth(a)) == a
-}
-
-fn lca(a: u32, b: u32) -> u32 {
-    let (mut a, mut b) = (a, b);
-    while depth(a) > depth(b) {
-        a /= 2;
+impl std::fmt::Debug for LabelArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Labels are key material: print the shape, never the contents.
+        write!(
+            f,
+            "LabelArena {{ depth: {}, labels: {} }}",
+            self.depth,
+            self.len()
+        )
     }
-    while depth(b) > depth(a) {
-        b /= 2;
-    }
-    while a != b {
-        a /= 2;
-        b /= 2;
-    }
-    a
 }
 
 /// A subset in a broadcast cover.
@@ -99,9 +137,9 @@ pub struct SdWelcome {
     pub id: UserId,
     /// Assigned leaf node.
     pub leaf: u32,
-    /// `(i, s) → LABEL_i(s)` for each ancestor `i` of the leaf and each
-    /// sibling `s` of the path below `i`.
-    pub labels: HashMap<(u32, u32), [u8; 32]>,
+    /// `LABEL_i(s)` for each ancestor `i` of the leaf and each sibling
+    /// `s` of the path below `i`, keyed by depth pair.
+    pub labels: LabelArena,
     /// Key used when nobody is revoked.
     pub full_key: Key,
     /// Epoch before the join broadcast.
@@ -138,7 +176,7 @@ impl std::fmt::Debug for SdController {
 pub struct SdMember {
     id: UserId,
     leaf: u32,
-    labels: HashMap<(u32, u32), [u8; 32]>,
+    labels: LabelArena,
     full_key: Key,
     group_key: Key,
     epoch: u64,
@@ -196,52 +234,147 @@ impl SdController {
         }
     }
 
-    /// NNL cover of all leaves except `revoked`.
+    /// NNL cover of all leaves except `revoked`, built iteratively in
+    /// `O(r log r)` for `r` revocations.
+    ///
+    /// In a binary tree the Steiner branching nodes of the revoked set
+    /// are exactly the LCAs of *adjacent* revoked leaves in sorted
+    /// order, each appearing exactly once. Processing those merges
+    /// deepest-first (the NNL "deepest LCA" rule) with a union-find
+    /// tracking each merged component's chain top reproduces the NNL
+    /// cover without the quadratic pair search of the naive algorithm:
+    /// at most two subsets per merge, `≤ 2r - 1` total.
     fn cover(&self, revoked: &BTreeSet<u32>) -> Vec<Subset> {
         if revoked.is_empty() {
             return vec![Subset::Full];
         }
-        // Working set: chains (top, excluded-leaf).
-        let mut chains: Vec<(u32, u32)> = revoked.iter().map(|&l| (l, l)).collect();
-        let mut cover = Vec::new();
-        while chains.len() > 1 {
-            // Find the pair with the deepest LCA.
-            let mut best = (0usize, 1usize);
-            let mut best_depth = 0;
-            for x in 0..chains.len() {
-                for y in x + 1..chains.len() {
-                    let d = depth(lca(chains[x].0, chains[y].0));
-                    if d >= best_depth {
-                        best_depth = d;
-                        best = (x, y);
-                    }
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let leaves: Vec<u32> = revoked.iter().copied().collect();
+        let r = leaves.len();
+        let mut cover = Vec::with_capacity(2 * r);
+        // (branching node, index of the left neighbour), deepest first.
+        let mut merges: Vec<(u32, u32)> = (0..r - 1)
+            .map(|i| (lca(leaves[i], leaves[i + 1]), i as u32))
+            .collect();
+        merges.sort_unstable_by_key(|m| std::cmp::Reverse(depth(m.0)));
+        let mut parent: Vec<u32> = (0..r as u32).collect();
+        // Chain top of each component: everything below it is handled.
+        let mut top: Vec<u32> = leaves;
+        for (v, i) in merges {
+            let a = find(&mut parent, i);
+            let b = find(&mut parent, i + 1);
+            for side in [a, b] {
+                let t = top[side as usize];
+                let c = ancestor_at(t, depth(v) + 1);
+                if c != t {
+                    cover.push(Subset::Diff { i: c, j: t });
                 }
             }
-            let (x, y) = best;
-            let (v1, l1) = chains[x];
-            let (v2, l2) = chains[y];
-            let v = lca(v1, v2);
-            let c1 = ancestor_at(v1, depth(v) + 1);
-            let c2 = ancestor_at(v2, depth(v) + 1);
-            if c1 != v1 {
-                cover.push(Subset::Diff { i: c1, j: v1 });
-            }
-            if c2 != v2 {
-                cover.push(Subset::Diff { i: c2, j: v2 });
-            }
-            // Merge into a single chain topped at v; the excluded leaf is
-            // arbitrary (we use l1) because everything below v is now
-            // handled.
-            let keep = l1.min(l2);
-            chains.remove(y);
-            chains.remove(x);
-            chains.push((v, keep));
+            parent[a as usize] = b;
+            top[b as usize] = v;
         }
-        let (v, _l) = chains[0];
-        if v != 1 {
-            cover.push(Subset::Diff { i: 1, j: v });
+        let t = top[find(&mut parent, 0) as usize];
+        if t != 1 {
+            cover.push(Subset::Diff { i: 1, j: t });
         }
         cover
+    }
+
+    /// Provisions the label arena for a member at `leaf` in `O(d²)` GGM
+    /// steps: one descent per ancestor, emitting the off-path sibling
+    /// label at every level instead of re-walking from the top for each
+    /// `(i, s)` pair.
+    fn provision(&self, leaf: u32) -> LabelArena {
+        let d = depth(leaf);
+        let mut arena = LabelArena::new(d);
+        for di in 0..d {
+            let i = ancestor_at(leaf, di);
+            let mut cur = self.node_label(i);
+            for dv in di + 1..=d {
+                let on_path = ancestor_at(leaf, dv);
+                // The descent follows the member's own path; the sibling
+                // hanging off it at this depth gets its label emitted.
+                let (lab_path, lab_sib) = if on_path.is_multiple_of(2) {
+                    (ggm_left(&cur), ggm_right(&cur))
+                } else {
+                    (ggm_right(&cur), ggm_left(&cur))
+                };
+                arena.set(di, dv, lab_sib);
+                cur = lab_path;
+            }
+        }
+        arena
+    }
+
+    /// Batched epoch rekey: evicts `leaves`, assigns fresh leaves to
+    /// `joins` members (SD never reuses leaf positions — evict-then-
+    /// rejoin in one window lands the rejoiner on a new leaf), and emits
+    /// **one** cover broadcast for the whole churn window.
+    ///
+    /// An empty window is a no-op returning an empty broadcast at the
+    /// current epoch, which must not be distributed. The call validates
+    /// up front and mutates nothing on error.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::UnknownMember`] for unknown or duplicated leaver
+    /// ids; [`CgkdError::Full`] when the join count exceeds the
+    /// remaining fresh leaves.
+    pub fn apply_epoch(
+        &mut self,
+        joins: usize,
+        leaves: &[UserId],
+        rng: &mut dyn RngCore,
+    ) -> Result<(Vec<(UserId, SdWelcome)>, SdBroadcast), CgkdError> {
+        if joins == 0 && leaves.is_empty() {
+            return Ok((
+                Vec::new(),
+                SdBroadcast {
+                    epoch: self.epoch,
+                    items: Vec::new(),
+                },
+            ));
+        }
+        let mut seen = HashSet::new();
+        for id in leaves {
+            if !self.leaf_of.contains_key(id) || !seen.insert(*id) {
+                return Err(CgkdError::UnknownMember);
+            }
+        }
+        if self.next_leaf as u64 + joins as u64 > 2 * self.capacity as u64 {
+            return Err(CgkdError::Full);
+        }
+        for id in leaves {
+            if let Some(leaf) = self.leaf_of.remove(id) {
+                self.revoked_leaves.insert(leaf);
+            }
+        }
+        let mut joined = Vec::with_capacity(joins);
+        for _ in 0..joins {
+            let leaf = self.next_leaf;
+            self.next_leaf += 1;
+            let id = UserId(self.next_id);
+            self.next_id += 1;
+            self.leaf_of.insert(id, leaf);
+            joined.push((
+                id,
+                SdWelcome {
+                    id,
+                    leaf,
+                    labels: self.provision(leaf),
+                    full_key: self.full_key(),
+                    epoch: self.epoch,
+                },
+            ));
+        }
+        let broadcast = self.rekey(rng);
+        Ok((joined, broadcast))
     }
 
     fn rekey(&mut self, rng: &mut dyn RngCore) -> SdBroadcast {
@@ -290,21 +423,10 @@ impl Controller for SdController {
         self.next_id += 1;
         self.leaf_of.insert(id, leaf);
 
-        // Provision labels: for each ancestor i (strictly above the leaf),
-        // the labels of every sibling along the path below i.
-        let mut labels = HashMap::new();
-        for di in 0..depth(leaf) {
-            let i = ancestor_at(leaf, di);
-            for dv in di + 1..=depth(leaf) {
-                let on_path = ancestor_at(leaf, dv);
-                let sibling = on_path ^ 1;
-                labels.insert((i, sibling), self.label(i, sibling));
-            }
-        }
         let welcome = SdWelcome {
             id,
             leaf,
-            labels,
+            labels: self.provision(leaf),
             full_key: self.full_key(),
             epoch: self.epoch,
         };
@@ -370,7 +492,7 @@ impl SdMember {
                     }
                 }
                 let s = s?;
-                let mut label = *self.labels.get(&(i, s))?;
+                let mut label = *self.labels.get(depth(i), depth(s))?;
                 for d in depth(s)..depth(j) {
                     let next = ancestor_at(j, d + 1);
                     label = if next.is_multiple_of(2) {
@@ -579,5 +701,104 @@ mod tests {
         let (_, w, _) = gc.admit(&mut r).unwrap();
         // depth d = 10: expect d(d+1)/2 = 55 labels.
         assert_eq!(w.labels.len(), 55);
+    }
+
+    #[test]
+    fn cover_matches_on_adversarial_patterns() {
+        // The union-find cover must partition correctly on clustered,
+        // alternating, and boundary revocation patterns.
+        let mut r = rng();
+        let mut gc = SdController::new(32, &mut r);
+        let mut ids = Vec::new();
+        for _ in 0..32 {
+            let (id, _, _) = gc.admit(&mut r).unwrap();
+            ids.push(id);
+        }
+        for pattern in [
+            vec![0usize, 1, 2, 3],           // one cluster
+            vec![0, 2, 4, 6, 8, 10],         // alternating
+            vec![0, 31],                     // extremes
+            vec![15, 16],                    // adjacent across the midline
+            (0..31).collect::<Vec<usize>>(), // all but one
+        ] {
+            let revoked: BTreeSet<u32> = pattern.iter().map(|&i| 32 + i as u32).collect();
+            let cover = gc.cover(&revoked);
+            assert!(cover.len() <= 2 * revoked.len(), "cover bound violated");
+            for leaf in 32u32..64 {
+                let covering = cover
+                    .iter()
+                    .filter(|s| match **s {
+                        Subset::Full => true,
+                        Subset::Diff { i, j } => {
+                            is_ancestor_or_self(i, leaf) && !is_ancestor_or_self(j, leaf)
+                        }
+                    })
+                    .count();
+                let expect = usize::from(!revoked.contains(&leaf));
+                assert_eq!(covering, expect, "leaf {leaf} in pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_epoch_is_one_broadcast() {
+        let mut r = rng();
+        let mut gc = SdController::new(16, &mut r);
+        let mut members = Vec::new();
+        for _ in 0..6 {
+            let (_, w, _) = gc.admit(&mut r).unwrap();
+            members.push(gc.member_from_welcome(w));
+        }
+        let victims = [members[1].id(), members[4].id()];
+        let (joined, b) = gc.apply_epoch(2, &victims, &mut r).unwrap();
+        assert_eq!(joined.len(), 2);
+        for m in members.iter_mut() {
+            if victims.contains(&m.id()) {
+                assert_eq!(m.process(&b), Err(CgkdError::CannotDecrypt));
+            } else {
+                m.process(&b).unwrap();
+                assert_eq!(m.group_key(), gc.group_key());
+            }
+        }
+        for (_, w) in joined {
+            let mut j = gc.member_from_welcome(w);
+            j.process(&b).unwrap();
+            assert_eq!(j.group_key(), gc.group_key());
+        }
+        assert_eq!(gc.members().len(), 6);
+    }
+
+    #[test]
+    fn batched_epoch_validates_atomically() {
+        let mut r = rng();
+        let mut gc = SdController::new(4, &mut r);
+        let (id0, _, _) = gc.admit(&mut r).unwrap();
+        let epoch_before = gc.epoch();
+        assert_eq!(
+            gc.apply_epoch(0, &[UserId(77)], &mut r).err(),
+            Some(CgkdError::UnknownMember)
+        );
+        assert_eq!(
+            gc.apply_epoch(0, &[id0, id0], &mut r).err(),
+            Some(CgkdError::UnknownMember)
+        );
+        // SD leaves are never reused: 1 allocated + 4 joins > 4 fresh.
+        assert_eq!(gc.apply_epoch(4, &[], &mut r).err(), Some(CgkdError::Full));
+        assert_eq!(gc.epoch(), epoch_before);
+        assert_eq!(gc.members().len(), 1);
+    }
+
+    #[test]
+    fn empty_epoch_is_a_noop() {
+        let mut r = rng();
+        let mut gc = SdController::new(8, &mut r);
+        gc.admit(&mut r).unwrap();
+        let epoch = gc.epoch();
+        let key = gc.group_key().clone();
+        let (joined, b) = gc.apply_epoch(0, &[], &mut r).unwrap();
+        assert!(joined.is_empty());
+        assert!(b.items.is_empty());
+        assert_eq!(b.epoch, epoch);
+        assert_eq!(gc.group_key(), &key);
     }
 }

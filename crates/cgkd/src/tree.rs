@@ -1,0 +1,86 @@
+//! Heap-indexed complete-binary-tree helpers shared by the LKH and SD
+//! backends.
+//!
+//! Nodes are numbered as in an implicit binary heap: the root is `1`,
+//! node `v` has children `2v` and `2v + 1`, and a tree of capacity `c`
+//! (a power of two) has its leaves at `c..2c`. Every walk below is
+//! iterative — no recursion anywhere — so controllers can run on trees
+//! with millions of leaves without stack concerns.
+
+/// Depth of `node` (the root `1` has depth 0). Requires `node >= 1`.
+#[inline]
+pub fn depth(node: u32) -> u32 {
+    31 - node.leading_zeros()
+}
+
+/// Parent of `node` (the root's parent is `0`, which is not a node).
+#[inline]
+pub fn parent(node: u32) -> u32 {
+    node / 2
+}
+
+/// The two children of `node`.
+#[inline]
+pub fn children(node: u32) -> (u32, u32) {
+    (2 * node, 2 * node + 1)
+}
+
+/// The ancestor of `u` at depth `d` (requires `d <= depth(u)`).
+#[inline]
+pub fn ancestor_at(u: u32, d: u32) -> u32 {
+    u >> (depth(u) - d)
+}
+
+/// Is `a` an ancestor of `u` (or `u` itself)?
+#[inline]
+pub fn is_ancestor_or_self(a: u32, u: u32) -> bool {
+    depth(a) <= depth(u) && ancestor_at(u, depth(a)) == a
+}
+
+/// Least common ancestor of `a` and `b`.
+#[inline]
+pub fn lca(a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while depth(a) > depth(b) {
+        a /= 2;
+    }
+    while depth(b) > depth(a) {
+        b /= 2;
+    }
+    while a != b {
+        a /= 2;
+        b /= 2;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_relations() {
+        assert_eq!(depth(1), 0);
+        assert_eq!(depth(2), 1);
+        assert_eq!(depth(7), 2);
+        assert_eq!(parent(7), 3);
+        assert_eq!(children(3), (6, 7));
+        assert_eq!(lca(4, 5), 2);
+        assert_eq!(lca(4, 6), 1);
+        assert_eq!(lca(4, 4), 4);
+        assert!(is_ancestor_or_self(1, 13));
+        assert!(is_ancestor_or_self(3, 13));
+        assert!(!is_ancestor_or_self(2, 13));
+        assert_eq!(ancestor_at(13, 1), 3);
+    }
+
+    #[test]
+    fn deep_tree_walks_stay_iterative() {
+        // A 2^30-leaf tree: every helper handles the deepest nodes.
+        let leaf = (1u32 << 30) + 12345;
+        assert_eq!(depth(leaf), 30);
+        assert_eq!(ancestor_at(leaf, 0), 1);
+        assert!(is_ancestor_or_self(leaf >> 10, leaf));
+        assert_eq!(lca(leaf, leaf ^ 1), leaf / 2);
+    }
+}

@@ -8,7 +8,7 @@
 //! matrix.
 
 use crate::config::GroupConfig;
-use crate::member::{encode_update_payload, GroupUpdate, Member, RekeyBroadcast, UpdatePayload};
+use crate::member::{encode_update_payload, EpochBroadcast, GroupUpdate, Member, UpdatePayload};
 use crate::substrate::{Cgkd, Gsig};
 use crate::transcript::{HandshakeTranscript, TraceError, TraceOutcome};
 use crate::{codec, factory, CoreError};
@@ -21,7 +21,7 @@ use shs_groups::schnorr::SchnorrGroup;
 use shs_gsig::crl::Crl;
 use shs_gsig::ky::MemberId;
 use shs_gsig::params::GsigParams;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The group authority of one group.
 pub struct GroupAuthority {
@@ -104,6 +104,16 @@ impl GroupAuthority {
         self.cgkd.group_key()
     }
 
+    /// Current CGKD epoch (bumped once per rekey or batched window).
+    pub fn epoch(&self) -> u64 {
+        self.cgkd.epoch()
+    }
+
+    /// Current CRL version (one per revocation token ever issued).
+    pub fn crl_version(&self) -> u64 {
+        self.crl.version
+    }
+
     /// `GCD.AdmitMember`: runs the interactive `GSIG.Join` (both ends of
     /// the private authenticated channel are simulated here) and
     /// `CGKD.Join`, then wraps the GSIG state update in an encrypted
@@ -123,7 +133,7 @@ impl GroupAuthority {
         self.uid_of.insert(cred.id(), uid);
 
         let payload = UpdatePayload { crl_delta: None };
-        let update = self.seal_update(rekey, &payload, rng);
+        let update = self.seal_update(EpochBroadcast::single(rekey), &payload, rng);
 
         let mut member = Member {
             config: self.config,
@@ -160,12 +170,83 @@ impl GroupAuthority {
             .map(|token| self.crl.push(token));
         let rekey = self.cgkd.evict(uid, rng).map_err(CoreError::Cgkd)?;
         let payload = UpdatePayload { crl_delta };
-        Ok(self.seal_update(rekey, &payload, rng))
+        Ok(self.seal_update(EpochBroadcast::single(rekey), &payload, rng))
+    }
+
+    /// `GCD.ApplyEpoch`: batches a whole churn window — revoking
+    /// `leave_ids` and admitting `joins` new members — into **one**
+    /// bulletin-board update carrying one CGKD epoch record and one
+    /// merged CRL delta.
+    ///
+    /// Returns the admitted [`Member`]s (already synced past the window,
+    /// CRL included) and the [`GroupUpdate`] every *existing* member
+    /// must apply. An empty window produces an update with an empty
+    /// rekey record that up-to-date members skip.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownMember`] for unknown or duplicated leaver ids
+    /// (checked before any state changes); [`CoreError::Cgkd`] when the
+    /// roster would exceed capacity (the CGKD window is atomic);
+    /// [`CoreError::Gsig`] if a join or revocation fails mid-window,
+    /// after which authority state may have partially advanced.
+    pub fn apply_epoch(
+        &mut self,
+        joins: usize,
+        leave_ids: &[MemberId],
+        rng: &mut impl RngCore,
+    ) -> Result<(Vec<Member>, GroupUpdate), CoreError> {
+        let rng: &mut dyn RngCore = rng;
+        let mut uids = Vec::with_capacity(leave_ids.len());
+        let mut seen = HashSet::new();
+        for id in leave_ids {
+            let uid = *self.uid_of.get(id).ok_or(CoreError::UnknownMember)?;
+            if !seen.insert(*id) {
+                return Err(CoreError::UnknownMember);
+            }
+            uids.push(uid);
+        }
+        // The CGKD window first: it validates atomically, so a Full
+        // error leaves the authority untouched.
+        let outcome = self
+            .cgkd
+            .apply_epoch(joins, &uids, rng)
+            .map_err(CoreError::Cgkd)?;
+        let mut crl_delta: Option<shs_gsig::crl::CrlDelta> = None;
+        for id in leave_ids {
+            self.uid_of.remove(id);
+            if let Some(token) = self.gsig.revoke(*id).map_err(CoreError::Gsig)? {
+                let delta = self.crl.push(token);
+                crl_delta = Some(match crl_delta {
+                    None => delta,
+                    // Consecutive pushes always merge cleanly.
+                    Some(acc) => acc.merge(delta).map_err(|_| CoreError::UpdateRejected)?,
+                });
+            }
+        }
+        let mut members = Vec::with_capacity(outcome.joined.len());
+        for (uid, slot) in outcome.joined {
+            let cred = self.gsig.admit(rng).map_err(CoreError::Gsig)?;
+            self.uid_of.insert(cred.id(), uid);
+            // The slot is already synced past the window and the CRL
+            // clone is post-revocation: no update left to apply.
+            members.push(Member {
+                config: self.config,
+                cred,
+                cgkd: slot,
+                crl: self.crl.clone(),
+                tracing_group: self.tracing_group,
+                tracing_pk: self.tracing_pk.clone(),
+            });
+        }
+        let payload = UpdatePayload { crl_delta };
+        let update = self.seal_update(outcome.broadcast, &payload, rng);
+        Ok((members, update))
     }
 
     fn seal_update(
         &self,
-        rekey: RekeyBroadcast,
+        rekey: EpochBroadcast,
         payload: &UpdatePayload,
         rng: &mut dyn RngCore,
     ) -> GroupUpdate {

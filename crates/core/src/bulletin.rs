@@ -14,9 +14,16 @@ use crate::member::{GroupUpdate, Member};
 use crate::CoreError;
 
 /// An append-only public board of group updates.
+///
+/// Posts are kept sorted by the epoch each update establishes, with a
+/// parallel epoch index, so a member that is `k` epochs behind reads
+/// exactly its `O(k)` missing records — `since` is a binary search plus
+/// a suffix walk, not a scan of the whole group history.
 #[derive(Debug, Default)]
 pub struct BulletinBoard {
     posts: Vec<GroupUpdate>,
+    /// `epochs[i]` is the epoch `posts[i]` establishes (nondecreasing).
+    epochs: Vec<u64>,
 }
 
 impl BulletinBoard {
@@ -26,9 +33,21 @@ impl BulletinBoard {
     }
 
     /// Posts an update (done by the group authority after
-    /// `AdmitMember`/`RemoveUser`).
+    /// `AdmitMember`/`RemoveUser`/`ApplyEpoch`).
+    ///
+    /// The authority posts in epoch order, so this is an O(1) append;
+    /// an out-of-order post is placed at its sorted position to keep
+    /// the index valid.
     pub fn post(&mut self, update: GroupUpdate) {
-        self.posts.push(update);
+        let epoch = update.rekey.epoch();
+        if self.epochs.last().is_none_or(|&last| last <= epoch) {
+            self.epochs.push(epoch);
+            self.posts.push(update);
+        } else {
+            let at = self.epochs.partition_point(|&e| e <= epoch);
+            self.epochs.insert(at, epoch);
+            self.posts.insert(at, update);
+        }
     }
 
     /// Number of posts.
@@ -45,9 +64,8 @@ impl BulletinBoard {
     /// This is the public read API — no authentication required (the
     /// privacy lives in the encryption, not in access control).
     pub fn since(&self, after_epoch: u64) -> impl Iterator<Item = &GroupUpdate> {
-        self.posts
-            .iter()
-            .filter(move |u| u.rekey.epoch() > after_epoch)
+        let start = self.epochs.partition_point(|&e| e <= after_epoch);
+        self.posts[start..].iter()
     }
 
     /// Brings a member up to date: applies every post newer than the

@@ -134,10 +134,9 @@ pub(crate) fn verify_slot(
         };
         let mut msg = delta_bytes.clone();
         msg.extend_from_slice(&slot.sid);
-        let ok =
-            member
-                .credential()
-                .verify(&msg, &sig_bytes, expected_t7.as_ref(), &member.crl.tokens);
+        let ok = member
+            .credential()
+            .verify(&msg, &sig_bytes, expected_t7.as_ref(), &member.crl);
         if let Some(t6) = ok {
             verified.push(j);
             if let Some(t6) = t6 {

@@ -88,7 +88,7 @@ pub use bulletin::BulletinBoard;
 pub use config::{GroupConfig, HandshakeOptions, SchemeKind, SessionBudget, TracePolicy};
 pub use handshake::party::{run_party, PartyOutcome};
 pub use handshake::{AbortReason, Actor, Outcome, SessionResult, SessionStats, SlotCosts};
-pub use member::{GroupUpdate, Member};
+pub use member::{EpochBroadcast, GroupUpdate, Member};
 pub use transcript::{HandshakeTranscript, TraceError, TraceOutcome};
 
 /// Errors produced by the framework.

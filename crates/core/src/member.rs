@@ -12,15 +12,16 @@ use shs_gsig::crl::Crl;
 use shs_gsig::ky::MemberId;
 use shs_gsig::params::GsigParams;
 
-pub use crate::substrate::RekeyBroadcast;
+pub use crate::substrate::{EpochBroadcast, RekeyBroadcast};
 
 /// An encrypted group-state update posted on the bulletin board
-/// (`GCD.AdmitMember` / `GCD.RemoveUser` output; consumed by
-/// `GCD.Update`).
+/// (`GCD.AdmitMember` / `GCD.RemoveUser` / `GCD.ApplyEpoch` output;
+/// consumed by `GCD.Update`). One update covers one churn window — a
+/// single join or leave, or a whole batched epoch.
 #[derive(Debug, Clone)]
 pub struct GroupUpdate {
-    /// The CGKD rekey broadcast.
-    pub rekey: RekeyBroadcast,
+    /// The CGKD rekey record for the window.
+    pub rekey: EpochBroadcast,
     /// GSIG state update (CRL delta), AEAD-encrypted under the **new**
     /// group key so revoked members cannot read it.
     pub payload_ct: Vec<u8>,
@@ -132,7 +133,11 @@ impl Member {
     /// members land here), [`CoreError::UpdateRejected`] when the payload
     /// fails authentication or ordering.
     pub fn apply_update(&mut self, update: &GroupUpdate) -> Result<(), CoreError> {
-        self.cgkd.process(&update.rekey).map_err(CoreError::Cgkd)?;
+        if !update.rekey.is_empty() {
+            self.cgkd
+                .process_epoch(&update.rekey)
+                .map_err(CoreError::Cgkd)?;
+        }
         let aad = update_aad(update.rekey.epoch());
         let pt = aead::open(self.cgkd.group_key(), &update.payload_ct, &aad)
             .map_err(|_| CoreError::UpdateRejected)?;

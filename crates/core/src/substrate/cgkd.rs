@@ -15,8 +15,9 @@ use rand::RngCore;
 use shs_cgkd::lkh::{LkhBroadcast, LkhController, LkhMember};
 use shs_cgkd::sd::{SdBroadcast, SdController, SdMember};
 use shs_cgkd::star::{StarBroadcast, StarController, StarMember};
-use shs_cgkd::{CgkdError, Controller, MemberState, UserId};
+use shs_cgkd::{BroadcastStats, CgkdError, Controller, MemberState, UserId};
 use shs_crypto::Key;
+use std::collections::HashSet;
 
 /// A rekey broadcast from whichever CGKD backend the group runs.
 ///
@@ -47,6 +48,76 @@ impl RekeyBroadcast {
             RekeyBody::Star(b) => b.epoch,
         }
     }
+
+    /// Size statistics of this broadcast (bench instrumentation).
+    pub fn stats(&self) -> BroadcastStats {
+        match &self.body {
+            RekeyBody::Lkh(b) => LkhController::stats(b),
+            RekeyBody::Sd(b) => SdController::stats(b),
+            RekeyBody::Star(b) => StarController::stats(b),
+        }
+    }
+}
+
+/// The aggregate rekey record of one churn *epoch window*: every join
+/// and leave the authority batched together, as the ordered sequence of
+/// backend broadcasts a member must process to cross the window.
+///
+/// Backends with native batching (LKH, SD) emit a single step covering
+/// the union of affected paths once; backends without it (Star) fall
+/// back to one step per membership change. Either way the bulletin board
+/// stores one [`EpochBroadcast`] per window and a member syncs in
+/// O(changes since its own epoch).
+#[derive(Debug, Clone)]
+pub struct EpochBroadcast {
+    pub(crate) epoch: u64,
+    pub(crate) steps: Vec<RekeyBroadcast>,
+}
+
+impl EpochBroadcast {
+    /// Wraps a single-operation rekey as its own epoch window.
+    pub fn single(rekey: RekeyBroadcast) -> EpochBroadcast {
+        EpochBroadcast {
+            epoch: rekey.epoch(),
+            steps: vec![rekey],
+        }
+    }
+
+    /// The epoch a member lands on after processing the whole window.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ordered backend broadcasts of the window.
+    pub fn steps(&self) -> &[RekeyBroadcast] {
+        &self.steps
+    }
+
+    /// Whether the window contained no membership change (such a record
+    /// must not be distributed).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Aggregate size statistics across all steps.
+    pub fn stats(&self) -> BroadcastStats {
+        let mut total = BroadcastStats::default();
+        for step in &self.steps {
+            let s = step.stats();
+            total.items += s.items;
+            total.bytes += s.bytes;
+        }
+        total
+    }
+}
+
+/// Result of a batched [`Cgkd::apply_epoch`] window.
+pub struct EpochOutcome {
+    /// Member slots for the users admitted in this window, already
+    /// synced to the post-window epoch.
+    pub joined: Vec<(UserId, Box<dyn CgkdSlot>)>,
+    /// The rekey record existing members must process.
+    pub broadcast: EpochBroadcast,
 }
 
 /// The controller end of a centralized group key distribution scheme
@@ -70,6 +141,70 @@ pub trait Cgkd: Send + Sync {
     /// [`CgkdError::UnknownMember`] for ids not currently in the group.
     fn evict(&mut self, id: UserId, rng: &mut dyn RngCore) -> Result<RekeyBroadcast, CgkdError>;
 
+    /// Batched epoch rekey: applies a whole churn window — evicting
+    /// `leaves`, then admitting `joins` users — and returns the admitted
+    /// slots (already synced past the window) plus one
+    /// [`EpochBroadcast`] for everyone else.
+    ///
+    /// The default implementation loops [`Cgkd::evict`] and
+    /// [`Cgkd::admit`], producing one step per change; backends with
+    /// native batching override it to rekey the union of affected paths
+    /// once. An empty window is a no-op yielding an empty broadcast at
+    /// the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CgkdError::UnknownMember`] for unknown or duplicated leaver ids
+    /// (checked up front); [`CgkdError::Full`] when capacity runs out.
+    /// The default implementation may have applied part of the window
+    /// when `Full` is reported mid-loop.
+    fn apply_epoch(
+        &mut self,
+        joins: usize,
+        leaves: &[UserId],
+        rng: &mut dyn RngCore,
+    ) -> Result<EpochOutcome, CgkdError> {
+        if joins == 0 && leaves.is_empty() {
+            return Ok(EpochOutcome {
+                joined: Vec::new(),
+                broadcast: EpochBroadcast {
+                    epoch: self.epoch(),
+                    steps: Vec::new(),
+                },
+            });
+        }
+        let roster: HashSet<UserId> = self.members().into_iter().collect();
+        let mut seen = HashSet::new();
+        for id in leaves {
+            if !roster.contains(id) || !seen.insert(*id) {
+                return Err(CgkdError::UnknownMember);
+            }
+        }
+        let mut steps = Vec::with_capacity(leaves.len() + joins);
+        let mut joined: Vec<(UserId, Box<dyn CgkdSlot>)> = Vec::with_capacity(joins);
+        for id in leaves {
+            steps.push(self.evict(*id, rng)?);
+        }
+        for _ in 0..joins {
+            let (uid, slot, rekey) = self.admit(rng)?;
+            // Every joiner of the window — including the fresh one, whose
+            // slot starts at the pre-join epoch — follows each step, so
+            // all returned slots end at the post-window epoch.
+            joined.push((uid, slot));
+            for (_, s) in joined.iter_mut() {
+                s.process(&rekey)?;
+            }
+            steps.push(rekey);
+        }
+        Ok(EpochOutcome {
+            joined,
+            broadcast: EpochBroadcast {
+                epoch: self.epoch(),
+                steps,
+            },
+        })
+    }
+
     /// Current group key (controller side).
     fn group_key(&self) -> &Key;
 
@@ -90,6 +225,24 @@ pub trait CgkdSlot: Send + Sync {
     /// the broadcast (evicted members land here) or the envelope comes
     /// from a different backend.
     fn process(&mut self, rekey: &RekeyBroadcast) -> Result<(), CgkdError>;
+
+    /// Processes one whole epoch window in order. Costs O(changes in the
+    /// window); an empty window is rejected as out-of-order (it should
+    /// never have been distributed).
+    ///
+    /// # Errors
+    ///
+    /// As [`CgkdSlot::process`], from the first failing step;
+    /// [`CgkdError::EpochMismatch`] for an empty window.
+    fn process_epoch(&mut self, window: &EpochBroadcast) -> Result<(), CgkdError> {
+        if window.steps.is_empty() {
+            return Err(CgkdError::EpochMismatch);
+        }
+        for step in &window.steps {
+            self.process(step)?;
+        }
+        Ok(())
+    }
 
     /// This member's current group key `k_i`.
     fn group_key(&self) -> &Key;
@@ -116,10 +269,65 @@ impl Clone for Box<dyn CgkdSlot> {
 }
 
 /// Generates the [`Cgkd`]/[`CgkdSlot`] wrapper pair for one backend.
+///
+/// The trailing `native` marker routes [`Cgkd::apply_epoch`] to the
+/// backend's own batched implementation (one union rekey per window)
+/// instead of the default evict/admit loop.
 macro_rules! cgkd_backend {
     ($(#[$cdoc:meta])* $ctrl_wrap:ident($ctrl:ty),
      $(#[$mdoc:meta])* $slot_wrap:ident($member:ty),
+     $variant:ident, native) => {
+        cgkd_backend!(@emit $(#[$cdoc])* $ctrl_wrap($ctrl),
+                      $(#[$mdoc])* $slot_wrap($member),
+                      $variant, {
+            // Native batched window: one union rekey, one step.
+            fn apply_epoch(
+                &mut self,
+                joins: usize,
+                leaves: &[UserId],
+                rng: &mut dyn RngCore,
+            ) -> Result<EpochOutcome, CgkdError> {
+                if joins == 0 && leaves.is_empty() {
+                    return Ok(EpochOutcome {
+                        joined: Vec::new(),
+                        broadcast: EpochBroadcast {
+                            epoch: self.0.epoch(),
+                            steps: Vec::new(),
+                        },
+                    });
+                }
+                let (welcomes, rekey) = self.0.apply_epoch(joins, leaves, rng)?;
+                let mut joined: Vec<(UserId, Box<dyn CgkdSlot>)> =
+                    Vec::with_capacity(welcomes.len());
+                for (uid, welcome) in welcomes {
+                    // Joiners bootstrap from their welcome plus the same
+                    // window broadcast everyone else processes.
+                    let mut member = self.0.member_from_welcome(welcome);
+                    member.process(&rekey)?;
+                    joined.push((uid, Box::new($slot_wrap(member))));
+                }
+                Ok(EpochOutcome {
+                    joined,
+                    broadcast: EpochBroadcast {
+                        epoch: rekey.epoch,
+                        steps: vec![RekeyBroadcast {
+                            body: RekeyBody::$variant(rekey),
+                        }],
+                    },
+                })
+            }
+        });
+    };
+    ($(#[$cdoc:meta])* $ctrl_wrap:ident($ctrl:ty),
+     $(#[$mdoc:meta])* $slot_wrap:ident($member:ty),
      $variant:ident) => {
+        cgkd_backend!(@emit $(#[$cdoc])* $ctrl_wrap($ctrl),
+                      $(#[$mdoc])* $slot_wrap($member),
+                      $variant, {});
+    };
+    (@emit $(#[$cdoc:meta])* $ctrl_wrap:ident($ctrl:ty),
+     $(#[$mdoc:meta])* $slot_wrap:ident($member:ty),
+     $variant:ident, {$($override:tt)*}) => {
         $(#[$cdoc])*
         pub(crate) struct $ctrl_wrap(pub(crate) $ctrl);
 
@@ -161,6 +369,8 @@ macro_rules! cgkd_backend {
             fn members(&self) -> Vec<UserId> {
                 self.0.members()
             }
+
+            $($override)*
         }
 
         impl CgkdSlot for $slot_wrap {
@@ -200,7 +410,8 @@ cgkd_backend!(
     LkhCgkd(LkhController),
     /// LKH member state (path keys).
     LkhSlot(LkhMember),
-    Lkh
+    Lkh,
+    native
 );
 
 cgkd_backend!(
@@ -208,7 +419,8 @@ cgkd_backend!(
     SdCgkd(SdController),
     /// SD member state (labels; stateless receiver).
     SdSlot(SdMember),
-    Sd
+    Sd,
+    native
 );
 
 cgkd_backend!(

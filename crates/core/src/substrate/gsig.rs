@@ -16,6 +16,7 @@ use crate::transcript::TraceError;
 use rand::RngCore;
 use shs_bigint::Ubig;
 use shs_groups::rsa::{RsaGroup, RsaSecret};
+use shs_gsig::crl::Crl;
 use shs_gsig::ky::{MemberId, RevocationToken};
 use shs_gsig::params::GsigParams;
 use shs_gsig::{acjt, ky, GsigError};
@@ -86,8 +87,9 @@ pub trait GsigCredential: Send + Sync {
     ) -> (Vec<u8>, Option<Ubig>);
 
     /// `GSIG.Verify`: decodes and verifies a serialized signature
-    /// against the revocation `tokens`; `expected_t7` pins the
-    /// linkability base (self-distinction check).
+    /// against the member's `crl` (memoized revocation check);
+    /// `expected_t7` pins the linkability base (self-distinction
+    /// check).
     ///
     /// Returns `None` on any failure (malformed, invalid, revoked,
     /// wrong base); on success, the signature's linkability tag as in
@@ -97,7 +99,7 @@ pub trait GsigCredential: Send + Sync {
         message: &[u8],
         sig_bytes: &[u8],
         expected_t7: Option<&Ubig>,
-        tokens: &[RevocationToken],
+        crl: &Crl,
     ) -> Option<Option<Ubig>>;
 
     /// The common linkability base `T7 = g^{H(basis)}` for
@@ -209,10 +211,10 @@ impl GsigCredential for KyCredential {
         message: &[u8],
         sig_bytes: &[u8],
         expected_t7: Option<&Ubig>,
-        tokens: &[RevocationToken],
+        crl: &Crl,
     ) -> Option<Option<Ubig>> {
         let sig = codec::decode_ky_sig(&self.pk.params, sig_bytes).ok()?;
-        ky::verify_with_tokens(&self.pk, message, &sig, expected_t7, tokens).ok()?;
+        ky::verify_with_crl(&self.pk, message, &sig, expected_t7, crl).ok()?;
         Some(Some(sig.tags.t6))
     }
 
@@ -320,7 +322,7 @@ impl GsigCredential for AcjtCredential {
         message: &[u8],
         sig_bytes: &[u8],
         expected_t7: Option<&Ubig>,
-        _tokens: &[RevocationToken],
+        _crl: &Crl,
     ) -> Option<Option<Ubig>> {
         // ACJT signatures carry no linkability base to pin.
         if expected_t7.is_some() {

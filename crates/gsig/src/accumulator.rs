@@ -135,6 +135,53 @@ impl Accumulator {
     pub fn verify(&self, group: &RsaGroup, witness: &Witness) -> bool {
         group.exp(&witness.w, &witness.e) == self.value
     }
+
+    /// Adds a whole batch of primes in one pass, returning each new
+    /// member's witness against the **post-batch** value plus the event
+    /// stream for existing members.
+    ///
+    /// Witness `i` is `v^{∏_{j≠i} e_j}`, computed as the prefix chain
+    /// (`v` raised to all earlier primes one at a time) raised to the
+    /// *product* of all later primes — one multi-bit exponentiation per
+    /// member instead of the `O(k²)` single-prime updates sequential
+    /// admission would replay.
+    ///
+    /// # Errors
+    ///
+    /// [`AccumulatorError::BadValue`] if any prime is even or tiny
+    /// (checked up front; the accumulator is unchanged on error).
+    pub fn add_batch(
+        &mut self,
+        group: &RsaGroup,
+        es: &[Ubig],
+    ) -> Result<(Vec<Witness>, Vec<UpdateEvent>), AccumulatorError> {
+        for e in es {
+            if e.is_even() || *e <= Ubig::from_u64(2) {
+                return Err(AccumulatorError::BadValue);
+            }
+        }
+        // suffix[i] = ∏_{j ≥ i} e_j  (suffix[len] = 1).
+        let mut suffix = vec![Ubig::one(); es.len() + 1];
+        for i in (0..es.len()).rev() {
+            suffix[i] = es[i].mul(&suffix[i + 1]);
+        }
+        let mut witnesses = Vec::with_capacity(es.len());
+        let mut prefix = self.value.clone();
+        for (i, e) in es.iter().enumerate() {
+            let w = if suffix[i + 1].is_one() {
+                prefix.clone()
+            } else {
+                group.exp(&prefix, &suffix[i + 1])
+            };
+            witnesses.push(Witness { w, e: e.clone() });
+            prefix = group.exp(&prefix, e);
+        }
+        self.value = prefix;
+        Ok((
+            witnesses,
+            es.iter().map(|e| UpdateEvent::Added(e.clone())).collect(),
+        ))
+    }
 }
 
 impl Witness {
@@ -171,6 +218,45 @@ impl Witness {
                 Ok(())
             }
         }
+    }
+
+    /// Replays a whole event stream, folding every run of consecutive
+    /// `Added` events into a single exponentiation by the product of
+    /// the added primes — a member catching up on `k` additions pays
+    /// one multi-bit exponentiation instead of `k` full-size ones.
+    /// `Removed` events still apply one at a time (each needs its own
+    /// Bézout identity against the then-current value).
+    ///
+    /// # Errors
+    ///
+    /// As [`Witness::apply`], at the first failing event; the witness
+    /// state reflects every event before it.
+    pub fn catch_up(
+        &mut self,
+        group: &RsaGroup,
+        events: &[UpdateEvent],
+    ) -> Result<(), AccumulatorError> {
+        let mut pending: Option<Ubig> = None;
+        for event in events {
+            match event {
+                UpdateEvent::Added(e_new) => {
+                    pending = Some(match pending {
+                        None => e_new.clone(),
+                        Some(acc) => acc.mul(e_new),
+                    });
+                }
+                UpdateEvent::Removed { .. } => {
+                    if let Some(exp) = pending.take() {
+                        self.w = group.exp(&self.w, &exp);
+                    }
+                    self.apply(group, event)?;
+                }
+            }
+        }
+        if let Some(exp) = pending {
+            self.w = group.exp(&self.w, &exp);
+        }
+        Ok(())
     }
 }
 
@@ -266,6 +352,68 @@ mod tests {
         }
         assert!(!acc.verify(group, &witnesses[0]));
         assert!(!acc.verify(group, &witnesses[3]));
+    }
+
+    #[test]
+    fn batch_add_matches_sequential() {
+        let (group, _secret, primes, mut rng) = setup();
+        // Sequential world.
+        let mut acc_seq = Accumulator::new(group, &mut rng);
+        let mut w_seq: Vec<Witness> = Vec::new();
+        for p in &primes {
+            let (w, ev) = acc_seq.add(group, p).unwrap();
+            for old in w_seq.iter_mut() {
+                old.apply(group, &ev).unwrap();
+            }
+            w_seq.push(w);
+        }
+        // Batched world, same base.
+        let mut acc_batch = Accumulator {
+            base: acc_seq.base.clone(),
+            value: acc_seq.base.clone(),
+        };
+        let (w_batch, events) = acc_batch.add_batch(group, &primes).unwrap();
+        assert_eq!(acc_seq.value, acc_batch.value);
+        assert_eq!(events.len(), primes.len());
+        for (i, (ws, wb)) in w_seq.iter().zip(&w_batch).enumerate() {
+            assert_eq!(ws, wb, "witness {i}");
+            assert!(acc_batch.verify(group, wb));
+        }
+    }
+
+    #[test]
+    fn catch_up_aggregates_added_runs() {
+        let (group, secret, primes, mut rng) = setup();
+        let mut acc = Accumulator::new(group, &mut rng);
+        let (mut w0_step, mut events) = {
+            let (w, ev) = acc.add(group, &primes[0]).unwrap();
+            (w, vec![ev])
+        };
+        let mut w0_batch = w0_step.clone();
+        // Churn: three additions, one removal, one more addition.
+        for p in &primes[1..4] {
+            let (_, ev) = acc.add(group, p).unwrap();
+            events.push(ev);
+        }
+        events.push(acc.remove(group, secret, &primes[2]).unwrap());
+        let (_, ev) = acc.add(group, &primes[4]).unwrap();
+        events.push(ev);
+        // Step-by-step vs catch-up: identical witness, both verify.
+        for ev in &events[1..] {
+            w0_step.apply(group, ev).unwrap();
+        }
+        w0_batch.catch_up(group, &events[1..]).unwrap();
+        assert_eq!(w0_step, w0_batch);
+        assert!(acc.verify(group, &w0_batch));
+        // The removed member cannot catch up past its own removal.
+        let mut w2 = Witness {
+            w: Ubig::one(),
+            e: primes[2].clone(),
+        };
+        assert_eq!(
+            w2.catch_up(group, &events[1..]),
+            Err(AccumulatorError::WitnessRevoked)
+        );
     }
 
     #[test]

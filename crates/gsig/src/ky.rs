@@ -901,6 +901,29 @@ pub fn verify_with_tokens(
     Ok(())
 }
 
+/// Verifies a signature against a [`crate::crl::Crl`]: like
+/// [`verify_with_tokens`], but routed through the CRL's memoized
+/// revocation check so repeated checks of the same signature against the
+/// same CRL state cost `O(1)`.
+///
+/// # Errors
+///
+/// [`GsigError::InvalidSignature`] for invalid proofs,
+/// [`GsigError::RevokedMember`] when a token matches.
+pub fn verify_with_crl(
+    pk: &GroupPublicKey,
+    message: &[u8],
+    sig: &Signature,
+    expected_t7: Option<&Ubig>,
+    crl: &crate::crl::Crl,
+) -> Result<(), GsigError> {
+    verify(pk, message, sig, expected_t7)?;
+    if crl.is_revoked(pk, sig) {
+        return Err(GsigError::RevokedMember);
+    }
+    Ok(())
+}
+
 /// A *claim*: a Schnorr proof of knowledge of `x'` with `T6 = T7^{x'}`,
 /// by which a member proves — without help from the GM and without
 /// revealing `x'` — that a given signature is its own. This is the

@@ -102,6 +102,100 @@ pub fn check_cgkd(choice: CgkdChoice, rng: &mut dyn RngCore) {
     slots[0].1.force_group_key(leaked.clone(), 99);
     assert!(slots[0].1.group_key() == &leaked);
     assert_eq!(slots[0].1.epoch(), 99);
+
+    check_cgkd_epoch_windows(choice, rng);
+}
+
+/// Exercises the batched `apply_epoch`/`process_epoch` surface of one
+/// CGKD backend: a whole churn window is one broadcast, mixed
+/// join+leave windows keep everyone in agreement, the evicted member is
+/// excluded by the very window that removes it, empty windows are
+/// no-ops, and leaver validation is atomic.
+fn check_cgkd_epoch_windows(choice: CgkdChoice, rng: &mut dyn RngCore) {
+    let mut ctrl = factory::cgkd_controller(choice, 8, rng);
+
+    // An initial build window: three joins, one broadcast.
+    let outcome = ctrl.apply_epoch(3, &[], rng).expect("build window");
+    assert_eq!(outcome.joined.len(), 3, "{choice:?}: three joined slots");
+    assert_eq!(
+        outcome.broadcast.epoch(),
+        ctrl.epoch(),
+        "{choice:?}: broadcast carries the window's final epoch"
+    );
+    let mut slots = outcome.joined;
+    for (u, s) in &slots {
+        assert_eq!(s.id(), *u, "{choice:?}: joined slot reports its uid");
+        assert!(
+            s.group_key() == ctrl.group_key(),
+            "{choice:?}: joined slot {u:?} disagrees with the controller"
+        );
+        assert_eq!(s.epoch(), ctrl.epoch(), "{choice:?}: epoch agreement");
+    }
+
+    // A mixed window: evict one member and admit two, as ONE broadcast
+    // (evict-then-rejoin inside a single epoch: the join may reuse the
+    // freed slot).
+    let (evicted_uid, mut evicted) = slots.remove(1);
+    let outcome = ctrl
+        .apply_epoch(2, &[evicted_uid], rng)
+        .expect("mixed window");
+    for (u, s) in slots.iter_mut() {
+        s.process_epoch(&outcome.broadcast)
+            .expect("survivor processes the window");
+        assert!(
+            s.group_key() == ctrl.group_key(),
+            "{choice:?}: survivor {u:?} disagrees after the mixed window"
+        );
+        assert_eq!(s.epoch(), ctrl.epoch());
+    }
+    assert!(
+        evicted.process_epoch(&outcome.broadcast).is_err(),
+        "{choice:?}: the evicted member processed the window that removes it"
+    );
+    for (u, s) in &outcome.joined {
+        assert!(
+            s.group_key() == ctrl.group_key(),
+            "{choice:?}: window joiner {u:?} is not synced"
+        );
+        assert_eq!(s.epoch(), ctrl.epoch());
+    }
+    slots.extend(outcome.joined);
+
+    // An empty window is a no-op broadcast nobody needs to process.
+    let before = ctrl.epoch();
+    let outcome = ctrl.apply_epoch(0, &[], rng).expect("empty window");
+    assert!(outcome.broadcast.is_empty(), "{choice:?}: empty window");
+    assert!(outcome.joined.is_empty());
+    assert_eq!(
+        ctrl.epoch(),
+        before,
+        "{choice:?}: empty window bumped epoch"
+    );
+    assert!(
+        slots[0].1.process_epoch(&outcome.broadcast).is_err(),
+        "{choice:?}: an empty window must not be processable"
+    );
+
+    // Leaver validation is atomic: unknown and duplicated leavers are
+    // rejected before any state changes.
+    let live_uid = slots[0].0;
+    for bad in [vec![evicted_uid], vec![live_uid, live_uid]] {
+        let epoch = ctrl.epoch();
+        let key = ctrl.group_key().clone();
+        assert!(
+            ctrl.apply_epoch(0, &bad, rng).is_err(),
+            "{choice:?}: accepted invalid leaver list {bad:?}"
+        );
+        assert_eq!(
+            ctrl.epoch(),
+            epoch,
+            "{choice:?}: failed window bumped epoch"
+        );
+        assert!(
+            ctrl.group_key() == &key,
+            "{choice:?}: failed window changed the group key"
+        );
+    }
 }
 
 /// Exercises one DGKA protocol through the slot state machine: an
