@@ -15,6 +15,10 @@
 //!   the constant-trace kernel on public data.
 //! * `crt_root_vs_plain` — issuance-style `e`-th root via the CRT context
 //!   vs a full-width `modpow`.
+//! * `batch_verify_vs_sequential` — `ky::verify_batch` over `k = 16`
+//!   signatures vs 16 independent `ky::verify` calls (the phase-III
+//!   multi-party shape: one random-linear-combination multi-exp pass
+//!   replaces `k` full equation sets).
 //! * `handshake_parallel_vs_sequential` — an `m = 8` full handshake with
 //!   the phase-III worker pool on vs off (wall-clock only; bounded by the
 //!   machine's core count, ~1.0 on a single-core runner).
@@ -178,6 +182,58 @@ fn main() {
         accel_s,
         iters: kernel_iters,
         floor: 1.0,
+    });
+
+    // --- k=16 batch verification vs sequential verify (KY) --------------
+    let batch_k = 16usize;
+    let batch_iters: u32 = if smoke { 1 } else { 5 };
+    let (gm, keys) = shs_gsig::fixtures::group_with_members(4);
+    let pk = gm.public_key();
+    let mut br = rng("bench-hot-paths-batch");
+    let batch_msgs: Vec<Vec<u8>> = (0..batch_k)
+        .map(|i| format!("bench-batch-{i}").into_bytes())
+        .collect();
+    let batch_sigs: Vec<shs_gsig::ky::Signature> = batch_msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            shs_gsig::ky::sign(
+                pk,
+                &keys[i % keys.len()],
+                m,
+                shs_gsig::ky::SignBasis::Random,
+                &mut br,
+            )
+        })
+        .collect();
+    let items: Vec<(&[u8], &shs_gsig::ky::Signature)> = batch_msgs
+        .iter()
+        .map(Vec::as_slice)
+        .zip(batch_sigs.iter())
+        .collect();
+    let (naive_s, _) = timed(|| {
+        for _ in 0..batch_iters {
+            for (m, sig) in &items {
+                shs_gsig::ky::verify(pk, m, sig, None).expect("bench signature verifies");
+            }
+        }
+    });
+    let (accel_s, _) = timed(|| {
+        for _ in 0..batch_iters {
+            assert!(
+                shs_gsig::ky::verify_batch(pk, &items, None).all_valid(),
+                "bench batch verifies"
+            );
+        }
+    });
+    metrics.push(Metric {
+        name: "batch_verify_vs_sequential",
+        naive_s,
+        accel_s,
+        iters: batch_iters,
+        // Acceptance target is >= 3x at k = 16 on a full run; the CI
+        // smoke floor leaves headroom for noisy shared runners.
+        floor: 2.0,
     });
 
     // --- m=8 handshake: parallel vs sequential phase-III verification ---

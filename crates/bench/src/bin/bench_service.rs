@@ -12,15 +12,21 @@
 //! * `crash_recovery` — every session's first attempt crash-stops one
 //!   slot, forcing liveness analysis, survivor re-formation and a
 //!   backoff'd retry: the price of surviving a crashy fleet.
+//! * `saturation sweep` — the clean workload replayed across a grid of
+//!   worker counts: throughput and p95 latency per point, showing where
+//!   the sharded service stops scaling on this host.
 //!
 //! ```sh
-//! cargo run --release -p shs-bench --bin bench_service [-- --smoke] [-- --check]
+//! cargo run --release -p shs-bench --bin bench_service \
+//!     [-- --smoke] [-- --check] [-- --workers N]
 //! ```
 //!
-//! `--smoke` shrinks the batch for CI; `--check` exits non-zero unless
-//! every session terminated in its expected class with zero registry
-//! leaks and zero illegal lifecycle transitions (deterministic
-//! correctness gates — wall-clock numbers are recorded, never gated).
+//! `--smoke` shrinks the batch for CI; `--workers N` overrides the
+//! default worker count (`available_parallelism`); `--check` exits
+//! non-zero unless every session terminated in its expected class with
+//! zero registry leaks and zero illegal lifecycle transitions
+//! (deterministic correctness gates — wall-clock numbers are recorded,
+//! never gated).
 
 use shs_bench::{group, rng, timed};
 use shs_core::service::HandshakeJob;
@@ -121,23 +127,55 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let check = args.iter().any(|a| a == "--check");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| *a != "--smoke" && *a != "--check" && *a != "--")
-    {
-        eprintln!("bench_service: unknown flag `{bad}` (use --smoke / --check)");
-        std::process::exit(2);
+    let mut workers_override: Option<usize> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" | "--check" | "--" => {}
+            "--workers" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => workers_override = Some(n),
+                    _ => {
+                        eprintln!("bench_service: --workers needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            bad => {
+                eprintln!(
+                    "bench_service: unknown flag `{bad}` (use --smoke / --check / --workers N)"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     let batch: u32 = if smoke { 8 } else { 32 };
-    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    // Default to the host's full parallelism; a deployment benchmarking a
+    // specific pool size passes --workers.
+    let workers = workers_override
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
 
     let scenarios = vec![
         run_scenario("clean_throughput", batch, workers, false),
         run_scenario("crash_recovery", batch, workers, true),
     ];
 
-    let json = render_json(&scenarios, smoke, workers);
+    // Saturation sweep: the clean workload across a grid of worker
+    // counts (always including the resolved default), so the baseline
+    // records where throughput stops scaling on this host.
+    let mut grid: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
+    grid.push(workers);
+    grid.sort_unstable();
+    grid.dedup();
+    let sweep_sessions: u32 = if smoke { 6 } else { 24 };
+    let sweep: Vec<Scenario> = grid
+        .into_iter()
+        .map(|w| run_scenario("saturation", sweep_sessions, w, false))
+        .collect();
+
+    let json = render_json(&scenarios, &sweep, smoke, workers);
     println!("{json}");
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
@@ -147,12 +185,12 @@ fn main() {
 
     if check {
         let mut failed = false;
-        for s in &scenarios {
+        for s in scenarios.iter().chain(&sweep) {
             if !s.ok {
                 eprintln!(
-                    "bench_service: CHECK FAILED: scenario {} left sessions \
+                    "bench_service: CHECK FAILED: scenario {} (workers {}) left sessions \
                      unaccepted, leaked, or took illegal transitions",
-                    s.name
+                    s.name, s.workers
                 );
                 failed = true;
             }
@@ -161,15 +199,38 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "bench_service: all {} scenarios clean (every session accepted, \
-             zero leaks, zero illegal transitions)",
-            scenarios.len()
+            "bench_service: all {} scenarios + {} sweep points clean (every \
+             session accepted, zero leaks, zero illegal transitions)",
+            scenarios.len(),
+            sweep.len()
         );
     }
 }
 
+fn scenario_json(sc: &Scenario, comma: &str) -> String {
+    format!(
+        "    {{ \"name\": \"{}\", \"sessions\": {}, \"workers\": {}, \
+         \"wall_s\": {:.6}, \"throughput_sps\": {:.3}, \
+         \"latency_mean_ms\": {:.3}, \"latency_p50_ms\": {:.3}, \
+         \"latency_p95_ms\": {:.3}, \"attempts\": {}, \
+         \"reformations\": {}, \"ok\": {} }}{}\n",
+        sc.name,
+        sc.sessions,
+        sc.workers,
+        sc.wall_s,
+        sc.throughput_sps,
+        sc.latency_mean_ms,
+        sc.latency_p50_ms,
+        sc.latency_p95_ms,
+        sc.attempts,
+        sc.reformations,
+        sc.ok,
+        comma
+    )
+}
+
 /// Hand-rolled JSON: the offline build has no serde_json.
-fn render_json(scenarios: &[Scenario], smoke: bool, workers: usize) -> String {
+fn render_json(scenarios: &[Scenario], sweep: &[Scenario], smoke: bool, workers: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"service\",\n");
@@ -178,25 +239,17 @@ fn render_json(scenarios: &[Scenario], smoke: bool, workers: usize) -> String {
     s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {
-        let comma = if i + 1 < scenarios.len() { "," } else { "" };
-        s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"sessions\": {}, \"workers\": {}, \
-             \"wall_s\": {:.6}, \"throughput_sps\": {:.3}, \
-             \"latency_mean_ms\": {:.3}, \"latency_p50_ms\": {:.3}, \
-             \"latency_p95_ms\": {:.3}, \"attempts\": {}, \
-             \"reformations\": {}, \"ok\": {} }}{}\n",
-            sc.name,
-            sc.sessions,
-            sc.workers,
-            sc.wall_s,
-            sc.throughput_sps,
-            sc.latency_mean_ms,
-            sc.latency_p50_ms,
-            sc.latency_p95_ms,
-            sc.attempts,
-            sc.reformations,
-            sc.ok,
-            comma
+        s.push_str(&scenario_json(
+            sc,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"saturation_sweep\": [\n");
+    for (i, sc) in sweep.iter().enumerate() {
+        s.push_str(&scenario_json(
+            sc,
+            if i + 1 < sweep.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]\n");

@@ -4,6 +4,7 @@
 //! every real payload has the exact length of its decoy.
 
 use crate::wire::{Reader, WireError, Writer};
+use shs_bigint::Ubig;
 use shs_groups::cs;
 use shs_groups::schnorr::SchnorrGroup;
 use shs_gsig::crl::CrlDelta;
@@ -35,9 +36,11 @@ fn ky_widths(p: &GsigParams) -> [usize; 5] {
     ]
 }
 
-/// Serialized length of a KY signature under these parameters.
+/// Serialized length of a KY signature under these parameters: seven
+/// tags plus the six transmitted commitments `B1..B6`, challenge and
+/// responses.
 pub fn ky_sig_len(p: &GsigParams) -> usize {
-    7 * n_width(p) + C_WIDTH + ky_widths(p).iter().map(|w| w + 1).sum::<usize>()
+    13 * n_width(p) + C_WIDTH + ky_widths(p).iter().map(|w| w + 1).sum::<usize>()
 }
 
 /// Encodes a KY signature at fixed width.
@@ -55,6 +58,9 @@ pub fn encode_ky_sig(p: &GsigParams, sig: &ky::Signature) -> Vec<u8> {
         &sig.tags.t7,
     ] {
         w.put_ubig_fixed(tag, nw);
+    }
+    for bi in &sig.b {
+        w.put_ubig_fixed(bi, nw);
     }
     w.put_ubig_fixed(&sig.c, C_WIDTH);
     w.put_int_fixed(&sig.s_x, w_sx);
@@ -82,6 +88,10 @@ pub fn decode_ky_sig(p: &GsigParams, bytes: &[u8]) -> Result<ky::Signature, Wire
     let t5 = r.take_ubig_fixed(nw)?;
     let t6 = r.take_ubig_fixed(nw)?;
     let t7 = r.take_ubig_fixed(nw)?;
+    let mut b: [Ubig; 6] = Default::default();
+    for bi in &mut b {
+        *bi = r.take_ubig_fixed(nw)?;
+    }
     let c = r.take_ubig_fixed(C_WIDTH)?;
     let s_x = r.take_int_fixed(w_sx)?;
     let s_xp = r.take_int_fixed(w_sxp)?;
@@ -99,6 +109,7 @@ pub fn decode_ky_sig(p: &GsigParams, bytes: &[u8]) -> Result<ky::Signature, Wire
             t6,
             t7,
         },
+        b,
         c,
         s_x,
         s_xp,
@@ -118,9 +129,10 @@ fn acjt_widths(p: &GsigParams) -> [usize; 4] {
     ]
 }
 
-/// Serialized length of an ACJT signature.
+/// Serialized length of an ACJT signature: three tags plus the four
+/// transmitted commitments `B1..B4`, challenge and responses.
 pub fn acjt_sig_len(p: &GsigParams) -> usize {
-    3 * n_width(p) + C_WIDTH + acjt_widths(p).iter().map(|w| w + 1).sum::<usize>()
+    7 * n_width(p) + C_WIDTH + acjt_widths(p).iter().map(|w| w + 1).sum::<usize>()
 }
 
 /// Encodes an ACJT signature at fixed width.
@@ -131,6 +143,9 @@ pub fn encode_acjt_sig(p: &GsigParams, sig: &acjt::Signature) -> Vec<u8> {
     w.put_ubig_fixed(&sig.t1, nw);
     w.put_ubig_fixed(&sig.t2, nw);
     w.put_ubig_fixed(&sig.t3, nw);
+    for bi in &sig.b {
+        w.put_ubig_fixed(bi, nw);
+    }
     w.put_ubig_fixed(&sig.c, C_WIDTH);
     w.put_int_fixed(&sig.s_x, w_sx);
     w.put_int_fixed(&sig.s_e, w_se);
@@ -152,6 +167,10 @@ pub fn decode_acjt_sig(p: &GsigParams, bytes: &[u8]) -> Result<acjt::Signature, 
     let t1 = r.take_ubig_fixed(nw)?;
     let t2 = r.take_ubig_fixed(nw)?;
     let t3 = r.take_ubig_fixed(nw)?;
+    let mut b: [Ubig; 4] = Default::default();
+    for bi in &mut b {
+        *bi = r.take_ubig_fixed(nw)?;
+    }
     let c = r.take_ubig_fixed(C_WIDTH)?;
     let s_x = r.take_int_fixed(w_sx)?;
     let s_e = r.take_int_fixed(w_se)?;
@@ -162,6 +181,7 @@ pub fn decode_acjt_sig(p: &GsigParams, bytes: &[u8]) -> Result<acjt::Signature, 
         t1,
         t2,
         t3,
+        b,
         c,
         s_x,
         s_e,

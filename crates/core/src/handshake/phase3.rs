@@ -119,6 +119,12 @@ pub(crate) fn verify_slot(
     if let Some(t6) = &slot.own_t6 {
         t6_seen.push((i, t6.clone()));
     }
+    // Gather every decryptable peer frame first, then verify the whole
+    // set in one batch call: the scheme combines the m−1 public-data
+    // verify equations into a single multi-exp pass (outcome-identical
+    // to per-frame verification; frames that fail to decode or decrypt
+    // never reach the batch, exactly as they never reached `verify`).
+    let mut pending: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
     for (j, payload) in view.iter().enumerate() {
         if j == i || !slot.delta_set.contains(&j) {
             continue;
@@ -132,15 +138,22 @@ pub(crate) fn verify_slot(
         let Ok(sig_bytes) = aead::open(&slot.k_prime, &theta, &slot.sid) else {
             continue;
         };
-        let mut msg = delta_bytes.clone();
+        let mut msg = delta_bytes;
         msg.extend_from_slice(&slot.sid);
-        let ok = member
-            .credential()
-            .verify(&msg, &sig_bytes, expected_t7.as_ref(), &member.crl);
+        pending.push((j, msg, sig_bytes));
+    }
+    let items: Vec<(&[u8], &[u8])> = pending
+        .iter()
+        .map(|(_, msg, sig)| (msg.as_slice(), sig.as_slice()))
+        .collect();
+    let outcomes = member
+        .credential()
+        .verify_batch(&items, expected_t7.as_ref(), &member.crl);
+    for ((j, _, _), ok) in pending.iter().zip(outcomes) {
         if let Some(t6) = ok {
-            verified.push(j);
+            verified.push(*j);
             if let Some(t6) = t6 {
-                t6_seen.push((j, t6));
+                t6_seen.push((*j, t6));
             }
         }
     }

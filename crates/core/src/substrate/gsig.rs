@@ -102,6 +102,24 @@ pub trait GsigCredential: Send + Sync {
         crl: &Crl,
     ) -> Option<Option<Ubig>>;
 
+    /// Batch `GSIG.Verify`: verifies many serialized `(message,
+    /// signature)` pairs in one call. Outcome-equivalent to calling
+    /// [`GsigCredential::verify`] on every pair, but schemes with a
+    /// random-linear-combination batch equation amortize the group
+    /// exponentiations across the whole batch. The default
+    /// implementation is the per-pair fallback.
+    fn verify_batch(
+        &self,
+        items: &[(&[u8], &[u8])],
+        expected_t7: Option<&Ubig>,
+        crl: &Crl,
+    ) -> Vec<Option<Option<Ubig>>> {
+        items
+            .iter()
+            .map(|(message, sig)| self.verify(message, sig, expected_t7, crl))
+            .collect()
+    }
+
     /// The common linkability base `T7 = g^{H(basis)}` for
     /// self-distinction, when the scheme supports it.
     fn common_t7(&self, basis: &[u8]) -> Option<Ubig>;
@@ -218,6 +236,41 @@ impl GsigCredential for KyCredential {
         Some(Some(sig.tags.t6))
     }
 
+    fn verify_batch(
+        &self,
+        items: &[(&[u8], &[u8])],
+        expected_t7: Option<&Ubig>,
+        crl: &Crl,
+    ) -> Vec<Option<Option<Ubig>>> {
+        // Decode individually (failures stay per-item), combine the
+        // group equations across the batch, then run the memoized CRL
+        // check per surviving signature — revocation is signature-local
+        // and does not batch.
+        let decoded: Vec<Option<ky::Signature>> = items
+            .iter()
+            .map(|(_, sig_bytes)| codec::decode_ky_sig(&self.pk.params, sig_bytes).ok())
+            .collect();
+        let batch: Vec<(&[u8], &ky::Signature)> = items
+            .iter()
+            .zip(&decoded)
+            .filter_map(|((message, _), sig)| sig.as_ref().map(|s| (*message, s)))
+            .collect();
+        let outcome = ky::verify_batch(&self.pk, &batch, expected_t7);
+        let mut pos = 0usize;
+        decoded
+            .into_iter()
+            .map(|sig| {
+                let sig = sig?;
+                let valid = outcome.is_valid(pos);
+                pos += 1;
+                if !valid || crl.is_revoked(&self.pk, &sig) {
+                    return None;
+                }
+                Some(Some(sig.tags.t6))
+            })
+            .collect()
+    }
+
     fn common_t7(&self, basis: &[u8]) -> Option<Ubig> {
         Some(self.pk.common_t7(basis))
     }
@@ -331,6 +384,38 @@ impl GsigCredential for AcjtCredential {
         let sig = codec::decode_acjt_sig(&self.pk.params, sig_bytes).ok()?;
         acjt::verify(&self.pk, message, &sig).ok()?;
         Some(None)
+    }
+
+    fn verify_batch(
+        &self,
+        items: &[(&[u8], &[u8])],
+        expected_t7: Option<&Ubig>,
+        _crl: &Crl,
+    ) -> Vec<Option<Option<Ubig>>> {
+        // ACJT signatures carry no linkability base to pin.
+        if expected_t7.is_some() {
+            return vec![None; items.len()];
+        }
+        let decoded: Vec<Option<acjt::Signature>> = items
+            .iter()
+            .map(|(_, sig_bytes)| codec::decode_acjt_sig(&self.pk.params, sig_bytes).ok())
+            .collect();
+        let batch: Vec<(&[u8], &acjt::Signature)> = items
+            .iter()
+            .zip(&decoded)
+            .filter_map(|((message, _), sig)| sig.as_ref().map(|s| (*message, s)))
+            .collect();
+        let outcome = acjt::verify_batch(&self.pk, &batch);
+        let mut pos = 0usize;
+        decoded
+            .into_iter()
+            .map(|sig| {
+                sig?;
+                let valid = outcome.is_valid(pos);
+                pos += 1;
+                valid.then_some(None)
+            })
+            .collect()
     }
 
     fn common_t7(&self, _basis: &[u8]) -> Option<Ubig> {

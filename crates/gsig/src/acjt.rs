@@ -13,6 +13,7 @@
 //! revocation — the exact trade-off §3 of the paper discusses, and the
 //! subject of the E7(b)/E9 experiments.
 
+use crate::batch::{self, BatchOutcome};
 use crate::params::GsigParams;
 use crate::proofs::{self, Transcript};
 use crate::tables::FixedBasePair;
@@ -184,6 +185,10 @@ pub struct Signature {
     pub t2: Ubig,
     /// `g^e·h^w`.
     pub t3: Ubig,
+    /// Fiat–Shamir commitments `B1..B4`, transmitted (and bound through
+    /// the challenge hash) so the verifier can check the group equations
+    /// directly — the form batch verification combines.
+    pub b: [Ubig; 4],
     /// Fiat–Shamir challenge.
     pub c: Ubig,
     /// Response for `x`.
@@ -526,8 +531,9 @@ pub fn sign(
         &rsa.exp_signed(&t1, &rho_e.neg()),
     );
 
+    let b = [b1, b2, b3, b4];
     let c = pk
-        .transcript_for(message, &[&t1, &t2, &t3], &[b1, b2, b3, b4])
+        .transcript_for(message, &[&t1, &t2, &t3], &b)
         .challenge(params.k);
 
     let s_x = proofs::response(&rho_x, &c, &key.x, &pow2(params.lambda1));
@@ -539,6 +545,7 @@ pub fn sign(
         t1,
         t2,
         t3,
+        b,
         c,
         s_x,
         s_e,
@@ -553,10 +560,22 @@ pub fn sign(
 ///
 /// [`GsigError::InvalidSignature`] on any failed check.
 pub fn verify(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<(), GsigError> {
+    precheck(pk, message, sig)?;
+    if equations_hold(pk, sig) {
+        Ok(())
+    } else {
+        Err(GsigError::InvalidSignature)
+    }
+}
+
+/// The cheap per-signature checks batch verification must also run
+/// individually: element ranges, response spheres and the Fiat–Shamir
+/// challenge binding `(m, T, B)`. No exponentiations.
+fn precheck(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<(), GsigError> {
     let params = &pk.params;
     let rsa = &pk.rsa;
 
-    for tag in [&sig.t1, &sig.t2, &sig.t3] {
+    for tag in [&sig.t1, &sig.t2, &sig.t3].into_iter().chain(sig.b.iter()) {
         if tag.is_zero() || *tag >= *rsa.n() {
             return Err(GsigError::InvalidSignature);
         }
@@ -568,15 +587,26 @@ pub fn verify(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<()
     if !ok {
         return Err(GsigError::InvalidSignature);
     }
+    let c_prime = pk
+        .transcript_for(message, &[&sig.t1, &sig.t2, &sig.t3], &sig.b)
+        .challenge(params.k);
+    if c_prime == sig.c {
+        Ok(())
+    } else {
+        Err(GsigError::InvalidSignature)
+    }
+}
 
-    let c = &sig.c;
-    let e_e = proofs::shifted(&sig.s_e, c, params.gamma1);
-    let e_x = proofs::shifted(&sig.s_x, c, params.lambda1);
-
-    // Verification operates on broadcast data only, so each B′ product is
-    // one vartime Straus multi-exp: shared squaring chain across the
-    // bases instead of one full ladder per base.
-    let c_int = Int::from_ubig(c.clone());
+/// The four group equations against the transmitted commitments.
+/// Verification operates on broadcast data only, so each B product is
+/// one vartime Straus multi-exp: shared squaring chain across the bases
+/// instead of one full ladder per base.
+fn equations_hold(pk: &GroupPublicKey, sig: &Signature) -> bool {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+    let e_e = proofs::shifted(&sig.s_e, &sig.c, params.gamma1);
+    let e_x = proofs::shifted(&sig.s_x, &sig.c, params.lambda1);
+    let c_int = Int::from_ubig(sig.c.clone());
     let b1 = rsa.multi_exp_vartime(&[(&pk.g, &sig.s_w), (&sig.t2, &c_int)]);
     let b2 = rsa.multi_exp_vartime(&[(&pk.g, &e_e), (&pk.h, &sig.s_w), (&sig.t3, &c_int)]);
     let b3 = rsa.multi_exp_vartime(&[(&sig.t2, &e_e), (&pk.g, &sig.s_h.neg())]);
@@ -586,15 +616,110 @@ pub fn verify(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<()
         (&sig.t1, &e_e.neg()),
         (&pk.a0, &c_int.neg()),
     ]);
+    [b1, b2, b3, b4] == sig.b
+}
 
-    let c_prime = pk
-        .transcript_for(message, &[&sig.t1, &sig.t2, &sig.t3], &[b1, b2, b3, b4])
-        .challenge(params.k);
-    if &c_prime == c {
-        Ok(())
-    } else {
-        Err(GsigError::InvalidSignature)
+/// Batch `Verify`: checks `k` `(message, signature)` pairs with one
+/// random-linear-combination check over the pooled group equations (see
+/// [`crate::batch`]). Per-signature prechecks still run individually;
+/// only the group equations are combined, and a failed combination is
+/// bisected to isolate the offending indices. Agrees with calling
+/// [`verify`] on every pair up to the 2⁻¹²⁸ RLC soundness bound.
+pub fn verify_batch(pk: &GroupPublicKey, items: &[(&[u8], &Signature)]) -> BatchOutcome {
+    let mut bad = Vec::new();
+    let mut survivors = Vec::new();
+    for (i, (message, sig)) in items.iter().enumerate() {
+        if precheck(pk, message, sig).is_ok() {
+            survivors.push(i);
+        } else {
+            bad.push(i);
+        }
     }
+    if !survivors.is_empty() {
+        let digest = batch_digest(pk, items);
+        let mut rlc = |subset: &[usize]| rlc_holds(pk, items, subset, &digest);
+        batch::isolate_invalid(&survivors, &mut rlc, &mut bad);
+    }
+    BatchOutcome::from_invalid(bad)
+}
+
+/// Binds the coefficient DRBG to the entire batch content, so the
+/// combination coefficients are fixed only after every signature is.
+fn batch_digest(pk: &GroupPublicKey, items: &[(&[u8], &Signature)]) -> Vec<u8> {
+    let mut tr = Transcript::new("shs-gsig-acjt-batch");
+    tr.append_ubig("n", pk.rsa.n());
+    for (message, sig) in items {
+        tr.append("m", message);
+        for (label, tag) in [("T1", &sig.t1), ("T2", &sig.t2), ("T3", &sig.t3)] {
+            tr.append_ubig(label, tag);
+        }
+        for (i, bi) in sig.b.iter().enumerate() {
+            tr.append_ubig(&format!("B{}", i + 1), bi);
+        }
+        tr.append_ubig("c", &sig.c);
+        tr.append_int("s_x", &sig.s_x);
+        tr.append_int("s_e", &sig.s_e);
+        tr.append_int("s_w", &sig.s_w);
+        tr.append_int("s_h", &sig.s_h);
+    }
+    tr.challenge(256).to_bytes_be()
+}
+
+/// The combined group equation over `subset`:
+/// `Π B_{i,j}^{z_{i,j}} == Π RHS_{i,j}^{z_{i,j}}`, two multi-exps.
+/// Exponents of the shared bases `g, h, a, y, a0` accumulate across the
+/// subset, so their ladder cost is paid once per batch.
+fn rlc_holds(
+    pk: &GroupPublicKey,
+    items: &[(&[u8], &Signature)],
+    subset: &[usize],
+    digest: &[u8],
+) -> bool {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+    let mut coeffs = batch::CoeffStream::new("shs-gsig-acjt", digest, subset);
+    let mut e_g = Int::zero();
+    let mut e_h = Int::zero();
+    let mut e_a = Int::zero();
+    let mut e_y = Int::zero();
+    let mut e_a0 = Int::zero();
+    let mut lhs: Vec<(&Ubig, Int)> = Vec::with_capacity(4 * subset.len());
+    let mut per_sig: Vec<(&Ubig, Int)> = Vec::with_capacity(3 * subset.len());
+    for &i in subset {
+        let sig = items[i].1;
+        let c = Int::from_ubig(sig.c.clone());
+        let e_e = proofs::shifted(&sig.s_e, &sig.c, params.gamma1);
+        let e_x = proofs::shifted(&sig.s_x, &sig.c, params.lambda1);
+        let z1 = coeffs.next_coeff();
+        let z2 = coeffs.next_coeff();
+        let z3 = coeffs.next_coeff();
+        let z4 = coeffs.next_coeff();
+        // B1 = g^{s_w} T2^c and B3 = T2^{E_e} g^{-s_h} share base T2.
+        e_g = e_g.add(&z1.mul(&sig.s_w)).sub(&z3.mul(&sig.s_h));
+        per_sig.push((&sig.t2, z1.mul(&c).add(&z3.mul(&e_e))));
+        // B2 = g^{E_e} h^{s_w} T3^c.
+        e_g = e_g.add(&z2.mul(&e_e));
+        e_h = e_h.add(&z2.mul(&sig.s_w));
+        per_sig.push((&sig.t3, z2.mul(&c)));
+        // B4 = a^{E_x} y^{s_h} T1^{-E_e} a0^{-c}.
+        e_a = e_a.add(&z4.mul(&e_x));
+        e_y = e_y.add(&z4.mul(&sig.s_h));
+        e_a0 = e_a0.sub(&z4.mul(&c));
+        per_sig.push((&sig.t1, z4.mul(&e_e).neg()));
+        for (bi, z) in sig.b.iter().zip([z1, z2, z3, z4]) {
+            lhs.push((bi, z));
+        }
+    }
+    let mut rhs_terms: Vec<(&Ubig, &Int)> = vec![
+        (&pk.g, &e_g),
+        (&pk.h, &e_h),
+        (&pk.a, &e_a),
+        (&pk.y, &e_y),
+        (&pk.a0, &e_a0),
+    ];
+    rhs_terms.extend(per_sig.iter().map(|(base, e)| (*base, e)));
+    let lhs_terms: Vec<(&Ubig, &Int)> = lhs.iter().map(|(base, e)| (*base, e)).collect();
+    rsa.multi_exp_vartime(&lhs_terms) == rsa.multi_exp_vartime(&rhs_terms)
 }
 
 fn pow2(bits: u32) -> Ubig {

@@ -1,0 +1,183 @@
+//! Random-linear-combination batch verification plumbing shared by the
+//! [`crate::acjt`] and [`crate::ky`] schemes.
+//!
+//! # The small-exponent trick
+//!
+//! Both schemes transmit their Fiat–Shamir commitments `B1..Bj` inside
+//! the signature (and bind them through the challenge hash), so each
+//! group equation has the shape `B = Π base^exp` over *public* data.
+//! For a batch of `k` signatures the verifier draws a random 128-bit
+//! coefficient `z_{i,j}` per (signature, equation) pair and checks the
+//! single accumulated equation
+//!
+//! ```text
+//! Π_{i,j} B_{i,j}^{z_{i,j}}  ==  Π_{i,j} RHS_{i,j}^{z_{i,j}}
+//! ```
+//!
+//! with two Straus multi-exponentiations. Exponents of the shared bases
+//! (`g, h, a, a0, b, y`) accumulate across the whole batch, so their
+//! cost is paid once instead of once per signature, and the squaring
+//! chain of the multi-exp kernel is shared by every term. If any single
+//! equation were violated, the combined equation could only hold if the
+//! adversary predicted `z` — probability `2^-128` per coefficient, and
+//! the coefficients are drawn from a DRBG seeded Fiat–Shamir-style from
+//! the *entire batch content*, so they are fixed only after every
+//! signature is.
+//!
+//! Soundness requires the per-signature *cheap* checks (tag ranges,
+//! response spheres, challenge hash) to run individually before the
+//! combination: only the group equations are ever merged.
+//!
+//! On failure the batch is bisected to isolate the offending indices;
+//! a singleton subset's combined equation is exact (one `z` per
+//! equation cannot mask a violation across equations of the *same*
+//! signature only with negligible probability, and the fallback path
+//! re-derives fresh coefficients per subset).
+
+use rand::RngCore;
+use shs_bigint::{Int, Ubig};
+use shs_crypto::drbg::HmacDrbg;
+use shs_crypto::sha256::Sha256;
+
+/// Outcome of a batch verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Every signature in the batch verified.
+    AllValid,
+    /// At least one signature failed; the sorted indices of the invalid
+    /// ones (into the caller's batch slice).
+    Invalid(Vec<usize>),
+}
+
+impl BatchOutcome {
+    /// Collapses a list of bad indices into an outcome.
+    pub(crate) fn from_invalid(mut bad: Vec<usize>) -> BatchOutcome {
+        if bad.is_empty() {
+            BatchOutcome::AllValid
+        } else {
+            bad.sort_unstable();
+            bad.dedup();
+            BatchOutcome::Invalid(bad)
+        }
+    }
+
+    /// Did every signature verify?
+    pub fn all_valid(&self) -> bool {
+        matches!(self, BatchOutcome::AllValid)
+    }
+
+    /// The invalid indices (empty when all valid).
+    pub fn invalid(&self) -> &[usize] {
+        match self {
+            BatchOutcome::AllValid => &[],
+            BatchOutcome::Invalid(v) => v,
+        }
+    }
+
+    /// Is index `i` valid under this outcome?
+    pub fn is_valid(&self, i: usize) -> bool {
+        !self.invalid().contains(&i)
+    }
+}
+
+/// Width of the random combination coefficients.
+pub(crate) const COEFF_BITS: usize = 128;
+
+/// A deterministic stream of nonzero 128-bit combination coefficients,
+/// seeded from the batch digest and the subset under test (so bisection
+/// re-draws fresh coefficients for every subset).
+pub(crate) struct CoeffStream {
+    drbg: HmacDrbg,
+}
+
+impl CoeffStream {
+    pub(crate) fn new(domain: &str, batch_digest: &[u8], subset: &[usize]) -> CoeffStream {
+        let mut h = Sha256::new();
+        h.update(b"shs-gsig-batch-coeffs");
+        h.update(&(domain.len() as u64).to_be_bytes());
+        h.update(domain.as_bytes());
+        h.update(batch_digest);
+        h.update(&(subset.len() as u64).to_be_bytes());
+        for &i in subset {
+            h.update(&(i as u64).to_be_bytes());
+        }
+        CoeffStream {
+            drbg: HmacDrbg::from_seed(&h.finalize()),
+        }
+    }
+
+    /// The next coefficient: uniform in `[1, 2^128)` (zero would void
+    /// one equation's contribution, so it is remapped).
+    pub(crate) fn next_coeff(&mut self) -> Int {
+        let mut bytes = [0u8; COEFF_BITS / 8];
+        self.drbg.fill_bytes(&mut bytes);
+        let z = Ubig::from_bytes_be(&bytes);
+        if z.is_zero() {
+            Int::one()
+        } else {
+            Int::from_ubig(z)
+        }
+    }
+}
+
+/// Bisection fallback: narrows a failed combined check down to the
+/// individual signatures violating their equations. `rlc` evaluates the
+/// combined group equation over a subset of indices; subsets that pass
+/// are accepted wholesale, failing subsets are split until singletons
+/// remain (a singleton's check is its own exact equation set under
+/// fresh coefficients).
+pub(crate) fn isolate_invalid(
+    subset: &[usize],
+    rlc: &mut dyn FnMut(&[usize]) -> bool,
+    bad: &mut Vec<usize>,
+) {
+    if subset.is_empty() || rlc(subset) {
+        return;
+    }
+    if subset.len() == 1 {
+        bad.push(subset[0]);
+        return;
+    }
+    let mid = subset.len() / 2;
+    isolate_invalid(&subset[..mid], rlc, bad);
+    isolate_invalid(&subset[mid..], rlc, bad);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_sorts_and_dedups() {
+        assert_eq!(BatchOutcome::from_invalid(vec![]), BatchOutcome::AllValid);
+        let o = BatchOutcome::from_invalid(vec![3, 1, 3]);
+        assert_eq!(o, BatchOutcome::Invalid(vec![1, 3]));
+        assert!(!o.is_valid(1));
+        assert!(o.is_valid(0));
+    }
+
+    #[test]
+    fn coeffs_are_deterministic_per_subset() {
+        let a = CoeffStream::new("t", b"digest", &[0, 1]).next_coeff();
+        let b = CoeffStream::new("t", b"digest", &[0, 1]).next_coeff();
+        assert_eq!(a, b);
+        let c = CoeffStream::new("t", b"digest", &[0]).next_coeff();
+        assert_ne!(a, c, "subset is part of the seed");
+    }
+
+    #[test]
+    fn bisection_finds_planted_indices() {
+        let bad_set = [2usize, 7];
+        let all: Vec<usize> = (0..10).collect();
+        let mut calls = 0usize;
+        let mut rlc = |s: &[usize]| {
+            calls += 1;
+            !s.iter().any(|i| bad_set.contains(i))
+        };
+        let mut bad = Vec::new();
+        isolate_invalid(&all, &mut rlc, &mut bad);
+        bad.sort_unstable();
+        assert_eq!(bad, vec![2, 7]);
+        assert!(calls < 20, "logarithmic, not linear: {calls}");
+    }
+}

@@ -26,6 +26,7 @@
 //! are detected, while distinct members remain unlinkable across sessions
 //! because `T7` changes per session.
 
+use crate::batch::{self, BatchOutcome};
 use crate::params::GsigParams;
 use crate::proofs::{self, Transcript};
 use crate::tables::FixedBasePair;
@@ -250,6 +251,10 @@ impl Tags {
 pub struct Signature {
     /// The tags `T1..T7`.
     pub tags: Tags,
+    /// Fiat–Shamir commitments `B1..B6`, transmitted (and bound through
+    /// the challenge hash) so the verifier can check the group equations
+    /// directly — the form batch verification combines.
+    pub b: [Ubig; 6],
     /// Fiat–Shamir challenge.
     pub c: Ubig,
     /// Response for `x`.
@@ -783,9 +788,8 @@ pub fn sign(
         &rsa.exp_signed(&tags.t1, &rho_e.neg()),
     );
 
-    let c = pk
-        .transcript_for(message, &tags, &[b1, b2, b3, b4, b5, b6])
-        .challenge(params.k);
+    let b = [b1, b2, b3, b4, b5, b6];
+    let c = pk.transcript_for(message, &tags, &b).challenge(params.k);
 
     let s_x = proofs::response(&rho_x, &c, &key.x, &two(params.lambda1));
     let s_xp = proofs::response(&rho_xp, &c, &key.x_prime, &two(params.lambda1));
@@ -795,6 +799,7 @@ pub fn sign(
 
     Signature {
         tags,
+        b,
         c,
         s_x,
         s_xp,
@@ -817,6 +822,23 @@ pub fn verify(
     sig: &Signature,
     expected_t7: Option<&Ubig>,
 ) -> Result<(), GsigError> {
+    precheck(pk, message, sig, expected_t7)?;
+    if equations_hold(pk, sig) {
+        Ok(())
+    } else {
+        Err(GsigError::InvalidSignature)
+    }
+}
+
+/// The cheap per-signature checks batch verification must also run
+/// individually: the `T7` pin, element ranges, response spheres and the
+/// Fiat–Shamir challenge binding `(m, T, B)`. No exponentiations.
+fn precheck(
+    pk: &GroupPublicKey,
+    message: &[u8],
+    sig: &Signature,
+    expected_t7: Option<&Ubig>,
+) -> Result<(), GsigError> {
     let params = &pk.params;
     let rsa = &pk.rsa;
 
@@ -825,7 +847,7 @@ pub fn verify(
             return Err(GsigError::InvalidSignature);
         }
     }
-    for tag in sig.tags.as_array() {
+    for tag in sig.tags.as_array().into_iter().chain(sig.b.iter()) {
         if tag.is_zero() || *tag >= *rsa.n() {
             return Err(GsigError::InvalidSignature);
         }
@@ -840,26 +862,38 @@ pub fn verify(
     if !ok {
         return Err(GsigError::InvalidSignature);
     }
+    let c_prime = pk
+        .transcript_for(message, &sig.tags, &sig.b)
+        .challenge(params.k);
+    if c_prime == sig.c {
+        Ok(())
+    } else {
+        Err(GsigError::InvalidSignature)
+    }
+}
 
-    let c = &sig.c;
-    let e_e = proofs::shifted(&sig.s_e, c, params.gamma1);
-    let e_x = proofs::shifted(&sig.s_x, c, params.lambda1);
-    let e_xp = proofs::shifted(&sig.s_xp, c, params.lambda1);
+/// The six group equations against the transmitted commitments. Every
+/// operand is broadcast data, so each B product is one vartime Straus
+/// multi-exp (shared squaring chain across the bases).
+fn equations_hold(pk: &GroupPublicKey, sig: &Signature) -> bool {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+    let e_e = proofs::shifted(&sig.s_e, &sig.c, params.gamma1);
+    let e_x = proofs::shifted(&sig.s_x, &sig.c, params.lambda1);
+    let e_xp = proofs::shifted(&sig.s_xp, &sig.c, params.lambda1);
 
-    // Every operand below is broadcast data, so each B′ product is one
-    // vartime Straus multi-exp (shared squaring chain across the bases).
-    let c_int = Int::from_ubig(c.clone());
-    // B1' = g^{s_r} · T2^c
+    let c_int = Int::from_ubig(sig.c.clone());
+    // B1 = g^{s_r} · T2^c
     let b1 = rsa.multi_exp_vartime(&[(&pk.g, &sig.s_r), (&sig.tags.t2, &c_int)]);
-    // B2' = g^{E_e} · h^{s_r} · T3^c
+    // B2 = g^{E_e} · h^{s_r} · T3^c
     let b2 = rsa.multi_exp_vartime(&[(&pk.g, &e_e), (&pk.h, &sig.s_r), (&sig.tags.t3, &c_int)]);
-    // B3' = T2^{E_e} · g^{-s_h}
+    // B3 = T2^{E_e} · g^{-s_h}
     let b3 = rsa.multi_exp_vartime(&[(&sig.tags.t2, &e_e), (&pk.g, &sig.s_h.neg())]);
-    // B4' = T5^{E_x} · T4^c
+    // B4 = T5^{E_x} · T4^c
     let b4 = rsa.multi_exp_vartime(&[(&sig.tags.t5, &e_x), (&sig.tags.t4, &c_int)]);
-    // B5' = T7^{E_xp} · T6^c
+    // B5 = T7^{E_xp} · T6^c
     let b5 = rsa.multi_exp_vartime(&[(&sig.tags.t7, &e_xp), (&sig.tags.t6, &c_int)]);
-    // B6' = a^{E_x} · b^{E_xp} · y^{s_h} · T1^{-E_e} · a0^{-c}
+    // B6 = a^{E_x} · b^{E_xp} · y^{s_h} · T1^{-E_e} · a0^{-c}
     let b6 = rsa.multi_exp_vartime(&[
         (&pk.a, &e_x),
         (&pk.b, &e_xp),
@@ -867,15 +901,133 @@ pub fn verify(
         (&sig.tags.t1, &e_e.neg()),
         (&pk.a0, &c_int.neg()),
     ]);
+    [b1, b2, b3, b4, b5, b6] == sig.b
+}
 
-    let c_prime = pk
-        .transcript_for(message, &sig.tags, &[b1, b2, b3, b4, b5, b6])
-        .challenge(params.k);
-    if &c_prime == c {
-        Ok(())
-    } else {
-        Err(GsigError::InvalidSignature)
+/// Batch `Verify`: checks `k` `(message, signature)` pairs with one
+/// random-linear-combination check over the pooled group equations (see
+/// [`crate::batch`]). The `expected_t7` pin (self-distinction mode)
+/// applies to every signature and runs in the individual precheck; only
+/// the group equations are combined, and a failed combination is
+/// bisected to isolate the offending indices. Agrees with calling
+/// [`verify`] on every pair up to the 2⁻¹²⁸ RLC soundness bound.
+///
+/// Revocation is *not* checked here — pair with
+/// [`crate::crl::Crl::is_revoked`] per surviving signature (the check is
+/// memoized and signature-local, so it does not batch).
+pub fn verify_batch(
+    pk: &GroupPublicKey,
+    items: &[(&[u8], &Signature)],
+    expected_t7: Option<&Ubig>,
+) -> BatchOutcome {
+    let mut bad = Vec::new();
+    let mut survivors = Vec::new();
+    for (i, (message, sig)) in items.iter().enumerate() {
+        if precheck(pk, message, sig, expected_t7).is_ok() {
+            survivors.push(i);
+        } else {
+            bad.push(i);
+        }
     }
+    if !survivors.is_empty() {
+        let digest = batch_digest(pk, items);
+        let mut rlc = |subset: &[usize]| rlc_holds(pk, items, subset, &digest);
+        batch::isolate_invalid(&survivors, &mut rlc, &mut bad);
+    }
+    BatchOutcome::from_invalid(bad)
+}
+
+/// Binds the coefficient DRBG to the entire batch content, so the
+/// combination coefficients are fixed only after every signature is.
+fn batch_digest(pk: &GroupPublicKey, items: &[(&[u8], &Signature)]) -> Vec<u8> {
+    let mut tr = Transcript::new("shs-gsig-ky-batch");
+    tr.append_ubig("n", pk.rsa.n());
+    for (message, sig) in items {
+        tr.append("m", message);
+        for (i, tag) in sig.tags.as_array().iter().enumerate() {
+            tr.append_ubig(&format!("T{}", i + 1), tag);
+        }
+        for (i, bi) in sig.b.iter().enumerate() {
+            tr.append_ubig(&format!("B{}", i + 1), bi);
+        }
+        tr.append_ubig("c", &sig.c);
+        tr.append_int("s_x", &sig.s_x);
+        tr.append_int("s_xp", &sig.s_xp);
+        tr.append_int("s_e", &sig.s_e);
+        tr.append_int("s_r", &sig.s_r);
+        tr.append_int("s_h", &sig.s_h);
+    }
+    tr.challenge(256).to_bytes_be()
+}
+
+/// The combined group equation over `subset`:
+/// `Π B_{i,j}^{z_{i,j}} == Π RHS_{i,j}^{z_{i,j}}`, two multi-exps.
+/// Exponents of the shared bases `g, h, a, b, y, a0` accumulate across
+/// the subset, so their ladder cost is paid once per batch.
+fn rlc_holds(
+    pk: &GroupPublicKey,
+    items: &[(&[u8], &Signature)],
+    subset: &[usize],
+    digest: &[u8],
+) -> bool {
+    let params = &pk.params;
+    let rsa = &pk.rsa;
+    let mut coeffs = batch::CoeffStream::new("shs-gsig-ky", digest, subset);
+    let mut e_g = Int::zero();
+    let mut e_h = Int::zero();
+    let mut e_a = Int::zero();
+    let mut e_b = Int::zero();
+    let mut e_y = Int::zero();
+    let mut e_a0 = Int::zero();
+    let mut lhs: Vec<(&Ubig, Int)> = Vec::with_capacity(6 * subset.len());
+    let mut per_sig: Vec<(&Ubig, Int)> = Vec::with_capacity(6 * subset.len());
+    for &i in subset {
+        let sig = items[i].1;
+        let tags = &sig.tags;
+        let c = Int::from_ubig(sig.c.clone());
+        let e_e = proofs::shifted(&sig.s_e, &sig.c, params.gamma1);
+        let e_x = proofs::shifted(&sig.s_x, &sig.c, params.lambda1);
+        let e_xp = proofs::shifted(&sig.s_xp, &sig.c, params.lambda1);
+        let z1 = coeffs.next_coeff();
+        let z2 = coeffs.next_coeff();
+        let z3 = coeffs.next_coeff();
+        let z4 = coeffs.next_coeff();
+        let z5 = coeffs.next_coeff();
+        let z6 = coeffs.next_coeff();
+        // B1 = g^{s_r} T2^c and B3 = T2^{E_e} g^{-s_h} share base T2.
+        e_g = e_g.add(&z1.mul(&sig.s_r)).sub(&z3.mul(&sig.s_h));
+        per_sig.push((&tags.t2, z1.mul(&c).add(&z3.mul(&e_e))));
+        // B2 = g^{E_e} h^{s_r} T3^c.
+        e_g = e_g.add(&z2.mul(&e_e));
+        e_h = e_h.add(&z2.mul(&sig.s_r));
+        per_sig.push((&tags.t3, z2.mul(&c)));
+        // B4 = T5^{E_x} T4^c.
+        per_sig.push((&tags.t5, z4.mul(&e_x)));
+        per_sig.push((&tags.t4, z4.mul(&c)));
+        // B5 = T7^{E_xp} T6^c.
+        per_sig.push((&tags.t7, z5.mul(&e_xp)));
+        per_sig.push((&tags.t6, z5.mul(&c)));
+        // B6 = a^{E_x} b^{E_xp} y^{s_h} T1^{-E_e} a0^{-c}.
+        e_a = e_a.add(&z6.mul(&e_x));
+        e_b = e_b.add(&z6.mul(&e_xp));
+        e_y = e_y.add(&z6.mul(&sig.s_h));
+        e_a0 = e_a0.sub(&z6.mul(&c));
+        per_sig.push((&tags.t1, z6.mul(&e_e).neg()));
+        for (bi, z) in sig.b.iter().zip([z1, z2, z3, z4, z5, z6]) {
+            lhs.push((bi, z));
+        }
+    }
+    let mut rhs_terms: Vec<(&Ubig, &Int)> = vec![
+        (&pk.g, &e_g),
+        (&pk.h, &e_h),
+        (&pk.a, &e_a),
+        (&pk.b, &e_b),
+        (&pk.y, &e_y),
+        (&pk.a0, &e_a0),
+    ];
+    rhs_terms.extend(per_sig.iter().map(|(base, e)| (*base, e)));
+    let lhs_terms: Vec<(&Ubig, &Int)> = lhs.iter().map(|(base, e)| (*base, e)).collect();
+    rsa.multi_exp_vartime(&lhs_terms) == rsa.multi_exp_vartime(&rhs_terms)
 }
 
 /// Verifies a signature against a CRL of VLR tokens: the signature must be

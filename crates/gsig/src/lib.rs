@@ -10,6 +10,9 @@
 //!   (the basis cited for instantiation §8.1), with full-anonymity but no
 //!   signature-level revocation (see DESIGN.md §2.2 for the trade-off this
 //!   reproduces).
+//! * [`batch`] — random-linear-combination batch verification shared by
+//!   both schemes (`verify_batch` + bisection fallback), amortizing the
+//!   public-data verify equations across k signatures.
 //! * [`crl`] — the versioned certificate-revocation list distributed to
 //!   members inside encrypted CGKD updates.
 //! * [`accumulator`] — a Camenisch–Lysyanskaya dynamic accumulator, the
@@ -25,6 +28,7 @@
 
 pub mod accumulator;
 pub mod acjt;
+pub mod batch;
 pub mod crl;
 pub mod fixtures;
 pub mod ky;

@@ -1,0 +1,224 @@
+//! Property equivalence: `verify_batch` agrees with per-signature
+//! `verify` for ACJT and KY — including planted corruptions (bisection
+//! isolates exactly the bad indices), empty batches and batch-size-1
+//! degeneration.
+
+use proptest::prelude::*;
+use shs_bigint::Int;
+use shs_crypto::drbg::HmacDrbg;
+use shs_gsig::batch::BatchOutcome;
+use shs_gsig::params::{GsigParams, GsigPreset};
+use shs_gsig::{acjt, fixtures, ky};
+use std::sync::OnceLock;
+
+/// What to do to entry `i` of the batch after signing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tamper {
+    /// Leave it valid.
+    Valid,
+    /// Bump a response: the challenge binding `(m, T, B)` still holds,
+    /// so only the combined group equations can catch it — this is the
+    /// corruption that exercises the RLC + bisection path.
+    Response,
+    /// Swap the message: caught by the individual challenge precheck,
+    /// never reaching the combination.
+    Message,
+}
+
+fn tamper_strategy() -> impl Strategy<Value = Tamper> {
+    prop_oneof![
+        4 => Just(Tamper::Valid),
+        1 => Just(Tamper::Response),
+        1 => Just(Tamper::Message),
+    ]
+}
+
+fn acjt_group() -> &'static (acjt::GroupManager, Vec<acjt::MemberKey>) {
+    static GROUP: OnceLock<(acjt::GroupManager, Vec<acjt::MemberKey>)> = OnceLock::new();
+    GROUP.get_or_init(|| {
+        let (rsa, rsa_secret) = fixtures::test_rsa_setting().clone();
+        let params = GsigParams::preset(GsigPreset::Test);
+        let mut rng = HmacDrbg::from_seed(b"batch-equiv-acjt");
+        let mut gm = acjt::GroupManager::setup_with_rsa(params, rsa, rsa_secret, &mut rng);
+        let mut keys = Vec::new();
+        for _ in 0..3 {
+            let (secret, req) = acjt::start_join(gm.public_key(), &mut rng);
+            let resp = gm.admit(&req, &mut rng).unwrap();
+            keys.push(acjt::finish_join(gm.public_key(), secret, &resp).unwrap());
+        }
+        (gm, keys)
+    })
+}
+
+fn bump_int(v: &Int) -> Int {
+    v.add(&Int::from_i64(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn acjt_batch_matches_sequential(
+        tampers in prop::collection::vec(tamper_strategy(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let (gm, keys) = acjt_group();
+        let pk = gm.public_key();
+        let mut rng = HmacDrbg::from_seed(&seed.to_be_bytes());
+        let mut msgs: Vec<Vec<u8>> = Vec::new();
+        let mut sigs: Vec<acjt::Signature> = Vec::new();
+        for (i, tamper) in tampers.iter().enumerate() {
+            let msg = format!("acjt-batch-{seed}-{i}").into_bytes();
+            let mut sig = acjt::sign(pk, &keys[i % keys.len()], &msg, &mut rng);
+            let mut msg = msg;
+            match tamper {
+                Tamper::Valid => {}
+                Tamper::Response => sig.s_w = bump_int(&sig.s_w),
+                Tamper::Message => msg.push(0xff),
+            }
+            msgs.push(msg);
+            sigs.push(sig);
+        }
+        let items: Vec<(&[u8], &acjt::Signature)> = msgs
+            .iter()
+            .map(Vec::as_slice)
+            .zip(sigs.iter())
+            .collect();
+        let outcome = acjt::verify_batch(pk, &items);
+        let expected: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, s))| acjt::verify(pk, m, s).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(outcome.invalid(), &expected[..]);
+        prop_assert_eq!(outcome.all_valid(), expected.is_empty());
+    }
+
+    #[test]
+    fn ky_batch_matches_sequential(
+        tampers in prop::collection::vec(tamper_strategy(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let (gm, keys) = fixtures::group_with_members(3);
+        let pk = gm.public_key();
+        let mut rng = HmacDrbg::from_seed(&seed.to_be_bytes());
+        let mut msgs: Vec<Vec<u8>> = Vec::new();
+        let mut sigs: Vec<ky::Signature> = Vec::new();
+        for (i, tamper) in tampers.iter().enumerate() {
+            let msg = format!("ky-batch-{seed}-{i}").into_bytes();
+            let mut sig = ky::sign(pk, &keys[i % keys.len()], &msg, ky::SignBasis::Random, &mut rng);
+            let mut msg = msg;
+            match tamper {
+                Tamper::Valid => {}
+                Tamper::Response => sig.s_r = bump_int(&sig.s_r),
+                Tamper::Message => msg.push(0xff),
+            }
+            msgs.push(msg);
+            sigs.push(sig);
+        }
+        let items: Vec<(&[u8], &ky::Signature)> = msgs
+            .iter()
+            .map(Vec::as_slice)
+            .zip(sigs.iter())
+            .collect();
+        let outcome = ky::verify_batch(pk, &items, None);
+        let expected: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, s))| ky::verify(pk, m, s, None).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(outcome.invalid(), &expected[..]);
+        prop_assert_eq!(outcome.all_valid(), expected.is_empty());
+    }
+}
+
+#[test]
+fn empty_batch_is_all_valid() {
+    let (gm, _) = fixtures::group_with_members(1);
+    assert_eq!(
+        ky::verify_batch(gm.public_key(), &[], None),
+        BatchOutcome::AllValid
+    );
+    let (gm, _) = acjt_group();
+    assert_eq!(
+        acjt::verify_batch(gm.public_key(), &[]),
+        BatchOutcome::AllValid
+    );
+}
+
+#[test]
+fn batch_of_one_degenerates_to_verify() {
+    let (gm, keys) = fixtures::group_with_members(1);
+    let pk = gm.public_key();
+    let mut rng = HmacDrbg::from_seed(b"batch-of-one");
+    let msg = b"lone signature".to_vec();
+    let sig = ky::sign(pk, &keys[0], &msg, ky::SignBasis::Random, &mut rng);
+    assert_eq!(
+        ky::verify_batch(pk, &[(&msg, &sig)], None),
+        BatchOutcome::AllValid
+    );
+    let mut bad = sig.clone();
+    bad.s_r = bump_int(&bad.s_r);
+    assert_eq!(
+        ky::verify_batch(pk, &[(&msg, &bad)], None),
+        BatchOutcome::Invalid(vec![0])
+    );
+}
+
+#[test]
+fn bisection_isolates_single_corruption_in_large_batch() {
+    let (gm, keys) = fixtures::group_with_members(3);
+    let pk = gm.public_key();
+    let mut rng = HmacDrbg::from_seed(b"bisect-8");
+    let msgs: Vec<Vec<u8>> = (0..8).map(|i| format!("bisect-{i}").into_bytes()).collect();
+    let mut sigs: Vec<ky::Signature> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            ky::sign(
+                pk,
+                &keys[i % keys.len()],
+                m,
+                ky::SignBasis::Random,
+                &mut rng,
+            )
+        })
+        .collect();
+    // Equation-level corruption: survives precheck, so only the RLC
+    // combination (and then bisection) can pin it down.
+    sigs[3].s_r = bump_int(&sigs[3].s_r);
+    let items: Vec<(&[u8], &ky::Signature)> =
+        msgs.iter().map(Vec::as_slice).zip(sigs.iter()).collect();
+    assert_eq!(
+        ky::verify_batch(pk, &items, None),
+        BatchOutcome::Invalid(vec![3])
+    );
+}
+
+#[test]
+fn common_basis_pin_applies_to_whole_batch() {
+    let (gm, keys) = fixtures::group_with_members(2);
+    let pk = gm.public_key();
+    let mut rng = HmacDrbg::from_seed(b"pin-batch");
+    let basis = b"session transcript bytes";
+    let msgs: Vec<Vec<u8>> = (0..2).map(|i| format!("pin-{i}").into_bytes()).collect();
+    let sigs: Vec<ky::Signature> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| ky::sign(pk, &keys[i], m, ky::SignBasis::Common(basis), &mut rng))
+        .collect();
+    let items: Vec<(&[u8], &ky::Signature)> =
+        msgs.iter().map(Vec::as_slice).zip(sigs.iter()).collect();
+    let pin = pk.common_t7(basis);
+    assert_eq!(
+        ky::verify_batch(pk, &items, Some(&pin)),
+        BatchOutcome::AllValid
+    );
+    let wrong = pk.common_t7(b"some other session");
+    assert_eq!(
+        ky::verify_batch(pk, &items, Some(&wrong)),
+        BatchOutcome::Invalid(vec![0, 1])
+    );
+}

@@ -8,8 +8,17 @@
 //!   Completed/Aborted`) only moves along legal edges
 //!   ([`registry::SessionRegistry::transition`] refuses and counts
 //!   anything else).
-//! * **Backpressure** — the submission queue is bounded; when it is
-//!   full, admission control sheds the session *with decoy traffic*
+//! * **Sharding** — the registry is split into one shard per worker.
+//!   Sessions are pinned to a shard by `id % workers`, each worker owns
+//!   its shard's queue outright (no shared receiver lock), and in the
+//!   steady state a worker only ever touches its own shard's mutex, so
+//!   workers never contend. Cross-shard traffic happens in exactly one
+//!   place: admission, where a submission whose pinned queue is full is
+//!   *stolen* onto the least-loaded sibling queue (the stolen item still
+//!   records into its owning shard's registry, keeping id → shard lookup
+//!   a pure modulus).
+//! * **Backpressure** — every shard queue is bounded; when all of them
+//!   are full, admission control sheds the session *with decoy traffic*
 //!   ([`shed::ShapeBook`]) so outsiders cannot distinguish a shed
 //!   session from a served-and-failed one.
 //! * **Survivor re-formation** — when an attempt aborts, slot liveness
@@ -43,10 +52,10 @@ pub use session::{
 pub use shed::{backoff_delay, DecoyShape, ShapeBook};
 
 use crate::observe::TrafficLog;
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use session::DriveConfig;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -122,71 +131,94 @@ impl Submitted {
 
 struct WorkItem {
     id: SessionId,
+    /// Index of the shard registry this session lives in — `id % n` at
+    /// admission. Carried explicitly so a *stolen* item (executed by a
+    /// sibling worker) still records into its owning shard.
+    shard: usize,
     spec: SessionSpec,
 }
 
 /// The multi-session handshake service. See the module docs.
 pub struct Service {
     config: ServiceConfig,
-    registry: Arc<Mutex<SessionRegistry>>,
+    /// One registry shard per worker; session `id` lives in
+    /// `shards[id % shards.len()]`.
+    shards: Arc<Vec<Mutex<SessionRegistry>>>,
     shapes: Arc<Mutex<ShapeBook>>,
     draining: Arc<AtomicBool>,
-    queue: Option<Sender<WorkItem>>,
+    /// Global id allocator — the only cross-shard state touched on the
+    /// admission fast path.
+    next_id: Arc<AtomicU64>,
+    /// Per-worker submission queues; cleared on shutdown to disconnect
+    /// the workers.
+    queues: Vec<Sender<WorkItem>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
     /// Starts the worker pool and returns the running service.
     pub fn start(config: ServiceConfig) -> Service {
-        let registry = Arc::new(Mutex::new(SessionRegistry::new()));
+        let n = config.workers.max(1);
+        let shards: Arc<Vec<Mutex<SessionRegistry>>> =
+            Arc::new((0..n).map(|_| Mutex::new(SessionRegistry::new())).collect());
         let shapes = Arc::new(Mutex::new(ShapeBook::new()));
         let draining = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = bounded::<WorkItem>(config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        // The configured capacity bounds the *total* queued work, split
+        // evenly across the per-worker queues.
+        let per_queue = config.queue_capacity.max(1).div_ceil(n).max(1);
         let drive_cfg = DriveConfig {
             backoff_base: config.backoff_base,
             backoff_cap: config.backoff_cap,
             seed: config.seed,
         };
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let registry = Arc::clone(&registry);
-                let shapes = Arc::clone(&shapes);
-                let draining = Arc::clone(&draining);
-                let rx = Arc::clone(&rx);
-                thread::spawn(move || loop {
-                    // Take the next item while holding the queue lock
-                    // only briefly; the timeout keeps idle workers
-                    // responsive to a disconnect.
-                    let next = rx.lock().recv_timeout(Duration::from_millis(25));
-                    match next {
-                        Ok(item) => {
-                            let roster_len = item.spec.job.roster_len();
-                            let summary =
-                                session::drive(&registry, &draining, drive_cfg, item.id, item.spec);
-                            if let Some(traffic) = summary.clean_traffic {
-                                shapes.lock().learn(roster_len, &traffic);
-                            }
+        let mut queues = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<WorkItem>(per_queue);
+            queues.push(tx);
+            let shards = Arc::clone(&shards);
+            let shapes = Arc::clone(&shapes);
+            let draining = Arc::clone(&draining);
+            workers.push(thread::spawn(move || loop {
+                // The worker owns its receiver outright — no dequeue
+                // contention; the timeout keeps idle workers responsive
+                // to a disconnect.
+                match rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(item) => {
+                        let roster_len = item.spec.job.roster_len();
+                        let summary = session::drive(
+                            &shards[item.shard],
+                            &draining,
+                            drive_cfg,
+                            item.id,
+                            item.spec,
+                        );
+                        if let Some(traffic) = summary.clean_traffic {
+                            shapes.lock().learn(roster_len, &traffic);
                         }
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                })
-            })
-            .collect();
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }));
+        }
         Service {
             config,
-            registry,
+            shards,
             shapes,
             draining,
-            queue: Some(tx),
+            next_id: Arc::new(AtomicU64::new(0)),
+            queues,
             workers,
         }
     }
 
-    /// Submits a session. Admission control applies here: a full queue
-    /// (or a draining service) sheds the submission with decoy traffic
-    /// instead of queueing it, and the shed entry is terminal at once.
+    /// Submits a session. Admission control applies here: the session is
+    /// pinned to shard `id % workers` and offered to that worker's
+    /// queue first; if the pinned queue is full the item is stolen onto
+    /// the next sibling with room. Only when *every* queue is full (or
+    /// the service is draining) is the submission shed with decoy
+    /// traffic, and the shed entry is terminal at once.
     pub fn submit(&self, mut spec: SessionSpec) -> Submitted {
         if spec.deadline == Duration::ZERO {
             spec.deadline = self.config.default_deadline;
@@ -195,14 +227,23 @@ impl Service {
             spec.max_attempts = self.config.default_max_attempts;
         }
         let roster_len = spec.job.roster_len();
-        let id = self
-            .registry
+        let n = self.queues.len();
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let shard = (id % n as u64) as usize;
+        self.shards[shard]
             .lock()
-            .admit(roster_len, Instant::now() + spec.deadline);
+            .admit_with_id(id, roster_len, Instant::now() + spec.deadline);
         if !self.draining.load(Ordering::SeqCst) {
-            if let Some(tx) = &self.queue {
-                if tx.try_send(WorkItem { id, spec }).is_ok() {
-                    return Submitted::Queued(id);
+            let mut item = WorkItem { id, shard, spec };
+            for offset in 0..n {
+                let q = (shard + offset) % n;
+                match self.queues[q].try_send(item) {
+                    Ok(()) => return Submitted::Queued(id),
+                    // The shim's try_send hands the message back either
+                    // way; reclaim it and try the next sibling queue.
+                    Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                        item = back;
+                    }
                 }
             }
         }
@@ -213,7 +254,7 @@ impl Service {
             .lock()
             .template(roster_len)
             .map(|t| t.synthesize(self.config.seed ^ id.wrapping_mul(0x9e37)));
-        let mut reg = self.registry.lock();
+        let mut reg = self.shards[shard].lock();
         let _ = reg.transition(id, SessionState::Aborted, Some(TerminalClass::Shed));
         if let Some(d) = &decoy {
             let _ = reg.set_decoy_traffic(id, d.clone());
@@ -221,12 +262,17 @@ impl Service {
         Submitted::Shed { id, decoy }
     }
 
+    /// Non-terminal sessions across every shard.
+    fn total_active(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().active()).sum()
+    }
+
     /// Blocks until every admitted session is terminal or `timeout`
     /// passes; returns whether the registry went fully terminal.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.registry.lock().active() == 0 {
+            if self.total_active() == 0 {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -243,10 +289,10 @@ impl Service {
     pub fn shutdown(mut self, grace: Duration) -> DrainReport {
         let start = Instant::now();
         self.draining.store(true, Ordering::SeqCst);
-        let (swept, running_at_drain) = {
-            let mut reg = self.registry.lock();
-            let mut swept = 0u64;
-            let mut running = 0u64;
+        let mut swept = 0u64;
+        let mut running_at_drain = 0u64;
+        for shard in self.shards.iter() {
+            let mut reg = shard.lock();
             for e in reg.snapshot() {
                 match e.state {
                     SessionState::Gathering
@@ -258,21 +304,20 @@ impl Service {
                     }
                     SessionState::Running => {
                         let _ = reg.transition(e.id, SessionState::Draining, None);
-                        running += 1;
+                        running_at_drain += 1;
                     }
                     _ => {}
                 }
             }
-            (swept, running)
-        };
-        // Closing the queue lets idle workers exit; busy workers exit
+        }
+        // Dropping the senders lets idle workers exit; busy workers exit
         // after their in-flight session terminates.
-        self.queue = None;
+        self.queues.clear();
         let deadline = start + grace;
-        while self.registry.lock().active() > 0 && Instant::now() < deadline {
+        while self.total_active() > 0 && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(2));
         }
-        let leaked = self.registry.lock().active() as u64;
+        let leaked = self.total_active() as u64;
         if leaked == 0 {
             for h in self.workers.drain(..) {
                 let _ = h.join();
@@ -282,29 +327,43 @@ impl Service {
             swept_from_queue: swept,
             finished_in_grace: running_at_drain.saturating_sub(leaked),
             leaked,
-            backpressure_dropped: self.registry.lock().stats().backpressure_dropped,
+            backpressure_dropped: self.stats().backpressure_dropped,
             elapsed: start.elapsed(),
         }
     }
 
-    /// Aggregate registry counters.
+    /// Aggregate registry counters: the field-wise sum over every shard.
     pub fn stats(&self) -> RegistryStats {
-        self.registry.lock().stats()
+        let mut total = RegistryStats::default();
+        for shard in self.shards.iter() {
+            total.absorb(&shard.lock().stats());
+        }
+        total
     }
 
-    /// A clone of one registry entry.
+    /// A clone of one registry entry (looked up in its pinned shard).
     pub fn entry(&self, id: SessionId) -> Option<SessionEntry> {
-        self.registry.lock().entry(id)
+        self.shards[(id % self.shards.len() as u64) as usize]
+            .lock()
+            .entry(id)
     }
 
-    /// Clones of every registry entry, in id order.
+    /// Clones of every registry entry across all shards, in id order.
     pub fn snapshot(&self) -> Vec<SessionEntry> {
-        self.registry.lock().snapshot()
+        let mut all: Vec<SessionEntry> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().snapshot())
+            .collect();
+        all.sort_unstable_by_key(|e| e.id);
+        all
     }
 
-    /// Ids of non-terminal sessions (the leak check).
+    /// Ids of non-terminal sessions across all shards (the leak check).
     pub fn leaks(&self) -> Vec<SessionId> {
-        self.registry.lock().leaks()
+        let mut ids: Vec<SessionId> = self.shards.iter().flat_map(|s| s.lock().leaks()).collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Roster sizes the shape book can already imitate.
@@ -417,5 +476,70 @@ mod tests {
         // Swept sessions must be classified Drained, not left dangling.
         // (The service is gone; inspect via the report only.)
         let _ = queued;
+    }
+
+    #[test]
+    fn stats_and_snapshot_aggregate_across_shards() {
+        let svc = Service::start(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<_> = (0..7).map(|_| svc.submit(sleepy(2, 1)).id()).collect();
+        assert!(svc.wait_idle(Duration::from_secs(10)));
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 7, "per-shard admissions must sum");
+        assert_eq!(stats.completed, 7);
+        // Every id resolves through its pinned shard, and the snapshot
+        // is globally id-ordered despite being stored shard-wise.
+        for id in &ids {
+            assert!(svc.entry(*id).is_some());
+        }
+        let snap_ids: Vec<_> = svc.snapshot().iter().map(|e| e.id).collect();
+        assert_eq!(snap_ids, ids);
+        assert!(svc.leaks().is_empty());
+        assert!(svc.shutdown(Duration::from_secs(5)).clean());
+    }
+
+    #[test]
+    fn full_pinned_queue_steals_to_sibling_instead_of_shedding() {
+        // Two workers, one slot per queue. Occupy worker 0 with a long
+        // session and park another item in its queue; the next session
+        // pinned to shard 0 must then be stolen onto queue 1 (queued,
+        // not shed) while still registering in shard 0.
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let long = svc.submit(sleepy(2, 400)).id(); // id 0 → shard 0
+        thread::sleep(Duration::from_millis(60)); // worker 0 claims it
+        let short = svc.submit(sleepy(2, 0)).id(); // id 1 → shard 1
+
+        // Wait for worker 1 to finish id 1 so its queue has room.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.entry(short).unwrap().class.is_none() {
+            assert!(Instant::now() < deadline, "short session never finished");
+            thread::sleep(Duration::from_millis(2));
+        }
+        let parked = svc.submit(sleepy(2, 0)); // id 2 → shard 0, fills queue 0
+        assert!(parked.queued());
+        let stolen = svc.submit(sleepy(2, 0)); // id 3 → shard 1 → queue 1
+        assert!(stolen.queued());
+        // Let worker 1 drain id 3 so queue 1 has a free slot again.
+        while svc.entry(stolen.id()).unwrap().class.is_none() {
+            assert!(Instant::now() < deadline, "queue-1 session never finished");
+            thread::sleep(Duration::from_millis(2));
+        }
+        let stolen2 = svc.submit(sleepy(2, 0)); // id 4 → shard 0: queue 0 full → steal
+        assert!(
+            stolen2.queued(),
+            "submission with a full pinned queue must steal, not shed"
+        );
+        assert!(svc.wait_idle(Duration::from_secs(10)));
+        for id in [long, parked.id(), stolen.id(), stolen2.id()] {
+            assert_eq!(svc.entry(id).unwrap().class, Some(TerminalClass::Accepted));
+        }
+        assert_eq!(svc.stats().submitted, 5);
+        assert!(svc.shutdown(Duration::from_secs(5)).clean());
     }
 }

@@ -192,12 +192,32 @@ pub struct RegistryStats {
     pub backpressure_dropped: u64,
 }
 
+impl RegistryStats {
+    /// Adds another registry's counters into this one — every field is
+    /// additive, so the sharded service's aggregate view is the
+    /// field-wise sum of its per-shard registries.
+    pub fn absorb(&mut self, other: &RegistryStats) {
+        self.submitted += other.submitted;
+        self.active += other.active;
+        self.completed += other.completed;
+        self.aborted += other.aborted;
+        self.shed += other.shed;
+        self.attempts += other.attempts;
+        self.reformations += other.reformations;
+        self.illegal_transitions += other.illegal_transitions;
+        self.backpressure_dropped += other.backpressure_dropped;
+    }
+}
+
 /// The session registry (interior mutability is the caller's concern;
-/// the service wraps it in a mutex).
+/// the service wraps it in a mutex — one mutex per shard when sharded).
 #[derive(Debug, Default)]
 pub struct SessionRegistry {
     entries: BTreeMap<SessionId, SessionEntry>,
     next_id: SessionId,
+    /// Sessions ever admitted here. Distinct from `entries.len()`:
+    /// eviction removes entries but admission history stands.
+    admitted: u64,
     illegal_transitions: u64,
 }
 
@@ -211,7 +231,17 @@ impl SessionRegistry {
     /// its id.
     pub fn admit(&mut self, roster_len: usize, deadline: Instant) -> SessionId {
         let id = self.next_id;
-        self.next_id += 1;
+        self.admit_with_id(id, roster_len, deadline);
+        id
+    }
+
+    /// Admits a new session under a caller-chosen id — the sharded
+    /// service allocates ids from one global counter and pins each
+    /// session to a shard registry by id, so the id arrives from
+    /// outside. Self-allocation stays collision-free afterwards.
+    pub fn admit_with_id(&mut self, id: SessionId, roster_len: usize, deadline: Instant) {
+        self.next_id = self.next_id.max(id + 1);
+        self.admitted += 1;
         let now = Instant::now();
         self.entries.insert(
             id,
@@ -229,7 +259,6 @@ impl SessionRegistry {
                 deadline,
             },
         );
-        id
     }
 
     /// Moves a session along a lifecycle edge. Terminal targets require
@@ -371,7 +400,7 @@ impl SessionRegistry {
     /// Aggregate counters.
     pub fn stats(&self) -> RegistryStats {
         let mut s = RegistryStats {
-            submitted: self.next_id,
+            submitted: self.admitted,
             illegal_transitions: self.illegal_transitions,
             ..RegistryStats::default()
         };
