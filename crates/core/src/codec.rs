@@ -2,6 +2,12 @@
 //! a handshake: group signatures (`σ`), tracing ciphertexts (`δ`) and CRL
 //! deltas. All widths are functions of the public parameters only, so
 //! every real payload has the exact length of its decoy.
+//!
+//! These layouts are versioned by the transport's wire version
+//! (`shs_net::tcp::frame::VERSION`): signatures transmit their PoK
+//! commitment vectors `B` since v2, which changed every σ width, so
+//! changing a layout here requires bumping that constant (v1 peers are
+//! then refused at the framing handshake instead of mis-decoding).
 
 use crate::wire::{Reader, WireError, Writer};
 use shs_bigint::Ubig;

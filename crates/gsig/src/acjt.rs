@@ -505,6 +505,35 @@ pub fn sign(
     message: &[u8],
     rng: &mut (impl RngCore + ?Sized),
 ) -> Signature {
+    sign_inner(pk, key, message, None, rng)
+}
+
+/// Adversarial test hook: signs honestly but negates commitment
+/// `B_{j+1}` (`B ← n − B`) before the challenge, then derives `c` and
+/// the responses against the negated vector. The group equations of the
+/// result hold only up to sign — the canonical order-2 probe for
+/// single/batch verifier agreement. Both verifiers compare in `QR(n)`
+/// and accept (benign signer-only malleability); before the squared
+/// comparison, the batch RLC accepted this for half of all coefficient
+/// draws while per-signature `verify` rejected it.
+#[doc(hidden)]
+pub fn sign_negated(
+    pk: &GroupPublicKey,
+    key: &MemberKey,
+    message: &[u8],
+    j: usize,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Signature {
+    sign_inner(pk, key, message, Some(j), rng)
+}
+
+fn sign_inner(
+    pk: &GroupPublicKey,
+    key: &MemberKey,
+    message: &[u8],
+    negate: Option<usize>,
+    rng: &mut (impl RngCore + ?Sized),
+) -> Signature {
     let params = &pk.params;
     let rsa = &pk.rsa;
 
@@ -531,7 +560,10 @@ pub fn sign(
         &rsa.exp_signed(&t1, &rho_e.neg()),
     );
 
-    let b = [b1, b2, b3, b4];
+    let mut b = [b1, b2, b3, b4];
+    if let Some(j) = negate {
+        b[j] = rsa.n().sub(&b[j]);
+    }
     let c = pk
         .transcript_for(message, &[&t1, &t2, &t3], &b)
         .challenge(params.k);
@@ -597,10 +629,13 @@ fn precheck(pk: &GroupPublicKey, message: &[u8], sig: &Signature) -> Result<(), 
     }
 }
 
-/// The four group equations against the transmitted commitments.
-/// Verification operates on broadcast data only, so each B product is
-/// one vartime Straus multi-exp: shared squaring chain across the bases
-/// instead of one full ladder per base.
+/// The four group equations against the transmitted commitments,
+/// compared in `QR(n)`: both sides are squared, so equality is up to a
+/// square root of 1 — and `±1` is the only one computable without
+/// factoring `n`, making this the same quotient the batch RLC combines
+/// in (see `crate::batch`). Verification operates on broadcast data
+/// only, so each B product is one vartime Straus multi-exp: shared
+/// squaring chain across the bases instead of one full ladder per base.
 fn equations_hold(pk: &GroupPublicKey, sig: &Signature) -> bool {
     let params = &pk.params;
     let rsa = &pk.rsa;
@@ -616,15 +651,21 @@ fn equations_hold(pk: &GroupPublicKey, sig: &Signature) -> bool {
         (&sig.t1, &e_e.neg()),
         (&pk.a0, &c_int.neg()),
     ]);
-    [b1, b2, b3, b4] == sig.b
+    [b1, b2, b3, b4]
+        .iter()
+        .zip(sig.b.iter())
+        .all(|(rhs, b)| rsa.mul(rhs, rhs) == rsa.mul(b, b))
 }
 
 /// Batch `Verify`: checks `k` `(message, signature)` pairs with one
 /// random-linear-combination check over the pooled group equations (see
 /// [`crate::batch`]). Per-signature prechecks still run individually;
 /// only the group equations are combined, and a failed combination is
-/// bisected to isolate the offending indices. Agrees with calling
-/// [`verify`] on every pair up to the 2⁻¹²⁸ RLC soundness bound.
+/// bisected to isolate the offending indices. Both paths compare the
+/// equations in `QR(n)` (squared sides / doubled coefficients), so this
+/// agrees with calling [`verify`] on every pair — including order-2
+/// sign-malleated commitments, which both accept — up to the 2⁻¹²⁸ RLC
+/// soundness bound.
 pub fn verify_batch(pk: &GroupPublicKey, items: &[(&[u8], &Signature)]) -> BatchOutcome {
     let mut bad = Vec::new();
     let mut survivors = Vec::new();
@@ -666,9 +707,14 @@ fn batch_digest(pk: &GroupPublicKey, items: &[(&[u8], &Signature)]) -> Vec<u8> {
 }
 
 /// The combined group equation over `subset`:
-/// `Π B_{i,j}^{z_{i,j}} == Π RHS_{i,j}^{z_{i,j}}`, two multi-exps.
-/// Exponents of the shared bases `g, h, a, y, a0` accumulate across the
-/// subset, so their ladder cost is paid once per batch.
+/// `Π B_{i,j}^{2·z_{i,j}} == Π RHS_{i,j}^{2·z_{i,j}}`, two multi-exps.
+/// Doubling every coefficient squares both sides, i.e. compares in
+/// `QR(n)` exactly like the per-signature [`equations_hold`] — an
+/// order-2 deviation (`±1`, the only small-order element computable
+/// without factoring `n`) cancels on *every* draw instead of slipping
+/// through even coefficients (see `crate::batch`). Exponents of the
+/// shared bases `g, h, a, y, a0` accumulate across the subset, so their
+/// ladder cost is paid once per batch.
 fn rlc_holds(
     pk: &GroupPublicKey,
     items: &[(&[u8], &Signature)],
@@ -677,6 +723,7 @@ fn rlc_holds(
 ) -> bool {
     let params = &pk.params;
     let rsa = &pk.rsa;
+    let two = Int::from_i64(2);
     let mut coeffs = batch::CoeffStream::new("shs-gsig-acjt", digest, subset);
     let mut e_g = Int::zero();
     let mut e_h = Int::zero();
@@ -690,10 +737,10 @@ fn rlc_holds(
         let c = Int::from_ubig(sig.c.clone());
         let e_e = proofs::shifted(&sig.s_e, &sig.c, params.gamma1);
         let e_x = proofs::shifted(&sig.s_x, &sig.c, params.lambda1);
-        let z1 = coeffs.next_coeff();
-        let z2 = coeffs.next_coeff();
-        let z3 = coeffs.next_coeff();
-        let z4 = coeffs.next_coeff();
+        let z1 = coeffs.next_coeff().mul(&two);
+        let z2 = coeffs.next_coeff().mul(&two);
+        let z3 = coeffs.next_coeff().mul(&two);
+        let z4 = coeffs.next_coeff().mul(&two);
         // B1 = g^{s_w} T2^c and B3 = T2^{E_e} g^{-s_h} share base T2.
         e_g = e_g.add(&z1.mul(&sig.s_w)).sub(&z3.mul(&sig.s_h));
         per_sig.push((&sig.t2, z1.mul(&c).add(&z3.mul(&e_e))));

@@ -17,16 +17,44 @@
 //! with two Straus multi-exponentiations. Exponents of the shared bases
 //! (`g, h, a, a0, b, y`) accumulate across the whole batch, so their
 //! cost is paid once instead of once per signature, and the squaring
-//! chain of the multi-exp kernel is shared by every term. If any single
-//! equation were violated, the combined equation could only hold if the
-//! adversary predicted `z` — probability `2^-128` per coefficient, and
-//! the coefficients are drawn from a DRBG seeded Fiat–Shamir-style from
-//! the *entire batch content*, so they are fixed only after every
-//! signature is.
+//! chain of the multi-exp kernel is shared by every term.
 //!
-//! Soundness requires the per-signature *cheap* checks (tag ranges,
-//! response spheres, challenge hash) to run individually before the
-//! combination: only the group equations are ever merged.
+//! # Soundness: comparing in `QR(n)`
+//!
+//! The small-exponent argument needs a group with no small-order
+//! elements, and `Z_n^*` is *not* one: it contains the publicly
+//! computable order-2 element `n − 1`. Combined naively in `Z_n^*`, a
+//! signer could negate one transmitted commitment (`B' = n − B`) and
+//! recompute `c` and the responses; the combined equation would then
+//! deviate by exactly `(−1)^z` — passing whenever `z` is even, i.e.
+//! half of all draws (and per bisection subset, singletons included).
+//! Both verifiers therefore compare the group equations in `QR(n)`:
+//! the per-signature check squares both sides, the batch check doubles
+//! every combination coefficient (the same squaring, distributed into
+//! the exponents). Each equation's deviation `D = B'/RHS` is thereby
+//! squared, and `D²` has odd order `∈ {1, p', q', p'q'}` with
+//! `p', q' ≫ 2^128`: if some `D² ≠ 1`, the combination survives only
+//! when the adversary predicts `z` — probability `2^-128` per
+//! coefficient, which are drawn from a DRBG seeded Fiat–Shamir-style
+//! from the *entire batch content*, so they are fixed only after every
+//! signature is. If instead every `D² = 1`, then `D = ±1` — any other
+//! square root of 1 (equivalently, any element of Jacobi symbol `−1`
+//! slipping through a squared equation) exhibits a nontrivial root
+//! pair and thereby factors `n`, so producing one already breaks the
+//! scheme's assumption — and every squared per-signature equation
+//! holds individually, i.e. single verification accepts too.
+//!
+//! The flip side of the quotient: a commitment negated by its *own
+//! signer* (who must re-derive `c` and the responses, so only a key
+//! holder can do it) is accepted by both the single and the batch
+//! verifier — benign sign-malleability with cofactored semantics, the
+//! same resolution batch Ed25519 verifiers adopt for their order-8
+//! subgroup. What matters is that both paths agree on every input;
+//! `tests/batch_equiv.rs` plants exactly this corruption.
+//!
+//! Soundness also requires the per-signature *cheap* checks (tag
+//! ranges, response spheres, challenge hash) to run individually
+//! before the combination: only the group equations are ever merged.
 //!
 //! On failure the batch is bisected to isolate the offending indices;
 //! a singleton subset's combined equation is exact (one `z` per

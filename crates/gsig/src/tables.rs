@@ -12,8 +12,8 @@
 //! precompute again.
 //!
 //! Lock order: the cache mutex is a leaf lock — no other lock is ever
-//! taken while it is held (the `lock-order` lint rule watches this
-//! file).
+//! taken while it is held, and table construction happens outside the
+//! guard (the `lock-order` lint rule watches this file).
 
 use shs_bigint::{FixedBase, Int, Ubig};
 use shs_groups::rsa::RsaGroup;
@@ -28,28 +28,42 @@ type TableKey = (Vec<u8>, Vec<u8>, u32);
 /// table is a few hundred KiB, and a long-lived service only ever sees a
 /// handful of groups, so the bound exists purely to keep pathological
 /// many-group workloads (tests, fuzzing) from accumulating without
-/// limit. Eviction is wholesale-clear: simple, and a refill costs one
-/// precompute per live base.
+/// limit. Eviction removes one arbitrary entry, so hot tables are not
+/// collateral damage of a cold insert.
 fn table_cache() -> &'static Mutex<HashMap<TableKey, Arc<FixedBase>>> {
     static CACHE: OnceLock<Mutex<HashMap<TableKey, Arc<FixedBase>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Upper bound on cached tables before the wholesale clear.
+/// Upper bound on cached tables before an entry is evicted.
 const CACHE_CAP: usize = 64;
 
 /// Fetches (or builds and interns) the table for `base^e mod n` with
 /// exponents up to `max_bits` bits.
 fn shared_table(rsa: &RsaGroup, base: &Ubig, max_bits: u32) -> Arc<FixedBase> {
     let key: TableKey = (rsa.n().to_bytes_be(), base.to_bytes_be(), max_bits);
-    let mut cache = table_cache().lock().expect("table cache poisoned");
-    if let Some(table) = cache.get(&key) {
+    if let Some(table) = table_cache()
+        .lock()
+        .expect("table cache poisoned")
+        .get(&key)
+    {
         return Arc::clone(table);
     }
-    if cache.len() >= CACHE_CAP {
-        cache.clear();
-    }
+    // Built outside the guard: a precompute is expensive at production
+    // widths, and holding the leaf lock across it would stall every
+    // other thread's table lookup process-wide. Two threads racing on
+    // the same key cost one redundant precompute; the first insert wins
+    // and the loser adopts it, preserving the interning invariant.
     let table = Arc::new(FixedBase::new(Arc::clone(rsa.ctx()), base, max_bits));
+    let mut cache = table_cache().lock().expect("table cache poisoned");
+    if let Some(existing) = cache.get(&key) {
+        return Arc::clone(existing);
+    }
+    if cache.len() >= CACHE_CAP {
+        if let Some(victim) = cache.keys().next().cloned() {
+            cache.remove(&victim);
+        }
+    }
     cache.insert(key, Arc::clone(&table));
     table
 }

@@ -1,7 +1,8 @@
 //! Property equivalence: `verify_batch` agrees with per-signature
 //! `verify` for ACJT and KY — including planted corruptions (bisection
-//! isolates exactly the bad indices), empty batches and batch-size-1
-//! degeneration.
+//! isolates exactly the bad indices), order-2 sign-malleated
+//! commitments (the `Z_n^*` soundness trap the QR(n) comparison
+//! closes), empty batches and batch-size-1 degeneration.
 
 use proptest::prelude::*;
 use shs_bigint::Int;
@@ -23,13 +24,24 @@ enum Tamper {
     /// Swap the message: caught by the individual challenge precheck,
     /// never reaching the combination.
     Message,
+    /// Sign with one commitment negated (`B ← n − B`, the order-2 twist
+    /// by `n − 1 ∈ Z_n^*`), with `c` and the responses re-derived from
+    /// the signing randomness against the negated vector. The equations
+    /// then hold only up to sign; both verifiers compare in `QR(n)` and
+    /// must *agree* (they accept — signer-only sign-malleability). With
+    /// the combination run naively in `Z_n^*`, the batch check deviated
+    /// by `(−1)^z` and accepted for exactly half the coefficient draws
+    /// while per-signature `verify` rejected — the soundness gap this
+    /// variant pins down.
+    Negate,
 }
 
 fn tamper_strategy() -> impl Strategy<Value = Tamper> {
     prop_oneof![
-        4 => Just(Tamper::Valid),
+        3 => Just(Tamper::Valid),
         1 => Just(Tamper::Response),
         1 => Just(Tamper::Message),
+        1 => Just(Tamper::Negate),
     ]
 }
 
@@ -69,10 +81,14 @@ proptest! {
         let mut sigs: Vec<acjt::Signature> = Vec::new();
         for (i, tamper) in tampers.iter().enumerate() {
             let msg = format!("acjt-batch-{seed}-{i}").into_bytes();
-            let mut sig = acjt::sign(pk, &keys[i % keys.len()], &msg, &mut rng);
+            let key = &keys[i % keys.len()];
+            let mut sig = match tamper {
+                Tamper::Negate => acjt::sign_negated(pk, key, &msg, i % 4, &mut rng),
+                _ => acjt::sign(pk, key, &msg, &mut rng),
+            };
             let mut msg = msg;
             match tamper {
-                Tamper::Valid => {}
+                Tamper::Valid | Tamper::Negate => {}
                 Tamper::Response => sig.s_w = bump_int(&sig.s_w),
                 Tamper::Message => msg.push(0xff),
             }
@@ -107,10 +123,16 @@ proptest! {
         let mut sigs: Vec<ky::Signature> = Vec::new();
         for (i, tamper) in tampers.iter().enumerate() {
             let msg = format!("ky-batch-{seed}-{i}").into_bytes();
-            let mut sig = ky::sign(pk, &keys[i % keys.len()], &msg, ky::SignBasis::Random, &mut rng);
+            let key = &keys[i % keys.len()];
+            let mut sig = match tamper {
+                Tamper::Negate => {
+                    ky::sign_negated(pk, key, &msg, ky::SignBasis::Random, i % 6, &mut rng)
+                }
+                _ => ky::sign(pk, key, &msg, ky::SignBasis::Random, &mut rng),
+            };
             let mut msg = msg;
             match tamper {
-                Tamper::Valid => {}
+                Tamper::Valid | Tamper::Negate => {}
                 Tamper::Response => sig.s_r = bump_int(&sig.s_r),
                 Tamper::Message => msg.push(0xff),
             }
@@ -195,6 +217,71 @@ fn bisection_isolates_single_corruption_in_large_batch() {
         ky::verify_batch(pk, &items, None),
         BatchOutcome::Invalid(vec![3])
     );
+}
+
+#[test]
+fn negated_commitment_agrees_across_many_coefficient_draws() {
+    // The combination coefficients derive from a digest of the entire
+    // batch, so every distinct batch composition is a fresh draw. With
+    // the combination run naively in Z_n^*, a negated commitment's
+    // order-2 deviation passed the combined check for even coefficients
+    // only, so batch and single verification disagreed on about half of
+    // these draws. Under the QR(n) comparison they must agree on every
+    // one: the sign-malleated signature verifies (cofactored
+    // semantics), singleton re-draws in the bisection included, and a
+    // genuinely corrupted batchmate is still isolated exactly.
+    let (kgm, kkeys) = fixtures::group_with_members(2);
+    let kpk = kgm.public_key();
+    let (agm, akeys) = acjt_group();
+    let apk = agm.public_key();
+    for seed in 0u64..8 {
+        let mut rng = HmacDrbg::from_seed(&seed.to_be_bytes());
+
+        let kn_msg = format!("ky-neg-{seed}").into_bytes();
+        let kn = ky::sign_negated(
+            kpk,
+            &kkeys[0],
+            &kn_msg,
+            ky::SignBasis::Random,
+            (seed as usize) % 6,
+            &mut rng,
+        );
+        ky::verify(kpk, &kn_msg, &kn, None).expect("QR(n) semantics: negated B verifies");
+        assert_eq!(
+            ky::verify_batch(kpk, &[(&kn_msg, &kn)], None),
+            BatchOutcome::AllValid,
+            "singleton draw, seed {seed}"
+        );
+        let ko_msg = format!("ky-ok-{seed}").into_bytes();
+        let mut ko = ky::sign(kpk, &kkeys[1], &ko_msg, ky::SignBasis::Random, &mut rng);
+        ko.s_r = bump_int(&ko.s_r);
+        let items: Vec<(&[u8], &ky::Signature)> =
+            vec![(kn_msg.as_slice(), &kn), (ko_msg.as_slice(), &ko)];
+        assert_eq!(
+            ky::verify_batch(kpk, &items, None),
+            BatchOutcome::Invalid(vec![1]),
+            "only the response corruption falls out, seed {seed}"
+        );
+
+        let an_msg = format!("acjt-neg-{seed}").into_bytes();
+        let an = acjt::sign_negated(apk, &akeys[0], &an_msg, (seed as usize) % 4, &mut rng);
+        acjt::verify(apk, &an_msg, &an).expect("QR(n) semantics: negated B verifies");
+        assert_eq!(
+            acjt::verify_batch(apk, &[(&an_msg, &an)]),
+            BatchOutcome::AllValid,
+            "singleton draw, seed {seed}"
+        );
+        let ao_msg = format!("acjt-ok-{seed}").into_bytes();
+        let mut ao = acjt::sign(apk, &akeys[1], &ao_msg, &mut rng);
+        ao.s_w = bump_int(&ao.s_w);
+        let items: Vec<(&[u8], &acjt::Signature)> =
+            vec![(an_msg.as_slice(), &an), (ao_msg.as_slice(), &ao)];
+        assert_eq!(
+            acjt::verify_batch(apk, &items),
+            BatchOutcome::Invalid(vec![1]),
+            "only the response corruption falls out, seed {seed}"
+        );
+    }
 }
 
 #[test]

@@ -14,9 +14,10 @@
 //!   steady state a worker only ever touches its own shard's mutex, so
 //!   workers never contend. Cross-shard traffic happens in exactly one
 //!   place: admission, where a submission whose pinned queue is full is
-//!   *stolen* onto the least-loaded sibling queue (the stolen item still
-//!   records into its owning shard's registry, keeping id → shard lookup
-//!   a pure modulus).
+//!   *stolen* onto the first sibling queue with room, scanning
+//!   circularly from the pinned shard (the stolen item still records
+//!   into its owning shard's registry, keeping id → shard lookup a pure
+//!   modulus).
 //! * **Backpressure** — every shard queue is bounded; when all of them
 //!   are full, admission control sheds the session *with decoy traffic*
 //!   ([`shed::ShapeBook`]) so outsiders cannot distinguish a shed

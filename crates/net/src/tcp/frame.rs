@@ -24,7 +24,13 @@ use std::fmt;
 pub const MAGIC: [u8; 2] = *b"SH";
 
 /// Wire-protocol version this build speaks.
-pub const VERSION: u8 = 1;
+///
+/// History: v1 — initial framing. v2 — group signatures grew their
+/// transmitted PoK commitment vectors (`B1..B4` ACJT, `B1..B6` KY), so
+/// every σ-bearing body changed width; bumping here makes a v1 peer
+/// fail fast with [`FrameError::UnsupportedVersion`] at the handshake
+/// instead of silently mis-decoding mixed-version signatures.
+pub const VERSION: u8 = 2;
 
 /// Header length in bytes: magic (2) + version (1) + type (1) + len (4).
 pub const HEADER_LEN: usize = 8;
