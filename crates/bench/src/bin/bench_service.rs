@@ -154,8 +154,22 @@ fn main() {
     let batch: u32 = if smoke { 8 } else { 32 };
     // Default to the host's full parallelism; a deployment benchmarking a
     // specific pool size passes --workers.
-    let workers = workers_override
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
+    let host_threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let single_core = host_threads == 1;
+    if single_core {
+        eprintln!(
+            "bench_service: ============================================================\n\
+             bench_service: WARNING: this host exposes a SINGLE hardware thread.\n\
+             bench_service: Worker threads time-slice one core, so throughput and\n\
+             bench_service: latency below measure serialized execution, NOT service\n\
+             bench_service: concurrency. The JSON is tagged \"single_core_host\": true;\n\
+             bench_service: do not compare these numbers against multi-core baselines.\n\
+             bench_service: For a concurrency-meaningful capacity frontier on this\n\
+             bench_service: host, use the virtual-time benchmark: bench_sim (E20).\n\
+             bench_service: ============================================================"
+        );
+    }
+    let workers = workers_override.unwrap_or(host_threads);
 
     let scenarios = vec![
         run_scenario("clean_throughput", batch, workers, false),
@@ -175,7 +189,7 @@ fn main() {
         .map(|w| run_scenario("saturation", sweep_sessions, w, false))
         .collect();
 
-    let json = render_json(&scenarios, &sweep, smoke, workers);
+    let json = render_json(&scenarios, &sweep, smoke, workers, single_core);
     println!("{json}");
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
@@ -230,12 +244,21 @@ fn scenario_json(sc: &Scenario, comma: &str) -> String {
 }
 
 /// Hand-rolled JSON: the offline build has no serde_json.
-fn render_json(scenarios: &[Scenario], sweep: &[Scenario], smoke: bool, workers: usize) -> String {
+fn render_json(
+    scenarios: &[Scenario],
+    sweep: &[Scenario],
+    smoke: bool,
+    workers: usize,
+    single_core: bool,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"service\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"workers\": {workers},\n"));
+    // Single hardware thread: workers were time-sliced, so throughput
+    // and latency measure serialized execution, not concurrency.
+    s.push_str(&format!("  \"single_core_host\": {single_core},\n"));
     s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {

@@ -1,0 +1,136 @@
+//! **Simulation benchmark** — the capacity frontier of the handshake
+//! service under the deterministic discrete-event simulator (`shs-sim`),
+//! recorded persistently in `BENCH_sim.json` at the repository root
+//! (experiment E20 in `EXPERIMENTS.md`).
+//!
+//! One run drives:
+//!
+//! * a **clean capacity burst**: thousands of concurrent 3-party
+//!   sessions through the real handshake engine over simulated media
+//!   (2,048 virtual workers, peak virtual concurrency ≥ 2,000), with
+//!   virtual-time throughput and latency histograms;
+//! * five **adversary campaigns** (partition, slow-loris, phase-timed
+//!   crash, Sybil flood, epoch churn), each landing sessions in a
+//!   distinct terminal-class histogram.
+//!
+//! The `deterministic` section of the JSON contains **virtual-time
+//! numbers only** and is byte-identical across runs with the same seed
+//! (that is the simulator's bit-reproducibility contract; `--check`
+//! gates on it). Wall-clock facts live in the `host` wrapper.
+//!
+//! ```sh
+//! cargo run --release -p shs-bench --bin bench_sim [-- --smoke] [-- --check]
+//! ```
+
+use shs_bench::timed;
+use shs_sim::{run_suite, SuiteConfig, SuiteReport};
+
+const SEED: u64 = 0xE20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    for a in &args {
+        if !matches!(a.as_str(), "--smoke" | "--check" | "--") {
+            eprintln!("bench_sim: unknown flag `{a}` (use --smoke / --check)");
+            std::process::exit(2);
+        }
+    }
+
+    let cfg = if smoke {
+        SuiteConfig::smoke(SEED)
+    } else {
+        SuiteConfig::full(SEED)
+    };
+    let (wall_s, report) = timed(|| run_suite(&cfg));
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = render_json(&report, smoke, wall_s, workers);
+    println!("{json}");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    if let Err(err) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench_sim: could not write {out_path}: {err}");
+        std::process::exit(2);
+    }
+
+    if check {
+        let mut failed = false;
+        let cap = &report.capacity;
+        let floor = cfg.burst_workers as u64 * 9 / 10;
+        if cap.peak_concurrency < floor.min(2_000) {
+            eprintln!(
+                "bench_sim: CHECK FAILED: peak concurrency {} below floor {}",
+                cap.peak_concurrency,
+                floor.min(2_000)
+            );
+            failed = true;
+        }
+        if cap.classes.accepted != cap.sessions {
+            eprintln!(
+                "bench_sim: CHECK FAILED: clean burst left {} of {} sessions unaccepted",
+                cap.sessions - cap.classes.accepted,
+                cap.sessions
+            );
+            failed = true;
+        }
+        if cap.throughput_millis_per_sec() == 0 {
+            eprintln!("bench_sim: CHECK FAILED: zero virtual throughput");
+            failed = true;
+        }
+        // The adversaries must stay distinguishable by histogram alone.
+        let sigs: Vec<(&str, Vec<&str>)> = report
+            .scenarios
+            .iter()
+            .map(|r| (r.name, r.classes.signature()))
+            .collect();
+        for i in 0..sigs.len() {
+            for j in i + 1..sigs.len() {
+                if sigs[i].1 == sigs[j].1 {
+                    eprintln!(
+                        "bench_sim: CHECK FAILED: {} and {} share the class histogram {:?}",
+                        sigs[i].0, sigs[j].0, sigs[i].1
+                    );
+                    failed = true;
+                }
+            }
+        }
+        // Bit-reproducibility: a second smoke-scale run must render the
+        // identical deterministic section, byte for byte.
+        let probe = SuiteConfig::smoke(SEED ^ 0xD5);
+        let a = run_suite(&probe).deterministic_json();
+        let b = run_suite(&probe).deterministic_json();
+        if a != b {
+            eprintln!("bench_sim: CHECK FAILED: deterministic section differs across runs");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_sim: check clean: peak concurrency {}, {} sessions accepted, {} \
+             adversary histograms pairwise distinct, deterministic JSON reproducible",
+            cap.peak_concurrency,
+            cap.classes.accepted,
+            sigs.len()
+        );
+    }
+}
+
+/// Hand-rolled JSON: the offline build has no serde_json. The
+/// `deterministic` value comes verbatim from the simulator and must
+/// not be decorated with anything host-dependent.
+fn render_json(report: &SuiteReport, smoke: bool, wall_s: f64, workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"sim\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"host\": {},\n", shs_bench::host_json(workers)));
+    s.push_str(&format!("  \"wall_s\": {wall_s:.6},\n"));
+    s.push_str(&format!(
+        "  \"deterministic\": {}\n",
+        report.deterministic_json()
+    ));
+    s.push('}');
+    s
+}

@@ -29,6 +29,7 @@ use shs_crypto::drbg::HmacDrbg;
 use shs_net::fault::FaultPlan;
 use shs_net::serve::{AttemptContext, AttemptOutcome, AttemptVerdict, SessionJob};
 use shs_net::sync::BroadcastNet;
+use shs_net::Medium;
 use std::sync::Arc;
 
 /// Per-attempt fault-plan source. Returning `None` leaves the attempt's
@@ -124,6 +125,39 @@ impl HandshakeJob {
         HmacDrbg::from_seed(tag.as_bytes())
     }
 
+    /// Runs one attempt over a caller-supplied [`Medium`] — the seam the
+    /// discrete-event simulator uses: the caller owns the medium (and
+    /// therefore fault installation and virtual-time accounting), while
+    /// the job still derives the fresh attempt-scoped randomness, builds
+    /// the roster's actors, and judges the outcome exactly like
+    /// [`SessionJob::run_attempt`]. Note the installed [`PlanFactory`]
+    /// is **not** consulted here; the caller composes its own plans.
+    pub fn run_attempt_on(&mut self, ctx: &AttemptContext, net: &mut dyn Medium) -> AttemptOutcome {
+        let actors: Vec<Actor<'_>> = ctx
+            .roster
+            .iter()
+            .map(|orig| match self.slots.get(*orig) {
+                Some(Participant::Member(i)) if *i < self.pool.len() => {
+                    Actor::Member(&self.pool[*i])
+                }
+                _ => Actor::Outsider,
+            })
+            .collect();
+        let mut rng = self.attempt_rng(ctx);
+        match run_handshake_with_net(&actors, &self.opts, net, &mut rng) {
+            Ok(result) => AttemptOutcome {
+                verdict: self.judge(&ctx.roster, &result),
+                traffic: result.traffic,
+            },
+            Err(_) => AttemptOutcome {
+                // A session-level error is an abort: whatever traffic the
+                // medium saw before the failure still feeds liveness.
+                verdict: AttemptVerdict::Abort,
+                traffic: net.traffic_snapshot(),
+            },
+        }
+    }
+
     fn judge(&self, roster: &[usize], result: &SessionResult) -> AttemptVerdict {
         if result.outcomes.iter().any(|o| o.abort.is_some()) {
             return AttemptVerdict::Abort;
@@ -151,35 +185,13 @@ impl SessionJob for HandshakeJob {
     }
 
     fn run_attempt(&mut self, ctx: &AttemptContext) -> AttemptOutcome {
-        let actors: Vec<Actor<'_>> = ctx
-            .roster
-            .iter()
-            .map(|orig| match self.slots.get(*orig) {
-                Some(Participant::Member(i)) if *i < self.pool.len() => {
-                    Actor::Member(&self.pool[*i])
-                }
-                _ => Actor::Outsider,
-            })
-            .collect();
-        let mut net = BroadcastNet::new(actors.len(), self.opts.delivery);
+        let mut net = BroadcastNet::new(ctx.roster.len(), self.opts.delivery);
         if let Some(factory) = &mut self.plans {
             if let Some(plan) = factory(ctx) {
                 net.set_fault_plan(plan);
             }
         }
-        let mut rng = self.attempt_rng(ctx);
-        match run_handshake_with_net(&actors, &self.opts, &mut net, &mut rng) {
-            Ok(result) => AttemptOutcome {
-                verdict: self.judge(&ctx.roster, &result),
-                traffic: result.traffic,
-            },
-            Err(_) => AttemptOutcome {
-                // A session-level error is an abort: whatever traffic the
-                // medium saw before the failure still feeds liveness.
-                verdict: AttemptVerdict::Abort,
-                traffic: net.traffic().clone(),
-            },
-        }
+        self.run_attempt_on(ctx, &mut net)
     }
 }
 

@@ -1,0 +1,154 @@
+//! The time abstraction: wall time for deployments, virtual time for
+//! the discrete-event simulator.
+//!
+//! Every place the networking runtime used to consult the OS clock
+//! directly — the hub's delivery-patience loop, the supervisor's
+//! reconnect backoff, the serve layer's between-attempt backoff — now
+//! goes through a [`Clock`]. Production code uses [`WallClock`]
+//! (identical behaviour to the old direct calls); the `shs-sim`
+//! discrete-event simulator supplies a [`VirtualClock`] whose `sleep`
+//! *advances* time instead of blocking, so a simulated run with delay
+//! faults or deep backoff schedules costs zero wall-clock time and
+//! stays bit-reproducible.
+//!
+//! The trait is deliberately tiny: a monotonic "now" as a [`Duration`]
+//! since the clock's own epoch, plus a sleep. Durations (rather than
+//! [`Instant`]) keep the trait implementable by a virtual clock, which
+//! has no `Instant` to hand out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time plus a way to wait for it to pass.
+///
+/// Implementations must be cheap to call and safe to share across
+/// threads; `now` must be monotonic per clock instance.
+pub trait Clock: Send + Sync {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Waits until at least `d` of clock time has passed. A wall clock
+    /// blocks the thread; a virtual clock advances itself instead.
+    fn sleep(&self, d: Duration);
+}
+
+/// The operating-system clock: `now` is measured from the instant the
+/// clock was created, `sleep` is [`std::thread::sleep`].
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A shared virtual clock for discrete-event simulation: time is a
+/// counter of nanoseconds that only moves when someone advances it.
+///
+/// `sleep` advances the counter by the requested duration and returns
+/// immediately — a simulated backoff or patience window costs nothing
+/// in wall time. Clones share the same underlying counter, so a
+/// simulator can hand one handle to the runtime and keep another to
+/// schedule events against the same timeline.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Moves the clock forward to `t` if `t` is later than the current
+    /// time (monotonic advance; earlier values are ignored).
+    pub fn advance_to(&self, t: Duration) {
+        let target = t.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.nanos.fetch_max(target, Ordering::SeqCst);
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance_by(&self, d: Duration) {
+        let delta = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.nanos.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance_by(d);
+    }
+}
+
+/// A shared handle to a clock, as threaded through the runtime.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The default clock used everywhere a caller does not supply one.
+pub fn wall() -> SharedClock {
+    Arc::new(WallClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_sleeps() {
+        let c = WallClock::new();
+        let a = c.now();
+        c.sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b >= a + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn virtual_clock_advances_without_blocking() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        let start = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_millis(100), "no real wait");
+        assert_eq!(c.now(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_the_timeline() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance_to(Duration::from_millis(250));
+        assert_eq!(b.now(), Duration::from_millis(250));
+        // advance_to never goes backwards.
+        b.advance_to(Duration::from_millis(100));
+        assert_eq!(a.now(), Duration::from_millis(250));
+    }
+}

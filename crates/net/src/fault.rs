@@ -263,8 +263,10 @@ impl FaultPlan {
     }
 
     /// Counts one crash-suppressed broadcast (for media that implement
-    /// the crash clock themselves, like the hub).
-    pub(crate) fn note_crash_silenced(&mut self) {
+    /// the crash clock themselves, like the hub and the `shs-sim`
+    /// virtual-time session, whose crash clocks tick per sender
+    /// broadcast rather than per exchange).
+    pub fn note_crash_silenced(&mut self) {
         self.counters.crash_silenced += 1;
     }
 

@@ -121,9 +121,10 @@ impl TrafficLog {
         &self.faults
     }
 
-    /// Overwrites the fault tallies (called by the media after each
-    /// exchange; the plan owns the authoritative counts).
-    pub(crate) fn set_faults(&mut self, faults: FaultCounters) {
+    /// Overwrites the fault tallies (called by the media — including
+    /// out-of-crate ones like the `shs-sim` simulated medium — after
+    /// each exchange; the plan owns the authoritative counts).
+    pub fn set_faults(&mut self, faults: FaultCounters) {
         self.faults = faults;
     }
 

@@ -52,6 +52,7 @@ pub use session::{
 };
 pub use shed::{backoff_delay, DecoyShape, ShapeBook};
 
+use crate::clock::SharedClock;
 use crate::observe::TrafficLog;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -157,8 +158,17 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool and returns the running service.
+    /// Starts the worker pool and returns the running service, with
+    /// backoff sleeps on the wall clock.
     pub fn start(config: ServiceConfig) -> Service {
+        Service::start_with_clock(config, crate::clock::wall())
+    }
+
+    /// [`Service::start`] with an explicit [`crate::clock::Clock`] for
+    /// the between-attempt backoff sleeps. The discrete-event simulator
+    /// passes a virtual clock so retry schedules advance simulated time
+    /// instead of blocking worker threads.
+    pub fn start_with_clock(config: ServiceConfig, clock: SharedClock) -> Service {
         let n = config.workers.max(1);
         let shards: Arc<Vec<Mutex<SessionRegistry>>> =
             Arc::new((0..n).map(|_| Mutex::new(SessionRegistry::new())).collect());
@@ -171,6 +181,7 @@ impl Service {
             backoff_base: config.backoff_base,
             backoff_cap: config.backoff_cap,
             seed: config.seed,
+            clock,
         };
         let mut queues = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
@@ -180,6 +191,7 @@ impl Service {
             let shards = Arc::clone(&shards);
             let shapes = Arc::clone(&shapes);
             let draining = Arc::clone(&draining);
+            let drive_cfg = drive_cfg.clone();
             workers.push(thread::spawn(move || loop {
                 // The worker owns its receiver outright — no dequeue
                 // contention; the timeout keeps idle workers responsive
@@ -190,7 +202,7 @@ impl Service {
                         let summary = session::drive(
                             &shards[item.shard],
                             &draining,
-                            drive_cfg,
+                            drive_cfg.clone(),
                             item.id,
                             item.spec,
                         );

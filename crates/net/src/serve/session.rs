@@ -19,10 +19,10 @@
 
 use super::registry::{RegistryError, SessionId, SessionRegistry, SessionState, TerminalClass};
 use super::shed::backoff_delay;
+use crate::clock::SharedClock;
 use crate::observe::TrafficLog;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::thread;
 use std::time::{Duration, Instant};
 
 /// What the service tells a job about the attempt it is asking for.
@@ -152,11 +152,15 @@ pub fn live_slots(roster: &[usize], traffic: &TrafficLog) -> Vec<usize> {
 
 /// Service-side knobs the attempt loop needs (a copy of the relevant
 /// [`super::ServiceConfig`] fields, so this module stays decoupled).
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub(crate) struct DriveConfig {
     pub(crate) backoff_base: Duration,
     pub(crate) backoff_cap: Duration,
     pub(crate) seed: u64,
+    /// Time source of the backoff sleeps: wall time in production, a
+    /// virtual clock under the discrete-event simulator so backoff
+    /// schedules cost no real time.
+    pub(crate) clock: SharedClock,
 }
 
 /// Outcome summary handed back to the worker for shape learning.
@@ -266,13 +270,15 @@ pub(crate) fn drive(
                 attempt += 1;
                 // Jittered exponential backoff, clipped to what the
                 // deadline leaves and polled against drain so shutdown
-                // is never stuck behind a sleep.
+                // is never stuck behind a sleep. The wait runs on the
+                // configured clock: a virtual clock advances instead of
+                // blocking, so simulated retries are free.
                 let mut wait =
                     backoff_delay(attempt, config.backoff_base, config.backoff_cap, ctx.seed);
                 wait = wait.min(deadline.saturating_duration_since(Instant::now()));
-                let slept_until = Instant::now() + wait;
-                while Instant::now() < slept_until && !draining.load(Ordering::SeqCst) {
-                    thread::sleep(Duration::from_millis(1).min(wait));
+                let slept_until = config.clock.now() + wait;
+                while config.clock.now() < slept_until && !draining.load(Ordering::SeqCst) {
+                    config.clock.sleep(Duration::from_millis(1).min(wait));
                 }
             }
         }
@@ -364,6 +370,7 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(2),
             seed: 7,
+            clock: crate::clock::wall(),
         };
         drive(&registry, &draining, cfg, id, spec);
         (registry.into_inner(), id)

@@ -1,0 +1,242 @@
+//! Discrete-event core: virtual time, the deterministic event queue,
+//! and the seeded latency/loss model.
+//!
+//! Everything here is a pure function of seeds and event history — no
+//! OS clock, no thread timing, no global RNG — which is what makes the
+//! whole simulator bit-reproducible: the same seed produces the same
+//! event trace, byte for byte, on any host.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Virtual time, in nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// Converts a [`Duration`] to virtual nanoseconds (saturating).
+pub fn nanos(d: Duration) -> Nanos {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer. Used to
+/// derive independent deterministic draws from structured keys.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string, for hashing round labels into draw keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(seed, key)` — *stateless*, so
+/// the value depends only on the key, never on how many draws happened
+/// before (draw-order independence is a determinism requirement: party
+/// threads race, but their coins are pinned to identities, not to time).
+pub fn unit_draw(seed: u64, key: u64) -> f64 {
+    // 53 mantissa bits of the mixed key, scaled to [0, 1).
+    (mix64(seed ^ mix64(key)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The seeded per-link latency model: every delivery takes
+/// `base + u * jitter` of virtual time, with `u` drawn per
+/// `(round, sender, receiver, sender-sequence, copy)` so retransmitted
+/// and duplicated copies get fresh, still-deterministic draws.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Minimum one-way delivery latency.
+    pub base: Duration,
+    /// Uniform jitter added on top of `base`.
+    pub jitter: Duration,
+    /// Seed of the latency draws (independent of the fault-plan seed).
+    pub seed: u64,
+}
+
+impl LatencyModel {
+    /// A symmetric LAN-ish default: 200 µs base, 800 µs jitter.
+    pub fn lan(seed: u64) -> LatencyModel {
+        LatencyModel {
+            base: Duration::from_micros(200),
+            jitter: Duration::from_micros(800),
+            seed,
+        }
+    }
+
+    /// The virtual transit time of one delivery copy.
+    pub fn draw(&self, round: &str, from: usize, to: usize, seq: u64, copy: u64) -> Nanos {
+        let key = fnv1a(round.as_bytes())
+            ^ mix64((from as u64) << 48 | (to as u64) << 32 | (copy & 0xffff) << 16)
+            ^ mix64(seq);
+        let u = unit_draw(self.seed, key);
+        nanos(self.base) + (u * nanos(self.jitter) as f64) as Nanos
+    }
+}
+
+/// An event queue keyed by `(time, tiebreak)` with fully deterministic
+/// pop order: ties on time break on the event's identity key, never on
+/// insertion order (insertion order can depend on thread interleaving;
+/// identity keys cannot).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueueEntry<E>>,
+    /// Events ever pushed (part of the reproducibility fingerprint).
+    pushed: u64,
+}
+
+#[derive(Debug)]
+struct QueueEntry<E> {
+    at: Nanos,
+    tiebreak: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.tiebreak == other.tiebreak
+    }
+}
+impl<E> Eq for QueueEntry<E> {}
+impl<E> PartialOrd for QueueEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.tiebreak).cmp(&(self.at, self.tiebreak))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Schedules `event` at virtual time `at`. `tiebreak` orders events
+    /// that share a timestamp and must be a deterministic function of
+    /// the event's identity (sender, receiver, sequence…).
+    pub fn push(&mut self, at: Nanos, tiebreak: u64, event: E) {
+        self.heap.push(QueueEntry {
+            at,
+            tiebreak,
+            event,
+        });
+        self.pushed += 1;
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// A running FNV-style fingerprint of the event trace: every processed
+/// event folds its identity in, so two runs with identical traces — and
+/// only those — end with identical fingerprints. Committed into the
+/// metrics JSON as the bit-reproducibility witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFingerprint(u64);
+
+impl TraceFingerprint {
+    /// The empty-trace fingerprint.
+    pub fn new() -> TraceFingerprint {
+        TraceFingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one event's identity into the fingerprint.
+    pub fn fold(&mut self, words: &[u64]) {
+        for &w in words {
+            self.0 = mix64(self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The fingerprint value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TraceFingerprint {
+    fn default() -> Self {
+        TraceFingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_pops_in_time_then_tiebreak_order() {
+        let mut q = EventQueue::new();
+        q.push(50, 2, "b");
+        q.push(50, 1, "a");
+        q.push(10, 9, "first");
+        q.push(99, 0, "last");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "a", "b", "last"]);
+    }
+
+    #[test]
+    fn draws_are_stateless_and_key_sensitive() {
+        let lm = LatencyModel::lan(7);
+        let a = lm.draw("dgka-r1", 0, 1, 0, 0);
+        let b = lm.draw("dgka-r1", 0, 1, 0, 0);
+        assert_eq!(a, b, "same key, same draw");
+        assert_ne!(a, lm.draw("dgka-r1", 0, 2, 0, 0), "receiver changes it");
+        assert_ne!(a, lm.draw("dgka-r1", 0, 1, 1, 0), "sequence changes it");
+        assert!(a >= nanos(lm.base));
+        assert!(a < nanos(lm.base) + nanos(lm.jitter));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = TraceFingerprint::new();
+        a.fold(&[1, 2]);
+        let mut b = TraceFingerprint::new();
+        b.fold(&[2, 1]);
+        assert_ne!(a.value(), b.value());
+        let mut c = TraceFingerprint::new();
+        c.fold(&[1, 2]);
+        assert_eq!(a.value(), c.value());
+    }
+}

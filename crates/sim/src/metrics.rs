@@ -1,0 +1,324 @@
+//! The metrics pipeline: terminal-class tallies, log-bucketed latency
+//! histograms, per-scenario reports and the deterministic JSON they
+//! render to.
+//!
+//! Everything in this module is computed from virtual time and event
+//! identities only, so the rendered JSON is part of the simulator's
+//! bit-reproducibility contract: two runs with the same seed must
+//! produce byte-identical output from [`render_deterministic`]. Host
+//! facts (wall-clock, core counts) belong in the *caller's* wrapper
+//! section, never here.
+
+use crate::core::Nanos;
+use shs_net::observe::FaultCounters;
+use shs_net::serve::TerminalClass;
+
+/// Counts of sessions per terminal class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Completed successfully (full or partial, per policy).
+    pub accepted: u64,
+    /// Completed as an ordinary protocol failure.
+    pub rejected: u64,
+    /// Turned away by admission control.
+    pub shed: u64,
+    /// Retry budget exhausted.
+    pub exhausted: u64,
+    /// Per-session deadline passed.
+    pub deadline_exceeded: u64,
+    /// Fewer than two live slots remained.
+    pub too_few_survivors: u64,
+    /// Swept out by a drain.
+    pub drained: u64,
+}
+
+impl ClassTally {
+    /// Adds one session of class `class`.
+    pub fn bump(&mut self, class: TerminalClass) {
+        match class {
+            TerminalClass::Accepted => self.accepted += 1,
+            TerminalClass::Rejected => self.rejected += 1,
+            TerminalClass::Shed => self.shed += 1,
+            TerminalClass::Exhausted => self.exhausted += 1,
+            TerminalClass::DeadlineExceeded => self.deadline_exceeded += 1,
+            TerminalClass::TooFewSurvivors => self.too_few_survivors += 1,
+            TerminalClass::Drained => self.drained += 1,
+        }
+    }
+
+    /// Total sessions tallied.
+    pub fn total(&self) -> u64 {
+        self.accepted
+            + self.rejected
+            + self.shed
+            + self.exhausted
+            + self.deadline_exceeded
+            + self.too_few_survivors
+            + self.drained
+    }
+
+    /// The classes observed at least once, as a stable signature — the
+    /// observable the adversary schedules are designed to separate.
+    pub fn signature(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        for (n, name) in [
+            (self.accepted, "accepted"),
+            (self.rejected, "rejected"),
+            (self.shed, "shed"),
+            (self.exhausted, "exhausted"),
+            (self.deadline_exceeded, "deadline-exceeded"),
+            (self.too_few_survivors, "too-few-survivors"),
+            (self.drained, "drained"),
+        ] {
+            if n > 0 {
+                v.push(name);
+            }
+        }
+        v
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"rejected\":{},\"shed\":{},\"exhausted\":{},\"deadline_exceeded\":{},\"too_few_survivors\":{},\"drained\":{}}}",
+            self.accepted,
+            self.rejected,
+            self.shed,
+            self.exhausted,
+            self.deadline_exceeded,
+            self.too_few_survivors,
+            self.drained
+        )
+    }
+}
+
+/// A log₂-bucketed latency histogram over virtual durations. Bucket
+/// `i` counts sessions whose latency fell in `[2^i, 2^(i+1))` µs
+/// (bucket 0 also absorbs sub-microsecond values), which keeps the
+/// histogram exact-integer and therefore byte-reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 40],
+    count: u64,
+    sum: u128,
+    max: Nanos,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; 40],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one session latency.
+    pub fn record(&mut self, latency: Nanos) {
+        let micros = latency / 1_000;
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += u128::from(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Sessions recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as Nanos
+        }
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (p in 0..=100), as
+    /// the upper edge of the bucket containing that rank. Exact-integer
+    /// arithmetic only.
+    pub fn percentile(&self, p: u64) -> Nanos {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * p.min(100)).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket i, back in nanoseconds.
+                return (1u64 << (i + 1)).saturating_mul(1_000);
+            }
+        }
+        self.max
+    }
+
+    fn json(&self) -> String {
+        let nonzero: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("\"{}us\":{}", 1u64 << i, n))
+            .collect();
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"buckets\":{{{}}}}}",
+            self.count,
+            self.mean() / 1_000,
+            self.percentile(50) / 1_000,
+            self.percentile(90) / 1_000,
+            self.percentile(99) / 1_000,
+            self.max / 1_000,
+            nonzero.join(",")
+        )
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Everything one scenario run produced — the deterministic section of
+/// its metrics.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Schedule name.
+    pub name: &'static str,
+    /// Sessions submitted.
+    pub sessions: u64,
+    /// Peak sessions simultaneously in flight (virtual concurrency).
+    pub peak_concurrency: u64,
+    /// Terminal-class tallies.
+    pub classes: ClassTally,
+    /// Survivor re-formations across all sessions.
+    pub reformations: u64,
+    /// Handshake attempts across all sessions.
+    pub attempts: u64,
+    /// Medium exchanges across all sessions.
+    pub exchanges: u64,
+    /// Delivery copies that arrived.
+    pub deliveries: u64,
+    /// Injected-fault tallies summed over every attempt's medium.
+    pub faults: FaultCounters,
+    /// Submission-to-terminal latency distribution (virtual time).
+    pub latency: LatencyHistogram,
+    /// Virtual time from first arrival to last completion.
+    pub makespan: Nanos,
+    /// The campaign's event-trace fingerprint.
+    pub fingerprint: u64,
+}
+
+impl ScenarioReport {
+    /// Completed sessions per virtual second (shed sessions excluded),
+    /// in integer milli-sessions/s to stay float-free.
+    pub fn throughput_millis_per_sec(&self) -> u64 {
+        let done = self.classes.total() - self.classes.shed;
+        if self.makespan == 0 {
+            return 0;
+        }
+        ((u128::from(done) * 1_000_000_000_000u128) / u128::from(self.makespan)) as u64
+    }
+
+    fn json(&self) -> String {
+        let f = &self.faults;
+        format!(
+            "{{\"name\":\"{}\",\"sessions\":{},\"peak_concurrency\":{},\"classes\":{},\"reformations\":{},\"attempts\":{},\"exchanges\":{},\"deliveries\":{},\"faults\":{{\"dropped\":{},\"duplicated\":{},\"corrupted\":{},\"truncated\":{},\"delayed\":{},\"redelivered\":{},\"crash_silenced\":{},\"partitioned\":{},\"backpressure_dropped\":{}}},\"latency\":{},\"makespan_ms\":{},\"throughput_millis_per_sec\":{},\"fingerprint\":\"{:016x}\"}}",
+            self.name,
+            self.sessions,
+            self.peak_concurrency,
+            self.classes.json(),
+            self.reformations,
+            self.attempts,
+            self.exchanges,
+            self.deliveries,
+            f.dropped,
+            f.duplicated,
+            f.corrupted,
+            f.truncated,
+            f.delayed,
+            f.redelivered,
+            f.crash_silenced,
+            f.partitioned,
+            f.backpressure_dropped,
+            self.latency.json(),
+            self.makespan / 1_000_000,
+            self.throughput_millis_per_sec(),
+            self.fingerprint
+        )
+    }
+}
+
+/// Renders the deterministic section of a suite run: the capacity
+/// burst plus one report per adversary scenario. Byte-identical across
+/// runs with the same seed — committed as such into `BENCH_sim.json`
+/// and asserted by the determinism test.
+pub fn render_deterministic(
+    seed: u64,
+    capacity: &ScenarioReport,
+    scenarios: &[ScenarioReport],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("    \"seed\": \"{seed:016x}\",\n"));
+    out.push_str(&format!("    \"capacity\": {},\n", capacity.json()));
+    out.push_str("    \"scenarios\": [\n");
+    for (i, r) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        out.push_str(&format!("      {}{}\n", r.json(), comma));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_signature_names_observed_classes_only() {
+        let mut t = ClassTally::default();
+        t.bump(TerminalClass::Accepted);
+        t.bump(TerminalClass::Accepted);
+        t.bump(TerminalClass::TooFewSurvivors);
+        assert_eq!(t.signature(), vec!["accepted", "too-few-survivors"]);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles_are_integer_stable() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 1, 2, 4, 8, 64] {
+            h.record(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 64_000_000);
+        assert!(h.percentile(50) >= 1_000_000);
+        assert!(h.percentile(100) >= 64_000_000 / 2);
+        let a = h.json();
+        let b = h.json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(99), 0);
+    }
+}

@@ -1,0 +1,740 @@
+//! The simulated media: [`SimMedium`] (lockstep, implements
+//! [`Medium`]) and [`run_session`]'s `SimLink` (per-party, implements
+//! [`PartyLink`]) — the two seams through which the *unmodified*
+//! handshake engine and per-party driver run under virtual time.
+//!
+//! Both media replicate the delivery semantics of their production
+//! counterparts exactly — [`shs_net::sync::BroadcastNet`] for the
+//! lockstep medium, the threaded [`shs_net::hub`] for the per-party
+//! one — including [`FaultPlan`] consultation order, the eavesdropper
+//! log discipline (the log records what live senders put on the wire;
+//! per-receiver faults happen downstream) and per-sender crash clocks.
+//! What they add is *time*: every delivery gets a seeded latency draw,
+//! collect windows and patience are measured on the virtual clock, and
+//! nothing ever calls `thread::sleep`.
+//!
+//! # Determinism
+//!
+//! The per-party session runs real threads (party bodies block in
+//! `collect` exactly like hub bodies do), so raw thread interleaving
+//! must not be allowed to leak into the trace. Three rules prevent it:
+//!
+//! 1. **Staged broadcasts.** A `broadcast` only *stages* the message.
+//!    Staged messages are processed (logged, faulted, scheduled) in
+//!    canonical `(sender-sequence, slot)` order at the next advance
+//!    point — when every unfinished party is blocked — so the
+//!    [`FaultPlan`]'s seeded coins are always consumed in the same
+//!    order no matter which thread ran first.
+//! 2. **Stateless latency draws.** Transit times are pure functions of
+//!    `(seed, round, from, to, sequence, copy)`, never of draw order.
+//! 3. **Identity-keyed event queue.** Simultaneous events pop in
+//!    `(time, sender, receiver, …)` order, not insertion order.
+//! 4. **Acknowledged deliveries.** The clock never advances while a
+//!    blocked party has mail it has not drained: a just-delivered
+//!    final copy may complete that party's view, and jumping to a
+//!    deadline before its thread gets scheduled would fabricate a
+//!    timeout (and a spurious retransmission) out of host scheduling
+//!    noise.
+
+use crate::core::{nanos, EventQueue, LatencyModel, Nanos, TraceFingerprint};
+use shs_net::fault::FaultPlan;
+use shs_net::observe::TrafficLog;
+use shs_net::sync::Received;
+use shs_net::{Medium, NetError, PartyLink};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long a lockstep exchange waits (in virtual time) for deliveries
+/// that never arrive before handing the engine an incomplete view —
+/// the simulated analogue of a per-round collect deadline.
+pub const DEFAULT_EXCHANGE_PATIENCE: Duration = Duration::from_millis(20);
+
+// ---------------------------------------------------------------------------
+// SimMedium: the lockstep medium under virtual time
+// ---------------------------------------------------------------------------
+
+/// A lockstep broadcast medium with virtual-time accounting: drop-in
+/// for [`shs_net::sync::BroadcastNet`] (same delivery and fault
+/// semantics, synchronous slot order), plus a virtual clock that
+/// charges each exchange what it would have cost on a real network —
+/// the maximum arrival latency when every view completed, or the full
+/// exchange patience when some delivery was lost and the engine would
+/// have waited out its window.
+pub struct SimMedium {
+    slots: usize,
+    latency: LatencyModel,
+    patience: Nanos,
+    plan: Option<FaultPlan>,
+    log: TrafficLog,
+    now: Nanos,
+    exchange_seq: u64,
+    deliveries: u64,
+    fingerprint: TraceFingerprint,
+}
+
+impl SimMedium {
+    /// A fault-free simulated medium connecting `slots` parties.
+    pub fn new(slots: usize, latency: LatencyModel) -> SimMedium {
+        SimMedium {
+            slots,
+            latency,
+            patience: nanos(DEFAULT_EXCHANGE_PATIENCE),
+            plan: None,
+            log: TrafficLog::new(),
+            now: 0,
+            exchange_seq: 0,
+            deliveries: 0,
+            fingerprint: TraceFingerprint::new(),
+        }
+    }
+
+    /// Installs a fault schedule; delivery is no longer guaranteed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Overrides the per-exchange patience window.
+    pub fn set_patience(&mut self, patience: Duration) {
+        self.patience = nanos(patience);
+    }
+
+    /// Virtual time elapsed on this medium.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.now)
+    }
+
+    /// Exchanges performed.
+    pub fn exchanges(&self) -> u64 {
+        self.exchange_seq
+    }
+
+    /// Delivery copies that arrived.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The event-trace fingerprint accumulated so far.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint.value()
+    }
+}
+
+impl Medium for SimMedium {
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn exchange(
+        &mut self,
+        round: &str,
+        outgoing: Vec<Vec<u8>>,
+    ) -> Result<Vec<Vec<Received>>, NetError> {
+        if outgoing.len() != self.slots {
+            return Err(NetError::IncompleteRound);
+        }
+        self.exchange_seq += 1;
+        let round_key = crate::core::fnv1a(round.as_bytes());
+        // Fault clock: release delayed deliveries, decide dead senders
+        // (identical order to BroadcastNet::exchange, so a given plan
+        // seed fires the same faults on both media).
+        let mut due = Vec::new();
+        let mut silent = vec![false; self.slots];
+        if let Some(plan) = self.plan.as_mut() {
+            due = plan.begin_exchange(round);
+            for (slot, muted) in silent.iter_mut().enumerate() {
+                *muted = plan.suppress_send(slot);
+            }
+        }
+        for (slot, payload) in outgoing.iter().enumerate() {
+            if !silent[slot] {
+                self.log.record(round, slot, payload);
+            }
+        }
+        let mut inboxes = Vec::with_capacity(self.slots);
+        let mut max_arrival: Nanos = 0;
+        let mut complete = true;
+        for to_slot in 0..self.slots {
+            let mut inbox: Vec<Received> = Vec::with_capacity(self.slots);
+            for (from_slot, payload) in outgoing.iter().enumerate() {
+                if silent[from_slot] {
+                    continue;
+                }
+                let copies = match self.plan.as_mut() {
+                    Some(plan) => plan.deliver(round, from_slot, to_slot, payload.clone()),
+                    None => vec![payload.clone()],
+                };
+                if copies.is_empty() {
+                    // A live sender's message never reached this
+                    // receiver in this exchange: its view is short and
+                    // the engine-side collect would wait out the window.
+                    complete = false;
+                }
+                for (ci, copy) in copies.into_iter().enumerate() {
+                    let lat =
+                        self.latency
+                            .draw(round, from_slot, to_slot, self.exchange_seq, ci as u64);
+                    max_arrival = max_arrival.max(lat);
+                    self.deliveries += 1;
+                    self.fingerprint.fold(&[
+                        round_key,
+                        from_slot as u64,
+                        to_slot as u64,
+                        copy.len() as u64,
+                        lat,
+                    ]);
+                    inbox.push(Received {
+                        from_slot,
+                        payload: copy,
+                    });
+                }
+            }
+            for r in due.iter().filter(|r| r.to_slot == to_slot) {
+                let lat = self
+                    .latency
+                    .draw(round, r.from_slot, to_slot, self.exchange_seq, 0x8000);
+                max_arrival = max_arrival.max(lat);
+                self.deliveries += 1;
+                self.fingerprint
+                    .fold(&[round_key, r.from_slot as u64, to_slot as u64, lat]);
+                inbox.push(Received {
+                    from_slot: r.from_slot,
+                    payload: r.payload.clone(),
+                });
+            }
+            inboxes.push(inbox);
+        }
+        // Charge the exchange its virtual cost.
+        let cost = if complete {
+            max_arrival
+        } else {
+            self.patience.max(max_arrival)
+        };
+        self.now = self.now.saturating_add(cost);
+        self.fingerprint
+            .fold(&[round_key, self.exchange_seq, cost, u64::from(complete)]);
+        if let Some(plan) = self.plan.as_ref() {
+            self.log.set_faults(plan.counters().clone());
+        }
+        Ok(inboxes)
+    }
+
+    fn traffic_snapshot(&self) -> TrafficLog {
+        self.log.clone()
+    }
+
+    fn crashed_slots(&self) -> Vec<usize> {
+        self.plan
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.crashed_slots(self.slots))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimSession: per-party driver under virtual time
+// ---------------------------------------------------------------------------
+
+/// One staged (not yet processed) broadcast.
+struct Staged {
+    /// The sender's broadcast sequence number (its own program order).
+    seq: u64,
+    slot: usize,
+    round: String,
+    payload: Vec<u8>,
+}
+
+/// A delivery in flight: scheduled on the event queue, lands in the
+/// receiver's mailbox at its arrival time.
+struct Delivery {
+    to: usize,
+    from: usize,
+    round: String,
+    payload: Vec<u8>,
+}
+
+struct SessionCore {
+    m: usize,
+    now: Nanos,
+    /// Unfinished parties (a finished party's link was dropped).
+    active: usize,
+    /// Per-slot collect deadline while the party is blocked in collect.
+    waiting: Vec<Option<Nanos>>,
+    staged: Vec<Staged>,
+    queue: EventQueue<Delivery>,
+    /// Per-party received-but-unconsumed messages. Out-of-round
+    /// arrivals are *buffered* (not discarded like the wall-clock hub):
+    /// under virtual latency a fast party's next-round broadcast can
+    /// overtake a slow delivery, and dropping it would turn a
+    /// guaranteed-delivery run lossy.
+    mailbox: Vec<Vec<(String, usize, Vec<u8>)>>,
+    /// Slots with mail delivered since their last mailbox drain. A
+    /// blocked party with fresh mail may already hold a completable
+    /// view its thread simply has not been scheduled to consume, so
+    /// advancing the clock past its deadline would fabricate a timeout
+    /// (and a retransmission) out of host scheduling noise.
+    fresh_mail: Vec<bool>,
+    plan: FaultPlan,
+    /// Live (non-suppressed) broadcasts per sender: the crash clock,
+    /// ticking per sender broadcast exactly like the hub's.
+    sent_live: Vec<u64>,
+    /// All broadcast attempts per sender (canonical processing order).
+    seq: Vec<u64>,
+    log: TrafficLog,
+    latency: LatencyModel,
+    fingerprint: TraceFingerprint,
+    /// Monotone event id, assigned in canonical processing order; the
+    /// queue tiebreak for events sharing a timestamp.
+    eid: u64,
+}
+
+impl SessionCore {
+    /// Are all unfinished parties blocked in collect, with every
+    /// delivery they have received already drained? Only then may the
+    /// simulation advance (conservative synchronization: no party
+    /// could still produce an earlier event, and none is sitting on
+    /// unread mail that would change what it does next).
+    fn ready_to_advance(&self) -> bool {
+        self.active > 0
+            && self.waiting.iter().filter(|w| w.is_some()).count() == self.active
+            && self
+                .waiting
+                .iter()
+                .zip(&self.fresh_mail)
+                .all(|(w, fresh)| w.is_none() || !fresh)
+    }
+
+    /// Processes one staged broadcast: crash clock, eavesdropper log,
+    /// delayed-delivery release, per-receiver faulting, and arrival
+    /// scheduling. Mirrors the hub's `relay` closure.
+    fn process_broadcast(&mut self, s: Staged) {
+        if let Some(after) = self.plan.crash_budget(s.slot) {
+            if self.sent_live[s.slot] >= u64::from(after) {
+                self.plan.note_crash_silenced();
+                return;
+            }
+        }
+        self.sent_live[s.slot] += 1;
+        self.log.record(&s.round, s.slot, &s.payload);
+        let round_key = crate::core::fnv1a(s.round.as_bytes());
+        self.fingerprint
+            .fold(&[round_key, s.slot as u64, s.seq, s.payload.len() as u64]);
+        // Delayed deliveries keyed on this round label come due now.
+        let due = self.plan.begin_exchange(&s.round);
+        for (i, d) in due.into_iter().enumerate() {
+            let lat = self
+                .latency
+                .draw(&s.round, d.from_slot, d.to_slot, s.seq, 0x8000 + i as u64);
+            let at = self.now.saturating_add(lat);
+            self.eid += 1;
+            self.queue.push(
+                at,
+                self.eid,
+                Delivery {
+                    to: d.to_slot,
+                    from: d.from_slot,
+                    round: s.round.clone(),
+                    payload: d.payload,
+                },
+            );
+        }
+        for to in 0..self.m {
+            let copies = self.plan.deliver(&s.round, s.slot, to, s.payload.clone());
+            for (ci, copy) in copies.into_iter().enumerate() {
+                let lat = self.latency.draw(&s.round, s.slot, to, s.seq, ci as u64);
+                let at = self.now.saturating_add(lat);
+                self.eid += 1;
+                self.queue.push(
+                    at,
+                    self.eid,
+                    Delivery {
+                        to,
+                        from: s.slot,
+                        round: s.round.clone(),
+                        payload: copy,
+                    },
+                );
+            }
+        }
+    }
+
+    /// One advance step, called with every unfinished party blocked:
+    /// first flush staged broadcasts (no time passes), otherwise move
+    /// time forward to the next delivery or the earliest deadline.
+    ///
+    /// Returns whether anything changed. A `false` means virtual time
+    /// already sits at some party's expired deadline and only *that*
+    /// party (currently blocked) can make progress — the caller must
+    /// release the lock and wait, or the session livelocks.
+    fn advance(&mut self) -> bool {
+        if !self.staged.is_empty() {
+            let mut staged = std::mem::take(&mut self.staged);
+            staged.sort_by_key(|s| (s.seq, s.slot));
+            for s in staged {
+                self.process_broadcast(s);
+            }
+            return true;
+        }
+        let was = self.now;
+        let mut popped = false;
+        match (self.queue.peek_time(), self.min_deadline()) {
+            (Some(t), Some(d)) if t <= d => popped = self.pop_delivery(),
+            (Some(_), Some(d)) => self.now = self.now.max(d),
+            (Some(_t), None) => popped = self.pop_delivery(),
+            (None, Some(d)) => self.now = self.now.max(d),
+            (None, None) => {}
+        }
+        popped || self.now > was
+    }
+
+    fn min_deadline(&self) -> Option<Nanos> {
+        self.waiting.iter().flatten().copied().min()
+    }
+
+    fn pop_delivery(&mut self) -> bool {
+        if let Some((t, d)) = self.queue.pop() {
+            self.now = self.now.max(t);
+            self.fingerprint
+                .fold(&[t, d.from as u64, d.to as u64, d.payload.len() as u64]);
+            self.mailbox[d.to].push((d.round, d.from, d.payload));
+            self.fresh_mail[d.to] = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct Shared {
+    core: Mutex<SessionCore>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn locked(&self) -> MutexGuard<'_, SessionCore> {
+        self.core
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One party's endpoint on the simulated session: implements
+/// [`PartyLink`] with the collect timeout measured in **virtual** time.
+/// Dropping the link marks the party finished (the simulation stops
+/// waiting for it before advancing).
+pub struct SimLink {
+    slot: usize,
+    slots: usize,
+    shared: Arc<Shared>,
+}
+
+impl SimLink {
+    /// This party's slot.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Session width.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl PartyLink for SimLink {
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn broadcast(&mut self, round: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        let mut core = self.shared.locked();
+        let seq = core.seq[self.slot];
+        core.seq[self.slot] += 1;
+        core.staged.push(Staged {
+            seq,
+            slot: self.slot,
+            round: round.to_string(),
+            payload,
+        });
+        Ok(())
+    }
+
+    fn collect(
+        &mut self,
+        round: &str,
+        timeout: Duration,
+        valid: &mut dyn FnMut(usize, &[u8]) -> bool,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        let me = self.slot;
+        let mut core = self.shared.locked();
+        let deadline = core.now.saturating_add(nanos(timeout));
+        core.waiting[me] = Some(deadline);
+        let mut view: Vec<Option<Vec<u8>>> = vec![None; self.slots];
+        loop {
+            // Consume matching arrivals (first valid copy per sender
+            // wins); keep everything else buffered for later rounds.
+            let mail = std::mem::take(&mut core.mailbox[me]);
+            let mut keep = Vec::with_capacity(mail.len());
+            for (r, from, payload) in mail {
+                if r == round {
+                    if from < self.slots && view[from].is_none() && valid(from, &payload) {
+                        view[from] = Some(payload);
+                    }
+                    // Matching but invalid/duplicate copies are spent.
+                } else {
+                    keep.push((r, from, payload));
+                }
+            }
+            core.mailbox[me] = keep;
+            core.fresh_mail[me] = false;
+            if view.iter().all(Option::is_some) || core.now >= deadline {
+                break;
+            }
+            let progressed = if core.ready_to_advance() {
+                let progressed = core.advance();
+                self.shared.cv.notify_all();
+                progressed
+            } else {
+                false
+            };
+            if !progressed {
+                // Either some party is still running (it will advance or
+                // notify), or virtual time sits at another party's
+                // expired deadline and only that party can move — hand
+                // the lock over instead of spinning on it.
+                core = self
+                    .shared
+                    .cv
+                    .wait(core)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        core.waiting[me] = None;
+        Ok(view)
+    }
+}
+
+impl Drop for SimLink {
+    fn drop(&mut self) {
+        let mut core = self.shared.locked();
+        if core.active > 0 {
+            core.active -= 1;
+        }
+        core.waiting[self.slot] = None;
+        // The remaining parties may now satisfy the advance condition.
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Everything a simulated per-party session produced.
+#[derive(Debug)]
+pub struct SimSessionReport<T> {
+    /// Per-slot body outputs.
+    pub outputs: Vec<T>,
+    /// The eavesdropper's log (canonical order; carries fault tallies).
+    pub traffic: TrafficLog,
+    /// Virtual time the session spanned.
+    pub elapsed: Duration,
+    /// The deterministic event-trace fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Runs `m` party bodies over the simulated medium — the virtual-time
+/// analogue of [`shs_net::hub::run_session_with_faults`]: same
+/// guaranteed-delivery semantics under an empty plan, same fault
+/// vocabulary under a non-empty one, but collect timeouts are virtual
+/// and the whole session performs zero wall-clock sleeps.
+///
+/// # Panics
+///
+/// Panics if a party thread panics (as the hub does).
+pub fn run_session<T, F>(
+    m: usize,
+    plan: FaultPlan,
+    latency: LatencyModel,
+    bodies: Vec<F>,
+) -> SimSessionReport<T>
+where
+    T: Send + 'static,
+    F: FnOnce(SimLink) -> T + Send + 'static,
+{
+    // lint:allow(panic-path) reason="public API precondition documented under # Panics; harness configuration, not wire data"
+    assert_eq!(bodies.len(), m, "one body per slot");
+    let shared = Arc::new(Shared {
+        core: Mutex::new(SessionCore {
+            m,
+            now: 0,
+            active: m,
+            waiting: vec![None; m],
+            staged: Vec::new(),
+            queue: EventQueue::new(),
+            mailbox: vec![Vec::new(); m],
+            fresh_mail: vec![false; m],
+            plan,
+            sent_live: vec![0; m],
+            seq: vec![0; m],
+            log: TrafficLog::new(),
+            latency,
+            fingerprint: TraceFingerprint::new(),
+            eid: 0,
+        }),
+        cv: Condvar::new(),
+    });
+    let threads: Vec<std::thread::JoinHandle<T>> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(slot, body)| {
+            let link = SimLink {
+                slot,
+                slots: m,
+                shared: Arc::clone(&shared),
+            };
+            std::thread::spawn(move || body(link))
+        })
+        .collect();
+    let outputs: Vec<T> = threads
+        .into_iter()
+        // lint:allow(panic-path) reason="propagates a party-thread panic to the harness caller, documented under # Panics"
+        .map(|t| t.join().expect("party thread"))
+        .collect();
+    let mut core = shared.locked();
+    let counters = core.plan.counters().clone();
+    core.log.set_faults(counters);
+    SimSessionReport {
+        outputs,
+        traffic: core.log.clone(),
+        elapsed: Duration::from_nanos(core.now),
+        fingerprint: core.fingerprint.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shs_net::fault::FaultRule;
+
+    fn echo_bodies(m: usize) -> Vec<impl FnOnce(SimLink) -> Vec<Option<Vec<u8>>> + Send> {
+        (0..m)
+            .map(|_| {
+                move |mut link: SimLink| {
+                    let me = PartyLink::slot(&link) as u8;
+                    link.broadcast("hello", vec![me]).unwrap();
+                    link.collect("hello", Duration::from_millis(50), &mut |_, _| true)
+                        .unwrap()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn echo_round_reaches_everyone_in_virtual_time() {
+        let started = std::time::Instant::now();
+        let report = run_session(4, FaultPlan::new(1), LatencyModel::lan(2), echo_bodies(4));
+        for (slot, view) in report.outputs.iter().enumerate() {
+            assert_eq!(view.len(), 4);
+            for (from, v) in view.iter().enumerate() {
+                assert_eq!(v.as_deref(), Some(&[from as u8][..]), "slot {slot}");
+            }
+        }
+        assert_eq!(report.traffic.len(), 4);
+        assert!(
+            report.elapsed >= Duration::from_micros(200),
+            "latency charged"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "virtual waiting, not wall waiting"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = || {
+            let report = run_session(
+                3,
+                FaultPlan::new(9).with(FaultRule::drop().with_probability(0.4)),
+                LatencyModel::lan(5),
+                echo_bodies(3),
+            );
+            (report.fingerprint, report.elapsed, report.traffic)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "fingerprint");
+        assert_eq!(a.1, b.1, "elapsed");
+        assert_eq!(a.2, b.2, "traffic log");
+    }
+
+    #[test]
+    fn dropped_delivery_times_out_the_collector() {
+        let report = run_session(
+            2,
+            FaultPlan::new(3).with(FaultRule::drop().from(1).to(0)),
+            LatencyModel::lan(4),
+            echo_bodies(2),
+        );
+        assert!(report.outputs[0][1].is_none(), "slot 0 lost slot 1's hello");
+        assert!(report.outputs[1][0].is_some());
+        assert_eq!(report.traffic.faults().dropped, 1);
+    }
+
+    #[test]
+    fn crash_stop_silences_the_sender_after_its_budget() {
+        let m = 3;
+        let bodies: Vec<_> = (0..m)
+            .map(|_| {
+                move |mut link: SimLink| {
+                    let me = PartyLink::slot(&link) as u8;
+                    let mut views = Vec::new();
+                    for round in ["r1", "r2"] {
+                        link.broadcast(round, vec![me]).unwrap();
+                        let v = link
+                            .collect(round, Duration::from_millis(30), &mut |_, _| true)
+                            .unwrap();
+                        views.push(v.iter().filter(|x| x.is_some()).count());
+                    }
+                    views
+                }
+            })
+            .collect();
+        let report = run_session(
+            m,
+            FaultPlan::new(6).with(FaultRule::crash_stop(2, 1)),
+            LatencyModel::lan(7),
+            bodies,
+        );
+        for views in &report.outputs {
+            assert_eq!(views[0], 3, "everyone alive in round 1");
+            assert_eq!(views[1], 2, "slot 2 dead in round 2");
+        }
+        assert!(report.traffic.faults().crash_silenced >= 1);
+    }
+
+    #[test]
+    fn sim_medium_matches_broadcast_net_on_the_same_plan() {
+        use shs_net::sync::BroadcastNet;
+        use shs_net::DeliveryPolicy;
+        let payloads: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 8]).collect();
+        let plan = || {
+            FaultPlan::new(11)
+                .with(FaultRule::drop().with_probability(0.5))
+                .with(FaultRule::duplicate().in_round("r2"))
+        };
+        let mut real = BroadcastNet::new(3, DeliveryPolicy::Synchronous);
+        real.set_fault_plan(plan());
+        let mut sim = SimMedium::new(3, LatencyModel::lan(1));
+        sim.set_fault_plan(plan());
+        for round in ["r1", "r2", "r1"] {
+            let a = real.exchange(round, payloads.clone()).unwrap();
+            let b = Medium::exchange(&mut sim, round, payloads.clone()).unwrap();
+            assert_eq!(a, b, "round {round}");
+        }
+        assert_eq!(
+            real.traffic_snapshot(),
+            sim.traffic_snapshot(),
+            "same log, same fault tallies"
+        );
+        assert!(sim.elapsed() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,43 @@
+//! Suite-level assertions: the adversary schedules must land sessions
+//! in *distinct* terminal-class mixes, and the whole suite must be
+//! bit-reproducible.
+
+use shs_sim::{run_suite, SuiteConfig};
+
+#[test]
+fn adversaries_produce_distinct_class_histograms() {
+    let report = run_suite(&SuiteConfig::smoke(0xE20));
+    let mut signatures = Vec::new();
+    for r in &report.scenarios {
+        let sig = r.classes.signature();
+        println!(
+            "{:<12} {:?} reformations={} faults={:?}",
+            r.name, r.classes, r.reformations, r.faults
+        );
+        assert_eq!(
+            r.sessions,
+            r.classes.total(),
+            "{}: every session classified",
+            r.name
+        );
+        signatures.push((r.name, sig));
+    }
+    // The four required adversaries (partition, slow-loris, phase-crash,
+    // sybil-flood) must be pairwise distinguishable by histogram alone.
+    for i in 0..signatures.len() {
+        for j in i + 1..signatures.len() {
+            assert_ne!(
+                signatures[i].1, signatures[j].1,
+                "{} and {} are indistinguishable",
+                signatures[i].0, signatures[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_renders_byte_identical_json() {
+    let a = run_suite(&SuiteConfig::smoke(7)).deterministic_json();
+    let b = run_suite(&SuiteConfig::smoke(7)).deterministic_json();
+    assert_eq!(a, b, "deterministic section must be byte-identical");
+}
